@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark suite.
+
+Every experiment bench runs its driver exactly once under
+pytest-benchmark (``pedantic`` mode — the drivers measure their interior
+themselves), saves the paper-style table under ``results/``, and asserts
+the paper's qualitative shape with generous noise margins.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.harness import ExperimentResult
+
+_RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+
+
+def save_result(result: ExperimentResult) -> None:
+    """Persist an experiment table under results/ and echo it."""
+    os.makedirs(_RESULTS_DIR, exist_ok=True)
+    path = os.path.join(_RESULTS_DIR, f"{result.experiment}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(result.to_table() + "\n")
+    print()
+    print(result.to_table())
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment driver once under the benchmark, save its table."""
+
+    def runner(driver) -> ExperimentResult:
+        result = benchmark.pedantic(driver, rounds=1, iterations=1)
+        save_result(result)
+        return result
+
+    return runner

@@ -1,0 +1,54 @@
+"""Ablation benches for the design choices DESIGN.md calls out."""
+
+from repro.bench.experiments import (
+    ablation_frame_size,
+    ablation_group_cardinality,
+    ablation_projection_depth,
+    ablation_two_step_aggregation,
+)
+
+
+def test_ablation_projection_depth(run_once):
+    """Section 5.3: the smaller the DATASCAN argument, the better —
+    Q0b's scan forwards a fraction of Q0's bytes, at no time cost."""
+    result = run_once(ablation_projection_depth)
+    q0_bytes = result.cell("Q0", "scanned item bytes")
+    q0b_bytes = result.cell("Q0b", "scanned item bytes")
+    assert q0b_bytes * 5 <= q0_bytes, "Q0b should move far smaller tuples"
+    q0_seconds = result.cell("Q0", "time (s)")
+    q0b_seconds = result.cell("Q0b", "time (s)")
+    assert q0b_seconds <= q0_seconds * 1.35  # never meaningfully slower
+
+
+def test_ablation_two_step_aggregation(run_once):
+    """Without two-step aggregation, raw tuples ship to the coordinator:
+    the exchange volume explodes."""
+    result = run_once(ablation_two_step_aggregation)
+    # Q1 ships only per-group partials under two-step aggregation.
+    q1_two_step = result.cell("Q1", "two-step exchange (B)")
+    q1_raw = result.cell("Q1", "raw exchange (B)")
+    assert q1_raw > q1_two_step * 5, (
+        f"Q1: raw exchange should dwarf partials ({q1_two_step}B vs {q1_raw}B)"
+    )
+    # Q2's exchange is dominated by the join hash-partitioning, which
+    # both configurations pay; the joined tuples shipped to the
+    # coordinator are the remaining difference.
+    q2_two_step = result.cell("Q2", "two-step exchange (B)")
+    q2_raw = result.cell("Q2", "raw exchange (B)")
+    assert q2_raw > q2_two_step * 1.3
+
+
+def test_ablation_group_cardinality(run_once):
+    """Section 4.3: the larger the groups, the better the group-by rule's
+    improvement."""
+    result = run_once(ablation_group_cardinality)
+    small = result.cell("small groups", "speedup")
+    large = result.cell("large groups", "speedup")
+    assert large >= small * 0.8  # trend, with a generous noise margin
+
+
+def test_ablation_frame_size(run_once):
+    """Bigger frames hold more tuples; total tuples are conserved."""
+    result = run_once(ablation_frame_size)
+    frames = result.column("frames")
+    assert frames[0] > frames[1] > frames[2], "bigger frames -> fewer frames"

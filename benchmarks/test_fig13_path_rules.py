@@ -1,0 +1,18 @@
+"""Figure 13: execution time before/after the Path Expression Rules.
+
+Paper shape: a clear-but-modest improvement for every query (the rules
+remove the two-step keys-or-members evaluation and dead coercions; the
+big wins come later from pipelining).  Assertion: no query regresses
+beyond noise.
+"""
+
+from repro.bench.experiments import fig13
+
+
+def test_fig13_path_rules(run_once):
+    result = run_once(fig13)
+    for row in result.rows:
+        query, before, after = row[0], row[1], row[2]
+        assert after <= before * 2.0, (
+            f"{query}: path rules regressed {before:.3f}s -> {after:.3f}s"
+        )

@@ -1,0 +1,27 @@
+"""Figure 15: execution time before/after the Group-by Rules.
+
+Paper shape: Q0/Q0b/Q2 unaffected (the rules don't apply); Q1 and Q1b
+improve because the count is pushed into the GROUP-BY and no per-group
+sequence is materialized.
+"""
+
+from repro.bench.experiments import fig15
+
+
+def test_fig15_groupby_rules(run_once):
+    result = run_once(fig15)
+    # The grouped queries stop materializing group sequences entirely.
+    for query in ("Q1", "Q1b"):
+        before_mem = result.cell(query, "path+pipelining mem (B)")
+        after_mem = result.cell(query, "+group-by mem (B)")
+        assert before_mem > 0 and after_mem < before_mem / 10, (
+            f"{query}: group sequences should disappear, got "
+            f"{before_mem}B -> {after_mem}B"
+        )
+    # The unaffected queries stay put (generous noise margin).
+    for query in ("Q0", "Q0b", "Q2"):
+        before = result.cell(query, "path+pipelining (s)")
+        after = result.cell(query, "+group-by (s)")
+        assert after <= before * 2.0 and before <= after * 2.0, (
+            f"{query} should be unaffected by group-by rules"
+        )

@@ -1,0 +1,25 @@
+"""Figure 16: Q1 vs collection size, before/after all rewrite rules.
+
+Paper shape: both series grow roughly linearly with the data size, the
+rewritten plan stays consistently faster, and (the part the log scale
+emphasizes) the naive plan's footprint grows with the data while the
+rewritten plan's does not.
+"""
+
+from repro.bench.experiments import fig16
+
+
+def test_fig16_data_sizes(run_once):
+    result = run_once(fig16)
+    befores = result.column("before (s)")
+    afters = result.column("after (s)")
+    before_mems = result.column("before mem (B)")
+    after_mems = result.column("after mem (B)")
+    # Consistently faster after the rules.
+    for before, after in zip(befores, afters):
+        assert after <= before * 1.5
+    # The naive plan's runtime scales with the data (4x data >= ~2x time).
+    assert befores[-1] >= befores[0] * 2
+    # Naive memory grows with data; rewritten memory does not.
+    assert before_mems[-1] >= before_mems[0] * 2
+    assert max(after_mems) <= max(before_mems) / 10

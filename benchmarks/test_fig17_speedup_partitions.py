@@ -1,0 +1,22 @@
+"""Figure 17: single-node speed-up over 1/2/4/8 partitions.
+
+Paper shape: near-linear speed-up to 4 partitions (one per core), then a
+plateau — or slight regression — at 8 hyperthreaded partitions, because
+the workload is CPU-bound and two hyperthreads share one core.
+"""
+
+from repro.bench.experiments import fig17
+
+
+def test_fig17_partition_speedup(run_once):
+    result = run_once(fig17)
+    for row in result.rows:
+        query = row[0]
+        t1, t2, t4, t8 = row[1], row[2], row[3], row[4]
+        assert t2 < t1 * 0.8, f"{query}: no speed-up at 2 partitions"
+        assert t4 < t1 * 0.5, f"{query}: no speed-up at 4 partitions"
+        # Hyperthreads add no capacity: 8 partitions ~= 4 partitions.
+        assert abs(t8 - t4) <= t4 * 0.6, (
+            f"{query}: 8 HT partitions should plateau near 4 "
+            f"({t4:.3f}s vs {t8:.3f}s)"
+        )

@@ -1,0 +1,49 @@
+"""Figure 18: query time and space vs measurements/array (30 ... 1).
+
+Paper shapes:
+
+- (a) VXQuery's time is independent of the document structure; MongoDB
+  is strong on selections (its compressed binary store pays off once the
+  load is sunk); AsterixDB(load) queries faster than
+  AsterixDB(external) because the data is already in its data model.
+- (b) MongoDB's footprint grows as documents shrink (less compression);
+  VXQuery (raw files) and AsterixDB(load) are flat.
+
+Divergence note (EXPERIMENTS.md): in the paper MongoDB degrades steeply
+at 1 measurement/document; our per-document overhead is smaller than
+MongoDB's, so the time trend is flatter — the *space* trend (18b), which
+drives it, reproduces fully.
+"""
+
+from repro.bench.experiments import fig18a, fig18b
+
+
+def test_fig18a_query_times(run_once):
+    result = run_once(fig18a)
+    vx = result.column("VXQuery (s)")
+    mongo = result.column("MongoDB (s)")
+    adm_ext = result.column("AsterixDB (s)")
+    adm_load = result.column("AsterixDB(load) (s)")
+    # VXQuery independent of document structure.
+    assert max(vx) <= min(vx) * 2.5, "VXQuery should be ~flat"
+    # ADM-format queries beat re-parsing external JSON.
+    for ext, loaded in zip(adm_ext, adm_load):
+        assert loaded <= ext * 1.25
+    # MongoDB stays within its own band across document sizes (its
+    # degradation trend at small documents is too shallow to assert at
+    # this scale — the deterministic space table 18b carries the
+    # compression story).
+    assert max(mongo) <= min(mongo) * 3
+
+
+def test_fig18b_space(run_once):
+    result = run_once(fig18b)
+    raw = result.column("VXQuery/AsterixDB raw (B)")
+    mongo = result.column("MongoDB stored (B)")
+    adm = result.column("AsterixDB(load) stored (B)")
+    # MongoDB compresses big documents well, small documents badly.
+    assert mongo[0] < raw[0] * 0.5, "30 meas/doc should compress well"
+    assert mongo[-1] >= mongo[0] * 2, "1 meas/doc should inflate the store"
+    # The uncompressed representations are structure-independent.
+    assert max(raw) <= min(raw) * 1.3
+    assert max(adm) <= min(adm) * 1.3

@@ -1,0 +1,18 @@
+"""Figure 21: cluster scale-up, 1-9 nodes, 88 GB (scaled) per node.
+
+Paper shape: "the query execution time remains roughly the same" as
+nodes and data grow together — good scale-up.
+"""
+
+from repro.bench.experiments import fig21
+
+
+def test_fig21_cluster_scaleup(run_once):
+    result = run_once(fig21)
+    for row in result.rows:
+        query = row[0]
+        times = row[1:]
+        assert max(times) <= min(times) * 3.0 + 0.01, (
+            f"{query}: scale-up should keep times roughly flat, got "
+            f"{min(times):.3f}s..{max(times):.3f}s"
+        )

@@ -1,0 +1,30 @@
+"""Figure 23: VXQuery vs AsterixDB (external), cluster scale-up.
+
+Paper shape: both roughly flat as data and nodes grow together, with
+VXQuery ahead.  See fig22's module docstring for why, in this substrate,
+the assertion is parity-shaped on Q0b.
+"""
+
+from repro.bench.experiments import fig23
+
+
+def _series(result, query, system):
+    for row in result.rows:
+        if row[0] == query and row[1] == system:
+            return row[2:]
+    raise KeyError((query, system))
+
+
+def test_fig23_vs_asterixdb_scaleup(run_once):
+    result = run_once(fig23)
+    for query in ("Q0b", "Q2"):
+        vx = _series(result, query, "VXQuery")
+        adm = _series(result, query, "AsterixDB")
+        assert max(vx) <= min(vx) * 3.0 + 0.01, (
+            f"{query}: VXQuery should scale up"
+        )
+        assert max(adm) <= min(adm) * 3.0 + 0.01, (
+            f"{query}: AsterixDB should scale up"
+        )
+        for a, b in zip(vx, adm):
+            assert a <= b * 4 and b <= a * 4, f"{query} should be comparable"

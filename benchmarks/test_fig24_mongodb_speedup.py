@@ -1,0 +1,32 @@
+"""Figure 24: VXQuery vs MongoDB, cluster speed-up (Q0b and Q2).
+
+Paper shape: MongoDB's compressed store makes it faster on the
+selection Q0b (query time only — its load is Table 4); VXQuery wins the
+self-join Q2 at the paper's scale.  In this substrate MongoDB's binary
+scan keeps it competitive on Q2 too at MB scale (the central-join
+bottleneck that costs it in the paper needs GB-scale joins to surface);
+EXPERIMENTS.md records the divergence.  Asserted here: both systems
+speed up, and the selection times stay comparable.
+"""
+
+from repro.bench.experiments import fig24
+
+
+def _series(result, query, system):
+    for row in result.rows:
+        if row[0] == query and row[1] == system:
+            return row[2:]
+    raise KeyError((query, system))
+
+
+def test_fig24_vs_mongodb_speedup(run_once):
+    result = run_once(fig24)
+    for query in ("Q0b", "Q2"):
+        vx = _series(result, query, "VXQuery")
+        mongo = _series(result, query, "MongoDB")
+        # Both systems speed up with nodes.
+        assert vx[-1] < vx[0] / 2.5, f"{query}: VXQuery should speed up"
+        assert mongo[-1] < mongo[0] / 2.5, f"{query}: MongoDB should speed up"
+        # Same order of magnitude throughout.
+        for a, b in zip(vx, mongo):
+            assert a <= b * 8 and b <= a * 8, f"{query} should be comparable"

@@ -1,0 +1,29 @@
+"""Figure 25: VXQuery vs MongoDB, cluster scale-up (Q0b and Q2).
+
+Paper shape: VXQuery's times stay roughly flat as nodes and data grow
+together; so do MongoDB's for the selection.  (On Q2, the paper's
+MongoDB suffers from its central join; at MB scale that join is too
+small to hurt — see EXPERIMENTS.md.)
+"""
+
+from repro.bench.experiments import fig25
+
+
+def _series(result, query, system):
+    for row in result.rows:
+        if row[0] == query and row[1] == system:
+            return row[2:]
+    raise KeyError((query, system))
+
+
+def test_fig25_vs_mongodb_scaleup(run_once):
+    result = run_once(fig25)
+    for query in ("Q0b", "Q2"):
+        vx = _series(result, query, "VXQuery")
+        assert max(vx) <= min(vx) * 3.0 + 0.01, (
+            f"{query}: VXQuery should scale up"
+        )
+    vx_q0b = _series(result, "Q0b", "VXQuery")
+    mongo_q0b = _series(result, "Q0b", "MongoDB")
+    for a, b in zip(vx_q0b, mongo_q0b):
+        assert a <= b * 8 and b <= a * 8, "Q0b should stay comparable"

@@ -1,0 +1,20 @@
+"""Table 1: loading time, MongoDB vs AsterixDB(load), per document size.
+
+Paper shape: both pay a substantial load phase (VXQuery pays none);
+MongoDB's load grows as documents shrink (more per-document compression
+calls for less benefit), AsterixDB's stays roughly constant.
+"""
+
+from repro.bench.experiments import table1
+
+
+def test_table1_loading_times(run_once):
+    result = run_once(table1)
+    mongo = result.column("MongoDB load (s)")
+    adm = result.column("AsterixDB(load) load (s)")
+    # The paper's core point vs VXQuery: both systems pay a real load
+    # phase at every document size (VXQuery pays none).
+    assert all(value > 0 for value in mongo + adm)
+    # Both engines' conversion costs are bounded across structures.
+    assert max(adm) <= min(adm) * 3
+    assert max(mongo) <= min(mongo) * 3

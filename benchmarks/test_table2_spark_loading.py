@@ -1,0 +1,10 @@
+"""Table 2: SparkSQL loading time grows with the data size."""
+
+from repro.bench.experiments import table2
+
+
+def test_table2_spark_loading(run_once):
+    result = run_once(table2)
+    loads = result.column("loading (s)")
+    assert all(value > 0 for value in loads)
+    assert loads[-1] > loads[0], "loading a 2.5x input should take longer"

@@ -1,0 +1,20 @@
+"""Table 3: memory — Spark holds the whole input, VXQuery streams.
+
+Paper shape: Spark's footprint is a large multiple of the input and
+grows with it; VXQuery's stays flat (only query-relevant state).
+"""
+
+from repro.bench.experiments import table3
+
+
+def test_table3_memory(run_once):
+    result = run_once(table3)
+    spark = result.column("Spark memory (B)")
+    vx = result.column("VXQuery memory (B)")
+    for spark_mem, vx_mem in zip(spark, vx):
+        assert spark_mem > max(vx_mem, 1) * 5, (
+            f"Spark should hold much more: {spark_mem}B vs {vx_mem}B"
+        )
+    # Spark memory grows with input; VXQuery's stays flat.
+    assert spark[-1] >= spark[0] * 2
+    assert max(vx) <= max(spark) / 10

@@ -1,0 +1,15 @@
+"""Table 4: MongoDB's loading time at the two dataset scales.
+
+Paper shape: loading is a huge overhead (9000s for 88 GB, 81000s for
+803 GB per node) and grows with the dataset; VXQuery pays none of it.
+"""
+
+from repro.bench.experiments import table4
+
+
+def test_table4_mongodb_loading(run_once):
+    result = run_once(table4)
+    loads = result.column("loading (s)")
+    assert all(value > 0 for value in loads)
+    # ~9x the data takes substantially longer to load.
+    assert loads[1] >= loads[0] * 4

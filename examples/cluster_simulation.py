@@ -1,0 +1,82 @@
+"""Cluster simulation: speed-up, scale-up, and the hyperthread plateau.
+
+Reproduces the paper's parallelism story interactively: every
+partition's work runs for real, and a :class:`ClusterSpec` composes the
+simulated makespan — including the Figure 17 effect where 8
+hyperthreaded partitions on 4 physical cores stop helping.
+
+Run:  python examples/cluster_simulation.py
+"""
+
+import tempfile
+
+from repro import ClusterSpec, CollectionCatalog, JsonProcessor
+from repro import SensorDataConfig, write_sensor_collection
+from repro.bench import queries
+
+
+def build_catalog(base_dir: str, partitions: int) -> CollectionCatalog:
+    write_sensor_collection(
+        base_dir,
+        "sensors",
+        partitions=partitions,
+        bytes_per_partition=40_000,
+        config=SensorDataConfig(
+            seed=11, start_year=2003, year_span=2, target_file_bytes=8 * 1024
+        ),
+    )
+    return CollectionCatalog(base_dir)
+
+
+def regrouped(catalog: CollectionCatalog, partitions: int) -> CollectionCatalog:
+    """The same files, dealt into a different number of partitions."""
+    files = catalog.files("/sensors")
+    regroup = CollectionCatalog()
+    regroup.register("/sensors", [files[i::partitions] for i in range(partitions)])
+    return regroup
+
+
+def main() -> None:
+    base_dir = tempfile.mkdtemp(prefix="repro-cluster-")
+    catalog = build_catalog(base_dir, partitions=36)
+    query = queries.q1()
+
+    print("== single node: partitions vs simulated time (Figure 17) ==")
+    for partitions in (1, 2, 4, 8):
+        processor = JsonProcessor(regrouped(catalog, partitions))
+        result = processor.execute(query)
+        cluster = ClusterSpec().single_node(partitions)
+        label = f"{partitions} partition(s)" + (" [HT]" if partitions == 8 else "")
+        print(f"  {label:22s} {result.simulated_seconds(cluster):.3f}s")
+
+    print("\n== cluster speed-up: fixed data, 1-9 nodes (Figure 20) ==")
+    for nodes in (1, 3, 5, 7, 9):
+        processor = JsonProcessor(regrouped(catalog, 4 * nodes))
+        result = processor.execute(query)
+        cluster = ClusterSpec(nodes=nodes)
+        print(
+            f"  {nodes} node(s): {result.simulated_seconds(cluster):.3f}s "
+            f"(exchange {result.stats.exchange_bytes}B, "
+            f"strategy {result.strategy})"
+        )
+
+    print("\n== scale-up: data grows with the cluster (Figure 21) ==")
+    all_files = catalog.files("/sensors")
+    per_node = len(all_files) // 9
+    for nodes in (1, 3, 5, 7, 9):
+        subset = CollectionCatalog()
+        files = all_files[: per_node * nodes]
+        subset.register(
+            "/sensors", [files[i :: 4 * nodes] for i in range(4 * nodes)]
+        )
+        processor = JsonProcessor(subset)
+        result = processor.execute(query)
+        cluster = ClusterSpec(nodes=nodes)
+        print(
+            f"  {nodes} node(s), {len(files)} files: "
+            f"{result.simulated_seconds(cluster):.3f}s"
+        )
+
+
+if __name__ == "__main__":
+    main()

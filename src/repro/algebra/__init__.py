@@ -1,0 +1,13 @@
+"""Algebricks substrate: logical expressions, operators, plans, rewrite rules.
+
+This package mirrors the Algebricks layer of the paper's architecture
+(Section 3): a language-agnostic logical query algebra plus a rewrite-rule
+framework.  The language-specific pieces (the JSONiq rewrite rules of
+Section 4) live in :mod:`repro.algebra.rules`.
+"""
+
+from repro.algebra.expressions import Expression
+from repro.algebra.operators import Operator
+from repro.algebra.plan import LogicalPlan
+
+__all__ = ["Expression", "LogicalPlan", "Operator"]

@@ -1,0 +1,114 @@
+"""Evaluation context shared by expressions and physical operators.
+
+The context carries everything an expression may need beyond the current
+tuple: the scalar-function library, the data-source resolver that turns
+collection/document names into items, and an optional memory tracker that
+materializing evaluations charge.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Protocol
+
+from repro.jsonlib.items import Item
+from repro.jsonlib.path import Path
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hyracks.memory import MemoryTracker
+
+
+class DataSource(Protocol):
+    """Resolves collection and document names to JSON items.
+
+    Implementations: :class:`repro.data.catalog.CollectionCatalog` for real
+    partitioned directories, and in-memory fakes in the tests.
+    """
+
+    def read_document(self, uri: str) -> Item:
+        """Materialize the single JSON document at *uri*."""
+
+    def read_collection(self, name: str, partition: int | None = None) -> list[Item]:
+        """Materialize every top-level item of a collection (one partition,
+        or all partitions when *partition* is None)."""
+
+    def scan_collection(
+        self, name: str, path: Path, partition: int | None = None
+    ) -> Iterator[Item]:
+        """Stream the items of a collection projected through *path*."""
+
+    def partition_count(self, name: str) -> int:
+        """Number of partitions the collection is split into."""
+
+
+class EvaluationContext:
+    """Runtime context for expression evaluation.
+
+    Parameters
+    ----------
+    source:
+        Data-source resolver; required only by plans that read collections
+        or documents.
+    functions:
+        Scalar-function library mapping ``(name, arity)`` to a callable
+        ``f(args: list[list]) -> list``.  Defaults to the builtin JSONiq
+        library.
+    memory:
+        Optional memory tracker charged by materializing evaluations.
+    partition:
+        Index of the partition this plan instance is running on (None for
+        a global, single-instance plan).
+    stats:
+        Optional :class:`repro.hyracks.executor.ExecutionStats` charged by
+        physical operators (scanned items, exchanged tuples, ...).
+    """
+
+    def __init__(
+        self,
+        source: DataSource | None = None,
+        functions: dict[tuple[str, int], Callable] | None = None,
+        memory: "MemoryTracker | None" = None,
+        partition: int | None = None,
+        stats=None,
+    ):
+        if functions is None:
+            from repro.jsoniq.functions import BUILTIN_FUNCTIONS
+
+            functions = BUILTIN_FUNCTIONS
+        self.source = source
+        self.functions = functions
+        self.memory = memory
+        self.partition = partition
+        self.stats = stats
+
+    def for_partition(
+        self, partition: int | None, memory: "MemoryTracker | None" = None
+    ) -> "EvaluationContext":
+        """A copy of this context bound to a specific partition."""
+        return EvaluationContext(
+            source=self.source,
+            functions=self.functions,
+            memory=memory if memory is not None else self.memory,
+            partition=partition,
+            stats=self.stats,
+        )
+
+    def charge(self, n_bytes: int) -> None:
+        """Charge *n_bytes* against the memory tracker, if any."""
+        if self.memory is not None:
+            self.memory.allocate(n_bytes)
+
+    def release(self, n_bytes: int) -> None:
+        """Release *n_bytes* from the memory tracker, if any."""
+        if self.memory is not None:
+            self.memory.release(n_bytes)
+
+
+def charge_sequence(ctx: EvaluationContext, items: Iterable[Item]) -> int:
+    """Charge the context for a materialized sequence; returns the bytes."""
+    if ctx.memory is None:
+        return 0
+    from repro.jsonlib.items import sizeof_sequence
+
+    n_bytes = sizeof_sequence(items)
+    ctx.charge(n_bytes)
+    return n_bytes

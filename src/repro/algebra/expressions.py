@@ -1,0 +1,920 @@
+"""Logical expression tree for the JSONiq algebra.
+
+Expressions evaluate against a *tuple* (a mapping from variable names to
+sequences) and an :class:`~repro.algebra.context.EvaluationContext`.
+Every value in the algebra is a **sequence** — a Python list of items —
+following the XQuery/JSONiq data model; a "scalar" is a singleton
+sequence.
+
+The node vocabulary matches what the paper's plans use:
+
+- variable references and literals,
+- **path steps**: the JSONiq *value* and *keys-or-members* navigation
+  expressions of Section 3.2,
+- the coercion trio ``promote`` / ``data`` / ``treat`` that the path and
+  group-by rewrite rules remove,
+- function calls into the builtin library (``count``, ``dateTime``, ...),
+- comparison / boolean / arithmetic operators,
+- ``collection`` and ``json-doc`` source expressions,
+- the ``iterate`` expression used by UNNEST,
+- object / array constructors.
+
+Every node implements structural equality, a paper-style ``to_string``
+used by the plan printer, and ``child_expressions`` /
+``with_child_expressions`` so rewrite rules can traverse and rebuild
+trees generically.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Iterable, Sequence as TypingSequence
+
+from repro.errors import (
+    ItemTypeError,
+    TranslationError,
+    TypeCheckError,
+    UnboundVariableError,
+    UnknownFunctionError,
+)
+from repro.algebra.context import EvaluationContext
+from repro.jsonlib.items import Item, is_atomic, item_type_name
+from repro.jsonlib.path import (
+    KeysOrMembers,
+    Path,
+    PathStep,
+    ValueByIndex,
+    ValueByKey,
+    apply_step,
+)
+
+Tuple = dict  # variable name -> sequence (list of items)
+
+
+class Expression:
+    """Base class of all logical expressions."""
+
+    __slots__ = ()
+
+    def child_expressions(self) -> tuple["Expression", ...]:
+        """The direct sub-expressions of this node."""
+        raise NotImplementedError
+
+    def with_child_expressions(
+        self, children: TypingSequence["Expression"]
+    ) -> "Expression":
+        """Rebuild this node with new sub-expressions."""
+        raise NotImplementedError
+
+    def evaluate(self, tup: Tuple, ctx: EvaluationContext) -> list:
+        """Evaluate against a tuple, returning a sequence."""
+        raise NotImplementedError
+
+    def to_string(self) -> str:
+        """Paper-style rendering used by the plan printer."""
+        raise NotImplementedError
+
+    def free_variables(self) -> set[str]:
+        """All variable names referenced in this subtree."""
+        names: set[str] = set()
+        stack: list[Expression] = [self]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, VariableRef):
+                names.add(node.name)
+            stack.extend(node.child_expressions())
+        return names
+
+    def contains(self, predicate) -> bool:
+        """True if any node in this subtree satisfies *predicate*."""
+        stack: list[Expression] = [self]
+        while stack:
+            node = stack.pop()
+            if predicate(node):
+                return True
+            stack.extend(node.child_expressions())
+        return False
+
+    def __eq__(self, other: object) -> bool:
+        if type(self) is not type(other):
+            return False
+        return self._key() == other._key()  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__,))
+
+    def _key(self):
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return self.to_string()
+
+
+# ---------------------------------------------------------------------------
+# Leaves
+# ---------------------------------------------------------------------------
+
+
+class VariableRef(Expression):
+    """Reference to a tuple variable, e.g. ``$x``."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def child_expressions(self):
+        return ()
+
+    def with_child_expressions(self, children):
+        return self
+
+    def evaluate(self, tup, ctx):
+        try:
+            return tup[self.name]
+        except KeyError:
+            raise UnboundVariableError(self.name) from None
+
+    def to_string(self):
+        return f"${self.name}"
+
+    def _key(self):
+        return self.name
+
+
+class Literal(Expression):
+    """A constant sequence (usually a singleton)."""
+
+    __slots__ = ("sequence",)
+
+    def __init__(self, sequence: list):
+        self.sequence = list(sequence)
+
+    @classmethod
+    def of(cls, *items: Item) -> "Literal":
+        """Literal from items: ``Literal.of(1)`` is the singleton 1."""
+        return cls(list(items))
+
+    def child_expressions(self):
+        return ()
+
+    def with_child_expressions(self, children):
+        return self
+
+    def evaluate(self, tup, ctx):
+        return self.sequence
+
+    def to_string(self):
+        if len(self.sequence) == 1:
+            item = self.sequence[0]
+            if isinstance(item, str):
+                return f'"{item}"'
+            if item is True:
+                return "true"
+            if item is False:
+                return "false"
+            if item is None:
+                return "null"
+            return str(item)
+        inner = ", ".join(str(i) for i in self.sequence)
+        return f"({inner})"
+
+    def _key(self):
+        # Lists are unhashable; compare by contents with bool identity.
+        return [(type(i).__name__, i) for i in self.sequence]
+
+
+TRUE_LITERAL = Literal([True])
+EMPTY_LITERAL = Literal([])
+
+
+# ---------------------------------------------------------------------------
+# Source expressions
+# ---------------------------------------------------------------------------
+
+
+class CollectionExpr(Expression):
+    """``collection("/name")`` — materializes the *whole* collection.
+
+    This is the naive strategy of Figure 5: the resulting tuple holds
+    every top-level item of every file.  The pipelining rules replace it
+    with the streaming DATASCAN operator.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def child_expressions(self):
+        return ()
+
+    def with_child_expressions(self, children):
+        return self
+
+    def evaluate(self, tup, ctx):
+        if ctx.source is None:
+            raise TranslationError("no data source configured for collection()")
+        items = ctx.source.read_collection(self.name, partition=ctx.partition)
+        from repro.algebra.context import charge_sequence
+
+        charge_sequence(ctx, items)
+        return items
+
+    def to_string(self):
+        return f'collection("{self.name}")'
+
+    def _key(self):
+        return self.name
+
+
+class JsonDocExpr(Expression):
+    """``json-doc("uri")`` — materializes one document."""
+
+    __slots__ = ("uri_expr",)
+
+    def __init__(self, uri_expr: Expression):
+        self.uri_expr = uri_expr
+
+    def child_expressions(self):
+        return (self.uri_expr,)
+
+    def with_child_expressions(self, children):
+        (uri_expr,) = children
+        return JsonDocExpr(uri_expr)
+
+    def evaluate(self, tup, ctx):
+        if ctx.source is None:
+            raise TranslationError("no data source configured for json-doc()")
+        uris = self.uri_expr.evaluate(tup, ctx)
+        items = [ctx.source.read_document(uri) for uri in uris]
+        from repro.algebra.context import charge_sequence
+
+        charge_sequence(ctx, items)
+        return items
+
+    def to_string(self):
+        return f"json-doc({self.uri_expr.to_string()})"
+
+    def _key(self):
+        return self.uri_expr
+
+
+# ---------------------------------------------------------------------------
+# Navigation
+# ---------------------------------------------------------------------------
+
+
+class PathStepExpr(Expression):
+    """One JSONiq navigation step applied to each item of the input.
+
+    ``step`` is a :class:`ValueByKey`, :class:`ValueByIndex`, or
+    :class:`KeysOrMembers`; results are concatenated across the input
+    sequence (JSONiq sequence semantics).
+    """
+
+    __slots__ = ("input", "step")
+
+    def __init__(self, input: Expression, step: PathStep):
+        self.input = input
+        self.step = step
+
+    def child_expressions(self):
+        return (self.input,)
+
+    def with_child_expressions(self, children):
+        (input_expr,) = children
+        return PathStepExpr(input_expr, self.step)
+
+    def evaluate(self, tup, ctx):
+        out: list = []
+        for item in self.input.evaluate(tup, ctx):
+            out.extend(apply_step(item, self.step))
+        return out
+
+    def to_string(self):
+        return f"{self.input.to_string()}{self.step}"
+
+    def _key(self):
+        return (self.input, self.step)
+
+    @staticmethod
+    def chain(base: Expression, path: Path | Iterable[PathStep]) -> Expression:
+        """Apply every step of *path* on top of *base*."""
+        expr = base
+        for step in path:
+            expr = PathStepExpr(expr, step)
+        return expr
+
+    def leading_path(self) -> tuple[Expression, Path]:
+        """Split a nested step chain into (innermost input, path).
+
+        ``$x("a")("b")()`` returns ``($x, ("a")("b")())`` — the shape the
+        pipelining rules fold into DATASCAN's second argument.
+        """
+        steps: list[PathStep] = []
+        node: Expression = self
+        while isinstance(node, PathStepExpr):
+            steps.append(node.step)
+            node = node.input
+        steps.reverse()
+        return node, Path(steps)
+
+
+# ---------------------------------------------------------------------------
+# Coercions (the expressions the rewrite rules remove)
+# ---------------------------------------------------------------------------
+
+_TYPE_PREDICATES = {
+    "item": lambda item: True,
+    "object": lambda item: isinstance(item, dict),
+    "array": lambda item: isinstance(item, list),
+    "string": lambda item: isinstance(item, str),
+    "number": lambda item: isinstance(item, (int, float))
+    and not isinstance(item, bool),
+    "boolean": lambda item: isinstance(item, bool),
+    "dateTime": lambda item: isinstance(item, datetime.datetime),
+}
+
+
+class PromoteExpr(Expression):
+    """Type promotion inserted by the translator (e.g. around json-doc args).
+
+    At runtime it is a checked identity; the path rules remove it when the
+    static type already conforms.
+    """
+
+    __slots__ = ("input", "type_name")
+
+    def __init__(self, input: Expression, type_name: str):
+        self.input = input
+        self.type_name = type_name
+
+    def child_expressions(self):
+        return (self.input,)
+
+    def with_child_expressions(self, children):
+        (input_expr,) = children
+        return PromoteExpr(input_expr, self.type_name)
+
+    def evaluate(self, tup, ctx):
+        sequence = self.input.evaluate(tup, ctx)
+        predicate = _TYPE_PREDICATES.get(self.type_name)
+        if predicate is not None:
+            for item in sequence:
+                if not predicate(item):
+                    raise TypeCheckError(
+                        f"cannot promote {item_type_name(item)} to {self.type_name}"
+                    )
+        return sequence
+
+    def to_string(self):
+        return f"promote({self.input.to_string()}, {self.type_name})"
+
+    def _key(self):
+        return (self.input, self.type_name)
+
+
+class DataExpr(Expression):
+    """``data(...)`` — atomization; identity on atomic items."""
+
+    __slots__ = ("input",)
+
+    def __init__(self, input: Expression):
+        self.input = input
+
+    def child_expressions(self):
+        return (self.input,)
+
+    def with_child_expressions(self, children):
+        (input_expr,) = children
+        return DataExpr(input_expr)
+
+    def evaluate(self, tup, ctx):
+        out = []
+        for item in self.input.evaluate(tup, ctx):
+            if not is_atomic(item):
+                raise ItemTypeError(
+                    f"cannot atomize a {item_type_name(item)} item"
+                )
+            out.append(item)
+        return out
+
+    def to_string(self):
+        return f"data({self.input.to_string()})"
+
+    def _key(self):
+        return self.input
+
+
+class TreatExpr(Expression):
+    """``treat(..., type)`` — runtime type assertion.
+
+    The group-by rules remove the treat that the translator inserts above
+    the GROUP-BY's sequence aggregate (Figure 10).
+    """
+
+    __slots__ = ("input", "type_name")
+
+    def __init__(self, input: Expression, type_name: str):
+        self.input = input
+        self.type_name = type_name
+
+    def child_expressions(self):
+        return (self.input,)
+
+    def with_child_expressions(self, children):
+        (input_expr,) = children
+        return TreatExpr(input_expr, self.type_name)
+
+    def evaluate(self, tup, ctx):
+        sequence = self.input.evaluate(tup, ctx)
+        predicate = _TYPE_PREDICATES.get(self.type_name)
+        if predicate is None:
+            raise TypeCheckError(f"unknown treat type {self.type_name!r}")
+        for item in sequence:
+            if not predicate(item):
+                raise TypeCheckError(
+                    f"treat as {self.type_name} failed on a "
+                    f"{item_type_name(item)} item"
+                )
+        return sequence
+
+    def to_string(self):
+        return f"treat({self.input.to_string()}, {self.type_name})"
+
+    def _key(self):
+        return (self.input, self.type_name)
+
+
+class IterateExpr(Expression):
+    """The UNNEST ``iterate`` expression: identity over its input sequence.
+
+    UNNEST(iterate($seq)) yields one tuple per item of ``$seq`` — the
+    second half of the two-step keys-or-members evaluation that the path
+    rules merge away (Figure 3 → Figure 4).
+    """
+
+    __slots__ = ("input",)
+
+    def __init__(self, input: Expression):
+        self.input = input
+
+    def child_expressions(self):
+        return (self.input,)
+
+    def with_child_expressions(self, children):
+        (input_expr,) = children
+        return IterateExpr(input_expr)
+
+    def evaluate(self, tup, ctx):
+        return self.input.evaluate(tup, ctx)
+
+    def to_string(self):
+        return f"iterate({self.input.to_string()})"
+
+    def _key(self):
+        return self.input
+
+
+# ---------------------------------------------------------------------------
+# Functions
+# ---------------------------------------------------------------------------
+
+
+class FunctionCallExpr(Expression):
+    """Call into the scalar builtin library, e.g. ``count(...)``."""
+
+    __slots__ = ("name", "args")
+
+    def __init__(self, name: str, args: TypingSequence[Expression]):
+        self.name = name
+        self.args = tuple(args)
+
+    def child_expressions(self):
+        return self.args
+
+    def with_child_expressions(self, children):
+        return FunctionCallExpr(self.name, list(children))
+
+    def evaluate(self, tup, ctx):
+        function = ctx.functions.get((self.name, len(self.args)))
+        if function is None:
+            raise UnknownFunctionError(self.name, len(self.args))
+        values = [arg.evaluate(tup, ctx) for arg in self.args]
+        return function(values)
+
+    def to_string(self):
+        rendered = ", ".join(arg.to_string() for arg in self.args)
+        return f"{self.name}({rendered})"
+
+    def _key(self):
+        return (self.name, self.args)
+
+
+# ---------------------------------------------------------------------------
+# Boolean, comparison, arithmetic
+# ---------------------------------------------------------------------------
+
+
+def effective_boolean_value(sequence: list) -> bool:
+    """XQuery effective boolean value of a sequence."""
+    if not sequence:
+        return False
+    first = sequence[0]
+    if len(sequence) == 1:
+        if isinstance(first, bool):
+            return first
+        if isinstance(first, (int, float)):
+            return first != 0
+        if isinstance(first, str):
+            return len(first) > 0
+        if first is None:
+            return False
+        return True  # objects, arrays, dateTimes
+    if isinstance(first, (dict, list)):
+        return True
+    raise ItemTypeError(
+        "effective boolean value of a multi-item atomic sequence"
+    )
+
+
+_COMPARISON_OPS = {
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+    "lt": lambda a, b: a < b,
+    "le": lambda a, b: a <= b,
+    "gt": lambda a, b: a > b,
+    "ge": lambda a, b: a >= b,
+}
+
+
+def _comparable(left: Item, right: Item) -> bool:
+    """True when a value comparison between the two items is defined."""
+    if isinstance(left, bool) or isinstance(right, bool):
+        return isinstance(left, bool) and isinstance(right, bool)
+    if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+        return True
+    if isinstance(left, str) and isinstance(right, str):
+        return True
+    if isinstance(left, datetime.datetime) and isinstance(
+        right, datetime.datetime
+    ):
+        return True
+    return left is None and right is None
+
+
+class ComparisonExpr(Expression):
+    """Value comparison: ``eq ne lt le gt ge``.
+
+    Follows XQuery value-comparison semantics: the empty sequence on
+    either side yields the empty sequence; multi-item operands are a type
+    error; incomparable types are a type error.
+    """
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expression, right: Expression):
+        if op not in _COMPARISON_OPS:
+            raise TranslationError(f"unknown comparison operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def child_expressions(self):
+        return (self.left, self.right)
+
+    def with_child_expressions(self, children):
+        left, right = children
+        return ComparisonExpr(self.op, left, right)
+
+    def evaluate(self, tup, ctx):
+        left = self.left.evaluate(tup, ctx)
+        right = self.right.evaluate(tup, ctx)
+        if not left or not right:
+            return []
+        if len(left) > 1 or len(right) > 1:
+            raise ItemTypeError(
+                f"value comparison {self.op!r} over a multi-item sequence"
+            )
+        lv, rv = left[0], right[0]
+        if not _comparable(lv, rv):
+            if lv is None or rv is None:
+                return [False if self.op == "eq" else self.op == "ne"]
+            raise ItemTypeError(
+                f"cannot compare {item_type_name(lv)} with {item_type_name(rv)}"
+            )
+        return [_COMPARISON_OPS[self.op](lv, rv)]
+
+    def to_string(self):
+        return f"{self.left.to_string()} {self.op} {self.right.to_string()}"
+
+    def _key(self):
+        return (self.op, self.left, self.right)
+
+
+class AndExpr(Expression):
+    """Logical conjunction over effective boolean values."""
+
+    __slots__ = ("operands",)
+
+    def __init__(self, operands: TypingSequence[Expression]):
+        self.operands = tuple(operands)
+
+    def child_expressions(self):
+        return self.operands
+
+    def with_child_expressions(self, children):
+        return AndExpr(list(children))
+
+    def evaluate(self, tup, ctx):
+        for operand in self.operands:
+            if not effective_boolean_value(operand.evaluate(tup, ctx)):
+                return [False]
+        return [True]
+
+    def to_string(self):
+        return " and ".join(o.to_string() for o in self.operands)
+
+    def _key(self):
+        return self.operands
+
+    def conjuncts(self) -> tuple[Expression, ...]:
+        """Flattened conjunct list (nested ANDs folded in)."""
+        out: list[Expression] = []
+        for operand in self.operands:
+            if isinstance(operand, AndExpr):
+                out.extend(operand.conjuncts())
+            else:
+                out.append(operand)
+        return tuple(out)
+
+
+class OrExpr(Expression):
+    """Logical disjunction over effective boolean values."""
+
+    __slots__ = ("operands",)
+
+    def __init__(self, operands: TypingSequence[Expression]):
+        self.operands = tuple(operands)
+
+    def child_expressions(self):
+        return self.operands
+
+    def with_child_expressions(self, children):
+        return OrExpr(list(children))
+
+    def evaluate(self, tup, ctx):
+        for operand in self.operands:
+            if effective_boolean_value(operand.evaluate(tup, ctx)):
+                return [True]
+        return [False]
+
+    def to_string(self):
+        return " or ".join(f"({o.to_string()})" for o in self.operands)
+
+    def _key(self):
+        return self.operands
+
+
+class NotExpr(Expression):
+    """``not(...)`` over the effective boolean value."""
+
+    __slots__ = ("input",)
+
+    def __init__(self, input: Expression):
+        self.input = input
+
+    def child_expressions(self):
+        return (self.input,)
+
+    def with_child_expressions(self, children):
+        (input_expr,) = children
+        return NotExpr(input_expr)
+
+    def evaluate(self, tup, ctx):
+        return [not effective_boolean_value(self.input.evaluate(tup, ctx))]
+
+    def to_string(self):
+        return f"not({self.input.to_string()})"
+
+    def _key(self):
+        return self.input
+
+
+def _as_number(item: Item) -> int | float:
+    if isinstance(item, bool) or not isinstance(item, (int, float)):
+        raise ItemTypeError(
+            f"arithmetic over a {item_type_name(item)} item"
+        )
+    return item
+
+
+_ARITHMETIC_OPS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "div": lambda a, b: a / b,
+    "idiv": lambda a, b: int(a // b),
+    "mod": lambda a, b: a % b,
+}
+
+
+class ArithmeticExpr(Expression):
+    """Binary arithmetic: ``+ - * div idiv mod``."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expression, right: Expression):
+        if op not in _ARITHMETIC_OPS:
+            raise TranslationError(f"unknown arithmetic operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def child_expressions(self):
+        return (self.left, self.right)
+
+    def with_child_expressions(self, children):
+        left, right = children
+        return ArithmeticExpr(self.op, left, right)
+
+    def evaluate(self, tup, ctx):
+        left = self.left.evaluate(tup, ctx)
+        right = self.right.evaluate(tup, ctx)
+        if not left or not right:
+            return []
+        if len(left) > 1 or len(right) > 1:
+            raise ItemTypeError("arithmetic over a multi-item sequence")
+        lv, rv = _as_number(left[0]), _as_number(right[0])
+        try:
+            return [_ARITHMETIC_OPS[self.op](lv, rv)]
+        except ZeroDivisionError:
+            raise ItemTypeError("division by zero") from None
+
+    def to_string(self):
+        return f"{self.left.to_string()} {self.op} {self.right.to_string()}"
+
+    def _key(self):
+        return (self.op, self.left, self.right)
+
+
+# ---------------------------------------------------------------------------
+# Constructors and sequences
+# ---------------------------------------------------------------------------
+
+
+def _singleton(sequence: list, what: str) -> Item:
+    if len(sequence) != 1:
+        raise ItemTypeError(
+            f"{what} requires a singleton, got {len(sequence)} items"
+        )
+    return sequence[0]
+
+
+class ObjectConstructorExpr(Expression):
+    """JSONiq object constructor ``{ "k": expr, ... }``."""
+
+    __slots__ = ("keys", "value_exprs")
+
+    def __init__(self, pairs: TypingSequence[tuple[str, Expression]]):
+        self.keys = tuple(key for key, _ in pairs)
+        self.value_exprs = tuple(expr for _, expr in pairs)
+
+    def child_expressions(self):
+        return self.value_exprs
+
+    def with_child_expressions(self, children):
+        return ObjectConstructorExpr(list(zip(self.keys, children)))
+
+    def evaluate(self, tup, ctx):
+        obj = {}
+        for key, expr in zip(self.keys, self.value_exprs):
+            sequence = expr.evaluate(tup, ctx)
+            obj[key] = _singleton(sequence, f'object value for key "{key}"')
+        return [obj]
+
+    def to_string(self):
+        inner = ", ".join(
+            f'"{k}": {v.to_string()}' for k, v in zip(self.keys, self.value_exprs)
+        )
+        return "{" + inner + "}"
+
+    def _key(self):
+        return (self.keys, self.value_exprs)
+
+
+class ArrayConstructorExpr(Expression):
+    """JSONiq array constructor ``[ expr, ... ]``.
+
+    Member expressions contribute their whole sequences, flattened —
+    ``[ (1, 2), 3 ]`` is the array ``[1, 2, 3]``.
+    """
+
+    __slots__ = ("members",)
+
+    def __init__(self, members: TypingSequence[Expression]):
+        self.members = tuple(members)
+
+    def child_expressions(self):
+        return self.members
+
+    def with_child_expressions(self, children):
+        return ArrayConstructorExpr(list(children))
+
+    def evaluate(self, tup, ctx):
+        array: list = []
+        for member in self.members:
+            array.extend(member.evaluate(tup, ctx))
+        return [array]
+
+    def to_string(self):
+        return "[" + ", ".join(m.to_string() for m in self.members) + "]"
+
+    def _key(self):
+        return self.members
+
+
+class SequenceExpr(Expression):
+    """Comma sequence: concatenation of operand sequences."""
+
+    __slots__ = ("operands",)
+
+    def __init__(self, operands: TypingSequence[Expression]):
+        self.operands = tuple(operands)
+
+    def child_expressions(self):
+        return self.operands
+
+    def with_child_expressions(self, children):
+        return SequenceExpr(list(children))
+
+    def evaluate(self, tup, ctx):
+        out: list = []
+        for operand in self.operands:
+            out.extend(operand.evaluate(tup, ctx))
+        return out
+
+    def to_string(self):
+        return "(" + ", ".join(o.to_string() for o in self.operands) + ")"
+
+    def _key(self):
+        return self.operands
+
+
+class IfExpr(Expression):
+    """``if (cond) then ... else ...``."""
+
+    __slots__ = ("condition", "then_branch", "else_branch")
+
+    def __init__(
+        self,
+        condition: Expression,
+        then_branch: Expression,
+        else_branch: Expression,
+    ):
+        self.condition = condition
+        self.then_branch = then_branch
+        self.else_branch = else_branch
+
+    def child_expressions(self):
+        return (self.condition, self.then_branch, self.else_branch)
+
+    def with_child_expressions(self, children):
+        condition, then_branch, else_branch = children
+        return IfExpr(condition, then_branch, else_branch)
+
+    def evaluate(self, tup, ctx):
+        if effective_boolean_value(self.condition.evaluate(tup, ctx)):
+            return self.then_branch.evaluate(tup, ctx)
+        return self.else_branch.evaluate(tup, ctx)
+
+    def to_string(self):
+        return (
+            f"if ({self.condition.to_string()}) "
+            f"then {self.then_branch.to_string()} "
+            f"else {self.else_branch.to_string()}"
+        )
+
+    def _key(self):
+        return (self.condition, self.then_branch, self.else_branch)
+
+
+# ---------------------------------------------------------------------------
+# Helpers used by the rewrite rules
+# ---------------------------------------------------------------------------
+
+
+def value_by_key(input: Expression, key: str) -> PathStepExpr:
+    """Shorthand for the paper's value expression ``input("key")``."""
+    return PathStepExpr(input, ValueByKey(key))
+
+
+def keys_or_members(input: Expression) -> PathStepExpr:
+    """Shorthand for the paper's keys-or-members expression ``input()``."""
+    return PathStepExpr(input, KeysOrMembers())
+
+
+def value_by_index(input: Expression, index: int) -> PathStepExpr:
+    """Shorthand for the positional value expression ``input(i)``."""
+    return PathStepExpr(input, ValueByIndex(index))

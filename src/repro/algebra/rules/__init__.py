@@ -1,0 +1,71 @@
+"""Rewrite rules: the paper's three JSONiq rule families plus built-ins.
+
+- :mod:`repro.algebra.rules.base` — rule/engine framework and helpers,
+- :mod:`repro.algebra.rules.builtin` — Algebricks-style built-in rules
+  (variable inlining, join predicate folding, cleanups), always applied,
+- :mod:`repro.algebra.rules.path_rules` — Section 4.1,
+- :mod:`repro.algebra.rules.pipelining_rules` — Section 4.2,
+- :mod:`repro.algebra.rules.groupby_rules` — Section 4.3.
+
+:func:`rule_pipeline` assembles the rule list for a
+:class:`RewriteConfig`, which is how the benchmarks toggle rule families
+on and off to reproduce the before/after experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algebra.rules.base import RewriteRule, RuleEngine
+
+
+@dataclass(frozen=True)
+class RewriteConfig:
+    """Which rule families are enabled.
+
+    The families are cumulative in the paper's evaluation (path →
+    +pipelining → +group-by); ``two_step_aggregation`` is the
+    partition-local/global aggregation scheme the group-by section
+    enables, honored by the physical compiler.
+    """
+
+    path: bool = True
+    pipelining: bool = True
+    groupby: bool = True
+    two_step_aggregation: bool = True
+
+    @classmethod
+    def none(cls) -> "RewriteConfig":
+        """No JSONiq rules at all (built-ins still apply)."""
+        return cls(False, False, False, False)
+
+    @classmethod
+    def path_only(cls) -> "RewriteConfig":
+        return cls(True, False, False, False)
+
+    @classmethod
+    def path_and_pipelining(cls) -> "RewriteConfig":
+        return cls(True, True, False, False)
+
+    @classmethod
+    def all(cls) -> "RewriteConfig":
+        return cls(True, True, True, True)
+
+
+def rule_pipeline(config: RewriteConfig) -> RuleEngine:
+    """Build the rule engine for *config*."""
+    from repro.algebra.rules import builtin, groupby_rules, path_rules
+    from repro.algebra.rules import pipelining_rules
+
+    rules: list[RewriteRule] = []
+    if config.path:
+        rules.extend(path_rules.PATH_RULES)
+    if config.pipelining:
+        rules.extend(pipelining_rules.PIPELINING_RULES)
+    if config.groupby:
+        rules.extend(groupby_rules.GROUPBY_RULES)
+    rules.extend(builtin.BUILTIN_RULES)
+    return RuleEngine(rules)
+
+
+__all__ = ["RewriteConfig", "RewriteRule", "RuleEngine", "rule_pipeline"]

@@ -1,0 +1,123 @@
+"""Path expression rules (Section 4.1 of the paper).
+
+Two rewrites:
+
+1. **Merge keys-or-members into UNNEST** (Figure 3 → Figure 4): the
+   two-step pair ``ASSIGN $k := expr()`` + ``UNNEST $x := iterate($k)``
+   becomes the single ``UNNEST $x := expr()``, so each matched item is
+   emitted as it is found instead of first materializing the whole
+   sequence.
+2. **Remove promote/data coercions** around arguments whose type is
+   statically known (the translator wraps ``json-doc`` arguments in
+   ``promote(data(...), string)``; for a string literal both are
+   no-ops).
+"""
+
+from __future__ import annotations
+
+from repro.algebra.expressions import (
+    DataExpr,
+    Expression,
+    IterateExpr,
+    Literal,
+    PathStepExpr,
+    PromoteExpr,
+    VariableRef,
+)
+from repro.algebra.operators import Assign, Unnest
+from repro.algebra.plan import LogicalPlan
+from repro.algebra.rules.base import (
+    RewriteRule,
+    replace_operator,
+    rewrite_all_expressions,
+    variable_use_count,
+)
+from repro.jsonlib.path import KeysOrMembers
+
+_TYPE_CHECKS = {
+    "string": str,
+    "boolean": bool,
+    "number": (int, float),
+}
+
+
+def _literal_conforms(literal: Literal, type_name: str) -> bool:
+    if type_name == "item":
+        return True
+    expected = _TYPE_CHECKS.get(type_name)
+    if expected is None:
+        return False
+    return all(isinstance(item, expected) for item in literal.sequence)
+
+
+class RemovePromoteDataRule(RewriteRule):
+    """Drop ``promote``/``data`` around literals of the right type.
+
+    This is the cleanup of the first ASSIGN in Figure 3 ("to further
+    clean up our query plan, we can remove the promote and data
+    expressions").
+    """
+
+    name = "remove-promote-data"
+
+    def apply(self, plan: LogicalPlan) -> LogicalPlan | None:
+        changed = False
+
+        def visit(expr: Expression) -> Expression:
+            nonlocal changed
+            if isinstance(expr, DataExpr) and isinstance(expr.input, Literal):
+                # Atomization of an atomic literal is the identity.
+                if all(
+                    not isinstance(item, (dict, list))
+                    for item in expr.input.sequence
+                ):
+                    changed = True
+                    return expr.input
+            if isinstance(expr, PromoteExpr) and isinstance(expr.input, Literal):
+                if _literal_conforms(expr.input, expr.type_name):
+                    changed = True
+                    return expr.input
+            return expr
+
+        rewritten = rewrite_all_expressions(plan, visit)
+        return rewritten if changed else None
+
+
+class MergeKeysOrMembersIntoUnnestRule(RewriteRule):
+    """Fuse ``ASSIGN $k := <expr>()`` + ``UNNEST $x := iterate($k)``.
+
+    The ASSIGN's expression must end in a keys-or-members step and its
+    variable must be used only by the UNNEST — then the UNNEST can
+    evaluate the keys-or-members itself and stream items one at a time
+    (Figure 4).
+    """
+
+    name = "merge-keys-or-members-into-unnest"
+
+    def apply(self, plan: LogicalPlan) -> LogicalPlan | None:
+        for op in plan.iter_operators():
+            if not (isinstance(op, Unnest) and isinstance(op.input_op, Assign)):
+                continue
+            assign = op.input_op
+            if not (
+                isinstance(op.expression, IterateExpr)
+                and isinstance(op.expression.input, VariableRef)
+                and op.expression.input.name == assign.variable
+            ):
+                continue
+            if not (
+                isinstance(assign.expression, PathStepExpr)
+                and isinstance(assign.expression.step, KeysOrMembers)
+            ):
+                continue
+            if variable_use_count(plan, assign.variable) != 1:
+                continue
+            merged = Unnest(assign.input_op, op.variable, assign.expression)
+            return replace_operator(plan, op, merged)
+        return None
+
+
+PATH_RULES = (
+    MergeKeysOrMembersIntoUnnestRule(),
+    RemovePromoteDataRule(),
+)

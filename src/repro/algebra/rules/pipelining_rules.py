@@ -1,0 +1,161 @@
+"""Pipelining rules (Section 4.2 of the paper).
+
+Three rewrites, building on the path rules:
+
+1. **Introduce DATASCAN** (Figure 6): ``ASSIGN $c := collection(...)`` +
+   ``UNNEST $f := iterate($c)`` becomes ``DATASCAN($f : collection)``,
+   which iterates the collection file by file instead of materializing
+   it, and — being partition-aware — unlocks partitioned-parallel
+   execution.
+2. **Inline the path ASSIGN into the UNNEST above it** (Figure 7's
+   "merge the value expressions"): ``ASSIGN $s := <path over $f>``
+   consumed only by the UNNEST directly above folds into the UNNEST's
+   expression.
+3. **Merge the UNNEST's path into DATASCAN's second argument**
+   (Figures 7-8): ``DATASCAN($f)`` + ``UNNEST $x := iterate(<path over
+   $f>)`` (or a keys-or-members-terminated path) becomes
+   ``DATASCAN($x : collection, <path>)`` — the scanner then emits only
+   the matched sub-items, one tuple at a time, which is where the
+   orders-of-magnitude win of Figure 14 comes from.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.expressions import (
+    CollectionExpr,
+    Expression,
+    IterateExpr,
+    PathStepExpr,
+    VariableRef,
+)
+from repro.algebra.operators import Assign, DataScan, Unnest
+from repro.algebra.plan import LogicalPlan
+from repro.algebra.rules.base import (
+    RewriteRule,
+    replace_operator,
+    substitute_variable,
+    variable_use_count,
+)
+from repro.jsonlib.path import Path
+
+
+def _pure_path_over_variable(expr: Expression) -> tuple[str, Path] | None:
+    """Match ``$v<step>...<step>`` and return (variable, path)."""
+    if not isinstance(expr, PathStepExpr):
+        return None
+    base, path = expr.leading_path()
+    if isinstance(base, VariableRef):
+        return base.name, path
+    return None
+
+
+class IntroduceDataScanRule(RewriteRule):
+    """``ASSIGN collection`` + ``UNNEST iterate`` → ``DATASCAN``."""
+
+    name = "introduce-datascan"
+
+    def apply(self, plan: LogicalPlan) -> LogicalPlan | None:
+        for op in plan.iter_operators():
+            if not (isinstance(op, Unnest) and isinstance(op.input_op, Assign)):
+                continue
+            assign = op.input_op
+            if not isinstance(assign.expression, CollectionExpr):
+                continue
+            if not (
+                isinstance(op.expression, IterateExpr)
+                and isinstance(op.expression.input, VariableRef)
+                and op.expression.input.name == assign.variable
+            ):
+                continue
+            if variable_use_count(plan, assign.variable) != 1:
+                continue
+            from repro.algebra.operators import EmptyTupleSource
+
+            if not isinstance(assign.input_op, EmptyTupleSource):
+                # DATASCAN is a leaf; it can only replace a source chain
+                # that starts the pipeline.
+                continue
+            scan = DataScan(assign.expression.name, op.variable)
+            return replace_operator(plan, op, scan)
+        return None
+
+
+class InlinePathAssignIntoUnnestRule(RewriteRule):
+    """Fold ``ASSIGN $s := <path over one variable>`` into the UNNEST
+    directly above when ``$s`` has no other use (Figure 7's merge of the
+    value expressions)."""
+
+    name = "inline-path-assign-into-unnest"
+
+    def apply(self, plan: LogicalPlan) -> LogicalPlan | None:
+        for op in plan.iter_operators():
+            if not (isinstance(op, Unnest) and isinstance(op.input_op, Assign)):
+                continue
+            assign = op.input_op
+            if _pure_path_over_variable(assign.expression) is None:
+                continue
+            uses_in_unnest = sum(
+                1
+                for name in _variable_refs(op.expression)
+                if name == assign.variable
+            )
+            if uses_in_unnest != 1:
+                continue
+            if variable_use_count(plan, assign.variable) != 1:
+                continue
+            new_expr = substitute_variable(
+                op.expression, assign.variable, assign.expression
+            )
+            merged = Unnest(assign.input_op, op.variable, new_expr)
+            return replace_operator(plan, op, merged)
+        return None
+
+
+def _variable_refs(expr: Expression):
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, VariableRef):
+            yield node.name
+        stack.extend(node.child_expressions())
+
+
+class MergePathIntoDataScanRule(RewriteRule):
+    """``DATASCAN($f)`` + ``UNNEST $x := iterate/keys-or-members(<path
+    over $f>)`` → ``DATASCAN($x : collection, <path>)`` (Figure 8)."""
+
+    name = "merge-path-into-datascan"
+
+    def apply(self, plan: LogicalPlan) -> LogicalPlan | None:
+        for op in plan.iter_operators():
+            if not (isinstance(op, Unnest) and isinstance(op.input_op, DataScan)):
+                continue
+            scan = op.input_op
+            expression = op.expression
+            # ``iterate(<path>)`` unnests each item the path yields —
+            # exactly the projecting scanner's semantics.  A bare
+            # keys-or-members-terminated path is the same thing with the
+            # trailing () as the last projection step.
+            if isinstance(expression, IterateExpr):
+                target = expression.input
+            else:
+                target = expression
+            match = _pure_path_over_variable(target)
+            if match is None:
+                continue
+            variable, path = match
+            if variable != scan.variable:
+                continue
+            if variable_use_count(plan, scan.variable) != 1:
+                continue
+            merged_path = Path(tuple(scan.project_path) + tuple(path))
+            new_scan = DataScan(scan.collection, op.variable, merged_path)
+            return replace_operator(plan, op, new_scan)
+        return None
+
+
+PIPELINING_RULES = (
+    IntroduceDataScanRule(),
+    InlinePathAssignIntoUnnestRule(),
+    MergePathIntoDataScanRule(),
+)

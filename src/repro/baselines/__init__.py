@@ -1,0 +1,24 @@
+"""Simulated comparison systems for the paper's evaluation.
+
+The paper compares VXQuery against MongoDB, SparkSQL, and AsterixDB.
+None of those can be bundled here, so each is replaced by a small engine
+that reproduces the *behaviours the comparison measures*:
+
+- :mod:`repro.baselines.docstore` — a MongoDB-like document store:
+  load-then-query, per-document compression, a 16 MB document limit,
+  unwind/project/group pipelines;
+- :mod:`repro.baselines.sqlengine` — a SparkSQL-like engine: loads all
+  JSON into an in-memory row table under a memory budget, then runs
+  relational operators;
+- :mod:`repro.baselines.adm` — an AsterixDB-like engine: shares this
+  package's runtime (as AsterixDB shares Hyracks/Algebricks with
+  VXQuery) but materializes each document before processing — i.e. it
+  lacks exactly the JSONiq pipelining rules, which is the paper's
+  explanation for the performance gap.
+"""
+
+from repro.baselines.adm import AdmEngine
+from repro.baselines.docstore import DocumentStore
+from repro.baselines.sqlengine import InMemorySQLEngine
+
+__all__ = ["AdmEngine", "DocumentStore", "InMemorySQLEngine"]

@@ -1,0 +1,221 @@
+"""A SparkSQL-like in-memory engine.
+
+Reproduces the behaviours the paper measures against SparkSQL
+(Section 5.3, Figure 19, Tables 2-3):
+
+- a **load phase** that parses every JSON file and converts it to an
+  internal row table (schema inference by flattening), whose cost grows
+  with input size (Table 2);
+- **everything lives in memory** with a JVM-like per-row overhead, so
+  memory use is a large multiple of the input size (Table 3) and inputs
+  beyond the memory budget simply cannot be loaded (the paper could not
+  run Spark past ~1-2 GB on a 16 GB node);
+- query execution over loaded rows is fast — Spark wins on small inputs
+  when its load time is ignored, and loses once loading is counted or
+  data grows (the Figure 19 crossover).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.errors import LoadError, MemoryBudgetExceededError
+from repro.hyracks.memory import MemoryTracker
+from repro.jsonlib.items import Item, sizeof_item
+from repro.jsonlib.parser import parse_many
+
+# JVM object headers, boxed fields, string interning misses... the paper's
+# Table 3 shows Spark holding ~7-14x the raw input size; the flattened
+# Python dict rows below land in that band with this factor applied.
+_ROW_OVERHEAD_FACTOR = 2.5
+
+
+@dataclass
+class SqlLoadReport:
+    """What a load did: rows, bytes held in memory, seconds."""
+
+    rows: int = 0
+    input_bytes: int = 0
+    memory_bytes: int = 0
+    seconds: float = 0.0
+
+
+@dataclass
+class _Table:
+    rows: list[dict] = field(default_factory=list)
+    memory_bytes: int = 0
+
+
+def flatten_record(record: Item, prefix: str = "") -> Iterable[dict]:
+    """Schema-inferring flattening of one JSON value into flat rows.
+
+    Nested objects contribute dotted columns; a nested *array of
+    objects* is exploded (one output row per element, recursively) — the
+    way the paper's sensor files become a measurements table.  Multiple
+    exploding fields combine as a cartesian product, like chained
+    ``explode`` calls.
+    """
+    if isinstance(record, list):
+        for element in record:
+            yield from flatten_record(element, prefix)
+        return
+    if not isinstance(record, dict):
+        yield {prefix or "value": record}
+        return
+    # Each field contributes a list of row fragments; the record's rows
+    # are the cartesian product of the fragments, merged.
+    fragment_lists: list[list[dict]] = []
+    for key, value in record.items():
+        column = f"{prefix}.{key}" if prefix else key
+        if isinstance(value, dict):
+            fragment_lists.append(list(flatten_record(value, column)))
+        elif isinstance(value, list) and value and isinstance(value[0], dict):
+            fragments: list[dict] = []
+            for element in value:
+                fragments.extend(flatten_record(element, column))
+            fragment_lists.append(fragments)
+        else:
+            fragment_lists.append([{column: value}])
+    rows = [{}]
+    for fragments in fragment_lists:
+        if not fragments:
+            continue
+        if len(fragments) == 1:
+            for row in rows:
+                row.update(fragments[0])
+            continue
+        rows = [
+            {**row, **fragment} for row in rows for fragment in fragments
+        ]
+    yield from rows
+
+
+class InMemorySQLEngine:
+    """Load-then-query engine over flattened in-memory rows."""
+
+    def __init__(self, memory_budget_bytes: int | None = None):
+        self.memory = MemoryTracker(memory_budget_bytes, context="sql engine")
+        self._tables: dict[str, _Table] = {}
+
+    # -- load phase ---------------------------------------------------------------
+
+    def load_texts(self, name: str, texts: Iterable[str]) -> SqlLoadReport:
+        """Parse and flatten JSON texts into table *name*.
+
+        Raises :class:`MemoryBudgetExceededError` when the table would
+        not fit in the configured budget — the input then cannot be
+        queried at all, matching the paper's experience with large files.
+        """
+        started = time.perf_counter()
+        table = self._tables.setdefault(name, _Table())
+        report = SqlLoadReport()
+        for text in texts:
+            report.input_bytes += len(text)
+            for value in parse_many(text):
+                for row in flatten_record(value):
+                    n_bytes = int(sizeof_item(row) * _ROW_OVERHEAD_FACTOR)
+                    try:
+                        self.memory.allocate(n_bytes)
+                    except MemoryBudgetExceededError:
+                        # A failed load leaves nothing usable behind;
+                        # the tracker charged the failing row already.
+                        self.memory.release(n_bytes)
+                        self.drop(name)
+                        raise
+                    table.rows.append(row)
+                    table.memory_bytes += n_bytes
+                    report.rows += 1
+        report.memory_bytes = table.memory_bytes
+        report.seconds = time.perf_counter() - started
+        return report
+
+    def load_files(self, name: str, paths: Iterable[str]) -> SqlLoadReport:
+        """Load JSON files from disk (see :meth:`load_texts`)."""
+
+        def texts():
+            for path in paths:
+                with open(path, "r", encoding="utf-8") as handle:
+                    yield handle.read()
+
+        return self.load_texts(name, texts())
+
+    def drop(self, name: str) -> None:
+        """Drop a table, releasing its memory."""
+        table = self._tables.pop(name, None)
+        if table is not None:
+            self.memory.release(table.memory_bytes)
+
+    def memory_bytes(self, name: str) -> int:
+        """Bytes the loaded table occupies (Table 3)."""
+        return self._table(name).memory_bytes
+
+    def row_count(self, name: str) -> int:
+        """Number of rows in a loaded table."""
+        return len(self._table(name).rows)
+
+    def _table(self, name: str) -> _Table:
+        if name not in self._tables:
+            raise LoadError(f"table {name!r} has not been loaded")
+        return self._tables[name]
+
+    # -- relational operators ---------------------------------------------------------
+
+    def select(
+        self,
+        name: str,
+        where: Callable[[dict], bool] | None = None,
+        columns: list[str] | None = None,
+    ) -> list[dict]:
+        """Filter + project."""
+        rows = self._table(name).rows
+        out = []
+        for row in rows:
+            if where is not None and not where(row):
+                continue
+            if columns is None:
+                out.append(row)
+            else:
+                out.append({c: row.get(c) for c in columns})
+        return out
+
+    def group_count(
+        self,
+        name: str,
+        key: Callable[[dict], object],
+        where: Callable[[dict], bool] | None = None,
+    ) -> dict:
+        """``SELECT key, count(*) ... GROUP BY key``."""
+        counts: dict = {}
+        for row in self._table(name).rows:
+            if where is not None and not where(row):
+                continue
+            group = key(row)
+            counts[group] = counts.get(group, 0) + 1
+        return counts
+
+    def join_avg_difference(
+        self,
+        name: str,
+        left_where: Callable[[dict], bool],
+        right_where: Callable[[dict], bool],
+        key: Callable[[dict], object],
+        value_column: str = "value",
+    ) -> float | None:
+        """Self-join on *key*; mean of (right.value - left.value)."""
+        table: dict = {}
+        for row in self._table(name).rows:
+            if left_where(row):
+                table.setdefault(key(row), []).append(row)
+        total = 0.0
+        n = 0
+        for row in self._table(name).rows:
+            if not right_where(row):
+                continue
+            for match in table.get(key(row), ()):
+                total += row[value_column] - match[value_column]
+                n += 1
+        if n == 0:
+            return None
+        return total / n

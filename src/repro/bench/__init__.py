@@ -1,0 +1,23 @@
+"""Benchmark harness: regenerates every table and figure of Section 5.
+
+- :mod:`repro.bench.queries` — the paper's queries Q0, Q0b, Q1, Q1b, Q2,
+- :mod:`repro.bench.workloads` — scaled dataset builders and per-engine
+  query adapters,
+- :mod:`repro.bench.harness` — timing and table-printing utilities,
+- :mod:`repro.bench.experiments` — one driver per paper table/figure.
+
+Run everything (or a subset) from the command line::
+
+    python -m repro.bench                # all experiments
+    python -m repro.bench fig14 table1   # specific ones
+    REPRO_BENCH_SCALE=4 python -m repro.bench fig20   # more data
+
+The same drivers back the ``benchmarks/`` pytest-benchmark suite, which
+asserts the paper's qualitative shape (who wins, where the crossovers
+are) on small scales.
+"""
+
+from repro.bench.experiments import EXPERIMENTS, run_experiment
+from repro.bench.harness import ExperimentResult
+
+__all__ = ["EXPERIMENTS", "ExperimentResult", "run_experiment"]

@@ -1,0 +1,34 @@
+"""Command-line entry point: ``python -m repro.bench [experiment ...]``.
+
+Runs the requested experiments (all of them by default) and prints each
+paper-style table.  ``REPRO_BENCH_SCALE`` multiplies every dataset size.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.bench.experiments import EXPERIMENTS, run_experiment
+
+
+def main(argv: list[str]) -> int:
+    """Run the named experiments (all when none given); print tables."""
+    names = argv or list(EXPERIMENTS)
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    for name in names:
+        started = time.perf_counter()
+        result = run_experiment(name)
+        elapsed = time.perf_counter() - started
+        print(result.to_table())
+        print(f"(experiment ran in {elapsed:.1f}s)")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,91 @@
+"""Timing and reporting utilities for the experiment drivers."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+def time_call(fn: Callable, *args, **kwargs) -> tuple[float, object]:
+    """(elapsed seconds, return value) of one call."""
+    started = time.perf_counter()
+    value = fn(*args, **kwargs)
+    return time.perf_counter() - started, value
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-friendly seconds with sensible precision."""
+    if seconds >= 100:
+        return f"{seconds:.0f}"
+    if seconds >= 1:
+        return f"{seconds:.2f}"
+    return f"{seconds:.4f}"
+
+
+def format_bytes(n_bytes: float) -> str:
+    """Human-friendly byte counts."""
+    value = float(n_bytes)
+    for unit in ("B", "KB", "MB", "GB"):
+        if value < 1024 or unit == "GB":
+            if unit == "B":
+                return f"{int(value)}{unit}"
+            return f"{value:.1f}{unit}"
+        value /= 1024
+    return f"{value:.1f}GB"  # pragma: no cover - loop always returns
+
+
+def format_cell(value) -> str:
+    """Render one table cell (floats get seconds-style precision)."""
+    if isinstance(value, float):
+        return format_seconds(value)
+    return str(value)
+
+
+@dataclass
+class ExperimentResult:
+    """One experiment's printable outcome.
+
+    ``rows`` hold raw values (floats stay floats so benchmark assertions
+    can reason about them); ``to_table`` renders the paper-style table.
+    """
+
+    experiment: str
+    title: str
+    columns: list[str]
+    rows: list[list] = field(default_factory=list)
+    notes: str = ""
+
+    def to_table(self) -> str:
+        """Render an aligned text table with title and notes."""
+        header = [self.columns] + [
+            [format_cell(value) for value in row] for row in self.rows
+        ]
+        widths = [
+            max(len(line[i]) for line in header) for i in range(len(self.columns))
+        ]
+        lines = [f"== {self.experiment}: {self.title} =="]
+        lines.append(
+            "  ".join(name.ljust(widths[i]) for i, name in enumerate(self.columns))
+        )
+        lines.append("  ".join("-" * width for width in widths))
+        for row in header[1:]:
+            lines.append(
+                "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+            )
+        if self.notes:
+            lines.append(f"note: {self.notes}")
+        return "\n".join(lines)
+
+    def column(self, name: str) -> list:
+        """All values of one column, by header name."""
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    def cell(self, row_label, column: str):
+        """Value at (first-column == row_label, column)."""
+        index = self.columns.index(column)
+        for row in self.rows:
+            if row[0] == row_label:
+                return row[index]
+        raise KeyError(row_label)

@@ -1,0 +1,84 @@
+"""The paper's evaluation queries (Section 5.2), verbatim.
+
+Each query comes in two structural variants: ``wrapped`` for the
+Listing 6 file shape (everything under a ``root`` array) and unwrapped
+for files of concatenated ``{metadata, results}`` documents (the shape
+prepared for the MongoDB/AsterixDB comparisons).  The only difference is
+the leading path.
+"""
+
+from __future__ import annotations
+
+
+def _path(wrapped: bool) -> str:
+    return '("root")()("results")()' if wrapped else '("results")()'
+
+
+def q0(collection: str = "/sensors", wrapped: bool = True) -> str:
+    """Q0 — selection: all Dec 25 readings from 2003 on (Listing 7)."""
+    return (
+        f'for $r in collection("{collection}"){_path(wrapped)}\n'
+        'let $datetime := dateTime(data($r("date")))\n'
+        "where year-from-dateTime($datetime) ge 2003\n"
+        "  and month-from-dateTime($datetime) eq 12\n"
+        "  and day-from-dateTime($datetime) eq 25\n"
+        "return $r"
+    )
+
+
+def q0b(collection: str = "/sensors", wrapped: bool = True) -> str:
+    """Q0b — Q0 with the input path extended by ``("date")`` (Listing 8)."""
+    return (
+        f'for $r in collection("{collection}"){_path(wrapped)}("date")\n'
+        "let $datetime := dateTime(data($r))\n"
+        "where year-from-dateTime($datetime) ge 2003\n"
+        "  and month-from-dateTime($datetime) eq 12\n"
+        "  and day-from-dateTime($datetime) eq 25\n"
+        "return $r"
+    )
+
+
+def q1(collection: str = "/sensors", wrapped: bool = True) -> str:
+    """Q1 — grouped aggregation: stations reporting TMIN per date
+    (Listing 9)."""
+    return (
+        f'for $r in collection("{collection}"){_path(wrapped)}\n'
+        'where $r("dataType") eq "TMIN"\n'
+        'group by $date := $r("date")\n'
+        'return count($r("station"))'
+    )
+
+
+def q1b(collection: str = "/sensors", wrapped: bool = True) -> str:
+    """Q1b — Q1 with the pre-optimized return shape (Listing 10)."""
+    return (
+        f'for $r in collection("{collection}"){_path(wrapped)}\n'
+        'where $r("dataType") eq "TMIN"\n'
+        'group by $date := $r("date")\n'
+        'return count(for $i in $r return $i("station"))'
+    )
+
+
+def q2(collection: str = "/sensors", wrapped: bool = True) -> str:
+    """Q2 — self-join: average daily TMAX-TMIN difference (Listing 11)."""
+    path = _path(wrapped)
+    return (
+        "avg(\n"
+        f'for $r_min in collection("{collection}"){path}\n'
+        f'for $r_max in collection("{collection}"){path}\n'
+        'where $r_min("station") eq $r_max("station")\n'
+        '  and $r_min("date") eq $r_max("date")\n'
+        '  and $r_min("dataType") eq "TMIN"\n'
+        '  and $r_max("dataType") eq "TMAX"\n'
+        'return $r_max("value") - $r_min("value")\n'
+        ") div 10"
+    )
+
+
+ALL_QUERIES = {
+    "Q0": q0,
+    "Q0b": q0b,
+    "Q1": q1,
+    "Q1b": q1b,
+    "Q2": q2,
+}

@@ -1,0 +1,5 @@
+"""Compiler: query text → AST → naive plan → rewritten plan."""
+
+from repro.compiler.pipeline import CompiledQuery, compile_query
+
+__all__ = ["CompiledQuery", "compile_query"]

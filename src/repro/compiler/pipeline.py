@@ -1,0 +1,79 @@
+"""The compilation pipeline.
+
+Mirrors VXQuery's frontend flow (Section 3.1): the query string is
+parsed into an AST, translated into a naive logical plan, and rewritten
+by the configured rule families.  The :class:`CompiledQuery` keeps every
+stage — including the per-rule rewrite trace — for ``explain`` output
+and for the before/after experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.algebra.plan import LogicalPlan
+from repro.algebra.rules import RewriteConfig, rule_pipeline
+from repro.jsoniq.ast import AstNode
+from repro.jsoniq.parser import parse_query
+from repro.jsoniq.translator import translate
+
+
+@dataclass
+class CompiledQuery:
+    """A query through every compilation stage."""
+
+    text: str
+    ast: AstNode
+    naive_plan: LogicalPlan
+    plan: LogicalPlan
+    config: RewriteConfig
+    trace: list[tuple[str, LogicalPlan]] = field(default_factory=list)
+
+    def explain(self, show_trace: bool = False) -> str:
+        """Human-readable compilation report."""
+        lines = [
+            "== naive plan ==",
+            self.naive_plan.explain(),
+            "",
+            f"== rewritten plan ({self._config_label()}) ==",
+            self.plan.explain(),
+        ]
+        if show_trace and self.trace:
+            lines.append("")
+            lines.append("== rewrite trace ==")
+            for index, (rule_name, _) in enumerate(self.trace, 1):
+                lines.append(f"{index:3d}. {rule_name}")
+        return "\n".join(lines)
+
+    def _config_label(self) -> str:
+        enabled = [
+            name
+            for name, on in (
+                ("path", self.config.path),
+                ("pipelining", self.config.pipelining),
+                ("group-by", self.config.groupby),
+                ("two-step-agg", self.config.two_step_aggregation),
+            )
+            if on
+        ]
+        return "+".join(enabled) if enabled else "built-ins only"
+
+
+def compile_query(
+    text: str, config: RewriteConfig | None = None
+) -> CompiledQuery:
+    """Compile *text* under *config* (default: all rule families on)."""
+    if config is None:
+        config = RewriteConfig.all()
+    ast = parse_query(text)
+    naive_plan = translate(ast)
+    trace: list[tuple[str, LogicalPlan]] = []
+    plan = rule_pipeline(config).rewrite(naive_plan, trace=trace)
+    return CompiledQuery(
+        text=text,
+        ast=ast,
+        naive_plan=naive_plan,
+        plan=plan,
+        config=config,
+        trace=trace,
+    )

@@ -1,0 +1,23 @@
+"""Data substrate: synthetic NOAA-like sensor data and collection catalogs.
+
+The paper evaluates on the GHCN-Daily dataset converted to JSON (Listing
+6): files holding one ``root`` array whose members pair a ``metadata``
+object with a ``results`` array of measurements.  We cannot ship the
+803 GB NOAA dump, so :mod:`repro.data.generator` produces deterministic
+synthetic files with the same schema and the same knobs the experiments
+vary (file size, partition size, measurements per array).
+
+:mod:`repro.data.catalog` manages partitioned collections on disk and
+implements the :class:`~repro.algebra.context.DataSource` protocol the
+runtime scans through.
+"""
+
+from repro.data.catalog import CollectionCatalog, InMemorySource
+from repro.data.generator import SensorDataConfig, write_sensor_collection
+
+__all__ = [
+    "CollectionCatalog",
+    "InMemorySource",
+    "SensorDataConfig",
+    "write_sensor_collection",
+]

@@ -1,0 +1,195 @@
+"""Collection catalogs: partitioned data sources for the runtime.
+
+A :class:`CollectionCatalog` maps collection names (the strings queries
+pass to ``collection("...")``) to partitioned directories of JSON files
+and implements the :class:`~repro.algebra.context.DataSource` protocol:
+
+- ``read_collection`` materializes every item (the naive strategy the
+  un-rewritten plans use),
+- ``scan_collection`` streams items through the projecting parser (the
+  DATASCAN strategy),
+- ``partition_count`` drives partitioned-parallel execution.
+
+:class:`InMemorySource` provides the same protocol over in-memory JSON
+texts, for tests and small examples.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterator
+
+from repro.errors import ReproError
+from repro.jsonlib.items import Item
+from repro.jsonlib.parser import parse, parse_many
+from repro.jsonlib.path import Path
+from repro.jsonlib.projection import project_file
+from repro.jsonlib.textscan import scan_file, scan_text
+
+
+class CollectionCatalog:
+    """Registry of partitioned on-disk collections.
+
+    Collections register explicitly (``register``) or are discovered from
+    a base directory whose layout is
+    ``<base>/<collection>/partition<i>/*.json``.
+    """
+
+    def __init__(self, base_dir: str | None = None):
+        self._collections: dict[str, list[list[str]]] = {}
+        if base_dir is not None:
+            self.discover(base_dir)
+
+    # -- registration ----------------------------------------------------------
+
+    def register(self, name: str, partitions: list[list[str]]) -> None:
+        """Register a collection as an explicit list of partition file lists."""
+        self._collections[self._normalize(name)] = [
+            list(files) for files in partitions
+        ]
+
+    def register_directory(self, name: str, directory: str) -> None:
+        """Register ``directory`` (with ``partition<i>`` subdirs) as *name*.
+
+        A directory holding JSON files directly becomes one partition.
+        """
+        partition_dirs = sorted(
+            entry.path
+            for entry in os.scandir(directory)
+            if entry.is_dir() and entry.name.startswith("partition")
+        )
+        if not partition_dirs:
+            partition_dirs = [directory]
+        partitions = [
+            sorted(
+                os.path.join(partition_dir, file_name)
+                for file_name in os.listdir(partition_dir)
+                if file_name.endswith(".json")
+            )
+            for partition_dir in partition_dirs
+        ]
+        self.register(name, partitions)
+
+    def discover(self, base_dir: str) -> None:
+        """Register every ``<base>/<collection>`` subdirectory."""
+        for entry in os.scandir(base_dir):
+            if entry.is_dir():
+                self.register_directory("/" + entry.name, entry.path)
+
+    @staticmethod
+    def _normalize(name: str) -> str:
+        return "/" + name.strip("/")
+
+    def _partitions(self, name: str) -> list[list[str]]:
+        key = self._normalize(name)
+        if key not in self._collections:
+            raise ReproError(f"unknown collection {name!r}")
+        return self._collections[key]
+
+    # -- DataSource protocol ----------------------------------------------------
+
+    def partition_count(self, name: str) -> int:
+        """Number of partitions of a collection."""
+        return len(self._partitions(name))
+
+    def files(self, name: str, partition: int | None = None) -> list[str]:
+        """File paths of one partition (or all of them)."""
+        partitions = self._partitions(name)
+        if partition is None:
+            return [path for files in partitions for path in files]
+        return list(partitions[partition])
+
+    def total_bytes(self, name: str, partition: int | None = None) -> int:
+        """On-disk size of a collection (or one partition)."""
+        return sum(os.path.getsize(path) for path in self.files(name, partition))
+
+    def read_document(self, uri: str) -> Item:
+        """Materialize a single JSON document by file path."""
+        with open(uri, "r", encoding="utf-8") as handle:
+            return parse(handle.read())
+
+    def read_collection(self, name: str, partition: int | None = None) -> list[Item]:
+        """Materialize every top-level item of the collection."""
+        items: list[Item] = []
+        for path in self.files(name, partition):
+            with open(path, "r", encoding="utf-8") as handle:
+                items.extend(parse_many(handle.read()))
+        return items
+
+    def scan_collection(
+        self, name: str, path: Path, partition: int | None = None
+    ) -> Iterator[Item]:
+        """Stream the collection's items projected through *path*.
+
+        Uses the fast raw-text scanner (memory bounded by the largest
+        file); :meth:`stream_collection` offers the chunked event-based
+        projector when even one file must not be held in memory.
+        """
+        for file_path in self.files(name, partition):
+            yield from scan_file(file_path, path)
+
+    def stream_collection(
+        self, name: str, path: Path, partition: int | None = None
+    ) -> Iterator[Item]:
+        """Chunked event-based projection (memory bounded by chunk size)."""
+        for file_path in self.files(name, partition):
+            yield from project_file(file_path, path)
+
+
+class InMemorySource:
+    """DataSource over in-memory JSON texts (tests, small examples).
+
+    ``collections`` maps names to lists of partitions, each partition a
+    list of JSON texts; ``documents`` maps URIs to JSON texts.
+    """
+
+    def __init__(
+        self,
+        collections: dict[str, list[list[str]]] | None = None,
+        documents: dict[str, str] | None = None,
+    ):
+        self._collections = {
+            CollectionCatalog._normalize(name): partitions
+            for name, partitions in (collections or {}).items()
+        }
+        self._documents = dict(documents or {})
+
+    def add_document(self, uri: str, text: str) -> None:
+        """Register a document text under *uri*."""
+        self._documents[uri] = text
+
+    def add_collection(self, name: str, partitions: list[list[str]]) -> None:
+        """Register a collection of JSON-text partitions."""
+        self._collections[CollectionCatalog._normalize(name)] = partitions
+
+    def _texts(self, name: str, partition: int | None) -> list[str]:
+        key = CollectionCatalog._normalize(name)
+        if key not in self._collections:
+            raise ReproError(f"unknown collection {name!r}")
+        partitions = self._collections[key]
+        if partition is None:
+            return [text for texts in partitions for text in texts]
+        return list(partitions[partition])
+
+    def partition_count(self, name: str) -> int:
+        key = CollectionCatalog._normalize(name)
+        if key not in self._collections:
+            raise ReproError(f"unknown collection {name!r}")
+        return len(self._collections[key])
+
+    def read_document(self, uri: str) -> Item:
+        if uri not in self._documents:
+            raise ReproError(f"unknown document {uri!r}")
+        return parse(self._documents[uri])
+
+    def read_collection(self, name: str, partition: int | None = None) -> list[Item]:
+        items: list[Item] = []
+        for text in self._texts(name, partition):
+            items.extend(parse_many(text))
+        return items
+
+    def scan_collection(
+        self, name: str, path: Path, partition: int | None = None
+    ) -> Iterator[Item]:
+        for text in self._texts(name, partition):
+            yield from scan_text(text, path)

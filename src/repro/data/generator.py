@@ -1,0 +1,198 @@
+"""Deterministic generator for GHCN-like JSON sensor data.
+
+Produces files with the structure of the paper's Listing 6::
+
+    {
+      "root": [
+        {
+          "metadata": {"count": N},
+          "results": [
+            {"date": "20131225T00:00", "dataType": "TMIN",
+             "station": "GSW000123", "value": 4},
+            ...
+          ]
+        },
+        ...
+      ]
+    }
+
+Each ``results`` array holds the measurements of one station over a run
+of consecutive days, with the configured data types cycling within each
+day — so every (station, date) that has a TMIN also has a TMAX, giving
+Q2's self-join real matches.  ``measurements_per_array`` is the document
+size knob of Figure 18/Table 1 (30 = "one month per document" down to
+1 = "one measurement per document").
+
+Everything is seeded: the same configuration always produces the same
+bytes, so benchmark runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import datetime
+import os
+import random
+from dataclasses import dataclass, replace
+
+from repro.jsonlib.items import Item
+from repro.jsonlib.serializer import dumps
+
+_DEFAULT_TYPES = ("TMIN", "TMAX", "WIND", "PRCP")
+
+_VALUE_RANGES = {
+    "TMIN": (-200, 150),
+    "TMAX": (0, 400),
+    "WIND": (0, 120),
+    "PRCP": (0, 500),
+}
+
+
+@dataclass(frozen=True)
+class SensorDataConfig:
+    """Knobs for the synthetic sensor dataset.
+
+    ``measurements_per_array`` is the Figure 18 document-size knob;
+    ``target_file_bytes`` the file-size knob (the paper's files are
+    10 MB-2 GB; scaled runs use KB-MB sizes).
+    """
+
+    seed: int = 7
+    stations: int = 200
+    start_year: int = 2000
+    year_span: int = 15
+    measurements_per_array: int = 30
+    data_types: tuple[str, ...] = _DEFAULT_TYPES
+    target_file_bytes: int = 64 * 1024
+
+    def with_measurements(self, measurements: int) -> "SensorDataConfig":
+        """The same configuration with a different array size."""
+        return replace(self, measurements_per_array=measurements)
+
+
+def _station_id(rng: random.Random, config: SensorDataConfig) -> str:
+    return f"GSW{rng.randrange(config.stations):06d}"
+
+
+def _random_base_date(rng: random.Random, config: SensorDataConfig):
+    year = config.start_year + rng.randrange(config.year_span)
+    # Day-of-year keeps every date valid and spreads Dec 25 hits evenly.
+    day_of_year = rng.randrange(365)
+    return datetime.date(year, 1, 1) + datetime.timedelta(days=day_of_year)
+
+
+def generate_record(rng: random.Random, config: SensorDataConfig) -> Item:
+    """One ``{"metadata": ..., "results": [...]}`` member of ``root``.
+
+    The results array covers consecutive days for a single station; all
+    configured data types cycle within each day.
+    """
+    station = _station_id(rng, config)
+    base = _random_base_date(rng, config)
+    types = config.data_types
+    results = []
+    for index in range(config.measurements_per_array):
+        date = base + datetime.timedelta(days=index // len(types))
+        data_type = types[index % len(types)]
+        low, high = _VALUE_RANGES.get(data_type, (0, 100))
+        results.append(
+            {
+                "date": f"{date.year:04d}{date.month:02d}{date.day:02d}T00:00",
+                "dataType": data_type,
+                "station": station,
+                "value": rng.randrange(low, high) / 10.0,
+            }
+        )
+    return {"metadata": {"count": len(results)}, "results": results}
+
+
+def generate_file_text(
+    rng: random.Random, config: SensorDataConfig, wrapped: bool = True
+) -> str:
+    """One sensor file's JSON text, close to ``target_file_bytes`` long.
+
+    ``wrapped`` (the default) produces the paper's Listing 6 shape: one
+    ``{"root": [...]}`` envelope per file.  Unwrapped files hold the
+    member documents as concatenated top-level values — the structure
+    the paper prepares for MongoDB/AsterixDB in Section 5.3 ("we first
+    unwrapped all the JSON items inside root").
+    """
+    records = []
+    size = 12  # the {"root": []} envelope
+    while size < config.target_file_bytes:
+        record = generate_record(rng, config)
+        records.append(record)
+        size += len(dumps(record)) + 2
+    if wrapped:
+        return dumps({"root": records})
+    return "\n".join(dumps(record) for record in records)
+
+
+def write_sensor_collection(
+    base_dir: str,
+    name: str,
+    partitions: int,
+    bytes_per_partition: int,
+    config: SensorDataConfig | None = None,
+    wrapped: bool = True,
+) -> str:
+    """Write a partitioned sensor collection under ``base_dir/name``.
+
+    Layout: ``<base_dir>/<name>/partition<i>/sensor<j>.json``; each
+    partition directory holds roughly ``bytes_per_partition`` of data.
+    Returns the collection directory.
+    """
+    if config is None:
+        config = SensorDataConfig()
+    collection_dir = os.path.join(base_dir, name.strip("/"))
+    for partition in range(partitions):
+        partition_dir = os.path.join(collection_dir, f"partition{partition}")
+        os.makedirs(partition_dir, exist_ok=True)
+        rng = random.Random(config.seed * 1_000_003 + partition)
+        written = 0
+        index = 0
+        while written < bytes_per_partition:
+            text = generate_file_text(rng, config, wrapped=wrapped)
+            path = os.path.join(partition_dir, f"sensor{index:04d}.json")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            written += len(text)
+            index += 1
+    return collection_dir
+
+
+def generate_bookstore_document() -> Item:
+    """The paper's Listing 1 bookstore document (used by examples/tests)."""
+    return {
+        "bookstore": {
+            "book": [
+                {
+                    "-category": "COOKING",
+                    "title": "Everyday Italian",
+                    "author": "Giada De Laurentiis",
+                    "year": "2005",
+                    "price": "30.00",
+                },
+                {
+                    "-category": "CHILDREN",
+                    "title": "Harry Potter",
+                    "author": "J K. Rowling",
+                    "year": "2005",
+                    "price": "29.99",
+                },
+                {
+                    "-category": "WEB",
+                    "title": "XQuery Kick Start",
+                    "author": "James McGovern",
+                    "year": "2003",
+                    "price": "49.99",
+                },
+                {
+                    "-category": "WEB",
+                    "title": "Learning XML",
+                    "author": "Erik T. Ray",
+                    "year": "2003",
+                    "price": "39.95",
+                },
+            ]
+        }
+    }

@@ -1,0 +1,184 @@
+"""Exception hierarchy for the repro JSON query processor.
+
+Every error raised on a public code path derives from :class:`ReproError`
+so that callers can catch a single base class.  Sub-hierarchies mirror the
+layers of the system: parsing JSON text, parsing JSONiq query text,
+translating and rewriting plans, and executing jobs on the runtime.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+# ---------------------------------------------------------------------------
+# JSON data layer
+# ---------------------------------------------------------------------------
+
+
+class JsonError(ReproError):
+    """Base class for errors in the JSON data substrate."""
+
+
+class JsonSyntaxError(JsonError):
+    """Malformed JSON text.
+
+    Attributes
+    ----------
+    offset:
+        Character offset into the input at which the error was detected.
+    """
+
+    def __init__(self, message: str, offset: int | None = None):
+        if offset is not None:
+            message = f"{message} (at offset {offset})"
+        super().__init__(message)
+        self.offset = offset
+
+
+class JsonIncompleteError(JsonSyntaxError):
+    """The JSON text ended in the middle of a value.
+
+    Raised only when a parse is *finished* while the parser still expects
+    more input; feeding additional chunks is the normal way to continue.
+    """
+
+
+class ItemTypeError(JsonError):
+    """A JSONiq navigation or function was applied to the wrong item type."""
+
+
+# ---------------------------------------------------------------------------
+# Query language layer
+# ---------------------------------------------------------------------------
+
+
+class QueryError(ReproError):
+    """Base class for errors in the JSONiq frontend."""
+
+
+class LexerError(QueryError):
+    """Query text could not be tokenized."""
+
+    def __init__(self, message: str, position: int | None = None):
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class ParseError(QueryError):
+    """Query token stream did not match the grammar."""
+
+    def __init__(self, message: str, position: int | None = None):
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class TranslationError(QueryError):
+    """The AST could not be translated into a logical plan."""
+
+
+class UnknownFunctionError(QueryError):
+    """A query referenced a function that is not in the builtin library."""
+
+    def __init__(self, name: str, arity: int):
+        super().__init__(f"unknown function: {name}#{arity}")
+        self.name = name
+        self.arity = arity
+
+
+class UnboundVariableError(QueryError):
+    """A query referenced a variable that is not in scope."""
+
+    def __init__(self, name: str):
+        super().__init__(f"unbound variable: ${name}")
+        self.name = name
+
+
+# ---------------------------------------------------------------------------
+# Algebra / rewrite layer
+# ---------------------------------------------------------------------------
+
+
+class PlanError(ReproError):
+    """Base class for logical-plan construction and rewrite errors."""
+
+
+class RewriteError(PlanError):
+    """A rewrite rule produced an inconsistent plan."""
+
+
+# ---------------------------------------------------------------------------
+# Runtime layer
+# ---------------------------------------------------------------------------
+
+
+class RuntimeExecutionError(ReproError):
+    """Base class for errors raised while executing a physical job."""
+
+
+class FrameOverflowError(RuntimeExecutionError):
+    """A single tuple exceeded the fixed frame size.
+
+    Mirrors Hyracks' dataflow frame size restriction discussed in
+    Section 4.2 of the paper.
+    """
+
+    def __init__(self, tuple_bytes: int, frame_bytes: int):
+        super().__init__(
+            f"tuple of {tuple_bytes} bytes does not fit in a "
+            f"{frame_bytes}-byte frame"
+        )
+        self.tuple_bytes = tuple_bytes
+        self.frame_bytes = frame_bytes
+
+
+class MemoryBudgetExceededError(RuntimeExecutionError):
+    """An operator (or engine) exceeded its memory budget."""
+
+    def __init__(self, used_bytes: int, budget_bytes: int, context: str = ""):
+        where = f" in {context}" if context else ""
+        super().__init__(
+            f"memory budget exceeded{where}: used {used_bytes} bytes, "
+            f"budget {budget_bytes} bytes"
+        )
+        self.used_bytes = used_bytes
+        self.budget_bytes = budget_bytes
+
+
+class TypeCheckError(RuntimeExecutionError):
+    """A ``treat`` assertion failed at runtime."""
+
+
+# ---------------------------------------------------------------------------
+# Baseline engines
+# ---------------------------------------------------------------------------
+
+
+class BaselineError(ReproError):
+    """Base class for errors raised by the simulated comparison systems."""
+
+
+class DocumentTooLargeError(BaselineError):
+    """A document exceeded the document store's size limit.
+
+    Mirrors MongoDB's 16 MB document limit that makes the naive Q2 join
+    fail in Section 5.4 of the paper.
+    """
+
+    def __init__(self, doc_bytes: int, limit_bytes: int):
+        super().__init__(
+            f"document of {doc_bytes} bytes exceeds the "
+            f"{limit_bytes}-byte document limit"
+        )
+        self.doc_bytes = doc_bytes
+        self.limit_bytes = limit_bytes
+
+
+class LoadError(BaselineError):
+    """A baseline engine failed during its load phase."""

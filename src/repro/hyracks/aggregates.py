@@ -1,0 +1,211 @@
+"""Aggregate accumulators with partial/combine decomposition.
+
+Each accumulator folds a tuple stream for one
+:class:`~repro.algebra.operators.AggregateSpec`.  The partial/combine
+split implements Algebricks' **two-step aggregation** (Section 4.3):
+every partition folds its local tuples into a partial state, and a
+central step combines partials into the final value — so ``count``,
+``sum``, ``avg``, ``min`` and ``max`` parallelize without shipping raw
+tuples.
+
+``sequence`` is the materializing aggregate (it collects every item);
+its accumulator charges the memory tracker, which is how the naive
+group-by plans show their memory cost.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PlanError
+from repro.algebra.context import EvaluationContext
+from repro.algebra.operators import AggregateSpec
+from repro.hyracks.tuples import Tuple
+from repro.jsonlib.items import sizeof_item
+
+
+class Accumulator:
+    """Base class: fold tuples, expose a partial, finish to a sequence."""
+
+    __slots__ = ("spec",)
+
+    def __init__(self, spec: AggregateSpec):
+        self.spec = spec
+
+    def add(self, tup: Tuple, ctx: EvaluationContext) -> None:
+        """Fold one input tuple."""
+        raise NotImplementedError
+
+    def partial(self) -> object:
+        """Partition-local partial state (cheap to ship)."""
+        raise NotImplementedError
+
+    def absorb(self, partial: object) -> None:
+        """Combine another accumulator's partial into this one."""
+        raise NotImplementedError
+
+    def finish(self, ctx: EvaluationContext) -> list:
+        """The aggregate's final value as a sequence."""
+        raise NotImplementedError
+
+
+class SequenceAccumulator(Accumulator):
+    """``sequence(...)`` — concatenates every argument item."""
+
+    __slots__ = ("items", "charged_bytes")
+
+    def __init__(self, spec: AggregateSpec):
+        super().__init__(spec)
+        self.items: list = []
+        self.charged_bytes = 0
+
+    def add(self, tup, ctx):
+        values = self.spec.argument.evaluate(tup, ctx)
+        self.items.extend(values)
+        if ctx.memory is not None:
+            n_bytes = sum(sizeof_item(v) for v in values)
+            self.charged_bytes += n_bytes
+            ctx.charge(n_bytes)
+
+    def partial(self):
+        return self.items
+
+    def absorb(self, partial):
+        self.items.extend(partial)
+
+    def finish(self, ctx):
+        if self.charged_bytes:
+            ctx.release(self.charged_bytes)
+            self.charged_bytes = 0
+        return self.items
+
+
+class CountAccumulator(Accumulator):
+    """``count(...)`` — number of argument items across all tuples."""
+
+    __slots__ = ("n",)
+
+    def __init__(self, spec: AggregateSpec):
+        super().__init__(spec)
+        self.n = 0
+
+    def add(self, tup, ctx):
+        self.n += len(self.spec.argument.evaluate(tup, ctx))
+
+    def partial(self):
+        return self.n
+
+    def absorb(self, partial):
+        self.n += partial
+
+    def finish(self, ctx):
+        return [self.n]
+
+
+class SumAccumulator(Accumulator):
+    """``sum(...)`` — numeric sum (0 when no items were seen)."""
+
+    __slots__ = ("total",)
+
+    def __init__(self, spec: AggregateSpec):
+        super().__init__(spec)
+        self.total: int | float = 0
+
+    def add(self, tup, ctx):
+        for value in self.spec.argument.evaluate(tup, ctx):
+            self.total += value
+
+    def partial(self):
+        return self.total
+
+    def absorb(self, partial):
+        self.total += partial
+
+    def finish(self, ctx):
+        return [self.total]
+
+
+class AvgAccumulator(Accumulator):
+    """``avg(...)`` — decomposes into a (sum, count) partial."""
+
+    __slots__ = ("total", "n")
+
+    def __init__(self, spec: AggregateSpec):
+        super().__init__(spec)
+        self.total: int | float = 0
+        self.n = 0
+
+    def add(self, tup, ctx):
+        for value in self.spec.argument.evaluate(tup, ctx):
+            self.total += value
+            self.n += 1
+
+    def partial(self):
+        return (self.total, self.n)
+
+    def absorb(self, partial):
+        total, n = partial
+        self.total += total
+        self.n += n
+
+    def finish(self, ctx):
+        if self.n == 0:
+            return []
+        return [self.total / self.n]
+
+
+class MinMaxAccumulator(Accumulator):
+    """``min(...)`` / ``max(...)``."""
+
+    __slots__ = ("best", "is_min")
+
+    def __init__(self, spec: AggregateSpec):
+        super().__init__(spec)
+        self.best = None
+        self.is_min = spec.function == "min"
+
+    def add(self, tup, ctx):
+        for value in self.spec.argument.evaluate(tup, ctx):
+            if self.best is None:
+                self.best = value
+            elif self.is_min:
+                self.best = min(self.best, value)
+            else:
+                self.best = max(self.best, value)
+
+    def partial(self):
+        return self.best
+
+    def absorb(self, partial):
+        if partial is None:
+            return
+        if self.best is None:
+            self.best = partial
+        elif self.is_min:
+            self.best = min(self.best, partial)
+        else:
+            self.best = max(self.best, partial)
+
+    def finish(self, ctx):
+        return [] if self.best is None else [self.best]
+
+
+_ACCUMULATORS = {
+    "sequence": SequenceAccumulator,
+    "count": CountAccumulator,
+    "sum": SumAccumulator,
+    "avg": AvgAccumulator,
+    "min": MinMaxAccumulator,
+    "max": MinMaxAccumulator,
+}
+
+
+def make_accumulator(spec: AggregateSpec) -> Accumulator:
+    """Build the accumulator for an aggregate spec."""
+    try:
+        return _ACCUMULATORS[spec.function](spec)
+    except KeyError:
+        raise PlanError(f"no accumulator for {spec.function!r}") from None
+
+
+def make_accumulators(specs) -> list[Accumulator]:
+    """Accumulators for a spec list, in order."""
+    return [make_accumulator(spec) for spec in specs]

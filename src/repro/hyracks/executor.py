@@ -1,0 +1,620 @@
+"""Partitioned query execution.
+
+The executor takes a (rewritten) logical plan and runs it over a
+partitioned collection, mirroring how VXQuery's Hyracks jobs run:
+
+- **pipelined plans** (selections like Q0/Q0b) run one plan instance per
+  partition; results concatenate;
+- **grouped aggregations** (Q1/Q1b) run partition-local GROUP-BYs and a
+  coordinator combine when two-step aggregation is enabled; with it
+  disabled, raw tuples ship to the coordinator (the ablation of
+  Section 4.3's last rule);
+- **global aggregates** (Q2's ``avg``) use the same partial/combine
+  decomposition;
+- **equi-joins** hash-exchange both sides into per-partition buckets and
+  join each bucket locally (Hyracks' hash-partitioned join);
+- plans with no DATASCAN — the naive, pre-pipelining shape — cannot be
+  partitioned at all and run as a single global instance, exactly the
+  behaviour that makes the "before rules" bars of Figures 13-16 tall.
+
+Every partition's work is executed for real and timed; the result
+carries per-partition seconds so a
+:class:`~repro.hyracks.cluster.ClusterSpec` can compose a simulated
+cluster makespan.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import PlanError
+from repro.algebra.context import EvaluationContext
+from repro.algebra.operators import (
+    Aggregate,
+    Assign,
+    DataScan,
+    DistributeResult,
+    GroupBy,
+    Join,
+    NestedTupleSource,
+    Operator,
+    Select,
+    Subplan,
+    Unnest,
+)
+from repro.algebra.plan import LogicalPlan
+from repro.hyracks.aggregates import make_accumulators
+from repro.hyracks.cluster import ClusterSpec
+from repro.hyracks.memory import MemoryTracker
+from repro.hyracks.operators import (
+    canonical_key,
+    execute,
+    hash_join,
+    run_chain,
+    run_plan,
+    split_join_condition,
+)
+from repro.hyracks.tuples import Tuple, sizeof_tuple
+from repro.jsonlib.items import Item
+
+_CHAIN_OPS = (Assign, Select, Unnest, Subplan)
+
+
+@dataclass
+class ExecutionStats:
+    """Counters accumulated while a query runs."""
+
+    items_scanned: int = 0
+    scanned_item_bytes: int = 0
+    exchange_tuples: int = 0
+    exchange_bytes: int = 0
+
+
+@dataclass
+class QueryResult:
+    """Everything a query execution produced and measured."""
+
+    items: list
+    partition_seconds: list[float] = field(default_factory=list)
+    global_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    peak_memory_bytes: int = 0
+    stats: ExecutionStats = field(default_factory=ExecutionStats)
+    strategy: str = "global"
+
+    def simulated_seconds(self, cluster: ClusterSpec, smooth: bool = True) -> float:
+        """Cluster makespan for this execution under *cluster*.
+
+        With ``smooth`` (the default), per-partition times are replaced
+        by their mean before placement: partitions carry symmetric data
+        shares, so the variance measured by running them sequentially in
+        one process is scheduler/GC jitter, not real skew.  Pass
+        ``smooth=False`` to place the raw measurements.
+        """
+        seconds = self.partition_seconds
+        if smooth and seconds:
+            mean = sum(seconds) / len(seconds)
+            seconds = [mean] * len(seconds)
+        return cluster.makespan(
+            seconds,
+            exchange_bytes=self.stats.exchange_bytes,
+            global_seconds=self.global_seconds,
+        )
+
+
+class PartitionedExecutor:
+    """Runs logical plans over a partitioned data source.
+
+    Parameters
+    ----------
+    source:
+        A :class:`~repro.algebra.context.DataSource`.
+    functions:
+        Scalar-function library (defaults to the builtins).
+    two_step_aggregation:
+        Enable partition-local/global aggregation (Section 4.3); when
+        off, grouped and global aggregations ship raw tuples to the
+        coordinator.
+    memory_budget_bytes:
+        Optional per-instance memory budget.
+    """
+
+    def __init__(
+        self,
+        source,
+        functions=None,
+        two_step_aggregation: bool = True,
+        memory_budget_bytes: int | None = None,
+    ):
+        self._source = source
+        self._functions = functions
+        self._two_step = two_step_aggregation
+        self._memory_budget = memory_budget_bytes
+
+    # -- public ---------------------------------------------------------------
+
+    def run(self, plan: LogicalPlan) -> QueryResult:
+        """Execute *plan* and return items plus measurements."""
+        started = time.perf_counter()
+        stats = ExecutionStats()
+        scans = plan.operators_of(DataScan)
+        partition_counts = {
+            self._source.partition_count(scan.collection) for scan in scans
+        }
+        if not scans:
+            result = self._run_global(plan, stats)
+        elif len(partition_counts) > 1:
+            # Collections partitioned differently cannot share one
+            # partition-aligned job; run a single global instance.
+            result = self._run_global(plan, stats)
+        else:
+            (partitions,) = partition_counts
+            if partitions <= 0:
+                raise PlanError(
+                    f"collection {scans[0].collection!r} has no partitions"
+                )
+            result = self._run_partitioned(plan, partitions, stats)
+        result.wall_seconds = time.perf_counter() - started
+        return result
+
+    # -- contexts ---------------------------------------------------------------
+
+    def _context(
+        self, partition: int | None, memory: MemoryTracker, stats: ExecutionStats
+    ) -> EvaluationContext:
+        return EvaluationContext(
+            source=self._source,
+            functions=self._functions,
+            memory=memory,
+            partition=partition,
+            stats=stats,
+        )
+
+    def _tracker(self) -> MemoryTracker:
+        return MemoryTracker(self._memory_budget, context="query execution")
+
+    # -- strategies ---------------------------------------------------------------
+
+    def _run_global(self, plan: LogicalPlan, stats: ExecutionStats) -> QueryResult:
+        """Single-instance execution (naive plans, unsupported shapes)."""
+        memory = self._tracker()
+        ctx = self._context(None, memory, stats)
+        started = time.perf_counter()
+        items = run_plan(plan, ctx)
+        elapsed = time.perf_counter() - started
+        return QueryResult(
+            items,
+            partition_seconds=[elapsed],
+            peak_memory_bytes=memory.peak,
+            stats=stats,
+            strategy="global",
+        )
+
+    def _run_partitioned(
+        self, plan: LogicalPlan, partitions: int, stats: ExecutionStats
+    ) -> QueryResult:
+        global_ops, boundary = _split(plan)
+        if isinstance(boundary, GroupBy):
+            if _find_join(boundary.input_op) is None and _is_chain_to_scan(
+                boundary.input_op
+            ):
+                return self._run_grouped(
+                    plan, global_ops, boundary, partitions, stats
+                )
+            return self._run_global(plan, stats)
+        if isinstance(boundary, Aggregate):
+            join_parts = _find_join(boundary.input_op)
+            if join_parts is not None:
+                mid_ops, join = join_parts
+                if _is_chain_to_scan(join.left) and _is_chain_to_scan(join.right):
+                    return self._run_join(
+                        plan,
+                        global_ops,
+                        boundary,
+                        mid_ops,
+                        join,
+                        partitions,
+                        stats,
+                    )
+                return self._run_global(plan, stats)
+            if _is_chain_to_scan(boundary.input_op):
+                return self._run_aggregated(
+                    plan, global_ops, boundary, partitions, stats
+                )
+            return self._run_global(plan, stats)
+        if isinstance(boundary, Join):
+            if _is_chain_to_scan(boundary.left) and _is_chain_to_scan(
+                boundary.right
+            ):
+                return self._run_join(
+                    plan, global_ops, None, [], boundary, partitions, stats
+                )
+            return self._run_global(plan, stats)
+        if isinstance(boundary, DataScan) or _is_chain_to_scan(boundary):
+            return self._run_pipelined(plan, partitions, stats)
+        return self._run_global(plan, stats)
+
+    def _run_pipelined(
+        self, plan: LogicalPlan, partitions: int, stats: ExecutionStats
+    ) -> QueryResult:
+        """Fully pipelined plan: one independent instance per partition."""
+        items: list[Item] = []
+        partition_seconds: list[float] = []
+        peak = 0
+        for partition in range(partitions):
+            memory = self._tracker()
+            ctx = self._context(partition, memory, stats)
+            started = time.perf_counter()
+            items.extend(run_plan(plan, ctx))
+            partition_seconds.append(time.perf_counter() - started)
+            peak = max(peak, memory.peak)
+        return QueryResult(
+            items,
+            partition_seconds=partition_seconds,
+            peak_memory_bytes=peak,
+            stats=stats,
+            strategy="pipelined",
+        )
+
+    def _run_grouped(
+        self,
+        plan: LogicalPlan,
+        global_ops: list[Operator],
+        group_by: GroupBy,
+        partitions: int,
+        stats: ExecutionStats,
+    ) -> QueryResult:
+        """Partition-local GROUP-BY plus coordinator combine."""
+        nested = group_by.nested_root
+        incremental = isinstance(nested, Aggregate) and isinstance(
+            nested.input_op, NestedTupleSource
+        )
+        if not (incremental and self._two_step):
+            return self._run_grouped_raw(
+                plan, global_ops, group_by, partitions, stats
+            )
+        key_exprs = [expr for _, expr in group_by.keys]
+        key_vars = [var for var, _ in group_by.keys]
+        partition_seconds: list[float] = []
+        peak = 0
+        local_tables: list[dict] = []
+        for partition in range(partitions):
+            memory = self._tracker()
+            ctx = self._context(partition, memory, stats)
+            started = time.perf_counter()
+            table: dict = {}
+            for tup in execute(group_by.input_op, ctx):
+                key_values = [expr.evaluate(tup, ctx) for expr in key_exprs]
+                key = tuple(canonical_key(v) for v in key_values)
+                state = table.get(key)
+                if state is None:
+                    state = (key_values, make_accumulators(nested.specs))
+                    table[key] = state
+                for accumulator in state[1]:
+                    accumulator.add(tup, ctx)
+            partition_seconds.append(time.perf_counter() - started)
+            peak = max(peak, memory.peak)
+            local_tables.append(table)
+            stats.exchange_tuples += len(table)
+            stats.exchange_bytes += len(table) * _PARTIAL_TUPLE_BYTES
+        # Coordinator: combine partials, finalize groups, run the ops above.
+        memory = self._tracker()
+        ctx = self._context(None, memory, stats)
+        started = time.perf_counter()
+        combined: dict = {}
+        for table in local_tables:
+            for key, (key_values, accumulators) in table.items():
+                state = combined.get(key)
+                if state is None:
+                    state = (key_values, make_accumulators(nested.specs))
+                    combined[key] = state
+                for target, local in zip(state[1], accumulators):
+                    target.absorb(local.partial())
+        def finalized():
+            for key_values, accumulators in combined.values():
+                out = dict(zip(key_vars, key_values))
+                for accumulator in accumulators:
+                    out[accumulator.spec.variable] = accumulator.finish(ctx)
+                yield out
+
+        items = _finish_through_globals(global_ops, finalized(), ctx)
+        global_seconds = time.perf_counter() - started
+        return QueryResult(
+            items,
+            partition_seconds=partition_seconds,
+            global_seconds=global_seconds,
+            peak_memory_bytes=max(peak, memory.peak),
+            stats=stats,
+            strategy="grouped-two-step",
+        )
+
+    def _run_grouped_raw(
+        self,
+        plan: LogicalPlan,
+        global_ops: list[Operator],
+        group_by: GroupBy,
+        partitions: int,
+        stats: ExecutionStats,
+    ) -> QueryResult:
+        """Two-step disabled: ship raw tuples and group at the coordinator."""
+        partition_seconds: list[float] = []
+        peak = 0
+        shipped: list[Tuple] = []
+        for partition in range(partitions):
+            memory = self._tracker()
+            ctx = self._context(partition, memory, stats)
+            started = time.perf_counter()
+            for tup in execute(group_by.input_op, ctx):
+                shipped.append(tup)
+                stats.exchange_tuples += 1
+                stats.exchange_bytes += sizeof_tuple(tup)
+            partition_seconds.append(time.perf_counter() - started)
+            peak = max(peak, memory.peak)
+        memory = self._tracker()
+        ctx = self._context(None, memory, stats)
+        started = time.perf_counter()
+        stream = run_chain([group_by], iter(shipped), ctx)
+        items = _finish_through_globals(global_ops, stream, ctx)
+        global_seconds = time.perf_counter() - started
+        return QueryResult(
+            items,
+            partition_seconds=partition_seconds,
+            global_seconds=global_seconds,
+            peak_memory_bytes=max(peak, memory.peak),
+            stats=stats,
+            strategy="grouped-raw",
+        )
+
+    def _run_aggregated(
+        self,
+        plan: LogicalPlan,
+        global_ops: list[Operator],
+        aggregate: Aggregate,
+        partitions: int,
+        stats: ExecutionStats,
+    ) -> QueryResult:
+        """Global aggregate with partial/combine across partitions."""
+        if not self._two_step:
+            return self._run_aggregated_raw(
+                plan, global_ops, aggregate, partitions, stats
+            )
+        partition_seconds: list[float] = []
+        peak = 0
+        partials: list[list] = []
+        for partition in range(partitions):
+            memory = self._tracker()
+            ctx = self._context(partition, memory, stats)
+            started = time.perf_counter()
+            accumulators = make_accumulators(aggregate.specs)
+            for tup in execute(aggregate.input_op, ctx):
+                for accumulator in accumulators:
+                    accumulator.add(tup, ctx)
+            partials.append([acc.partial() for acc in accumulators])
+            partition_seconds.append(time.perf_counter() - started)
+            peak = max(peak, memory.peak)
+            stats.exchange_tuples += 1
+            stats.exchange_bytes += _PARTIAL_TUPLE_BYTES
+        memory = self._tracker()
+        ctx = self._context(None, memory, stats)
+        started = time.perf_counter()
+        accumulators = make_accumulators(aggregate.specs)
+        for partial in partials:
+            for accumulator, value in zip(accumulators, partial):
+                accumulator.absorb(value)
+        final_tuple = {
+            acc.spec.variable: acc.finish(ctx) for acc in accumulators
+        }
+        items = _finish_through_globals(global_ops, iter([final_tuple]), ctx)
+        global_seconds = time.perf_counter() - started
+        return QueryResult(
+            items,
+            partition_seconds=partition_seconds,
+            global_seconds=global_seconds,
+            peak_memory_bytes=max(peak, memory.peak),
+            stats=stats,
+            strategy="aggregated-two-step",
+        )
+
+    def _run_aggregated_raw(
+        self,
+        plan: LogicalPlan,
+        global_ops: list[Operator],
+        aggregate: Aggregate,
+        partitions: int,
+        stats: ExecutionStats,
+    ) -> QueryResult:
+        partition_seconds: list[float] = []
+        peak = 0
+        shipped: list[Tuple] = []
+        for partition in range(partitions):
+            memory = self._tracker()
+            ctx = self._context(partition, memory, stats)
+            started = time.perf_counter()
+            for tup in execute(aggregate.input_op, ctx):
+                shipped.append(tup)
+                stats.exchange_tuples += 1
+                stats.exchange_bytes += sizeof_tuple(tup)
+            partition_seconds.append(time.perf_counter() - started)
+            peak = max(peak, memory.peak)
+        memory = self._tracker()
+        ctx = self._context(None, memory, stats)
+        started = time.perf_counter()
+        stream = run_chain([aggregate], iter(shipped), ctx)
+        items = _finish_through_globals(global_ops, stream, ctx)
+        global_seconds = time.perf_counter() - started
+        return QueryResult(
+            items,
+            partition_seconds=partition_seconds,
+            global_seconds=global_seconds,
+            peak_memory_bytes=max(peak, memory.peak),
+            stats=stats,
+            strategy="aggregated-raw",
+        )
+
+    def _run_join(
+        self,
+        plan: LogicalPlan,
+        global_ops: list[Operator],
+        aggregate: Aggregate | None,
+        mid_ops: list[Operator],
+        join: Join,
+        partitions: int,
+        stats: ExecutionStats,
+    ) -> QueryResult:
+        """Hash-partitioned join (plus optional aggregate on top).
+
+        Phase 1: each partition scans its share of both sides and hashes
+        tuples into per-partition buckets (the exchange).  Phase 2: each
+        bucket joins locally, runs the intermediate operators, and — when
+        an aggregate sits on top — folds a partial that the coordinator
+        combines.
+        """
+        left_keys, right_keys, residual = split_join_condition(join)
+        if not left_keys:
+            # Cross products cannot hash-partition; run globally.
+            return self._run_global(plan, stats)
+        buckets = partitions
+        left_buckets: list[list[Tuple]] = [[] for _ in range(buckets)]
+        right_buckets: list[list[Tuple]] = [[] for _ in range(buckets)]
+        phase1_seconds = [0.0] * partitions
+        peak = 0
+        for partition in range(partitions):
+            memory = self._tracker()
+            ctx = self._context(partition, memory, stats)
+            started = time.perf_counter()
+            for side, keys, target in (
+                (join.left, left_keys, left_buckets),
+                (join.right, right_keys, right_buckets),
+            ):
+                for tup in execute(side, ctx):
+                    key = tuple(
+                        canonical_key(expr.evaluate(tup, ctx)) for expr in keys
+                    )
+                    target[hash(key) % buckets].append(tup)
+                    stats.exchange_tuples += 1
+                    stats.exchange_bytes += sizeof_tuple(tup)
+            phase1_seconds[partition] = time.perf_counter() - started
+            peak = max(peak, memory.peak)
+        phase2_seconds = [0.0] * buckets
+        use_two_step = aggregate is not None and self._two_step
+        partials: list[list] = []
+        bucket_outputs: list[Tuple] = []
+        for bucket in range(buckets):
+            memory = self._tracker()
+            ctx = self._context(bucket, memory, stats)
+            started = time.perf_counter()
+            joined = hash_join(
+                iter(left_buckets[bucket]),
+                iter(right_buckets[bucket]),
+                left_keys,
+                right_keys,
+                residual,
+                ctx,
+            )
+            stream = run_chain(mid_ops, joined, ctx)
+            if use_two_step:
+                accumulators = make_accumulators(aggregate.specs)
+                for tup in stream:
+                    for accumulator in accumulators:
+                        accumulator.add(tup, ctx)
+                partials.append([acc.partial() for acc in accumulators])
+                stats.exchange_tuples += 1
+                stats.exchange_bytes += _PARTIAL_TUPLE_BYTES
+            else:
+                for tup in stream:
+                    bucket_outputs.append(tup)
+                    # Joined tuples ship to the coordinator for the
+                    # global aggregate / result assembly.
+                    stats.exchange_tuples += 1
+                    stats.exchange_bytes += sizeof_tuple(tup)
+            phase2_seconds[bucket] = time.perf_counter() - started
+            peak = max(peak, memory.peak)
+        partition_seconds = [
+            phase1_seconds[i] + phase2_seconds[i] for i in range(partitions)
+        ]
+        memory = self._tracker()
+        ctx = self._context(None, memory, stats)
+        started = time.perf_counter()
+        if use_two_step:
+            accumulators = make_accumulators(aggregate.specs)
+            for partial in partials:
+                for accumulator, value in zip(accumulators, partial):
+                    accumulator.absorb(value)
+            final_tuple = {
+                acc.spec.variable: acc.finish(ctx) for acc in accumulators
+            }
+            items = _finish_through_globals(global_ops, iter([final_tuple]), ctx)
+        elif aggregate is not None:
+            stream = run_chain([aggregate], iter(bucket_outputs), ctx)
+            items = _finish_through_globals(global_ops, stream, ctx)
+        else:
+            items = _finish_through_globals(global_ops, iter(bucket_outputs), ctx)
+        global_seconds = time.perf_counter() - started
+        return QueryResult(
+            items,
+            partition_seconds=partition_seconds,
+            global_seconds=global_seconds,
+            peak_memory_bytes=max(peak, memory.peak),
+            stats=stats,
+            strategy="hash-join",
+        )
+
+
+_PARTIAL_TUPLE_BYTES = 128
+
+
+# ---------------------------------------------------------------------------
+# Plan-shape analysis
+# ---------------------------------------------------------------------------
+
+
+def _split(plan: LogicalPlan) -> tuple[list[Operator], Operator]:
+    """Peel non-blocking operators off the root.
+
+    Returns (global_ops top-down including DISTRIBUTE-RESULT, boundary).
+    """
+    global_ops: list[Operator] = []
+    node = plan.root
+    while isinstance(node, (DistributeResult,) + _CHAIN_OPS):
+        global_ops.append(node)
+        node = node.inputs[0]
+    return global_ops, node
+
+
+def _is_chain_to_scan(op: Operator) -> bool:
+    """True if *op* is a chain of pipelined operators over a DATASCAN."""
+    node = op
+    while isinstance(node, _CHAIN_OPS):
+        node = node.inputs[0]
+    return isinstance(node, DataScan)
+
+
+def _find_join(op: Operator) -> tuple[list[Operator], Join] | None:
+    """Find a JOIN along the unary chain below *op* (inclusive).
+
+    Returns (ops between, bottom-up order; the join), or None.
+    """
+    mid: list[Operator] = []
+    node = op
+    while True:
+        if isinstance(node, Join):
+            return list(reversed(mid)), node
+        if isinstance(node, _CHAIN_OPS):
+            mid.append(node)
+            node = node.inputs[0]
+            continue
+        return None
+
+
+def _finish_through_globals(
+    global_ops: list[Operator], stream, ctx: EvaluationContext
+) -> list[Item]:
+    """Run the peeled root operators (top-down list) over *stream*."""
+    if not global_ops or not isinstance(global_ops[0], DistributeResult):
+        raise PlanError("expected DISTRIBUTE-RESULT at the plan root")
+    bottom_up = list(reversed(global_ops))
+    items: list[Item] = []
+    for tup in run_chain(bottom_up, stream, ctx):
+        items.extend(tup["__result__"])
+    return items

@@ -1,0 +1,45 @@
+"""Memory accounting for the runtime.
+
+Materializing operators and expressions charge a :class:`MemoryTracker`;
+the tracker records the high-water mark (Table 3 and Figure 18b of the
+paper compare exactly this) and can enforce a budget, which is how the
+SparkSQL baseline reproduces its "cannot load inputs larger than memory"
+behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MemoryBudgetExceededError
+
+
+class MemoryTracker:
+    """Tracks allocated bytes with a peak and an optional hard budget."""
+
+    __slots__ = ("used", "peak", "budget", "context")
+
+    def __init__(self, budget: int | None = None, context: str = ""):
+        self.used = 0
+        self.peak = 0
+        self.budget = budget
+        self.context = context
+
+    def allocate(self, n_bytes: int) -> None:
+        """Charge *n_bytes*; raises when a budget would be exceeded."""
+        self.used += n_bytes
+        if self.used > self.peak:
+            self.peak = self.used
+        if self.budget is not None and self.used > self.budget:
+            raise MemoryBudgetExceededError(self.used, self.budget, self.context)
+
+    def release(self, n_bytes: int) -> None:
+        """Return *n_bytes* to the pool."""
+        self.used = max(0, self.used - n_bytes)
+
+    def reset(self) -> None:
+        """Zero the counters (peak included)."""
+        self.used = 0
+        self.peak = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        budget = f", budget={self.budget}" if self.budget is not None else ""
+        return f"MemoryTracker(used={self.used}, peak={self.peak}{budget})"

@@ -1,0 +1,445 @@
+"""Physical (pull-based) execution of logical operators.
+
+Every unary operator is a generator transformer: it consumes an input
+tuple iterator and yields output tuples, so a fully pipelined plan (the
+post-rewrite shape) never materializes more than one tuple's worth of
+state per operator.  Materializing operators — JOIN's build side, the
+GROUP-BY table, ``sequence`` aggregates, and the naive ``collection``
+expression — charge the context's memory tracker, which is what makes
+the paper's before/after memory comparisons measurable.
+
+Entry points:
+
+- :func:`execute` — recursive execution of a (sub)plan,
+- :func:`run_operator` — one unary operator over a given input stream
+  (used by the partitioned executor to re-run plan fragments over
+  exchanged tuples),
+- :func:`run_plan` — full plan to a list of result items.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import PlanError, RuntimeExecutionError
+from repro.algebra.context import EvaluationContext
+from repro.algebra.expressions import (
+    ComparisonExpr,
+    Expression,
+    effective_boolean_value,
+)
+from repro.algebra.operators import (
+    Aggregate,
+    Assign,
+    DataScan,
+    DistributeResult,
+    EmptyTupleSource,
+    GroupBy,
+    Join,
+    NestedTupleSource,
+    Operator,
+    Select,
+    Sort,
+    Subplan,
+    Unnest,
+)
+from repro.algebra.plan import LogicalPlan
+from repro.algebra.rules.base import conjuncts, subtree_variables
+from repro.hyracks.aggregates import make_accumulators
+from repro.hyracks.tuples import Tuple, extend_tuple, merge_tuples, sizeof_tuple
+from repro.jsonlib.items import Item, sizeof_item
+from repro.jsonlib.serializer import dumps
+
+
+# ---------------------------------------------------------------------------
+# Grouping / join keys
+# ---------------------------------------------------------------------------
+
+
+def canonical_item(item: Item):
+    """A hashable canonical form of one item (containers via JSON text)."""
+    if isinstance(item, (dict, list)):
+        return ("json", dumps(item))
+    return (type(item).__name__, item)
+
+
+def canonical_key(sequence: list) -> tuple:
+    """A hashable canonical form of a sequence (a grouping/join key)."""
+    return tuple(canonical_item(item) for item in sequence)
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+
+def execute(op: Operator, ctx: EvaluationContext) -> Iterator[Tuple]:
+    """Execute a (sub)plan rooted at *op*, yielding output tuples."""
+    if isinstance(op, EmptyTupleSource):
+        return iter([{}])
+    if isinstance(op, NestedTupleSource):
+        raise PlanError(
+            "NESTED-TUPLE-SOURCE outside a SUBPLAN/GROUP-BY nested plan"
+        )
+    if isinstance(op, DataScan):
+        return _execute_datascan(op, ctx)
+    if isinstance(op, Join):
+        return _execute_join(op, ctx)
+    (input_op,) = op.inputs
+    return run_operator(op, execute(input_op, ctx), ctx)
+
+
+def run_operator(
+    op: Operator, source: Iterable[Tuple], ctx: EvaluationContext
+) -> Iterator[Tuple]:
+    """Run one unary operator over a given input tuple stream."""
+    if isinstance(op, Assign):
+        return _execute_assign(op, source, ctx)
+    if isinstance(op, Unnest):
+        return _execute_unnest(op, source, ctx)
+    if isinstance(op, Select):
+        return _execute_select(op, source, ctx)
+    if isinstance(op, Aggregate):
+        return _execute_aggregate(op, source, ctx)
+    if isinstance(op, Subplan):
+        return _execute_subplan(op, source, ctx)
+    if isinstance(op, GroupBy):
+        return _execute_group_by(op, source, ctx)
+    if isinstance(op, Sort):
+        return _execute_sort(op, source, ctx)
+    if isinstance(op, DistributeResult):
+        return _execute_distribute(op, source, ctx)
+    raise PlanError(f"no physical implementation for {op.name}")
+
+
+def run_chain(
+    ops_bottom_up: list[Operator],
+    source: Iterable[Tuple],
+    ctx: EvaluationContext,
+) -> Iterator[Tuple]:
+    """Run a chain of unary operators (bottom-most first) over *source*."""
+    stream: Iterable[Tuple] = source
+    for op in ops_bottom_up:
+        stream = run_operator(op, stream, ctx)
+    return iter(stream)
+
+
+def run_plan(plan: LogicalPlan, ctx: EvaluationContext) -> list[Item]:
+    """Execute a full plan and return the result items.
+
+    The plan root must be DISTRIBUTE-RESULT; each of its expressions is
+    evaluated per tuple and all items are concatenated.
+    """
+    root = plan.root
+    if not isinstance(root, DistributeResult):
+        raise PlanError("plan root must be DISTRIBUTE-RESULT")
+    results: list[Item] = []
+    for tup in execute(root, ctx):
+        results.extend(tup["__result__"])
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Operator implementations
+# ---------------------------------------------------------------------------
+
+
+def _execute_datascan(op: DataScan, ctx: EvaluationContext) -> Iterator[Tuple]:
+    if ctx.source is None:
+        raise RuntimeExecutionError("no data source configured for DATASCAN")
+    scanned = 0
+    scanned_bytes = 0
+    track = ctx.stats is not None
+    for item in ctx.source.scan_collection(
+        op.collection, op.project_path, partition=ctx.partition
+    ):
+        scanned += 1
+        if track:
+            scanned_bytes += sizeof_item(item)
+        yield {op.variable: [item]}
+    if track:
+        ctx.stats.items_scanned += scanned
+        ctx.stats.scanned_item_bytes += scanned_bytes
+
+
+def _execute_assign(
+    op: Assign, source: Iterable[Tuple], ctx: EvaluationContext
+) -> Iterator[Tuple]:
+    expression = op.expression
+    variable = op.variable
+    for tup in source:
+        yield extend_tuple(tup, variable, expression.evaluate(tup, ctx))
+
+
+def _execute_unnest(
+    op: Unnest, source: Iterable[Tuple], ctx: EvaluationContext
+) -> Iterator[Tuple]:
+    expression = op.expression
+    variable = op.variable
+    for tup in source:
+        for item in expression.evaluate(tup, ctx):
+            yield extend_tuple(tup, variable, [item])
+
+
+def _execute_select(
+    op: Select, source: Iterable[Tuple], ctx: EvaluationContext
+) -> Iterator[Tuple]:
+    condition = op.condition
+    for tup in source:
+        if effective_boolean_value(condition.evaluate(tup, ctx)):
+            yield tup
+
+
+def _execute_aggregate(
+    op: Aggregate, source: Iterable[Tuple], ctx: EvaluationContext
+) -> Iterator[Tuple]:
+    accumulators = make_accumulators(op.specs)
+    for tup in source:
+        for accumulator in accumulators:
+            accumulator.add(tup, ctx)
+    yield {
+        acc.spec.variable: acc.finish(ctx) for acc in accumulators
+    }
+
+
+def _execute_subplan(
+    op: Subplan, source: Iterable[Tuple], ctx: EvaluationContext
+) -> Iterator[Tuple]:
+    for tup in source:
+        bindings = execute_nested_plan(op.nested_root, [tup], ctx)
+        yield merge_tuples(tup, bindings)
+
+
+def execute_nested_plan(
+    nested_root: Operator, outer_tuples: list[Tuple], ctx: EvaluationContext
+) -> Tuple:
+    """Run a nested plan whose NESTED-TUPLE-SOURCE emits *outer_tuples*.
+
+    The nested root must be an AGGREGATE, so exactly one output tuple is
+    produced; its bindings are returned.
+    """
+    if not isinstance(nested_root, Aggregate):
+        raise PlanError("nested plan root must be AGGREGATE")
+
+    def expand(node: Operator) -> Iterator[Tuple]:
+        if isinstance(node, NestedTupleSource):
+            return iter(outer_tuples)
+        if not node.inputs:
+            raise PlanError(
+                f"unexpected leaf {node.name} inside a nested plan"
+            )
+        (input_op,) = node.inputs
+        return run_operator(node, expand(input_op), ctx)
+
+    outputs = list(expand(nested_root))
+    return outputs[0]
+
+
+def _execute_group_by(
+    op: GroupBy, source: Iterable[Tuple], ctx: EvaluationContext
+) -> Iterator[Tuple]:
+    """Hash grouping.
+
+    When the inner focus is ``AGGREGATE`` directly over
+    ``NESTED-TUPLE-SOURCE`` (the common shape), groups fold
+    incrementally — no group member list is kept unless a ``sequence``
+    aggregate demands one.  Any other nested plan falls back to
+    materializing each group's tuples.
+    """
+    nested = op.nested_root
+    incremental = isinstance(nested, Aggregate) and isinstance(
+        nested.input_op, NestedTupleSource
+    )
+    key_exprs = [expr for _, expr in op.keys]
+    key_vars = [var for var, _ in op.keys]
+
+    if incremental:
+        groups: dict = {}
+        for tup in source:
+            key_values = [expr.evaluate(tup, ctx) for expr in key_exprs]
+            key = tuple(canonical_key(v) for v in key_values)
+            state = groups.get(key)
+            if state is None:
+                state = (key_values, make_accumulators(nested.specs))
+                groups[key] = state
+                if ctx.memory is not None:
+                    ctx.charge(_GROUP_ENTRY_BYTES)
+            for accumulator in state[1]:
+                accumulator.add(tup, ctx)
+        for key_values, accumulators in groups.values():
+            out = dict(zip(key_vars, key_values))
+            for accumulator in accumulators:
+                out[accumulator.spec.variable] = accumulator.finish(ctx)
+            yield out
+        if ctx.memory is not None:
+            ctx.release(_GROUP_ENTRY_BYTES * len(groups))
+        return
+
+    # General nested plans: materialize the group's tuples.
+    grouped: dict = {}
+    charged = 0
+    for tup in source:
+        key_values = [expr.evaluate(tup, ctx) for expr in key_exprs]
+        key = tuple(canonical_key(v) for v in key_values)
+        entry = grouped.setdefault(key, (key_values, []))
+        entry[1].append(tup)
+        if ctx.memory is not None:
+            n_bytes = sizeof_tuple(tup)
+            charged += n_bytes
+            ctx.charge(n_bytes)
+    for key_values, tuples in grouped.values():
+        bindings = execute_nested_plan(op.nested_root, tuples, ctx)
+        out = dict(zip(key_vars, key_values))
+        out.update(bindings)
+        yield out
+    if charged:
+        ctx.release(charged)
+
+
+_GROUP_ENTRY_BYTES = 96
+
+
+def _execute_sort(
+    op: Sort, source: Iterable[Tuple], ctx: EvaluationContext
+) -> Iterator[Tuple]:
+    """Blocking sort: materialize, order by canonical keys, emit.
+
+    Descending keys are handled by sorting in passes from the least
+    significant key to the most significant (stable sorts compose).
+    """
+    tuples = list(source)
+    charged = 0
+    if ctx.memory is not None:
+        charged = sum(sizeof_tuple(t) for t in tuples)
+        ctx.charge(charged)
+    for expression, descending in reversed(op.specs):
+        tuples.sort(
+            key=lambda tup: canonical_key(expression.evaluate(tup, ctx)),
+            reverse=descending,
+        )
+    yield from tuples
+    if charged:
+        ctx.release(charged)
+
+
+def _execute_distribute(
+    op: DistributeResult, source: Iterable[Tuple], ctx: EvaluationContext
+) -> Iterator[Tuple]:
+    expressions = op.expressions
+    for tup in source:
+        items: list[Item] = []
+        for expression in expressions:
+            items.extend(expression.evaluate(tup, ctx))
+        yield {"__result__": items}
+
+
+# ---------------------------------------------------------------------------
+# Join
+# ---------------------------------------------------------------------------
+
+
+def split_join_condition(
+    join: Join,
+) -> tuple[list[Expression], list[Expression], list[Expression]]:
+    """Split a join condition into (left keys, right keys, residual).
+
+    Equality conjuncts whose operands each depend on exactly one branch
+    become hash-key pairs (aligned by index); everything else is residual
+    and gets evaluated on candidate pairs.
+    """
+    left_vars = subtree_variables(join.left)
+    right_vars = subtree_variables(join.right)
+    left_keys: list[Expression] = []
+    right_keys: list[Expression] = []
+    residual: list[Expression] = []
+    for conjunct in conjuncts(join.condition):
+        if isinstance(conjunct, ComparisonExpr) and conjunct.op == "eq":
+            a_vars = conjunct.left.free_variables()
+            b_vars = conjunct.right.free_variables()
+            if a_vars and b_vars:
+                if a_vars <= left_vars and b_vars <= right_vars:
+                    left_keys.append(conjunct.left)
+                    right_keys.append(conjunct.right)
+                    continue
+                if a_vars <= right_vars and b_vars <= left_vars:
+                    left_keys.append(conjunct.right)
+                    right_keys.append(conjunct.left)
+                    continue
+        residual.append(conjunct)
+    return left_keys, right_keys, residual
+
+
+def _is_always_true(expression: Expression) -> bool:
+    from repro.algebra.expressions import Literal
+
+    return isinstance(expression, Literal) and expression.sequence == [True]
+
+
+def _execute_join(op: Join, ctx: EvaluationContext) -> Iterator[Tuple]:
+    left_keys, right_keys, residual = split_join_condition(op)
+    left_stream = execute(op.left, ctx)
+    right_stream = execute(op.right, ctx)
+    if left_keys:
+        yield from hash_join(
+            left_stream, right_stream, left_keys, right_keys, residual, ctx
+        )
+    else:
+        yield from _nested_loop_join(left_stream, right_stream, op, ctx)
+
+
+def hash_join(
+    left_stream: Iterable[Tuple],
+    right_stream: Iterable[Tuple],
+    left_keys: list[Expression],
+    right_keys: list[Expression],
+    residual: list[Expression],
+    ctx: EvaluationContext,
+) -> Iterator[Tuple]:
+    """Hash join: build on the right input, probe with the left."""
+    table: dict = {}
+    charged = 0
+    for tup in right_stream:
+        key = tuple(
+            canonical_key(expr.evaluate(tup, ctx)) for expr in right_keys
+        )
+        table.setdefault(key, []).append(tup)
+        if ctx.memory is not None:
+            n_bytes = sizeof_tuple(tup)
+            charged += n_bytes
+            ctx.charge(n_bytes)
+    for tup in left_stream:
+        key = tuple(
+            canonical_key(expr.evaluate(tup, ctx)) for expr in left_keys
+        )
+        for match in table.get(key, ()):
+            joined = merge_tuples(tup, match)
+            if all(
+                effective_boolean_value(conjunct.evaluate(joined, ctx))
+                for conjunct in residual
+            ):
+                yield joined
+    if charged:
+        ctx.release(charged)
+
+
+def _nested_loop_join(
+    left_stream: Iterable[Tuple],
+    right_stream: Iterable[Tuple],
+    op: Join,
+    ctx: EvaluationContext,
+) -> Iterator[Tuple]:
+    right = list(right_stream)
+    charged = 0
+    if ctx.memory is not None:
+        charged = sum(sizeof_tuple(t) for t in right)
+        ctx.charge(charged)
+    always_true = _is_always_true(op.condition)
+    for left_tuple in left_stream:
+        for right_tuple in right:
+            joined = merge_tuples(left_tuple, right_tuple)
+            if always_true or effective_boolean_value(
+                op.condition.evaluate(joined, ctx)
+            ):
+                yield joined
+    if charged:
+        ctx.release(charged)

@@ -1,0 +1,13 @@
+"""JSONiq frontend: lexer, parser, AST, builtin functions, and translator.
+
+This package is the language layer of the processor — the counterpart of
+VXQuery's query parser and translator (Section 3.1 of the paper).  Query
+text goes in; a naive logical plan (the shape of Figures 3, 5, and 9)
+comes out, ready for the rewrite rules in :mod:`repro.algebra.rules`.
+"""
+
+from repro.jsoniq.lexer import tokenize
+from repro.jsoniq.parser import parse_query
+from repro.jsoniq.translator import translate
+
+__all__ = ["parse_query", "tokenize", "translate"]

@@ -1,0 +1,160 @@
+"""Abstract syntax tree for the JSONiq query subset.
+
+AST nodes are plain immutable dataclasses; the translator pattern-matches
+on them.  The subset covers everything the paper's queries need — FLWOR
+with multiple ``for``/``let`` clauses, ``where``, ``group by``,
+``order by``, postfix lookups (value and keys-or-members), function
+calls, constructors, conditionals, and the usual operators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+
+class AstNode:
+    """Marker base class for AST nodes."""
+
+    __slots__ = ()
+
+
+# -- primary expressions ------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class LiteralNode(AstNode):
+    """String / number / boolean / null literal."""
+
+    value: object
+
+
+@dataclass(frozen=True, slots=True)
+class VarNode(AstNode):
+    """Variable reference ``$name``."""
+
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class FunctionCallNode(AstNode):
+    """Function call ``name(arg, ...)``."""
+
+    name: str
+    args: tuple[AstNode, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class SequenceNode(AstNode):
+    """Parenthesized comma sequence ``(e1, e2, ...)`` (or ``()`` empty)."""
+
+    items: tuple[AstNode, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class ObjectConstructorNode(AstNode):
+    """JSONiq object constructor ``{ "k": expr, ... }``."""
+
+    pairs: tuple[tuple[str, AstNode], ...]
+
+
+@dataclass(frozen=True, slots=True)
+class ArrayConstructorNode(AstNode):
+    """JSONiq array constructor ``[ expr, ... ]``."""
+
+    members: tuple[AstNode, ...]
+
+
+# -- postfix -------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class LookupNode(AstNode):
+    """JSONiq postfix navigation.
+
+    ``key`` of None means the keys-or-members expression ``base()``;
+    otherwise ``base(key)`` — the value expression, with the key an
+    arbitrary expression (a string or integer literal in practice).
+    """
+
+    base: AstNode
+    key: Optional[AstNode]
+
+
+# -- operators -----------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class BinaryOpNode(AstNode):
+    """Binary operator: comparisons, arithmetic, ``and`` / ``or``."""
+
+    op: str
+    left: AstNode
+    right: AstNode
+
+
+@dataclass(frozen=True, slots=True)
+class UnaryMinusNode(AstNode):
+    """Unary negation ``-expr``."""
+
+    operand: AstNode
+
+
+@dataclass(frozen=True, slots=True)
+class IfNode(AstNode):
+    """Conditional ``if (cond) then ... else ...``."""
+
+    condition: AstNode
+    then_branch: AstNode
+    else_branch: AstNode
+
+
+# -- FLWOR ---------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class ForClause(AstNode):
+    """``for $var in expr``."""
+
+    variable: str
+    source: AstNode
+
+
+@dataclass(frozen=True, slots=True)
+class LetClause(AstNode):
+    """``let $var := expr``."""
+
+    variable: str
+    value: AstNode
+
+
+@dataclass(frozen=True, slots=True)
+class WhereClause(AstNode):
+    """``where expr``."""
+
+    condition: AstNode
+
+
+@dataclass(frozen=True, slots=True)
+class GroupByClause(AstNode):
+    """``group by $var := expr, ...`` (``:= expr`` optional per key)."""
+
+    keys: tuple[tuple[str, Optional[AstNode]], ...]
+
+
+@dataclass(frozen=True, slots=True)
+class OrderByClause(AstNode):
+    """``order by expr [descending], ...``."""
+
+    specs: tuple[tuple[AstNode, bool], ...]  # (expression, descending)
+
+
+Clause = Union[ForClause, LetClause, WhereClause, GroupByClause, OrderByClause]
+
+
+@dataclass(frozen=True, slots=True)
+class FlworNode(AstNode):
+    """A FLWOR expression: clauses plus the return expression."""
+
+    clauses: tuple[Clause, ...]
+    return_expr: AstNode = field(default=None)  # type: ignore[assignment]

@@ -1,0 +1,446 @@
+"""Builtin function library for the JSONiq-extension-to-XQuery subset.
+
+Every function takes a list of evaluated argument *sequences* and returns
+a sequence (the universal value of the algebra).  The registry maps
+``(name, arity)`` pairs to callables; lookups happen at evaluation time
+through :class:`repro.algebra.context.EvaluationContext`.
+
+The library covers everything the paper's queries use — ``count``,
+``avg``, ``dateTime``, the ``*-from-dateTime`` accessors, ``data`` — plus
+the general-purpose JSONiq/XQuery functions a user of the processor would
+expect (string, numeric, sequence, and JSON-specific functions).
+"""
+
+from __future__ import annotations
+
+import datetime
+import math
+import re
+from typing import Callable
+
+from repro.errors import ItemTypeError
+from repro.jsonlib.items import Item, is_atomic, item_type_name
+
+Sequence = list
+FunctionImpl = Callable[[list], Sequence]
+
+# Compact NOAA-style timestamps ("20131225T00:00") and ISO timestamps.
+_COMPACT_DATETIME_RE = re.compile(
+    r"^(\d{4})(\d{2})(\d{2})T(\d{2}):(\d{2})(?::(\d{2}))?$"
+)
+
+
+def _singleton(sequence: Sequence, function: str) -> Item:
+    if len(sequence) != 1:
+        raise ItemTypeError(
+            f"{function}() expects a singleton, got {len(sequence)} items"
+        )
+    return sequence[0]
+
+
+def _optional_singleton(sequence: Sequence, function: str) -> Item | None:
+    if not sequence:
+        return None
+    return _singleton(sequence, function)
+
+
+def _as_number(item: Item, function: str) -> int | float:
+    if isinstance(item, bool) or not isinstance(item, (int, float)):
+        raise ItemTypeError(
+            f"{function}() expects a number, got {item_type_name(item)}"
+        )
+    return item
+
+
+def _as_string(item: Item, function: str) -> str:
+    if not isinstance(item, str):
+        raise ItemTypeError(
+            f"{function}() expects a string, got {item_type_name(item)}"
+        )
+    return item
+
+
+def _numbers(sequence: Sequence, function: str) -> list:
+    return [_as_number(item, function) for item in sequence]
+
+
+# ---------------------------------------------------------------------------
+# Aggregates (scalar forms; incremental forms live in the runtime)
+# ---------------------------------------------------------------------------
+
+
+def fn_count(args: list) -> Sequence:
+    """``count($seq)`` — number of items in the sequence."""
+    return [len(args[0])]
+
+
+def fn_sum(args: list) -> Sequence:
+    """``sum($seq)`` — numeric sum; 0 for the empty sequence."""
+    return [sum(_numbers(args[0], "sum"))]
+
+
+def fn_avg(args: list) -> Sequence:
+    """``avg($seq)`` — numeric mean; empty for the empty sequence."""
+    values = _numbers(args[0], "avg")
+    if not values:
+        return []
+    return [sum(values) / len(values)]
+
+
+def fn_min(args: list) -> Sequence:
+    """``min($seq)``; empty for the empty sequence."""
+    values = _numbers(args[0], "min")
+    return [min(values)] if values else []
+
+
+def fn_max(args: list) -> Sequence:
+    """``max($seq)``; empty for the empty sequence."""
+    values = _numbers(args[0], "max")
+    return [max(values)] if values else []
+
+
+# ---------------------------------------------------------------------------
+# Date / time
+# ---------------------------------------------------------------------------
+
+
+def parse_datetime(text: str) -> datetime.datetime:
+    """Parse an ISO or compact NOAA-style (``20131225T00:00``) timestamp."""
+    match = _COMPACT_DATETIME_RE.match(text)
+    if match is not None:
+        year, month, day, hour, minute = (int(g) for g in match.groups()[:5])
+        second = int(match.group(6) or 0)
+        return datetime.datetime(year, month, day, hour, minute, second)
+    try:
+        return datetime.datetime.fromisoformat(text)
+    except ValueError:
+        raise ItemTypeError(f"cannot parse dateTime from {text!r}") from None
+
+
+def fn_datetime(args: list) -> Sequence:
+    """``dateTime($s)`` — parse a timestamp string; empty in, empty out."""
+    item = _optional_singleton(args[0], "dateTime")
+    if item is None:
+        return []
+    if isinstance(item, datetime.datetime):
+        return [item]
+    return [parse_datetime(_as_string(item, "dateTime"))]
+
+
+def _datetime_component(component: str) -> FunctionImpl:
+    def accessor(args: list) -> Sequence:
+        item = _optional_singleton(args[0], f"{component}-from-dateTime")
+        if item is None:
+            return []
+        if not isinstance(item, datetime.datetime):
+            raise ItemTypeError(
+                f"{component}-from-dateTime() expects a dateTime, "
+                f"got {item_type_name(item)}"
+            )
+        return [getattr(item, component)]
+
+    return accessor
+
+
+# ---------------------------------------------------------------------------
+# Atomization / types
+# ---------------------------------------------------------------------------
+
+
+def fn_data(args: list) -> Sequence:
+    """``data($seq)`` — atomization; errors on objects and arrays."""
+    out = []
+    for item in args[0]:
+        if not is_atomic(item):
+            raise ItemTypeError(f"cannot atomize a {item_type_name(item)} item")
+        out.append(item)
+    return out
+
+
+def fn_string(args: list) -> Sequence:
+    """``string($x)`` — string form of an atomic item."""
+    if not args[0]:
+        return [""]
+    item = _singleton(args[0], "string")
+    if item is None:
+        return ["null"]
+    if isinstance(item, str):
+        return [item]
+    if isinstance(item, bool):
+        return ["true" if item else "false"]
+    if item is None:
+        return ["null"]
+    if isinstance(item, (int, float)):
+        return [repr(item) if isinstance(item, float) else str(item)]
+    if isinstance(item, datetime.datetime):
+        return [item.isoformat()]
+    raise ItemTypeError(f"string() over a {item_type_name(item)} item")
+
+
+def fn_number(args: list) -> Sequence:
+    """``number($x)`` — numeric form of an atomic item (NaN-free variant:
+    unconvertible input is a type error rather than NaN)."""
+    item = _singleton(args[0], "number")
+    if isinstance(item, bool):
+        return [1 if item else 0]
+    if isinstance(item, (int, float)):
+        return [item]
+    if isinstance(item, str):
+        try:
+            return [int(item)]
+        except ValueError:
+            try:
+                return [float(item)]
+            except ValueError:
+                raise ItemTypeError(
+                    f"number() cannot convert {item!r}"
+                ) from None
+    raise ItemTypeError(f"number() over a {item_type_name(item)} item")
+
+
+def fn_boolean(args: list) -> Sequence:
+    """``boolean($seq)`` — effective boolean value."""
+    from repro.algebra.expressions import effective_boolean_value
+
+    return [effective_boolean_value(args[0])]
+
+
+def fn_not(args: list) -> Sequence:
+    """``not($seq)`` — negated effective boolean value."""
+    from repro.algebra.expressions import effective_boolean_value
+
+    return [not effective_boolean_value(args[0])]
+
+
+# ---------------------------------------------------------------------------
+# Numeric
+# ---------------------------------------------------------------------------
+
+
+def _numeric_unary(name: str, op: Callable) -> FunctionImpl:
+    def impl(args: list) -> Sequence:
+        item = _optional_singleton(args[0], name)
+        if item is None:
+            return []
+        return [op(_as_number(item, name))]
+
+    return impl
+
+
+# ---------------------------------------------------------------------------
+# Strings
+# ---------------------------------------------------------------------------
+
+
+def fn_concat(args: list) -> Sequence:
+    """``concat(...)`` — concatenation of the string forms of arguments."""
+    parts = []
+    for arg in args:
+        item = _optional_singleton(arg, "concat")
+        if item is None:
+            continue
+        parts.append(fn_string([[item]])[0])
+    return ["".join(parts)]
+
+
+def fn_string_join(args: list) -> Sequence:
+    """``string-join($seq, $sep)``."""
+    separator = _as_string(_singleton(args[1], "string-join"), "string-join")
+    parts = [_as_string(item, "string-join") for item in args[0]]
+    return [separator.join(parts)]
+
+
+def fn_substring(args: list) -> Sequence:
+    """``substring($s, $start[, $length])`` — 1-based, XQuery style."""
+    text = _as_string(_singleton(args[0], "substring"), "substring")
+    start = int(_as_number(_singleton(args[1], "substring"), "substring"))
+    begin = max(start - 1, 0)
+    if len(args) == 3:
+        length = int(_as_number(_singleton(args[2], "substring"), "substring"))
+        end = max(start - 1 + length, begin)
+        return [text[begin:end]]
+    return [text[begin:]]
+
+
+def fn_string_length(args: list) -> Sequence:
+    """``string-length($s)``."""
+    item = _optional_singleton(args[0], "string-length")
+    if item is None:
+        return [0]
+    return [len(_as_string(item, "string-length"))]
+
+
+def fn_contains(args: list) -> Sequence:
+    """``contains($s, $needle)``."""
+    text = _as_string(_singleton(args[0], "contains"), "contains")
+    needle = _as_string(_singleton(args[1], "contains"), "contains")
+    return [needle in text]
+
+
+def fn_starts_with(args: list) -> Sequence:
+    """``starts-with($s, $prefix)``."""
+    text = _as_string(_singleton(args[0], "starts-with"), "starts-with")
+    prefix = _as_string(_singleton(args[1], "starts-with"), "starts-with")
+    return [text.startswith(prefix)]
+
+
+def fn_upper_case(args: list) -> Sequence:
+    """``upper-case($s)``."""
+    return [_as_string(_singleton(args[0], "upper-case"), "upper-case").upper()]
+
+
+def fn_lower_case(args: list) -> Sequence:
+    """``lower-case($s)``."""
+    return [_as_string(_singleton(args[0], "lower-case"), "lower-case").lower()]
+
+
+# ---------------------------------------------------------------------------
+# Sequences
+# ---------------------------------------------------------------------------
+
+
+def fn_empty(args: list) -> Sequence:
+    """``empty($seq)``."""
+    return [not args[0]]
+
+
+def fn_exists(args: list) -> Sequence:
+    """``exists($seq)``."""
+    return [bool(args[0])]
+
+
+def fn_head(args: list) -> Sequence:
+    """``head($seq)`` — first item or empty."""
+    return args[0][:1]
+
+
+def fn_tail(args: list) -> Sequence:
+    """``tail($seq)`` — everything but the first item."""
+    return args[0][1:]
+
+
+def fn_reverse(args: list) -> Sequence:
+    """``reverse($seq)``."""
+    return list(reversed(args[0]))
+
+
+def fn_distinct_values(args: list) -> Sequence:
+    """``distinct-values($seq)`` — order-preserving dedup of atomics."""
+    seen: set = set()
+    out = []
+    for item in args[0]:
+        if not is_atomic(item):
+            raise ItemTypeError(
+                f"distinct-values() over a {item_type_name(item)} item"
+            )
+        key = (type(item).__name__, item)
+        if key not in seen:
+            seen.add(key)
+            out.append(item)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# JSONiq object/array functions
+# ---------------------------------------------------------------------------
+
+
+def fn_keys(args: list) -> Sequence:
+    """``keys($seq)`` — keys of objects (members ignored for non-objects)."""
+    out = []
+    for item in args[0]:
+        if isinstance(item, dict):
+            out.extend(item.keys())
+    return out
+
+
+def fn_members(args: list) -> Sequence:
+    """``members($seq)`` — members of arrays."""
+    out = []
+    for item in args[0]:
+        if isinstance(item, list):
+            out.extend(item)
+    return out
+
+
+def fn_size(args: list) -> Sequence:
+    """``size($array)`` — number of members; null-safe JSONiq style."""
+    item = _optional_singleton(args[0], "size")
+    if item is None:
+        return []
+    if not isinstance(item, list):
+        raise ItemTypeError(f"size() expects an array, got {item_type_name(item)}")
+    return [len(item)]
+
+
+def fn_flatten(args: list) -> Sequence:
+    """``flatten($seq)`` — recursively flatten arrays into a sequence."""
+    out: list = []
+    stack = list(reversed(args[0]))
+    while stack:
+        item = stack.pop()
+        if isinstance(item, list):
+            stack.extend(reversed(item))
+        else:
+            out.append(item)
+    return out
+
+
+def fn_null(args: list) -> Sequence:
+    """``null()`` — the JSON null item."""
+    return [None]
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+BUILTIN_FUNCTIONS: dict[tuple[str, int], FunctionImpl] = {
+    ("count", 1): fn_count,
+    ("sum", 1): fn_sum,
+    ("avg", 1): fn_avg,
+    ("min", 1): fn_min,
+    ("max", 1): fn_max,
+    ("dateTime", 1): fn_datetime,
+    ("year-from-dateTime", 1): _datetime_component("year"),
+    ("month-from-dateTime", 1): _datetime_component("month"),
+    ("day-from-dateTime", 1): _datetime_component("day"),
+    ("hours-from-dateTime", 1): _datetime_component("hour"),
+    ("minutes-from-dateTime", 1): _datetime_component("minute"),
+    ("data", 1): fn_data,
+    ("string", 1): fn_string,
+    ("number", 1): fn_number,
+    ("boolean", 1): fn_boolean,
+    ("not", 1): fn_not,
+    ("abs", 1): _numeric_unary("abs", abs),
+    ("floor", 1): _numeric_unary("floor", math.floor),
+    ("ceiling", 1): _numeric_unary("ceiling", math.ceil),
+    ("round", 1): _numeric_unary("round", lambda x: math.floor(x + 0.5)),
+    ("string-join", 2): fn_string_join,
+    ("substring", 2): fn_substring,
+    ("substring", 3): fn_substring,
+    ("string-length", 1): fn_string_length,
+    ("contains", 2): fn_contains,
+    ("starts-with", 2): fn_starts_with,
+    ("upper-case", 1): fn_upper_case,
+    ("lower-case", 1): fn_lower_case,
+    ("empty", 1): fn_empty,
+    ("exists", 1): fn_exists,
+    ("head", 1): fn_head,
+    ("tail", 1): fn_tail,
+    ("reverse", 1): fn_reverse,
+    ("distinct-values", 1): fn_distinct_values,
+    ("keys", 1): fn_keys,
+    ("members", 1): fn_members,
+    ("size", 1): fn_size,
+    ("flatten", 1): fn_flatten,
+    ("null", 0): fn_null,
+}
+
+# concat is variadic in XQuery; register a practical range of arities.
+for _arity in range(2, 9):
+    BUILTIN_FUNCTIONS[("concat", _arity)] = fn_concat
+
+#: Function names that the translator treats as aggregates when applied
+#: to a nested FLWOR (Section 4.3's scalar-to-aggregate conversion).
+AGGREGATE_FUNCTION_NAMES = frozenset(["count", "sum", "avg", "min", "max"])

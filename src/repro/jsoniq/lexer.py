@@ -1,0 +1,197 @@
+"""Tokenizer for the JSONiq-extension-to-XQuery query subset.
+
+Names may contain embedded hyphens (``year-from-dateTime``), exactly like
+XQuery QNames; a ``-`` is only part of a name when it glues two name
+fragments together, so ``$a - 1`` still lexes as a minus operator.
+Keywords are *not* distinguished here — the parser decides keyword-ness
+from context, as XQuery grammars do.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+
+from repro.errors import LexerError
+
+
+class TokenKind(enum.Enum):
+    """Lexical token categories."""
+
+    NAME = "name"
+    VARIABLE = "variable"  # $name
+    STRING = "string"
+    INTEGER = "integer"
+    DECIMAL = "decimal"
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACE = "{"
+    RBRACE = "}"
+    LBRACKET = "["
+    RBRACKET = "]"
+    COMMA = ","
+    COLON = ":"
+    BIND = ":="
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    EQUAL = "="
+    NOT_EQUAL = "!="
+    LESS = "<"
+    LESS_EQUAL = "<="
+    GREATER = ">"
+    GREATER_EQUAL = ">="
+    EOF = "eof"
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """One lexical token with its source position."""
+
+    kind: TokenKind
+    text: str
+    position: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind.name}, {self.text!r}, {self.position})"
+
+
+_NAME_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*(?:-[A-Za-z_][A-Za-z0-9_]*)*")
+_NUMBER_RE = re.compile(r"\d+(?:\.\d+)?(?:[eE][+-]?\d+)?")
+_STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
+_WHITESPACE_RE = re.compile(r"\s+")
+_COMMENT_RE = re.compile(r"\(:.*?:\)", re.DOTALL)
+
+_TWO_CHAR = {
+    ":=": TokenKind.BIND,
+    "!=": TokenKind.NOT_EQUAL,
+    "<=": TokenKind.LESS_EQUAL,
+    ">=": TokenKind.GREATER_EQUAL,
+}
+
+_ONE_CHAR = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    ",": TokenKind.COMMA,
+    ":": TokenKind.COLON,
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "*": TokenKind.STAR,
+    "=": TokenKind.EQUAL,
+    "<": TokenKind.LESS,
+    ">": TokenKind.GREATER,
+}
+
+_STRING_ESCAPES = {
+    '"': '"',
+    "\\": "\\",
+    "/": "/",
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "b": "\b",
+    "f": "\f",
+}
+
+
+def _decode_string(raw: str, position: int) -> str:
+    """Decode a quoted string literal's escapes."""
+    body = raw[1:-1]
+    if "\\" not in body:
+        return body
+    out: list[str] = []
+    i = 0
+    while i < len(body):
+        ch = body[i]
+        if ch != "\\":
+            out.append(ch)
+            i += 1
+            continue
+        esc = body[i + 1]
+        if esc == "u":
+            out.append(chr(int(body[i + 2 : i + 6], 16)))
+            i += 6
+            continue
+        mapped = _STRING_ESCAPES.get(esc)
+        if mapped is None:
+            raise LexerError(f"invalid string escape \\{esc}", position + i)
+        out.append(mapped)
+        i += 2
+    return "".join(out)
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize query *text*; raises :class:`LexerError` on bad input."""
+    tokens: list[Token] = []
+    pos = 0
+    n = len(text)
+    while pos < n:
+        ws = _WHITESPACE_RE.match(text, pos)
+        if ws is not None:
+            pos = ws.end()
+            continue
+        comment = _COMMENT_RE.match(text, pos)
+        if comment is not None:
+            pos = comment.end()
+            continue
+        if pos >= n:
+            break
+        ch = text[pos]
+
+        two = text[pos : pos + 2]
+        if two in _TWO_CHAR:
+            tokens.append(Token(_TWO_CHAR[two], two, pos))
+            pos += 2
+            continue
+
+        if ch == '"':
+            match = _STRING_RE.match(text, pos)
+            if match is None:
+                raise LexerError("unterminated string literal", pos)
+            tokens.append(
+                Token(TokenKind.STRING, _decode_string(match.group(), pos), pos)
+            )
+            pos = match.end()
+            continue
+
+        if ch == "$":
+            match = _NAME_RE.match(text, pos + 1)
+            if match is None:
+                raise LexerError("invalid variable name", pos)
+            tokens.append(Token(TokenKind.VARIABLE, match.group(), pos))
+            pos = match.end()
+            continue
+
+        if ch.isdigit():
+            match = _NUMBER_RE.match(text, pos)
+            assert match is not None
+            body = match.group()
+            kind = (
+                TokenKind.DECIMAL
+                if any(c in body for c in ".eE")
+                else TokenKind.INTEGER
+            )
+            tokens.append(Token(kind, body, pos))
+            pos = match.end()
+            continue
+
+        name = _NAME_RE.match(text, pos)
+        if name is not None:
+            tokens.append(Token(TokenKind.NAME, name.group(), pos))
+            pos = name.end()
+            continue
+
+        if ch in _ONE_CHAR:
+            tokens.append(Token(_ONE_CHAR[ch], ch, pos))
+            pos += 1
+            continue
+
+        raise LexerError(f"unexpected character {ch!r}", pos)
+
+    tokens.append(Token(TokenKind.EOF, "", n))
+    return tokens

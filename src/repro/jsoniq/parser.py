@@ -1,0 +1,376 @@
+"""Recursive-descent parser for the JSONiq query subset.
+
+Produces the AST of :mod:`repro.jsoniq.ast`.  The grammar (precedence
+low to high)::
+
+    Expr        := Flwor | If | Or
+    Flwor       := (ForClause | LetClause)+ WhereClause? GroupByClause?
+                   OrderByClause? "return" Expr
+    Or          := And ("or" And)*
+    And         := Comparison ("and" Comparison)*
+    Comparison  := Additive (CompOp Additive)?
+    Additive    := Multiplicative (("+" | "-") Multiplicative)*
+    Multiplicative := Unary (("*" | "div" | "idiv" | "mod") Unary)*
+    Unary       := "-"? Postfix
+    Postfix     := Primary Lookup*
+    Lookup      := "(" ")" | "(" Expr ")"
+    Primary     := Literal | Variable | FunctionCall | "(" Expr? ")"
+                 | ObjectConstructor | ArrayConstructor
+
+Keywords are recognized by value in context, so names like ``group`` or
+``order`` remain usable as function names.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.jsoniq.ast import (
+    ArrayConstructorNode,
+    AstNode,
+    BinaryOpNode,
+    FlworNode,
+    ForClause,
+    FunctionCallNode,
+    GroupByClause,
+    IfNode,
+    LetClause,
+    LiteralNode,
+    LookupNode,
+    ObjectConstructorNode,
+    OrderByClause,
+    SequenceNode,
+    UnaryMinusNode,
+    VarNode,
+    WhereClause,
+)
+from repro.jsoniq.lexer import Token, TokenKind, tokenize
+
+_COMPARISON_KEYWORDS = {"eq", "ne", "lt", "le", "gt", "ge"}
+_COMPARISON_SYMBOLS = {
+    TokenKind.EQUAL: "eq",
+    TokenKind.NOT_EQUAL: "ne",
+    TokenKind.LESS: "lt",
+    TokenKind.LESS_EQUAL: "le",
+    TokenKind.GREATER: "gt",
+    TokenKind.GREATER_EQUAL: "ge",
+}
+_MULTIPLICATIVE_KEYWORDS = {"div", "idiv", "mod"}
+
+
+class _Parser:
+    """Stateful cursor over the token list."""
+
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._index = 0
+
+    # -- cursor helpers ------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._index]
+
+    def peek(self, offset: int = 1) -> Token:
+        index = min(self._index + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind is not TokenKind.EOF:
+            self._index += 1
+        return token
+
+    def expect(self, kind: TokenKind) -> Token:
+        token = self.current
+        if token.kind is not kind:
+            raise ParseError(
+                f"expected {kind.value!r}, found {token.text or 'end of input'!r}",
+                token.position,
+            )
+        return self.advance()
+
+    def at_name(self, *names: str) -> bool:
+        token = self.current
+        return token.kind is TokenKind.NAME and token.text in names
+
+    def eat_name(self, name: str) -> None:
+        if not self.at_name(name):
+            token = self.current
+            raise ParseError(
+                f"expected {name!r}, found {token.text or 'end of input'!r}",
+                token.position,
+            )
+        self.advance()
+
+    # -- grammar -------------------------------------------------------------
+
+    def parse_expr(self) -> AstNode:
+        if self.at_name("for", "let") and self.peek().kind is TokenKind.VARIABLE:
+            return self._parse_flwor()
+        if self.at_name("if") and self.peek().kind is TokenKind.LPAREN:
+            return self._parse_if()
+        return self._parse_or()
+
+    def _parse_flwor(self) -> FlworNode:
+        clauses: list = []
+        # for / let clauses may interleave, each with comma-continuations.
+        while self.at_name("for", "let") and self.peek().kind is TokenKind.VARIABLE:
+            keyword = self.advance().text
+            while True:
+                variable = self.expect(TokenKind.VARIABLE).text
+                if keyword == "for":
+                    self.eat_name("in")
+                    clauses.append(ForClause(variable, self.parse_expr()))
+                else:
+                    self.expect(TokenKind.BIND)
+                    clauses.append(LetClause(variable, self.parse_expr()))
+                if (
+                    self.current.kind is TokenKind.COMMA
+                    and self.peek().kind is TokenKind.VARIABLE
+                ):
+                    self.advance()
+                    continue
+                break
+        if self.at_name("where"):
+            self.advance()
+            clauses.append(WhereClause(self.parse_expr()))
+        if self.at_name("group"):
+            self.advance()
+            self.eat_name("by")
+            keys: list[tuple[str, AstNode | None]] = []
+            while True:
+                variable = self.expect(TokenKind.VARIABLE).text
+                key_expr = None
+                if self.current.kind is TokenKind.BIND:
+                    self.advance()
+                    key_expr = self.parse_expr()
+                keys.append((variable, key_expr))
+                if self.current.kind is TokenKind.COMMA:
+                    self.advance()
+                    continue
+                break
+            clauses.append(GroupByClause(tuple(keys)))
+        if self.at_name("stable"):
+            self.advance()
+        if self.at_name("order"):
+            self.advance()
+            self.eat_name("by")
+            specs: list[tuple[AstNode, bool]] = []
+            while True:
+                expr = self.parse_expr()
+                descending = False
+                if self.at_name("descending"):
+                    descending = True
+                    self.advance()
+                elif self.at_name("ascending"):
+                    self.advance()
+                specs.append((expr, descending))
+                if self.current.kind is TokenKind.COMMA:
+                    self.advance()
+                    continue
+                break
+            clauses.append(OrderByClause(tuple(specs)))
+        self.eat_name("return")
+        return FlworNode(tuple(clauses), self.parse_expr())
+
+    def _parse_if(self) -> IfNode:
+        self.eat_name("if")
+        self.expect(TokenKind.LPAREN)
+        condition = self.parse_expr()
+        self.expect(TokenKind.RPAREN)
+        self.eat_name("then")
+        then_branch = self.parse_expr()
+        self.eat_name("else")
+        else_branch = self.parse_expr()
+        return IfNode(condition, then_branch, else_branch)
+
+    def _parse_or(self) -> AstNode:
+        left = self._parse_and()
+        while self.at_name("or"):
+            self.advance()
+            left = BinaryOpNode("or", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> AstNode:
+        left = self._parse_comparison()
+        while self.at_name("and"):
+            self.advance()
+            left = BinaryOpNode("and", left, self._parse_comparison())
+        return left
+
+    def _parse_comparison(self) -> AstNode:
+        left = self._parse_additive()
+        token = self.current
+        op = None
+        if token.kind in _COMPARISON_SYMBOLS:
+            op = _COMPARISON_SYMBOLS[token.kind]
+        elif token.kind is TokenKind.NAME and token.text in _COMPARISON_KEYWORDS:
+            op = token.text
+        if op is None:
+            return left
+        self.advance()
+        return BinaryOpNode(op, left, self._parse_additive())
+
+    def _parse_additive(self) -> AstNode:
+        left = self._parse_multiplicative()
+        while self.current.kind in (TokenKind.PLUS, TokenKind.MINUS):
+            op = self.advance().text
+            left = BinaryOpNode(op, left, self._parse_multiplicative())
+        return left
+
+    def _parse_multiplicative(self) -> AstNode:
+        left = self._parse_unary()
+        while True:
+            token = self.current
+            if token.kind is TokenKind.STAR:
+                op = "*"
+            elif (
+                token.kind is TokenKind.NAME
+                and token.text in _MULTIPLICATIVE_KEYWORDS
+            ):
+                op = token.text
+            else:
+                return left
+            self.advance()
+            left = BinaryOpNode(op, left, self._parse_unary())
+
+    def _parse_unary(self) -> AstNode:
+        if self.current.kind is TokenKind.MINUS:
+            self.advance()
+            return UnaryMinusNode(self._parse_unary())
+        if self.current.kind is TokenKind.PLUS:
+            self.advance()
+            return self._parse_unary()
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> AstNode:
+        node = self._parse_primary()
+        while self.current.kind is TokenKind.LPAREN:
+            self.advance()
+            if self.current.kind is TokenKind.RPAREN:
+                self.advance()
+                node = LookupNode(node, None)
+            else:
+                key = self.parse_expr()
+                self.expect(TokenKind.RPAREN)
+                node = LookupNode(node, key)
+        return node
+
+    def _parse_primary(self) -> AstNode:
+        token = self.current
+
+        if token.kind is TokenKind.STRING:
+            self.advance()
+            return LiteralNode(token.text)
+        if token.kind is TokenKind.INTEGER:
+            self.advance()
+            return LiteralNode(int(token.text))
+        if token.kind is TokenKind.DECIMAL:
+            self.advance()
+            return LiteralNode(float(token.text))
+        if token.kind is TokenKind.VARIABLE:
+            self.advance()
+            return VarNode(token.text)
+
+        if token.kind is TokenKind.LPAREN:
+            self.advance()
+            if self.current.kind is TokenKind.RPAREN:
+                self.advance()
+                return SequenceNode(())
+            items = [self.parse_expr()]
+            while self.current.kind is TokenKind.COMMA:
+                self.advance()
+                items.append(self.parse_expr())
+            self.expect(TokenKind.RPAREN)
+            if len(items) == 1:
+                return items[0]
+            return SequenceNode(tuple(items))
+
+        if token.kind is TokenKind.LBRACE:
+            return self._parse_object_constructor()
+        if token.kind is TokenKind.LBRACKET:
+            return self._parse_array_constructor()
+
+        if token.kind is TokenKind.NAME:
+            if token.text in ("true", "false") and not (
+                self.peek().kind is TokenKind.LPAREN
+                and self.peek(2).kind is TokenKind.RPAREN
+            ):
+                self.advance()
+                return LiteralNode(token.text == "true")
+            if token.text in ("true", "false") and self.peek().kind is TokenKind.LPAREN:
+                # XQuery's true() / false() constructors.
+                self.advance()
+                self.expect(TokenKind.LPAREN)
+                self.expect(TokenKind.RPAREN)
+                return LiteralNode(token.text == "true")
+            if token.text == "null" and self.peek().kind is not TokenKind.LPAREN:
+                self.advance()
+                return LiteralNode(None)
+            if self.peek().kind is TokenKind.LPAREN:
+                return self._parse_function_call()
+            raise ParseError(
+                f"unexpected name {token.text!r}", token.position
+            )
+
+        raise ParseError(
+            f"unexpected token {token.text or 'end of input'!r}", token.position
+        )
+
+    def _parse_function_call(self) -> FunctionCallNode:
+        name = self.expect(TokenKind.NAME).text
+        self.expect(TokenKind.LPAREN)
+        args: list[AstNode] = []
+        if self.current.kind is not TokenKind.RPAREN:
+            args.append(self.parse_expr())
+            while self.current.kind is TokenKind.COMMA:
+                self.advance()
+                args.append(self.parse_expr())
+        self.expect(TokenKind.RPAREN)
+        return FunctionCallNode(name, tuple(args))
+
+    def _parse_object_constructor(self) -> ObjectConstructorNode:
+        self.expect(TokenKind.LBRACE)
+        pairs: list[tuple[str, AstNode]] = []
+        if self.current.kind is not TokenKind.RBRACE:
+            while True:
+                key_token = self.current
+                if key_token.kind in (TokenKind.STRING, TokenKind.NAME):
+                    self.advance()
+                    key = key_token.text
+                else:
+                    raise ParseError(
+                        f"expected object key, found {key_token.text!r}",
+                        key_token.position,
+                    )
+                self.expect(TokenKind.COLON)
+                pairs.append((key, self.parse_expr()))
+                if self.current.kind is TokenKind.COMMA:
+                    self.advance()
+                    continue
+                break
+        self.expect(TokenKind.RBRACE)
+        return ObjectConstructorNode(tuple(pairs))
+
+    def _parse_array_constructor(self) -> ArrayConstructorNode:
+        self.expect(TokenKind.LBRACKET)
+        members: list[AstNode] = []
+        if self.current.kind is not TokenKind.RBRACKET:
+            members.append(self.parse_expr())
+            while self.current.kind is TokenKind.COMMA:
+                self.advance()
+                members.append(self.parse_expr())
+        self.expect(TokenKind.RBRACKET)
+        return ArrayConstructorNode(tuple(members))
+
+
+def parse_query(text: str) -> AstNode:
+    """Parse query *text* into an AST; raises :class:`ParseError`."""
+    parser = _Parser(tokenize(text))
+    expr = parser.parse_expr()
+    token = parser.current
+    if token.kind is not TokenKind.EOF:
+        raise ParseError(
+            f"unexpected trailing input {token.text!r}", token.position
+        )
+    return expr

@@ -1,0 +1,78 @@
+"""Event vocabulary for streaming JSON parsing.
+
+A streaming parse of a JSON text is a flat sequence of events, in the
+style of Jackson's ``JsonToken`` stream.  The six structural events are::
+
+    START_OBJECT  END_OBJECT  START_ARRAY  END_ARRAY  KEY  ATOMIC
+
+``KEY`` carries the member name inside an object; ``ATOMIC`` carries a
+string, number, boolean, or ``None`` value.  A well-formed event stream
+for one JSON value satisfies the grammar::
+
+    value  := ATOMIC | object | array
+    object := START_OBJECT (KEY value)* END_OBJECT
+    array  := START_ARRAY value* END_ARRAY
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Union
+
+AtomicValue = Union[str, int, float, bool, None]
+
+
+class EventKind(enum.Enum):
+    """Kind tag for a streaming-parse event."""
+
+    START_OBJECT = "start_object"
+    END_OBJECT = "end_object"
+    START_ARRAY = "start_array"
+    END_ARRAY = "end_array"
+    KEY = "key"
+    ATOMIC = "atomic"
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """One event of a streaming JSON parse.
+
+    ``value`` is the member name for :attr:`EventKind.KEY` events, the
+    atomic value for :attr:`EventKind.ATOMIC` events, and ``None`` for the
+    four structural events.
+    """
+
+    kind: EventKind
+    value: AtomicValue = None
+
+    def is_start(self) -> bool:
+        """Return True for START_OBJECT / START_ARRAY."""
+        return self.kind in (EventKind.START_OBJECT, EventKind.START_ARRAY)
+
+    def is_end(self) -> bool:
+        """Return True for END_OBJECT / END_ARRAY."""
+        return self.kind in (EventKind.END_OBJECT, EventKind.END_ARRAY)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.kind in (EventKind.KEY, EventKind.ATOMIC):
+            return f"Event({self.kind.name}, {self.value!r})"
+        return f"Event({self.kind.name})"
+
+
+# Shared singleton events for the value-less kinds: parsing emits millions
+# of these, so avoiding one allocation per structural token matters.
+START_OBJECT = Event(EventKind.START_OBJECT)
+END_OBJECT = Event(EventKind.END_OBJECT)
+START_ARRAY = Event(EventKind.START_ARRAY)
+END_ARRAY = Event(EventKind.END_ARRAY)
+
+
+def key_event(name: str) -> Event:
+    """Build a KEY event carrying the member name."""
+    return Event(EventKind.KEY, name)
+
+
+def atomic_event(value: AtomicValue) -> Event:
+    """Build an ATOMIC event carrying a scalar value."""
+    return Event(EventKind.ATOMIC, value)

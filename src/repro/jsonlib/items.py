@@ -1,0 +1,250 @@
+"""The JSONiq item model.
+
+Following the JSONiq extension to the XQuery data model, an *item* is
+either a JSON object, a JSON array, or an atomic value.  We represent
+items directly with Python's native types:
+
+========  ==================
+JSONiq    Python
+========  ==================
+object    ``dict``
+array     ``list``
+string    ``str``
+number    ``int`` / ``float``
+boolean   ``bool``
+null      ``None``
+dateTime  :class:`datetime.datetime`
+========  ==================
+
+A *sequence* — the universal value of the algebra — is represented as a
+Python ``list`` of items.  (Arrays are also lists; the algebra layer keeps
+the two apart by context, exactly as VXQuery keeps XDM sequences distinct
+from JSON arrays by tagging.  Tagging every array would double allocation
+cost for no behavioural difference in the reproduced queries.)
+
+This module also provides :func:`sizeof_item`, the byte-size estimator
+used for memory accounting (Table 3 and Figure 18b of the paper), and an
+:class:`ItemBuilder` that assembles items from a streaming-parse event
+sequence.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Any, Iterable, Iterator
+
+from repro.errors import ItemTypeError, JsonSyntaxError
+from repro.jsonlib.events import Event, EventKind
+
+Item = Any
+
+_ATOMIC_TYPES = (str, int, float, bool, type(None), datetime.datetime)
+
+
+def is_object(item: Item) -> bool:
+    """Return True if *item* is a JSON object."""
+    return isinstance(item, dict)
+
+
+def is_array(item: Item) -> bool:
+    """Return True if *item* is a JSON array."""
+    return isinstance(item, list)
+
+
+def is_atomic(item: Item) -> bool:
+    """Return True if *item* is an atomic (non-structured) item."""
+    return isinstance(item, _ATOMIC_TYPES) and not isinstance(item, (dict, list))
+
+
+def item_type_name(item: Item) -> str:
+    """Return the JSONiq type name of *item* (used in error messages)."""
+    if isinstance(item, dict):
+        return "object"
+    if isinstance(item, list):
+        return "array"
+    if isinstance(item, bool):
+        return "boolean"
+    if isinstance(item, str):
+        return "string"
+    if isinstance(item, (int, float)):
+        return "number"
+    if item is None:
+        return "null"
+    if isinstance(item, datetime.datetime):
+        return "dateTime"
+    raise ItemTypeError(f"value of type {type(item).__name__} is not a JSON item")
+
+
+# ---------------------------------------------------------------------------
+# Size estimation
+# ---------------------------------------------------------------------------
+
+# Per-item overheads, roughly calibrated to CPython object sizes.  The
+# absolute numbers only need to be *consistent*: the paper's memory
+# comparisons (Table 3, Figure 18b) are about ratios and trends.
+_OBJECT_BASE = 64
+_PER_PAIR = 16
+_ARRAY_BASE = 56
+_PER_MEMBER = 8
+_STRING_BASE = 49
+_NUMBER_BYTES = 28
+_BOOL_NULL_BYTES = 8
+_DATETIME_BYTES = 48
+
+
+def sizeof_item(item: Item) -> int:
+    """Estimate the in-memory footprint of *item* in bytes.
+
+    The estimate is a deep, allocation-style size: containers charge a
+    base cost plus a per-entry cost plus the size of their children.
+    Implemented iteratively so that arbitrarily deep documents do not
+    overflow the Python stack.
+    """
+    total = 0
+    stack = [item]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, dict):
+            total += _OBJECT_BASE + _PER_PAIR * len(node)
+            for key, value in node.items():
+                total += _STRING_BASE + len(key)
+                stack.append(value)
+        elif isinstance(node, list):
+            total += _ARRAY_BASE + _PER_MEMBER * len(node)
+            stack.extend(node)
+        elif isinstance(node, str):
+            total += _STRING_BASE + len(node)
+        elif isinstance(node, bool) or node is None:
+            total += _BOOL_NULL_BYTES
+        elif isinstance(node, (int, float)):
+            total += _NUMBER_BYTES
+        elif isinstance(node, datetime.datetime):
+            total += _DATETIME_BYTES
+        else:
+            raise ItemTypeError(
+                f"value of type {type(node).__name__} is not a JSON item"
+            )
+    return total
+
+
+def sizeof_sequence(items: Iterable[Item]) -> int:
+    """Estimate the footprint of a sequence of items."""
+    return _ARRAY_BASE + sum(_PER_MEMBER + sizeof_item(item) for item in items)
+
+
+# ---------------------------------------------------------------------------
+# Structural equality
+# ---------------------------------------------------------------------------
+
+
+def deep_equals(left: Item, right: Item) -> bool:
+    """Structural equality of two items.
+
+    Unlike plain ``==``, this keeps ``True`` distinct from ``1`` and
+    ``1`` equal to ``1.0`` only when both are numbers — matching JSONiq
+    deep-equal semantics.
+    """
+    if isinstance(left, bool) or isinstance(right, bool):
+        return isinstance(left, bool) and isinstance(right, bool) and left == right
+    if isinstance(left, dict):
+        if not isinstance(right, dict) or len(left) != len(right):
+            return False
+        for key, value in left.items():
+            if key not in right or not deep_equals(value, right[key]):
+                return False
+        return True
+    if isinstance(left, list):
+        if not isinstance(right, list) or len(left) != len(right):
+            return False
+        return all(deep_equals(a, b) for a, b in zip(left, right))
+    if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+        return left == right
+    if type(left) is not type(right):
+        return False
+    return left == right
+
+
+# ---------------------------------------------------------------------------
+# Building items from event streams
+# ---------------------------------------------------------------------------
+
+
+class ItemBuilder:
+    """Assemble items from a streaming-parse event sequence.
+
+    The builder is push-based: feed it events with :meth:`push`; each time
+    a complete *top-level* value closes, it is appended to
+    :attr:`finished`.  The caller drains ``finished`` whenever convenient,
+    which is how the streaming scanner keeps at most one document's worth
+    of state in memory.
+    """
+
+    def __init__(self) -> None:
+        self.finished: list[Item] = []
+        # Stack of containers under construction.  Each entry is
+        # (container, pending_key) where pending_key is the key awaiting a
+        # value when the container is a dict.
+        self._stack: list[tuple[Item, str | None]] = []
+
+    def push(self, event: Event) -> None:
+        """Feed one event into the builder."""
+        kind = event.kind
+        if kind is EventKind.ATOMIC:
+            self._attach(event.value)
+        elif kind is EventKind.KEY:
+            if not self._stack or not isinstance(self._stack[-1][0], dict):
+                raise JsonSyntaxError("KEY event outside an object")
+            container, _ = self._stack[-1]
+            self._stack[-1] = (container, event.value)
+        elif kind is EventKind.START_OBJECT:
+            self._stack.append(({}, None))
+        elif kind is EventKind.START_ARRAY:
+            self._stack.append(([], None))
+        elif kind in (EventKind.END_OBJECT, EventKind.END_ARRAY):
+            if not self._stack:
+                raise JsonSyntaxError("unbalanced END event")
+            container, pending = self._stack.pop()
+            expected_dict = kind is EventKind.END_OBJECT
+            if isinstance(container, dict) is not expected_dict:
+                raise JsonSyntaxError("mismatched container END event")
+            if pending is not None:
+                raise JsonSyntaxError("object key without a value")
+            self._attach(container)
+        else:  # pragma: no cover - exhaustive over EventKind
+            raise JsonSyntaxError(f"unexpected event kind {kind}")
+
+    def _attach(self, value: Item) -> None:
+        """Attach a completed value to the enclosing container (or finish)."""
+        if not self._stack:
+            self.finished.append(value)
+            return
+        container, pending = self._stack[-1]
+        if isinstance(container, dict):
+            if pending is None:
+                raise JsonSyntaxError("object value without a key")
+            container[pending] = value
+            self._stack[-1] = (container, None)
+        else:
+            container.append(value)
+
+    @property
+    def depth(self) -> int:
+        """Nesting depth of the value currently under construction."""
+        return len(self._stack)
+
+    def take_finished(self) -> list[Item]:
+        """Return and clear the list of completed top-level items."""
+        done = self.finished
+        self.finished = []
+        return done
+
+
+def build_items(events: Iterable[Event]) -> Iterator[Item]:
+    """Yield each complete top-level item assembled from *events*."""
+    builder = ItemBuilder()
+    for event in events:
+        builder.push(event)
+        if builder.finished:
+            yield from builder.take_finished()
+    if builder.depth:
+        raise JsonSyntaxError("event stream ended inside a value")

@@ -1,0 +1,313 @@
+"""Raw-text path projection: skip what the path doesn't need, fast.
+
+The event-based projector (:mod:`repro.jsonlib.projection`) avoids
+*building* unmatched values but still tokenizes every byte.  This module
+goes further, in the spirit of structural-index JSON scanners (Mison —
+cited as related work in the paper): values that the path does not need
+are **skipped at string-search speed** — one regex hop per structural
+character, with string literals jumped over by quote search — and only
+the matched slices are handed to the real parser.
+
+This is the scanner behind DATASCAN's projection argument on file
+sources.  Its contract is equivalence with the reference strategy::
+
+    list(scan_text(text, path)) == navigate(parse(text), path)
+
+checked property-based in the test suite.  The trade-off against the
+event projector: the whole file text must be in memory (bounded by file
+size, never collection size).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+from repro.errors import JsonSyntaxError
+from repro.jsonlib.items import Item
+from repro.jsonlib.parser import _decode_string, _convert_number
+from repro.jsonlib.path import (
+    KeysOrMembers,
+    Path,
+    ValueByIndex,
+    ValueByKey,
+)
+
+_WS_RE = re.compile(r"[ \t\n\r]*")
+# Structural characters that change nesting depth, plus string openers.
+_STRUCT_RE = re.compile(r'["{}\[\]]')
+_STRING_RE = re.compile(
+    r'"(?:[^"\\\x00-\x1f]|\\(?:["\\/bfnrt]|u[0-9a-fA-F]{4}))*"'
+)
+_NUMBER_RE = re.compile(r"-?(?:0|[1-9][0-9]*)(?:\.[0-9]+)?(?:[eE][+-]?[0-9]+)?")
+_LITERAL_RE = re.compile(r"true|false|null")
+_LITERAL_VALUES = {"true": True, "false": False, "null": None}
+
+
+def _skip_ws(text: str, pos: int) -> int:
+    return _WS_RE.match(text, pos).end()
+
+
+def _skip_string(text: str, pos: int) -> int:
+    """Skip the string literal opening at *pos*; returns the end offset."""
+    i = pos + 1
+    n = len(text)
+    while True:
+        quote = text.find('"', i)
+        if quote < 0:
+            raise JsonSyntaxError("unterminated string", pos)
+        # A quote escaped by an odd number of backslashes is not the end.
+        backslashes = 0
+        j = quote - 1
+        while j >= 0 and text[j] == "\\":
+            backslashes += 1
+            j -= 1
+        if backslashes % 2 == 0:
+            return quote + 1
+        i = quote + 1
+
+
+def _skip_value(text: str, pos: int) -> int:
+    """Skip the JSON value at *pos* without tokenizing its interior."""
+    pos = _skip_ws(text, pos)
+    if pos >= len(text):
+        raise JsonSyntaxError("unexpected end of input", pos)
+    ch = text[pos]
+    if ch == '"':
+        return _skip_string(text, pos)
+    if ch in "{[":
+        depth = 0
+        i = pos
+        while True:
+            match = _STRUCT_RE.search(text, i)
+            if match is None:
+                raise JsonSyntaxError("unterminated container", pos)
+            found = match.group()
+            if found == '"':
+                i = _skip_string(text, match.start())
+                continue
+            depth += 1 if found in "{[" else -1
+            i = match.end()
+            if depth == 0:
+                return i
+    match = _NUMBER_RE.match(text, pos)
+    if match is not None and match.end() > pos:
+        return match.end()
+    match = _LITERAL_RE.match(text, pos)
+    if match is not None:
+        return match.end()
+    raise JsonSyntaxError(f"unexpected character {ch!r}", pos)
+
+
+def _build_value(text: str, pos: int) -> tuple[Item, int]:
+    """Materialize the value at *pos*; returns (item, end offset).
+
+    A direct recursive parser over the in-memory text — cheaper for the
+    many small matched values a projection yields than spinning up the
+    incremental parser per match.
+    """
+    pos = _skip_ws(text, pos)
+    if pos >= len(text):
+        raise JsonSyntaxError("unexpected end of input", pos)
+    ch = text[pos]
+    if ch == '"':
+        match = _STRING_RE.match(text, pos)
+        if match is None:
+            raise JsonSyntaxError("invalid string literal", pos)
+        return _decode_string(match.group()[1:-1], pos + 1), match.end()
+    if ch == "{":
+        obj: dict = {}
+        pos = _skip_ws(text, pos + 1)
+        if pos < len(text) and text[pos] == "}":
+            return obj, pos + 1
+        while True:
+            pos = _skip_ws(text, pos)
+            key, pos = _read_key(text, pos)
+            pos = _expect(text, pos, ":")
+            obj[key], pos = _build_value(text, pos)
+            pos = _skip_ws(text, pos)
+            if pos >= len(text):
+                raise JsonSyntaxError("unterminated object", pos)
+            if text[pos] == ",":
+                pos += 1
+                continue
+            if text[pos] == "}":
+                return obj, pos + 1
+            raise JsonSyntaxError(
+                f"expected ',' or '}}', found {text[pos]!r}", pos
+            )
+    if ch == "[":
+        array: list = []
+        pos = _skip_ws(text, pos + 1)
+        if pos < len(text) and text[pos] == "]":
+            return array, pos + 1
+        while True:
+            member, pos = _build_value(text, pos)
+            array.append(member)
+            pos = _skip_ws(text, pos)
+            if pos >= len(text):
+                raise JsonSyntaxError("unterminated array", pos)
+            if text[pos] == ",":
+                pos += 1
+                continue
+            if text[pos] == "]":
+                return array, pos + 1
+            raise JsonSyntaxError(
+                f"expected ',' or ']', found {text[pos]!r}", pos
+            )
+    match = _NUMBER_RE.match(text, pos)
+    if match is not None and match.end() > pos:
+        return _convert_number(match.group()), match.end()
+    match = _LITERAL_RE.match(text, pos)
+    if match is not None:
+        return _LITERAL_VALUES[match.group()], match.end()
+    raise JsonSyntaxError(f"unexpected character {ch!r}", pos)
+
+
+def _read_key(text: str, pos: int) -> tuple[str, int]:
+    """Read the object key at *pos* (must be a string literal)."""
+    if pos >= len(text) or text[pos] != '"':
+        raise JsonSyntaxError("expected object key", pos)
+    match = _STRING_RE.match(text, pos)
+    if match is None:
+        raise JsonSyntaxError("invalid object key", pos)
+    return _decode_string(match.group()[1:-1], pos + 1), match.end()
+
+
+def _expect(text: str, pos: int, ch: str) -> int:
+    pos = _skip_ws(text, pos)
+    if pos >= len(text) or text[pos] != ch:
+        raise JsonSyntaxError(f"expected {ch!r}", pos)
+    return pos + 1
+
+
+def _project(
+    text: str, pos: int, path: Path, step_index: int, out: list
+) -> int:
+    """Project steps from *step_index* over the value at *pos*.
+
+    Matched items append to *out*; returns the value's end offset.
+    """
+    if step_index == len(path):
+        item, end = _build_value(text, pos)
+        out.append(item)
+        return end
+
+    pos = _skip_ws(text, pos)
+    if pos >= len(text):
+        raise JsonSyntaxError("unexpected end of input", pos)
+    ch = text[pos]
+    step = path[step_index]
+
+    if isinstance(step, ValueByKey):
+        if ch != "{":
+            return _skip_value(text, pos)
+        return _walk_object(text, pos, path, step_index, out, step.key)
+    if isinstance(step, ValueByIndex):
+        if ch != "[":
+            return _skip_value(text, pos)
+        return _walk_array(text, pos, path, step_index, out, step.index)
+    # KeysOrMembers
+    if ch == "[":
+        return _walk_array(text, pos, path, step_index, out, None)
+    if ch == "{":
+        return _walk_object(text, pos, path, step_index, out, None)
+    return _skip_value(text, pos)
+
+
+def _walk_object(
+    text: str,
+    pos: int,
+    path: Path,
+    step_index: int,
+    out: list,
+    target_key: str | None,
+) -> int:
+    """Walk an object; ``target_key`` None means keys-or-members."""
+    at_end = step_index + 1 == len(path)
+    pos += 1  # past '{'
+    pos = _skip_ws(text, pos)
+    if pos < len(text) and text[pos] == "}":
+        return pos + 1
+    while True:
+        pos = _skip_ws(text, pos)
+        key, pos = _read_key(text, pos)
+        pos = _expect(text, pos, ":")
+        pos = _skip_ws(text, pos)
+        if target_key is None:
+            # Keys-or-members over an object yields its keys.
+            if at_end:
+                out.append(key)
+            pos = _skip_value(text, pos)
+        elif key == target_key:
+            pos = _project(text, pos, path, step_index + 1, out)
+        else:
+            pos = _skip_value(text, pos)
+        pos = _skip_ws(text, pos)
+        if pos >= len(text):
+            raise JsonSyntaxError("unterminated object", pos)
+        if text[pos] == ",":
+            pos += 1
+            continue
+        if text[pos] == "}":
+            return pos + 1
+        raise JsonSyntaxError(f"expected ',' or '}}', found {text[pos]!r}", pos)
+
+
+def _walk_array(
+    text: str,
+    pos: int,
+    path: Path,
+    step_index: int,
+    out: list,
+    target_index: int | None,
+) -> int:
+    """Walk an array; ``target_index`` None means keys-or-members."""
+    pos += 1  # past '['
+    pos = _skip_ws(text, pos)
+    if pos < len(text) and text[pos] == "]":
+        return pos + 1
+    position = 0
+    while True:
+        pos = _skip_ws(text, pos)
+        position += 1
+        if target_index is None or position == target_index:
+            pos = _project(text, pos, path, step_index + 1, out)
+        else:
+            pos = _skip_value(text, pos)
+        pos = _skip_ws(text, pos)
+        if pos >= len(text):
+            raise JsonSyntaxError("unterminated array", pos)
+        if text[pos] == ",":
+            pos += 1
+            continue
+        if text[pos] == "]":
+            return pos + 1
+        raise JsonSyntaxError(f"expected ',' or ']', found {text[pos]!r}", pos)
+
+
+def scan_text(text: str, path: Path) -> Iterator[Item]:
+    """Project *path* over every top-level value of *text*.
+
+    Yields matched items lazily per top-level value; within one
+    top-level value matches are collected eagerly (the value has to be
+    walked to its end anyway to find the next one).
+    """
+    pos = _skip_ws(text, 0)
+    n = len(text)
+    while pos < n:
+        out: list = []
+        pos = _project(text, pos, path, 0, out)
+        yield from out
+        pos = _skip_ws(text, pos)
+
+
+def scan_file(file_path: str, path: Path) -> Iterator[Item]:
+    """Project *path* over a JSON file.
+
+    Reads the whole file text (memory bounded by the largest file, never
+    by the collection) and scans it with the fast skipper.
+    """
+    with open(file_path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    return scan_text(text, path)

@@ -1,0 +1,99 @@
+"""The public query-engine facade.
+
+:class:`JsonProcessor` is the library's front door — the counterpart of
+an Apache VXQuery deployment: point it at partitioned JSON collections
+and run JSONiq queries against the raw files, no load phase::
+
+    from repro import JsonProcessor
+
+    processor = JsonProcessor.from_directory("/data")
+    result = processor.execute(
+        'for $r in collection("/sensors")("root")()("results")() '
+        'where $r("dataType") eq "TMIN" return $r("value")'
+    )
+    print(result.items)
+
+Rule families can be toggled per processor (``rewrite=``) to reproduce
+the paper's before/after experiments, and ``explain`` shows the naive
+plan, the rewritten plan, and the rewrite trace.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.rules import RewriteConfig
+from repro.compiler.pipeline import CompiledQuery, compile_query
+from repro.data.catalog import CollectionCatalog, InMemorySource
+from repro.hyracks.executor import PartitionedExecutor, QueryResult
+from repro.jsonlib.items import Item
+
+
+class JsonProcessor:
+    """A parallel JSONiq processor over raw, partitioned JSON files.
+
+    Parameters
+    ----------
+    source:
+        A :class:`~repro.algebra.context.DataSource` (a
+        :class:`~repro.data.catalog.CollectionCatalog`, an
+        :class:`~repro.data.catalog.InMemorySource`, or anything
+        implementing the protocol).  Optional for queries that only use
+        literals/constructors.
+    rewrite:
+        Which rewrite-rule families to apply (default: all).
+    memory_budget_bytes:
+        Optional per-plan-instance memory budget; exceeding it raises
+        :class:`~repro.errors.MemoryBudgetExceededError`.
+    functions:
+        Override the builtin scalar-function library.
+    """
+
+    def __init__(
+        self,
+        source=None,
+        rewrite: RewriteConfig | None = None,
+        memory_budget_bytes: int | None = None,
+        functions=None,
+    ):
+        self.source = source
+        self.rewrite = rewrite if rewrite is not None else RewriteConfig.all()
+        self._executor = PartitionedExecutor(
+            source,
+            functions=functions,
+            two_step_aggregation=self.rewrite.two_step_aggregation,
+            memory_budget_bytes=memory_budget_bytes,
+        )
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def from_directory(cls, base_dir: str, **kwargs) -> "JsonProcessor":
+        """Processor over ``<base_dir>/<collection>/partition<i>/*.json``."""
+        return cls(source=CollectionCatalog(base_dir), **kwargs)
+
+    @classmethod
+    def in_memory(
+        cls,
+        collections: dict[str, list[list[str]]] | None = None,
+        documents: dict[str, str] | None = None,
+        **kwargs,
+    ) -> "JsonProcessor":
+        """Processor over in-memory JSON texts (tests, notebooks)."""
+        return cls(source=InMemorySource(collections, documents), **kwargs)
+
+    # -- query API ---------------------------------------------------------------
+
+    def compile(self, query: str) -> CompiledQuery:
+        """Compile *query* under this processor's rewrite configuration."""
+        return compile_query(query, self.rewrite)
+
+    def execute(self, query: str) -> QueryResult:
+        """Compile and run *query*; returns items plus measurements."""
+        return self._executor.run(self.compile(query).plan)
+
+    def evaluate(self, query: str) -> list[Item]:
+        """Compile and run *query*; returns just the result items."""
+        return self.execute(query).items
+
+    def explain(self, query: str, show_trace: bool = False) -> str:
+        """The naive and rewritten plans (optionally the rewrite trace)."""
+        return self.compile(query).explain(show_trace=show_trace)

@@ -1,0 +1,278 @@
+"""Unit tests for logical expression evaluation."""
+
+import datetime
+
+import pytest
+
+from repro.errors import (
+    ItemTypeError,
+    TranslationError,
+    TypeCheckError,
+    UnboundVariableError,
+    UnknownFunctionError,
+)
+from repro.algebra.context import EvaluationContext
+from repro.algebra.expressions import (
+    AndExpr,
+    ArithmeticExpr,
+    ArrayConstructorExpr,
+    ComparisonExpr,
+    DataExpr,
+    FunctionCallExpr,
+    IfExpr,
+    IterateExpr,
+    Literal,
+    NotExpr,
+    ObjectConstructorExpr,
+    OrExpr,
+    PathStepExpr,
+    PromoteExpr,
+    SequenceExpr,
+    TreatExpr,
+    VariableRef,
+    effective_boolean_value,
+    keys_or_members,
+    value_by_key,
+)
+from repro.jsonlib.path import KeysOrMembers, Path, ValueByKey
+
+CTX = EvaluationContext()
+
+
+def ev(expr, tup=None):
+    return expr.evaluate(tup or {}, CTX)
+
+
+class TestLeaves:
+    def test_literal(self):
+        assert ev(Literal.of(42)) == [42]
+
+    def test_literal_sequence(self):
+        assert ev(Literal([1, 2, 3])) == [1, 2, 3]
+
+    def test_variable(self):
+        assert ev(VariableRef("x"), {"x": [7]}) == [7]
+
+    def test_unbound_variable(self):
+        with pytest.raises(UnboundVariableError):
+            ev(VariableRef("nope"))
+
+
+class TestPathSteps:
+    def test_value_by_key(self):
+        expr = value_by_key(VariableRef("x"), "a")
+        assert ev(expr, {"x": [{"a": 1}]}) == [1]
+
+    def test_maps_over_sequences(self):
+        expr = value_by_key(VariableRef("x"), "a")
+        assert ev(expr, {"x": [{"a": 1}, {"b": 2}, {"a": 3}]}) == [1, 3]
+
+    def test_keys_or_members(self):
+        expr = keys_or_members(VariableRef("x"))
+        assert ev(expr, {"x": [[1, 2], {"k": 3}]}) == [1, 2, "k"]
+
+    def test_chain_builder(self):
+        expr = PathStepExpr.chain(
+            VariableRef("x"), Path([ValueByKey("a"), KeysOrMembers()])
+        )
+        assert ev(expr, {"x": [{"a": [1, 2]}]}) == [1, 2]
+
+    def test_leading_path_decomposition(self):
+        expr = PathStepExpr.chain(
+            VariableRef("x"), Path([ValueByKey("a"), KeysOrMembers()])
+        )
+        base, path = expr.leading_path()
+        assert base == VariableRef("x")
+        assert str(path) == '("a")()'
+
+
+class TestCoercions:
+    def test_promote_accepts_conforming(self):
+        assert ev(PromoteExpr(Literal.of("s"), "string")) == ["s"]
+
+    def test_promote_rejects_wrong_type(self):
+        with pytest.raises(TypeCheckError):
+            ev(PromoteExpr(Literal.of(1), "string"))
+
+    def test_data_atomizes(self):
+        assert ev(DataExpr(Literal.of("x"))) == ["x"]
+
+    def test_data_rejects_containers(self):
+        with pytest.raises(ItemTypeError):
+            ev(DataExpr(Literal([[1]])))
+
+    def test_treat_item_is_identity(self):
+        assert ev(TreatExpr(Literal([1, "a", {}]), "item")) == [1, "a", {}]
+
+    def test_treat_checks_type(self):
+        with pytest.raises(TypeCheckError):
+            ev(TreatExpr(Literal.of(1), "string"))
+
+    def test_iterate_is_identity(self):
+        assert ev(IterateExpr(Literal([1, 2]))) == [1, 2]
+
+
+class TestFunctions:
+    def test_builtin_call(self):
+        assert ev(FunctionCallExpr("count", [Literal([1, 2, 3])])) == [3]
+
+    def test_unknown_function(self):
+        with pytest.raises(UnknownFunctionError):
+            ev(FunctionCallExpr("no-such-fn", [Literal.of(1)]))
+
+
+class TestEffectiveBooleanValue:
+    @pytest.mark.parametrize(
+        "sequence,expected",
+        [
+            ([], False),
+            ([True], True),
+            ([False], False),
+            ([0], False),
+            ([0.0], False),
+            ([3], True),
+            ([""], False),
+            (["x"], True),
+            ([None], False),
+            ([{}], True),
+            ([[]], True),
+            ([{"a": 1}, {"b": 2}], True),
+        ],
+    )
+    def test_ebv(self, sequence, expected):
+        assert effective_boolean_value(sequence) is expected
+
+    def test_multi_atomic_is_error(self):
+        with pytest.raises(ItemTypeError):
+            effective_boolean_value([1, 2])
+
+
+class TestComparisons:
+    def test_eq(self):
+        assert ev(ComparisonExpr("eq", Literal.of(1), Literal.of(1))) == [True]
+
+    def test_numeric_cross_type(self):
+        assert ev(ComparisonExpr("eq", Literal.of(1), Literal.of(1.0))) == [True]
+
+    def test_string_ordering(self):
+        assert ev(ComparisonExpr("lt", Literal.of("a"), Literal.of("b"))) == [True]
+
+    def test_datetime_ordering(self):
+        early = Literal.of(datetime.datetime(2003, 1, 1))
+        late = Literal.of(datetime.datetime(2013, 1, 1))
+        assert ev(ComparisonExpr("ge", late, early)) == [True]
+
+    def test_empty_operand_yields_empty(self):
+        assert ev(ComparisonExpr("eq", Literal([]), Literal.of(1))) == []
+
+    def test_multi_item_operand_is_error(self):
+        with pytest.raises(ItemTypeError):
+            ev(ComparisonExpr("eq", Literal([1, 2]), Literal.of(1)))
+
+    def test_incomparable_types(self):
+        with pytest.raises(ItemTypeError):
+            ev(ComparisonExpr("lt", Literal.of("a"), Literal.of(1)))
+
+    def test_null_comparisons(self):
+        assert ev(ComparisonExpr("eq", Literal.of(None), Literal.of(1))) == [False]
+        assert ev(ComparisonExpr("ne", Literal.of(None), Literal.of(1))) == [True]
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(TranslationError):
+            ComparisonExpr("===", Literal.of(1), Literal.of(1))
+
+
+class TestBooleanOperators:
+    def test_and_or_not(self):
+        t, f = Literal.of(True), Literal.of(False)
+        assert ev(AndExpr([t, t])) == [True]
+        assert ev(AndExpr([t, f])) == [False]
+        assert ev(OrExpr([f, t])) == [True]
+        assert ev(NotExpr(f)) == [True]
+
+    def test_and_short_circuits(self):
+        poison = FunctionCallExpr("no-such-fn", [])
+        assert ev(AndExpr([Literal.of(False), poison])) == [False]
+
+    def test_conjunct_flattening(self):
+        a, b, c = Literal.of(True), Literal.of(False), Literal.of(True)
+        nested = AndExpr([AndExpr([a, b]), c])
+        assert len(nested.conjuncts()) == 3
+
+
+class TestArithmetic:
+    def test_operations(self):
+        two, three = Literal.of(2), Literal.of(3)
+        assert ev(ArithmeticExpr("+", two, three)) == [5]
+        assert ev(ArithmeticExpr("-", two, three)) == [-1]
+        assert ev(ArithmeticExpr("*", two, three)) == [6]
+        assert ev(ArithmeticExpr("div", three, two)) == [1.5]
+        assert ev(ArithmeticExpr("idiv", three, two)) == [1]
+        assert ev(ArithmeticExpr("mod", three, two)) == [1]
+
+    def test_empty_propagates(self):
+        assert ev(ArithmeticExpr("+", Literal([]), Literal.of(1))) == []
+
+    def test_division_by_zero(self):
+        with pytest.raises(ItemTypeError):
+            ev(ArithmeticExpr("div", Literal.of(1), Literal.of(0)))
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(ItemTypeError):
+            ev(ArithmeticExpr("+", Literal.of("a"), Literal.of(1)))
+
+    def test_boolean_not_a_number(self):
+        with pytest.raises(ItemTypeError):
+            ev(ArithmeticExpr("+", Literal.of(True), Literal.of(1)))
+
+
+class TestConstructors:
+    def test_object(self):
+        expr = ObjectConstructorExpr([("a", Literal.of(1)), ("b", Literal.of("x"))])
+        assert ev(expr) == [{"a": 1, "b": "x"}]
+
+    def test_object_requires_singletons(self):
+        with pytest.raises(ItemTypeError):
+            ev(ObjectConstructorExpr([("a", Literal([1, 2]))]))
+
+    def test_array_flattens_sequences(self):
+        expr = ArrayConstructorExpr([Literal([1, 2]), Literal.of(3)])
+        assert ev(expr) == [[1, 2, 3]]
+
+    def test_sequence_concatenates(self):
+        expr = SequenceExpr([Literal([1]), Literal([2, 3])])
+        assert ev(expr) == [1, 2, 3]
+
+    def test_if(self):
+        expr = IfExpr(Literal.of(True), Literal.of(1), Literal.of(2))
+        assert ev(expr) == [1]
+        expr = IfExpr(Literal([]), Literal.of(1), Literal.of(2))
+        assert ev(expr) == [2]
+
+
+class TestStructure:
+    def test_equality(self):
+        a = value_by_key(VariableRef("x"), "k")
+        b = value_by_key(VariableRef("x"), "k")
+        c = value_by_key(VariableRef("y"), "k")
+        assert a == b
+        assert a != c
+
+    def test_free_variables(self):
+        expr = AndExpr(
+            [
+                ComparisonExpr("eq", VariableRef("a"), Literal.of(1)),
+                value_by_key(VariableRef("b"), "k"),
+            ]
+        )
+        assert expr.free_variables() == {"a", "b"}
+
+    def test_with_child_expressions_rebuilds(self):
+        expr = value_by_key(VariableRef("x"), "k")
+        rebuilt = expr.with_child_expressions([VariableRef("y")])
+        assert rebuilt == value_by_key(VariableRef("y"), "k")
+        assert expr == value_by_key(VariableRef("x"), "k")  # original intact
+
+    def test_to_string_is_paper_style(self):
+        expr = keys_or_members(value_by_key(VariableRef("x"), "book"))
+        assert expr.to_string() == '$x("book")()'

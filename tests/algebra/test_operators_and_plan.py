@@ -1,0 +1,202 @@
+"""Unit tests for logical operators, plans, and the plan printer."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.algebra.expressions import (
+    IterateExpr,
+    Literal,
+    VariableRef,
+    keys_or_members,
+    value_by_key,
+)
+from repro.algebra.operators import (
+    Aggregate,
+    AggregateSpec,
+    Assign,
+    DataScan,
+    DistributeResult,
+    EmptyTupleSource,
+    GroupBy,
+    Join,
+    NestedTupleSource,
+    Select,
+    Subplan,
+    Unnest,
+)
+from repro.algebra.plan import LogicalPlan, VariableGenerator
+from repro.jsonlib.path import parse_path
+
+
+def small_plan() -> LogicalPlan:
+    scan = DataScan("/sensors", "r", parse_path('("root")()'))
+    select = Select(scan, value_by_key(VariableRef("r"), "ok"))
+    assign = Assign(select, "v", value_by_key(VariableRef("r"), "value"))
+    return LogicalPlan(DistributeResult(assign, [VariableRef("v")]))
+
+
+class TestOperatorBasics:
+    def test_leaf_has_no_inputs(self):
+        assert EmptyTupleSource().inputs == ()
+        assert DataScan("/c", "x").inputs == ()
+
+    def test_leaf_rejects_inputs(self):
+        with pytest.raises(PlanError):
+            EmptyTupleSource().with_inputs([EmptyTupleSource()])
+
+    def test_with_inputs_rebuilds(self):
+        assign = Assign(EmptyTupleSource(), "x", Literal.of(1))
+        other = DataScan("/c", "y")
+        rebuilt = assign.with_inputs([other])
+        assert rebuilt.inputs == (other,)
+        assert rebuilt.variable == "x"
+
+    def test_with_expressions_rebuilds(self):
+        assign = Assign(EmptyTupleSource(), "x", Literal.of(1))
+        rebuilt = assign.with_expressions([Literal.of(2)])
+        assert rebuilt.expression == Literal.of(2)
+
+    def test_produced_variables(self):
+        scan = DataScan("/c", "f")
+        assert scan.produced_variables() == ("f",)
+        unnest = Unnest(scan, "x", IterateExpr(VariableRef("f")))
+        assert unnest.produced_variables() == ("x",)
+
+    def test_equality_is_structural(self):
+        a = Assign(EmptyTupleSource(), "x", Literal.of(1))
+        b = Assign(EmptyTupleSource(), "x", Literal.of(1))
+        c = Assign(EmptyTupleSource(), "x", Literal.of(2))
+        assert a == b
+        assert a != c
+
+    def test_datascan_with_project_path(self):
+        scan = DataScan("/c", "f")
+        extended = scan.with_project_path(parse_path('("a")()'))
+        assert str(extended.project_path) == '("a")()'
+        assert str(scan.project_path) == ""
+
+    def test_aggregate_requires_specs(self):
+        with pytest.raises(PlanError):
+            Aggregate(EmptyTupleSource(), [])
+
+    def test_aggregate_spec_validates_function(self):
+        with pytest.raises(PlanError):
+            AggregateSpec("x", "median", Literal.of(1))
+
+    def test_group_by_requires_keys(self):
+        nested = Aggregate(
+            NestedTupleSource(), [AggregateSpec("s", "count", Literal.of(1))]
+        )
+        with pytest.raises(PlanError):
+            GroupBy(EmptyTupleSource(), [], nested)
+
+    def test_group_by_produces_keys_and_aggregates(self):
+        nested = Aggregate(
+            NestedTupleSource(),
+            [AggregateSpec("n", "count", VariableRef("x"))],
+        )
+        group = GroupBy(
+            EmptyTupleSource(), [("k", VariableRef("k"))], nested
+        )
+        assert set(group.produced_variables()) == {"k", "n"}
+
+    def test_subplan_produces_nested_variables(self):
+        nested = Aggregate(
+            NestedTupleSource(),
+            [AggregateSpec("c", "count", VariableRef("x"))],
+        )
+        subplan = Subplan(EmptyTupleSource(), nested)
+        assert subplan.produced_variables() == ("c",)
+
+    def test_join_inputs(self):
+        left, right = DataScan("/a", "l"), DataScan("/b", "r")
+        join = Join(left, right, Literal.of(True))
+        assert join.inputs == (left, right)
+
+
+class TestPlanTraversal:
+    def test_iter_operators_visits_all(self):
+        plan = small_plan()
+        names = [op.name for op in plan.iter_operators()]
+        assert names.count("DATASCAN") == 1
+        assert len(names) == 4
+
+    def test_iter_includes_nested_plans(self):
+        nested = Aggregate(
+            NestedTupleSource(),
+            [AggregateSpec("c", "count", VariableRef("x"))],
+        )
+        plan = LogicalPlan(
+            DistributeResult(
+                Subplan(EmptyTupleSource(), nested), [VariableRef("c")]
+            )
+        )
+        names = [op.name for op in plan.iter_operators()]
+        assert "NESTED-TUPLE-SOURCE" in names
+        assert "AGGREGATE" in names
+
+    def test_operators_of(self):
+        plan = small_plan()
+        assert len(plan.operators_of(DataScan)) == 1
+        assert len(plan.operators_of(Join)) == 0
+
+    def test_transform_bottom_up(self):
+        plan = small_plan()
+
+        def rename_scan(op):
+            if isinstance(op, DataScan):
+                return DataScan(op.collection, "renamed", op.project_path)
+            return op
+
+        rewritten = plan.transform_bottom_up(rename_scan)
+        (scan,) = rewritten.operators_of(DataScan)
+        assert scan.variable == "renamed"
+        # Original untouched.
+        assert small_plan().operators_of(DataScan)[0].variable == "r"
+
+    def test_plan_equality(self):
+        assert small_plan() == small_plan()
+
+
+class TestExplain:
+    def test_paper_style_lines(self):
+        text = small_plan().explain()
+        lines = text.splitlines()
+        assert lines[0].startswith("DISTRIBUTE-RESULT")
+        assert lines[-1].strip().startswith("DATASCAN")
+        # Indentation grows down the chain.
+        assert lines[1].startswith("  ASSIGN")
+
+    def test_nested_plan_braces(self):
+        nested = Aggregate(
+            NestedTupleSource(),
+            [AggregateSpec("c", "count", VariableRef("x"))],
+        )
+        group = GroupBy(
+            EmptyTupleSource(), [("k", VariableRef("k"))], nested
+        )
+        text = LogicalPlan(group).explain()
+        assert "{" in text and "}" in text
+        assert "AGGREGATE( $c : count($x) )" in text
+
+    def test_datascan_signature_shows_path(self):
+        scan = DataScan("/sensors", "r", parse_path('("root")()'))
+        assert scan.signature() == (
+            'DATASCAN( $r : collection("/sensors"), ("root")() )'
+        )
+
+
+class TestVariableGenerator:
+    def test_fresh_names_unique(self):
+        gen = VariableGenerator()
+        names = {gen.fresh("v") for _ in range(100)}
+        assert len(names) == 100
+
+    def test_respects_existing(self):
+        gen = VariableGenerator({"v#0", "v#1"})
+        assert gen.fresh("v") == "v#2"
+
+    def test_for_plan_collects_produced(self):
+        gen = VariableGenerator.for_plan(small_plan())
+        fresh = gen.fresh("r")
+        assert fresh != "r"

@@ -1,0 +1,223 @@
+"""Unit tests for the rewrite rules — plan-shape assertions per family.
+
+Each test compiles a paper query under a rule configuration and checks
+the structural property the corresponding figure shows.
+"""
+
+import pytest
+
+from repro.algebra.expressions import (
+    CollectionExpr,
+    PathStepExpr,
+    PromoteExpr,
+    TreatExpr,
+)
+from repro.algebra.operators import (
+    Aggregate,
+    Assign,
+    DataScan,
+    GroupBy,
+    Join,
+    Select,
+    Subplan,
+    Unnest,
+)
+from repro.algebra.rules import RewriteConfig, rule_pipeline
+from repro.compiler.pipeline import compile_query
+from repro.jsonlib.path import KeysOrMembers
+from repro.jsoniq.parser import parse_query
+from repro.jsoniq.translator import translate
+
+BOOKSTORE = 'json-doc("books.json")("bookstore")("book")()'
+Q0 = (
+    'for $r in collection("/sensors")("root")()("results")() '
+    'let $dt := dateTime(data($r("date"))) '
+    "where year-from-dateTime($dt) ge 2003 "
+    "return $r"
+)
+Q0B = 'for $r in collection("/s")("root")()("results")()("date") return $r'
+Q1 = (
+    'for $r in collection("/s")("root")()("results")() '
+    'where $r("dataType") eq "TMIN" '
+    'group by $date := $r("date") '
+    'return count($r("station"))'
+)
+Q1B = (
+    'for $r in collection("/s")("root")()("results")() '
+    'where $r("dataType") eq "TMIN" '
+    'group by $date := $r("date") '
+    'return count(for $i in $r return $i("station"))'
+)
+Q2 = (
+    "avg( "
+    'for $a in collection("/s")("root")()("results")() '
+    'for $b in collection("/s")("root")()("results")() '
+    'where $a("station") eq $b("station") '
+    'and $a("dataType") eq "TMIN" and $b("dataType") eq "TMAX" '
+    'return $b("value") - $a("value") ) div 10'
+)
+
+
+def plan_for(query, config):
+    return compile_query(query, config).plan
+
+
+def has_expression(plan, predicate):
+    for op in plan.iter_operators():
+        for expr in op.used_expressions():
+            if expr.contains(predicate):
+                return True
+    return False
+
+
+class TestPathRules:
+    def test_keys_or_members_merged_into_unnest(self):
+        plan = plan_for(BOOKSTORE, RewriteConfig.path_only())
+        unnests = plan.operators_of(Unnest)
+        assert len(unnests) == 1
+        expr = unnests[0].expression
+        assert isinstance(expr, PathStepExpr)
+        assert isinstance(expr.step, KeysOrMembers)
+
+    def test_naive_plan_keeps_two_step_shape(self):
+        naive = translate(parse_query(BOOKSTORE))
+        # ASSIGN of keys-or-members feeding an UNNEST iterate.
+        assigns = naive.operators_of(Assign)
+        km_assigns = [
+            a
+            for a in assigns
+            if isinstance(a.expression, PathStepExpr)
+            and isinstance(a.expression.step, KeysOrMembers)
+        ]
+        assert km_assigns, "translator should produce the two-step shape"
+
+    def test_promote_data_removed(self):
+        plan = plan_for(BOOKSTORE, RewriteConfig.path_only())
+        assert not has_expression(plan, lambda e: isinstance(e, PromoteExpr))
+
+    def test_promote_data_kept_without_rules(self):
+        plan = plan_for(BOOKSTORE, RewriteConfig.none())
+        assert has_expression(plan, lambda e: isinstance(e, PromoteExpr))
+
+
+class TestPipeliningRules:
+    def test_datascan_introduced(self):
+        plan = plan_for(Q0, RewriteConfig.path_and_pipelining())
+        assert len(plan.operators_of(DataScan)) == 1
+        assert not has_expression(
+            plan, lambda e: isinstance(e, CollectionExpr)
+        )
+
+    def test_full_path_folded_into_datascan(self):
+        plan = plan_for(Q0, RewriteConfig.path_and_pipelining())
+        (scan,) = plan.operators_of(DataScan)
+        assert str(scan.project_path) == '("root")()("results")()'
+
+    def test_q0b_extends_projection_with_date(self):
+        plan = plan_for(Q0B, RewriteConfig.path_and_pipelining())
+        (scan,) = plan.operators_of(DataScan)
+        assert str(scan.project_path) == '("root")()("results")()("date")'
+
+    def test_no_datascan_without_pipelining(self):
+        plan = plan_for(Q0, RewriteConfig.path_only())
+        assert plan.operators_of(DataScan) == []
+        assert has_expression(plan, lambda e: isinstance(e, CollectionExpr))
+
+    def test_join_query_gets_two_datascans(self):
+        plan = plan_for(Q2, RewriteConfig.path_and_pipelining())
+        assert len(plan.operators_of(DataScan)) == 2
+
+
+class TestGroupByRules:
+    def test_treat_removed(self):
+        plan = plan_for(Q1, RewriteConfig.all())
+        assert not has_expression(plan, lambda e: isinstance(e, TreatExpr))
+
+    def test_treat_kept_without_rules(self):
+        plan = plan_for(Q1, RewriteConfig.path_and_pipelining())
+        assert has_expression(plan, lambda e: isinstance(e, TreatExpr))
+
+    def test_count_pushed_into_group_by(self):
+        plan = plan_for(Q1, RewriteConfig.all())
+        (group,) = plan.operators_of(GroupBy)
+        nested = group.nested_root
+        assert isinstance(nested, Aggregate)
+        functions = {spec.function for spec in nested.specs}
+        assert functions == {"count"}, "sequence aggregate should be gone"
+        assert plan.operators_of(Subplan) == []
+
+    def test_q1b_reaches_same_plan_as_q1(self):
+        # Modulo generated variable names, both forms collapse to the
+        # same shape (the paper: Q1b "is already written in an
+        # optimized way").
+        plan1 = plan_for(Q1, RewriteConfig.all())
+        plan2 = plan_for(Q1B, RewriteConfig.all())
+        (g1,) = plan1.operators_of(GroupBy)
+        (g2,) = plan2.operators_of(GroupBy)
+        assert [s.function for s in g1.nested_root.specs] == [
+            s.function for s in g2.nested_root.specs
+        ]
+        assert len(list(plan1.iter_operators())) == len(
+            list(plan2.iter_operators())
+        )
+
+    def test_without_rules_sequence_aggregate_remains(self):
+        plan = plan_for(Q1, RewriteConfig.path_and_pipelining())
+        (group,) = plan.operators_of(GroupBy)
+        functions = {spec.function for spec in group.nested_root.specs}
+        assert "sequence" in functions
+
+
+class TestBuiltinRules:
+    def test_select_predicates_folded_into_join(self):
+        plan = plan_for(Q2, RewriteConfig.all())
+        (join,) = plan.operators_of(Join)
+        # The station equality became the join condition...
+        assert "station" in join.condition.to_string()
+        # ... and the single-side dataType filters moved into branches.
+        selects = plan.operators_of(Select)
+        assert len(selects) == 2
+        for select in selects:
+            assert "dataType" in select.condition.to_string()
+
+    def test_cross_product_without_predicates(self):
+        query = (
+            'count(for $a in collection("/s")("root")() '
+            'for $b in collection("/t")("root")() return 1)'
+        )
+        plan = plan_for(query, RewriteConfig.all())
+        (join,) = plan.operators_of(Join)
+        assert join.condition.to_string() == "true"
+
+    def test_unused_assign_removed(self):
+        query = (
+            'for $r in collection("/s")("root")() '
+            "let $unused := 1 "
+            "return $r"
+        )
+        plan = plan_for(query, RewriteConfig.all())
+        for op in plan.operators_of(Assign):
+            assert op.variable != "unused"
+
+
+class TestRuleEngine:
+    def test_fixpoint_reached(self):
+        engine = rule_pipeline(RewriteConfig.all())
+        plan = translate(parse_query(Q1))
+        once = engine.rewrite(plan)
+        twice = engine.rewrite(once)
+        assert once == twice
+
+    def test_trace_records_applied_rules(self):
+        trace = []
+        engine = rule_pipeline(RewriteConfig.all())
+        engine.rewrite(translate(parse_query(Q1)), trace=trace)
+        applied = [name for name, _ in trace]
+        assert "introduce-datascan" in applied
+        assert "merge-path-into-datascan" in applied
+        assert "push-subplan-aggregate-into-groupby" in applied
+
+    def test_config_presets(self):
+        assert RewriteConfig.none() == RewriteConfig(False, False, False, False)
+        assert RewriteConfig.all().two_step_aggregation
+        assert not RewriteConfig.path_only().pipelining

@@ -1,0 +1,109 @@
+"""Unit and property tests for the binary ADM codec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.baselines.adm_codec import (
+    AdmDecodeError,
+    decode_item,
+    decode_items,
+    encode_item,
+    encode_items,
+)
+
+
+def roundtrip(item):
+    buffer = bytearray()
+    encode_item(item, buffer)
+    decoded, offset = decode_item(bytes(buffer))
+    assert offset == len(buffer)
+    return decoded
+
+
+class TestScalars:
+    @pytest.mark.parametrize(
+        "item",
+        [None, True, False, 0, 1, -1, 2**62, -(2**62), 0.5, -1.25e10, "", "text", "é水"],
+    )
+    def test_roundtrip(self, item):
+        assert roundtrip(item) == item
+
+    def test_bool_stays_bool(self):
+        assert roundtrip(True) is True
+        assert roundtrip(1) == 1 and not isinstance(roundtrip(1), bool)
+
+    def test_bigint_fallback(self):
+        huge = 10**30
+        assert roundtrip(huge) == huge
+
+
+class TestContainers:
+    def test_nested(self):
+        item = {"a": [1, {"b": None}, [True, "x"]], "c": {"d": 2.5}}
+        assert roundtrip(item) == item
+
+    def test_empty(self):
+        assert roundtrip({}) == {}
+        assert roundtrip([]) == []
+
+    def test_key_order_preserved(self):
+        item = {"z": 1, "a": 2, "m": 3}
+        assert list(roundtrip(item).keys()) == ["z", "a", "m"]
+
+
+class TestStreams:
+    def test_encode_decode_many(self):
+        items = [1, "two", {"three": 3}, [4]]
+        buffer = encode_items(items)
+        assert list(decode_items(buffer)) == items
+
+    def test_empty_stream(self):
+        assert list(decode_items(b"")) == []
+
+
+class TestErrors:
+    def test_truncated_input(self):
+        buffer = encode_items([{"key": "value"}])
+        with pytest.raises(AdmDecodeError):
+            list(decode_items(buffer[:-3]))
+
+    def test_unknown_tag(self):
+        with pytest.raises(AdmDecodeError):
+            decode_item(b"\xff")
+
+    def test_decode_empty(self):
+        with pytest.raises(AdmDecodeError):
+            decode_item(b"")
+
+    def test_unencodable_value(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            encode_item(object(), bytearray())
+
+
+json_values = st.recursive(
+    st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(min_value=-(2**70), max_value=2**70),
+        st.floats(allow_nan=False, allow_infinity=False),
+        st.text(max_size=15),
+    ),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=6), children, max_size=4),
+    ),
+    max_leaves=20,
+)
+
+
+@given(json_values)
+def test_property_roundtrip(value):
+    assert roundtrip(value) == value
+
+
+@given(st.lists(json_values, max_size=6))
+def test_property_stream_roundtrip(values):
+    assert list(decode_items(encode_items(values))) == values

@@ -1,0 +1,108 @@
+"""Unit tests for the AsterixDB-like engine and its storage."""
+
+import pytest
+
+from repro.errors import LoadError
+from repro.baselines.adm import AdmEngine, AdmStorage, MaterializingSource
+from repro.data.catalog import InMemorySource
+from repro.hyracks.memory import MemoryTracker
+from repro.jsonlib.path import Path, parse_path
+
+TEXTS = [
+    '{"root": [{"metadata": {"count": 1}, "results": ['
+    '{"date": "d1", "dataType": "TMIN", "station": "S1", "value": 1}]}]}',
+    '{"root": [{"metadata": {"count": 1}, "results": ['
+    '{"date": "d2", "dataType": "TMIN", "station": "S2", "value": 2}]}]}',
+]
+
+
+@pytest.fixture
+def source():
+    return InMemorySource(collections={"/s": [[TEXTS[0]], [TEXTS[1]]]})
+
+
+QUERY = (
+    'for $r in collection("/s")("root")()("results")() '
+    'return $r("value")'
+)
+
+
+class TestMaterializingSource:
+    def test_scan_equals_inner_results(self, source):
+        wrapped = MaterializingSource(source)
+        path = parse_path('("root")()("results")()("value")')
+        assert sorted(wrapped.scan_collection("/s", path)) == [1, 2]
+
+    def test_partition_restriction(self, source):
+        wrapped = MaterializingSource(source)
+        path = parse_path('("root")()("results")()("value")')
+        assert list(wrapped.scan_collection("/s", path, partition=0)) == [1]
+
+    def test_memory_charged_per_document(self, source):
+        tracker = MemoryTracker()
+        wrapped = MaterializingSource(source, memory=tracker)
+        list(wrapped.scan_collection("/s", Path()))
+        assert tracker.peak > 0
+        assert tracker.used == 0
+
+    def test_delegation(self, source):
+        wrapped = MaterializingSource(source)
+        assert wrapped.partition_count("/s") == 2
+        assert len(wrapped.read_collection("/s")) == 2
+
+
+class TestAdmStorage:
+    def test_store_and_scan(self, source, tmp_path):
+        storage = AdmStorage(str(tmp_path))
+        report = storage.store("/s", source)
+        assert report.documents == 2
+        assert report.stored_bytes > 0
+        assert storage.partition_count("/s") == 2
+        path = parse_path('("root")()("results")()("station")')
+        assert sorted(storage.scan_collection("/s", path)) == ["S1", "S2"]
+
+    def test_unloaded_collection_rejected(self, tmp_path):
+        storage = AdmStorage(str(tmp_path))
+        with pytest.raises(LoadError):
+            storage.partition_count("/nope")
+
+    def test_read_collection(self, source, tmp_path):
+        storage = AdmStorage(str(tmp_path))
+        storage.store("/s", source)
+        items = storage.read_collection("/s")
+        assert len(items) == 2
+        assert items[0]["root"][0]["results"][0]["value"] == 1
+
+
+class TestAdmEngine:
+    def test_external_mode(self, source):
+        engine = AdmEngine(source, mode="external")
+        result = engine.execute(QUERY)
+        assert sorted(result.items) == [1, 2]
+
+    def test_load_mode_requires_load_first(self, source, tmp_path):
+        engine = AdmEngine(source, mode="load", storage_dir=str(tmp_path))
+        with pytest.raises(LoadError):
+            engine.execute(QUERY)
+        engine.load("/s")
+        assert sorted(engine.execute(QUERY).items) == [1, 2]
+
+    def test_load_mode_requires_storage_dir(self, source):
+        with pytest.raises(LoadError):
+            AdmEngine(source, mode="load")
+
+    def test_unknown_mode(self, source):
+        with pytest.raises(LoadError):
+            AdmEngine(source, mode="turbo")
+
+    def test_stored_bytes(self, source, tmp_path):
+        engine = AdmEngine(source, mode="load", storage_dir=str(tmp_path))
+        engine.load("/s")
+        assert engine.stored_bytes("/s") > 0
+
+    def test_external_mode_has_no_load(self, source):
+        engine = AdmEngine(source, mode="external")
+        with pytest.raises(LoadError):
+            engine.load("/s")
+        with pytest.raises(LoadError):
+            engine.stored_bytes("/s")

@@ -1,0 +1,117 @@
+"""Unit tests for the MongoDB-like document store."""
+
+import pytest
+
+from repro.errors import DocumentTooLargeError, LoadError
+from repro.baselines.docstore import DocumentStore
+
+SENSOR_FILE = """
+{"root": [
+  {"metadata": {"count": 2}, "results": [
+    {"date": "d1", "dataType": "TMIN", "station": "S1", "value": 1},
+    {"date": "d1", "dataType": "TMAX", "station": "S1", "value": 9}
+  ]},
+  {"metadata": {"count": 1}, "results": [
+    {"date": "d2", "dataType": "TMIN", "station": "S2", "value": 4}
+  ]}
+]}
+"""
+
+
+class TestLoading:
+    def test_unwraps_root_members(self):
+        store = DocumentStore()
+        report = store.load_texts("c", [SENSOR_FILE])
+        assert report.documents == 2
+        assert store.document_count("c") == 2
+
+    def test_rechunking(self):
+        store = DocumentStore()
+        report = store.load_texts("c", [SENSOR_FILE], measurements_per_document=1)
+        assert report.documents == 3
+        for doc in store.scan("c"):
+            assert len(doc["results"]) == 1
+            assert doc["metadata"]["count"] == 1
+
+    def test_non_root_values_stored_as_is(self):
+        store = DocumentStore()
+        store.load_texts("c", ['{"x": 1} {"y": 2}'])
+        assert store.document_count("c") == 2
+
+    def test_load_report_metrics(self):
+        store = DocumentStore()
+        report = store.load_texts("c", [SENSOR_FILE])
+        assert report.input_bytes == len(SENSOR_FILE)
+        assert report.stored_bytes == store.stored_bytes("c")
+        assert report.seconds >= 0
+
+    def test_compression_shrinks_large_documents(self):
+        repetitive = '{"root": [{"metadata": {"count": 1}, "results": [' + ",".join(
+            '{"date": "d1", "dataType": "TMIN", "station": "S1", "value": 1}'
+            for _ in range(100)
+        ) + "]}]}"
+        store = DocumentStore()
+        report = store.load_texts("c", [repetitive])
+        assert report.stored_bytes < report.input_bytes / 3
+
+    def test_document_limit_enforced(self):
+        store = DocumentStore(document_limit_bytes=64)
+        with pytest.raises(DocumentTooLargeError):
+            store.load_texts("c", [SENSOR_FILE])
+
+
+class TestQuerying:
+    @pytest.fixture
+    def store(self):
+        store = DocumentStore()
+        store.load_texts("c", [SENSOR_FILE])
+        return store
+
+    def test_scan_roundtrip(self, store):
+        docs = list(store.scan("c"))
+        assert docs[0]["results"][0]["dataType"] == "TMIN"
+
+    def test_find(self, store):
+        matched = store.find("c", lambda d: d["metadata"]["count"] == 1)
+        assert len(matched) == 1
+
+    def test_unwind(self, store):
+        rows = list(store.unwind("c", "results"))
+        assert len(rows) == 3
+
+    def test_aggregate_count(self, store):
+        counts = store.aggregate_count(
+            store.unwind("c", "results"), key=lambda m: m["date"]
+        )
+        assert counts == {"d1": 2, "d2": 1}
+
+    def test_join_projected(self, store):
+        rows = list(store.unwind("c", "results"))
+        tmin = [r for r in rows if r["dataType"] == "TMIN"]
+        tmax = [r for r in rows if r["dataType"] == "TMAX"]
+        pairs = list(
+            store.join_projected(
+                tmax, tmin, key=lambda m: (m["station"], m["date"])
+            )
+        )
+        assert len(pairs) == 1
+        assert pairs[0][0]["value"] - pairs[0][1]["value"] == 8
+
+    def test_group_documents_limit_failure(self, store):
+        # Individual documents fit the limit, but grouping every row
+        # under one key builds a document that does not (Section 5.4's
+        # naive Q2 failure).
+        tiny = DocumentStore(document_limit_bytes=400)
+        tiny.load_texts("c", [SENSOR_FILE])
+        rows = list(tiny.unwind("c", "results")) * 20
+        with pytest.raises(DocumentTooLargeError):
+            tiny.group_documents(rows, key=lambda m: "same-key")
+
+    def test_unknown_collection(self):
+        with pytest.raises(LoadError):
+            list(DocumentStore().scan("nope"))
+
+    def test_drop(self, store):
+        store.drop("c")
+        with pytest.raises(LoadError):
+            store.stored_bytes("c")

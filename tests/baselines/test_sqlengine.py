@@ -1,0 +1,123 @@
+"""Unit tests for the SparkSQL-like in-memory engine."""
+
+import pytest
+
+from repro.errors import LoadError, MemoryBudgetExceededError
+from repro.baselines.sqlengine import InMemorySQLEngine, flatten_record
+
+SENSOR_FILE = """
+{"root": [
+  {"metadata": {"count": 2}, "results": [
+    {"date": "d1", "dataType": "TMIN", "station": "S1", "value": 1},
+    {"date": "d1", "dataType": "TMAX", "station": "S1", "value": 9}
+  ]}
+]}
+"""
+
+
+class TestFlattening:
+    def test_scalar_record(self):
+        assert list(flatten_record({"a": 1, "b": "x"})) == [{"a": 1, "b": "x"}]
+
+    def test_nested_object_gets_dotted_columns(self):
+        rows = list(flatten_record({"a": {"b": {"c": 1}}}))
+        assert rows == [{"a.b.c": 1}]
+
+    def test_array_of_objects_explodes(self):
+        rows = list(flatten_record({"k": 1, "xs": [{"v": 1}, {"v": 2}]}))
+        assert rows == [{"k": 1, "xs.v": 1}, {"k": 1, "xs.v": 2}]
+
+    def test_nested_explosion(self):
+        rows = list(
+            flatten_record(
+                {"root": [{"results": [{"v": 1}, {"v": 2}]}, {"results": [{"v": 3}]}]}
+            )
+        )
+        assert [r["root.results.v"] for r in rows] == [1, 2, 3]
+
+    def test_scalar_arrays_stay_columns(self):
+        rows = list(flatten_record({"xs": [1, 2, 3]}))
+        assert rows == [{"xs": [1, 2, 3]}]
+
+    def test_top_level_scalar(self):
+        assert list(flatten_record(42)) == [{"value": 42}]
+
+    def test_top_level_array(self):
+        rows = list(flatten_record([{"a": 1}, {"a": 2}]))
+        assert rows == [{"a": 1}, {"a": 2}]
+
+
+class TestLoading:
+    def test_load_counts_rows(self):
+        engine = InMemorySQLEngine()
+        report = engine.load_texts("t", [SENSOR_FILE])
+        assert report.rows == 2
+        assert engine.row_count("t") == 2
+        assert report.memory_bytes > 0
+
+    def test_memory_budget_failure_cleans_up(self):
+        engine = InMemorySQLEngine(memory_budget_bytes=100)
+        with pytest.raises(MemoryBudgetExceededError):
+            engine.load_texts("t", [SENSOR_FILE])
+        # The failed table is gone and its memory returned.
+        assert engine.memory.used == 0
+        with pytest.raises(LoadError):
+            engine.row_count("t")
+
+    def test_drop_releases_memory(self):
+        engine = InMemorySQLEngine()
+        engine.load_texts("t", [SENSOR_FILE])
+        assert engine.memory.used > 0
+        engine.drop("t")
+        assert engine.memory.used == 0
+
+    def test_memory_overhead_factor(self):
+        engine = InMemorySQLEngine()
+        report = engine.load_texts("t", [SENSOR_FILE])
+        # The JVM-style overhead makes memory a multiple of the input.
+        assert report.memory_bytes > report.input_bytes
+
+
+class TestQuerying:
+    @pytest.fixture
+    def engine(self):
+        engine = InMemorySQLEngine()
+        engine.load_texts("t", [SENSOR_FILE])
+        return engine
+
+    def test_select_where(self, engine):
+        rows = engine.select(
+            "t", where=lambda r: r["root.results.dataType"] == "TMIN"
+        )
+        assert len(rows) == 1
+
+    def test_select_projection(self, engine):
+        rows = engine.select("t", columns=["root.results.value"])
+        assert rows == [{"root.results.value": 1}, {"root.results.value": 9}]
+
+    def test_group_count(self, engine):
+        counts = engine.group_count("t", key=lambda r: r["root.results.date"])
+        assert counts == {"d1": 2}
+
+    def test_join_avg_difference(self, engine):
+        result = engine.join_avg_difference(
+            "t",
+            left_where=lambda r: r["root.results.dataType"] == "TMIN",
+            right_where=lambda r: r["root.results.dataType"] == "TMAX",
+            key=lambda r: (r["root.results.station"], r["root.results.date"]),
+            value_column="root.results.value",
+        )
+        assert result == 8
+
+    def test_join_no_matches(self, engine):
+        result = engine.join_avg_difference(
+            "t",
+            left_where=lambda r: False,
+            right_where=lambda r: True,
+            key=lambda r: 1,
+        )
+        assert result is None
+
+    def test_unknown_table(self, engine):
+        with pytest.raises(LoadError):
+            engine.select("missing")

@@ -1,0 +1,64 @@
+"""Unit tests for the benchmark harness utilities."""
+
+import pytest
+
+from repro.bench.harness import (
+    ExperimentResult,
+    format_bytes,
+    format_seconds,
+    time_call,
+)
+
+
+class TestFormatting:
+    def test_seconds(self):
+        assert format_seconds(123.4) == "123"
+        assert format_seconds(1.234) == "1.23"
+        assert format_seconds(0.01234) == "0.0123"
+
+    def test_bytes(self):
+        assert format_bytes(12) == "12B"
+        assert format_bytes(2048) == "2.0KB"
+        assert format_bytes(3 * 1024 * 1024) == "3.0MB"
+        assert format_bytes(5 * 1024**3) == "5.0GB"
+
+
+class TestTimeCall:
+    def test_returns_elapsed_and_value(self):
+        seconds, value = time_call(lambda x: x * 2, 21)
+        assert value == 42
+        assert seconds >= 0
+
+
+class TestExperimentResult:
+    @pytest.fixture
+    def result(self):
+        return ExperimentResult(
+            experiment="figX",
+            title="a test table",
+            columns=["Query", "time (s)"],
+            rows=[["Q0", 1.5], ["Q1", 0.25]],
+            notes="a note",
+        )
+
+    def test_to_table(self, result):
+        table = result.to_table()
+        assert "figX" in table
+        assert "a test table" in table
+        assert "Q0" in table and "1.50" in table
+        assert "note: a note" in table
+
+    def test_column(self, result):
+        assert result.column("time (s)") == [1.5, 0.25]
+
+    def test_cell(self, result):
+        assert result.cell("Q1", "time (s)") == 0.25
+
+    def test_cell_missing(self, result):
+        with pytest.raises(KeyError):
+            result.cell("Q9", "time (s)")
+
+    def test_alignment(self, result):
+        lines = result.to_table().splitlines()
+        header, separator = lines[1], lines[2]
+        assert len(header) == len(separator)

@@ -1,0 +1,145 @@
+"""Unit tests for the synthetic sensor data generator."""
+
+import random
+
+from repro.data.generator import (
+    SensorDataConfig,
+    generate_bookstore_document,
+    generate_file_text,
+    generate_record,
+    write_sensor_collection,
+)
+from repro.jsonlib.parser import parse, parse_many
+
+
+class TestRecordGeneration:
+    def config(self, **kwargs):
+        return SensorDataConfig(seed=1, **kwargs)
+
+    def test_schema(self):
+        record = generate_record(random.Random(1), self.config())
+        assert set(record) == {"metadata", "results"}
+        assert record["metadata"]["count"] == len(record["results"])
+        measurement = record["results"][0]
+        assert set(measurement) == {"date", "dataType", "station", "value"}
+
+    def test_measurements_per_array(self):
+        for count in (1, 7, 30):
+            record = generate_record(
+                random.Random(1), self.config(measurements_per_array=count)
+            )
+            assert len(record["results"]) == count
+
+    def test_single_station_per_record(self):
+        record = generate_record(random.Random(2), self.config())
+        stations = {m["station"] for m in record["results"]}
+        assert len(stations) == 1
+
+    def test_all_types_per_day(self):
+        config = self.config(measurements_per_array=8)
+        record = generate_record(random.Random(3), config)
+        first_day = record["results"][:4]
+        assert [m["dataType"] for m in first_day] == list(config.data_types)
+        dates = {m["date"] for m in first_day}
+        assert len(dates) == 1  # all four types share the day
+
+    def test_tmin_tmax_join_partners_exist(self):
+        config = self.config(measurements_per_array=30)
+        record = generate_record(random.Random(4), config)
+        tmin_keys = {
+            (m["station"], m["date"])
+            for m in record["results"]
+            if m["dataType"] == "TMIN"
+        }
+        tmax_keys = {
+            (m["station"], m["date"])
+            for m in record["results"]
+            if m["dataType"] == "TMAX"
+        }
+        assert tmin_keys & tmax_keys
+
+    def test_date_format(self):
+        record = generate_record(random.Random(5), self.config())
+        date = record["results"][0]["date"]
+        assert len(date) == 14 and date[8] == "T"
+
+    def test_determinism(self):
+        a = generate_record(random.Random(7), self.config())
+        b = generate_record(random.Random(7), self.config())
+        assert a == b
+
+
+class TestFileGeneration:
+    def test_wrapped_structure(self):
+        text = generate_file_text(
+            random.Random(1), SensorDataConfig(target_file_bytes=4000)
+        )
+        value = parse(text)
+        assert isinstance(value["root"], list)
+        assert len(text) >= 4000
+
+    def test_unwrapped_structure(self):
+        text = generate_file_text(
+            random.Random(1),
+            SensorDataConfig(target_file_bytes=4000),
+            wrapped=False,
+        )
+        values = parse_many(text)
+        assert len(values) > 1
+        assert all("results" in v for v in values)
+
+    def test_with_measurements_helper(self):
+        config = SensorDataConfig().with_measurements(7)
+        assert config.measurements_per_array == 7
+
+
+class TestCollectionWriting:
+    def test_layout_and_sizes(self, tmp_path):
+        directory = write_sensor_collection(
+            str(tmp_path),
+            "sensors",
+            partitions=3,
+            bytes_per_partition=10_000,
+            config=SensorDataConfig(target_file_bytes=3_000),
+        )
+        from repro.data.catalog import CollectionCatalog
+
+        catalog = CollectionCatalog(str(tmp_path))
+        assert catalog.partition_count("/sensors") == 3
+        for partition in range(3):
+            assert catalog.total_bytes("/sensors", partition) >= 10_000
+        assert directory.endswith("sensors")
+
+    def test_partitions_differ(self, tmp_path):
+        write_sensor_collection(
+            str(tmp_path), "sensors", partitions=2, bytes_per_partition=5_000,
+            config=SensorDataConfig(target_file_bytes=2_000),
+        )
+        from repro.data.catalog import CollectionCatalog
+
+        catalog = CollectionCatalog(str(tmp_path))
+        a = catalog.read_collection("/sensors", 0)
+        b = catalog.read_collection("/sensors", 1)
+        assert a != b
+
+    def test_deterministic_across_runs(self, tmp_path):
+        config = SensorDataConfig(seed=33, target_file_bytes=2_000)
+        write_sensor_collection(
+            str(tmp_path / "a"), "s", 1, 4_000, config=config
+        )
+        write_sensor_collection(
+            str(tmp_path / "b"), "s", 1, 4_000, config=config
+        )
+        from repro.data.catalog import CollectionCatalog
+
+        a = CollectionCatalog(str(tmp_path / "a")).read_collection("/s")
+        b = CollectionCatalog(str(tmp_path / "b")).read_collection("/s")
+        assert a == b
+
+
+class TestBookstore:
+    def test_shape_matches_listing_1(self):
+        doc = generate_bookstore_document()
+        books = doc["bookstore"]["book"]
+        assert len(books) == 4
+        assert books[0]["title"] == "Everyday Italian"

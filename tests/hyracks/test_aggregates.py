@@ -1,0 +1,114 @@
+"""Unit tests for aggregate accumulators and their partial/combine split."""
+
+import pytest
+
+from repro.algebra.context import EvaluationContext
+from repro.algebra.expressions import VariableRef
+from repro.algebra.operators import AggregateSpec
+from repro.hyracks.aggregates import make_accumulator, make_accumulators
+from repro.hyracks.memory import MemoryTracker
+
+CTX = EvaluationContext()
+
+
+def spec(function):
+    return AggregateSpec("out", function, VariableRef("x"))
+
+
+def feed(accumulator, values, ctx=CTX):
+    for value in values:
+        accumulator.add({"x": [value]}, ctx)
+
+
+class TestAccumulators:
+    def test_count(self):
+        acc = make_accumulator(spec("count"))
+        feed(acc, [1, 2, 3])
+        assert acc.finish(CTX) == [3]
+
+    def test_count_counts_items_not_tuples(self):
+        acc = make_accumulator(spec("count"))
+        acc.add({"x": [1, 2]}, CTX)
+        acc.add({"x": []}, CTX)
+        assert acc.finish(CTX) == [2]
+
+    def test_sum(self):
+        acc = make_accumulator(spec("sum"))
+        feed(acc, [1, 2, 3.5])
+        assert acc.finish(CTX) == [6.5]
+
+    def test_sum_empty_is_zero(self):
+        acc = make_accumulator(spec("sum"))
+        assert acc.finish(CTX) == [0]
+
+    def test_avg(self):
+        acc = make_accumulator(spec("avg"))
+        feed(acc, [2, 4, 6])
+        assert acc.finish(CTX) == [4]
+
+    def test_avg_empty_is_empty(self):
+        acc = make_accumulator(spec("avg"))
+        assert acc.finish(CTX) == []
+
+    def test_min_max(self):
+        low = make_accumulator(spec("min"))
+        high = make_accumulator(spec("max"))
+        feed(low, [3, 1, 2])
+        feed(high, [3, 1, 2])
+        assert low.finish(CTX) == [1]
+        assert high.finish(CTX) == [3]
+
+    def test_sequence(self):
+        acc = make_accumulator(spec("sequence"))
+        feed(acc, ["a", "b"])
+        assert acc.finish(CTX) == ["a", "b"]
+
+    def test_sequence_charges_and_releases_memory(self):
+        tracker = MemoryTracker()
+        ctx = EvaluationContext(memory=tracker)
+        acc = make_accumulator(spec("sequence"))
+        feed(acc, ["payload"] * 10, ctx)
+        assert tracker.used > 0
+        acc.finish(ctx)
+        assert tracker.used == 0
+        assert tracker.peak > 0
+
+
+class TestPartialCombine:
+    """Two-step aggregation: split the stream, fold partials, combine."""
+
+    @pytest.mark.parametrize(
+        "function,values",
+        [
+            ("count", [1, 2, 3, 4, 5]),
+            ("sum", [1.5, 2, 3, -4]),
+            ("avg", [2, 4, 6, 8, 10]),
+            ("min", [5, 3, 8, 1]),
+            ("max", [5, 3, 8, 1]),
+            ("sequence", ["a", "b", "c", "d"]),
+        ],
+    )
+    def test_split_equals_whole(self, function, values):
+        whole = make_accumulator(spec(function))
+        feed(whole, values)
+        expected = whole.finish(CTX)
+
+        left = make_accumulator(spec(function))
+        right = make_accumulator(spec(function))
+        feed(left, values[:2])
+        feed(right, values[2:])
+        combined = make_accumulator(spec(function))
+        combined.absorb(left.partial())
+        combined.absorb(right.partial())
+        assert combined.finish(CTX) == expected
+
+    def test_minmax_absorb_empty_partial(self):
+        acc = make_accumulator(spec("min"))
+        empty = make_accumulator(spec("min"))
+        feed(acc, [7])
+        acc.absorb(empty.partial())
+        assert acc.finish(CTX) == [7]
+
+    def test_make_accumulators_order(self):
+        accs = make_accumulators([spec("count"), spec("sum")])
+        assert [a.spec.function for a in accs] == ["count", "sum"]

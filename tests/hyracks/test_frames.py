@@ -1,0 +1,86 @@
+"""Unit tests for the frame layer."""
+
+import pytest
+
+from repro.errors import FrameOverflowError
+from repro.hyracks.frames import FrameWriter, frame_stream, unframe
+from repro.hyracks.tuples import sizeof_tuple
+
+
+def tuples_of_size(count, payload="x" * 100):
+    return [{"v": [payload + str(i)]} for i in range(count)]
+
+
+class TestFrameWriter:
+    def test_packs_multiple_tuples_per_frame(self):
+        frames = []
+        writer = FrameWriter(frame_bytes=4096, on_frame=frames.append)
+        for tup in tuples_of_size(10):
+            writer.write(tup)
+        writer.flush()
+        assert sum(len(f) for f in frames) == 10
+        assert len(frames) < 10
+
+    def test_respects_capacity(self):
+        frames = []
+        writer = FrameWriter(frame_bytes=1024, on_frame=frames.append)
+        for tup in tuples_of_size(50):
+            writer.write(tup)
+        writer.flush()
+        for frame in frames:
+            assert frame.used <= frame.capacity
+
+    def test_oversized_tuple_raises_by_default(self):
+        writer = FrameWriter(frame_bytes=128)
+        with pytest.raises(FrameOverflowError):
+            writer.write({"v": ["y" * 1000]})
+
+    def test_big_object_path(self):
+        frames = []
+        writer = FrameWriter(
+            frame_bytes=128, allow_big_objects=True, on_frame=frames.append
+        )
+        writer.write({"v": ["y" * 1000]})
+        writer.flush()
+        assert writer.big_object_count == 1
+        assert len(frames) == 1
+        assert frames[0].capacity > 128
+
+    def test_counters(self):
+        writer = FrameWriter(frame_bytes=1 << 20)
+        tuples = tuples_of_size(5)
+        for tup in tuples:
+            writer.write(tup)
+        writer.flush()
+        assert writer.tuples_written == 5
+        assert writer.bytes_written == sum(sizeof_tuple(t) for t in tuples)
+        assert writer.frames_emitted == 1
+
+    def test_flush_empty_is_noop(self):
+        frames = []
+        writer = FrameWriter(on_frame=frames.append)
+        writer.flush()
+        assert frames == []
+
+
+class TestFrameStream:
+    def test_roundtrip(self):
+        tuples = tuples_of_size(123)
+        frames = frame_stream(tuples, frame_bytes=2048)
+        assert list(unframe(frames)) == tuples
+
+    def test_lazy_emission(self):
+        # The generator must emit frames before the input is exhausted.
+        produced = []
+
+        def source():
+            for tup in tuples_of_size(1000):
+                produced.append(tup)
+                yield tup
+
+        stream = frame_stream(source(), frame_bytes=1024)
+        next(stream)
+        assert len(produced) < 1000
+
+    def test_empty_input(self):
+        assert list(frame_stream([])) == []

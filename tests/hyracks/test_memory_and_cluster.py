@@ -1,0 +1,107 @@
+"""Unit tests for memory tracking and the cluster makespan model."""
+
+import pytest
+
+from repro.errors import MemoryBudgetExceededError
+from repro.hyracks.cluster import ClusterSpec
+from repro.hyracks.memory import MemoryTracker
+
+
+class TestMemoryTracker:
+    def test_tracks_peak(self):
+        tracker = MemoryTracker()
+        tracker.allocate(100)
+        tracker.allocate(50)
+        tracker.release(120)
+        tracker.allocate(10)
+        assert tracker.used == 40
+        assert tracker.peak == 150
+
+    def test_release_never_negative(self):
+        tracker = MemoryTracker()
+        tracker.allocate(10)
+        tracker.release(100)
+        assert tracker.used == 0
+
+    def test_budget_enforced(self):
+        tracker = MemoryTracker(budget=100)
+        tracker.allocate(90)
+        with pytest.raises(MemoryBudgetExceededError):
+            tracker.allocate(20)
+
+    def test_budget_error_details(self):
+        tracker = MemoryTracker(budget=10, context="unit test")
+        with pytest.raises(MemoryBudgetExceededError) as excinfo:
+            tracker.allocate(25)
+        assert excinfo.value.used_bytes == 25
+        assert excinfo.value.budget_bytes == 10
+        assert "unit test" in str(excinfo.value)
+
+    def test_reset(self):
+        tracker = MemoryTracker()
+        tracker.allocate(10)
+        tracker.reset()
+        assert tracker.used == 0 and tracker.peak == 0
+
+
+class TestClusterSpec:
+    def test_defaults_mirror_paper_testbed(self):
+        spec = ClusterSpec()
+        assert spec.cores_per_node == 4
+        assert spec.hyperthreads_per_core == 2
+        assert spec.partitions_per_node == 4
+        assert spec.total_partitions == 4
+
+    def test_partitions_on_own_cores(self):
+        spec = ClusterSpec(nodes=1, cores_per_node=4, partitions_per_node=4)
+        # 4 equal partitions, one per core: makespan = one partition.
+        assert spec.makespan([1.0, 1.0, 1.0, 1.0]) == pytest.approx(1.0)
+
+    def test_hyperthreads_serialize(self):
+        spec = ClusterSpec(nodes=1, cores_per_node=4, partitions_per_node=8)
+        # 8 partitions of 0.5s on 4 cores: two per core, sequential,
+        # plus the oversubscription overhead.
+        makespan = spec.makespan([0.5] * 8)
+        assert makespan == pytest.approx(1.0 * 1.025, rel=0.01)
+
+    def test_speedup_flattens_at_hyperthreads(self):
+        # Fixed total work of 4s split into p partitions, like Figure 17.
+        times = {}
+        for partitions in (1, 2, 4, 8):
+            spec = ClusterSpec().single_node(partitions)
+            times[partitions] = spec.makespan([4.0 / partitions] * partitions)
+        assert times[2] == pytest.approx(times[1] / 2)
+        assert times[4] == pytest.approx(times[1] / 4)
+        assert times[8] >= times[4]  # the plateau
+
+    def test_multi_node_divides_work(self):
+        one = ClusterSpec(nodes=1).makespan([1.0] * 4)
+        four = ClusterSpec(nodes=4).makespan([0.25] * 16)
+        assert four < one / 3
+
+    def test_lpt_balances_uneven_partitions(self):
+        spec = ClusterSpec(nodes=1, cores_per_node=2, partitions_per_node=3)
+        # 3 partitions (3s, 2s, 1s) on 2 cores: LPT puts 3 alone, 2+1
+        # together -> makespan ~3s (times a small oversubscription fee).
+        makespan = spec.makespan([3.0, 2.0, 1.0])
+        assert 3.0 <= makespan <= 3.2
+
+    def test_network_cost(self):
+        spec = ClusterSpec(
+            nodes=2, network_bandwidth_bytes_per_s=1e6, network_latency_s=0.0
+        )
+        base = spec.makespan([1.0] * 8)
+        with_exchange = spec.makespan([1.0] * 8, exchange_bytes=1_000_000)
+        assert with_exchange == pytest.approx(base + 0.5)  # 2 parallel links
+
+    def test_global_phase_added(self):
+        spec = ClusterSpec()
+        assert spec.makespan([1.0] * 4, global_seconds=2.0) == pytest.approx(3.0)
+
+    def test_empty_partition_list(self):
+        assert ClusterSpec().makespan([], global_seconds=1.5) == 1.5
+
+    def test_with_nodes_preserves_shape(self):
+        spec = ClusterSpec(cores_per_node=8).with_nodes(5)
+        assert spec.nodes == 5
+        assert spec.cores_per_node == 8

@@ -1,0 +1,115 @@
+"""Unit tests for the JSONiq lexer."""
+
+import pytest
+
+from repro.errors import LexerError
+from repro.jsoniq.lexer import TokenKind, tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)][:-1]  # drop EOF
+
+
+def texts(text):
+    return [t.text for t in tokenize(text)][:-1]
+
+
+class TestBasicTokens:
+    def test_empty_input(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1 and tokens[0].kind is TokenKind.EOF
+
+    def test_variable(self):
+        (token,) = tokenize("$author")[:-1]
+        assert token.kind is TokenKind.VARIABLE
+        assert token.text == "author"
+
+    def test_variable_with_underscore(self):
+        (token,) = tokenize("$r_min")[:-1]
+        assert token.text == "r_min"
+
+    def test_string(self):
+        (token,) = tokenize('"TMIN"')[:-1]
+        assert token.kind is TokenKind.STRING
+        assert token.text == "TMIN"
+
+    def test_string_escapes(self):
+        (token,) = tokenize(r'"a\"b\n"')[:-1]
+        assert token.text == 'a"b\n'
+
+    def test_integer(self):
+        (token,) = tokenize("2003")[:-1]
+        assert token.kind is TokenKind.INTEGER
+
+    def test_decimal(self):
+        assert tokenize("3.25")[0].kind is TokenKind.DECIMAL
+        assert tokenize("1e3")[0].kind is TokenKind.DECIMAL
+
+    def test_punctuation(self):
+        assert kinds("( ) { } [ ] , :") == [
+            TokenKind.LPAREN,
+            TokenKind.RPAREN,
+            TokenKind.LBRACE,
+            TokenKind.RBRACE,
+            TokenKind.LBRACKET,
+            TokenKind.RBRACKET,
+            TokenKind.COMMA,
+            TokenKind.COLON,
+        ]
+
+    def test_two_char_operators(self):
+        assert kinds(":= != <= >=") == [
+            TokenKind.BIND,
+            TokenKind.NOT_EQUAL,
+            TokenKind.LESS_EQUAL,
+            TokenKind.GREATER_EQUAL,
+        ]
+
+
+class TestHyphenatedNames:
+    def test_hyphenated_function_name_is_one_token(self):
+        assert texts("year-from-dateTime") == ["year-from-dateTime"]
+
+    def test_minus_between_spaces_is_operator(self):
+        assert kinds("$a - 1") == [
+            TokenKind.VARIABLE,
+            TokenKind.MINUS,
+            TokenKind.INTEGER,
+        ]
+
+    def test_minus_after_rparen_is_operator(self):
+        found = kinds('$a("v") - $b("v")')
+        assert TokenKind.MINUS in found
+
+    def test_minus_before_digit_is_operator(self):
+        assert kinds("json-doc") == [TokenKind.NAME]
+        assert kinds("a-1") == [TokenKind.NAME, TokenKind.MINUS, TokenKind.INTEGER]
+
+
+class TestCommentsAndWhitespace:
+    def test_xquery_comment_skipped(self):
+        assert texts("1 (: a comment :) 2") == ["1", "2"]
+
+    def test_multiline_input(self):
+        assert len(kinds("for $x in\n  $y\nreturn $x")) == 6
+
+
+class TestPositions:
+    def test_positions_recorded(self):
+        tokens = tokenize("ab cd")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 3
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(LexerError):
+            tokenize('"abc')
+
+    def test_invalid_character(self):
+        with pytest.raises(LexerError):
+            tokenize("a @ b")
+
+    def test_lone_dollar(self):
+        with pytest.raises(LexerError):
+            tokenize("$ x")

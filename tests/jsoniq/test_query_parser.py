@@ -1,0 +1,242 @@
+"""Unit tests for the JSONiq query parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.jsoniq.ast import (
+    ArrayConstructorNode,
+    BinaryOpNode,
+    FlworNode,
+    ForClause,
+    FunctionCallNode,
+    GroupByClause,
+    IfNode,
+    LetClause,
+    LiteralNode,
+    LookupNode,
+    ObjectConstructorNode,
+    SequenceNode,
+    UnaryMinusNode,
+    VarNode,
+    WhereClause,
+)
+from repro.jsoniq.parser import parse_query
+
+
+class TestPrimaries:
+    def test_integer(self):
+        assert parse_query("42") == LiteralNode(42)
+
+    def test_decimal(self):
+        assert parse_query("3.5") == LiteralNode(3.5)
+
+    def test_string(self):
+        assert parse_query('"TMIN"') == LiteralNode("TMIN")
+
+    def test_booleans_and_null(self):
+        assert parse_query("true") == LiteralNode(True)
+        assert parse_query("false") == LiteralNode(False)
+        assert parse_query("null") == LiteralNode(None)
+
+    def test_true_constructor_form(self):
+        assert parse_query("true()") == LiteralNode(True)
+
+    def test_variable(self):
+        assert parse_query("$x") == VarNode("x")
+
+    def test_empty_sequence(self):
+        assert parse_query("()") == SequenceNode(())
+
+    def test_parenthesized_single(self):
+        assert parse_query("(1)") == LiteralNode(1)
+
+    def test_comma_sequence(self):
+        assert parse_query("(1, 2)") == SequenceNode(
+            (LiteralNode(1), LiteralNode(2))
+        )
+
+
+class TestLookups:
+    def test_value_lookup(self):
+        node = parse_query('$x("author")')
+        assert node == LookupNode(VarNode("x"), LiteralNode("author"))
+
+    def test_keys_or_members(self):
+        assert parse_query("$x()") == LookupNode(VarNode("x"), None)
+
+    def test_chained_lookups(self):
+        node = parse_query('$d("bookstore")("book")()')
+        assert isinstance(node, LookupNode) and node.key is None
+        assert isinstance(node.base, LookupNode)
+        assert node.base.key == LiteralNode("book")
+
+    def test_lookup_on_function_result(self):
+        node = parse_query('json-doc("b.json")("bookstore")')
+        assert isinstance(node, LookupNode)
+        assert node.base == FunctionCallNode("json-doc", (LiteralNode("b.json"),))
+
+    def test_integer_lookup(self):
+        assert parse_query("$a(2)") == LookupNode(VarNode("a"), LiteralNode(2))
+
+
+class TestFunctionCalls:
+    def test_no_args(self):
+        assert parse_query("null()") == FunctionCallNode("null", ())
+
+    def test_hyphenated_name(self):
+        node = parse_query("year-from-dateTime($d)")
+        assert node == FunctionCallNode("year-from-dateTime", (VarNode("d"),))
+
+    def test_multiple_args(self):
+        node = parse_query('contains($s, "x")')
+        assert len(node.args) == 2
+
+
+class TestOperators:
+    def test_keyword_comparison(self):
+        node = parse_query("$a eq 12")
+        assert node == BinaryOpNode("eq", VarNode("a"), LiteralNode(12))
+
+    @pytest.mark.parametrize(
+        "symbol,name",
+        [("=", "eq"), ("!=", "ne"), ("<", "lt"), ("<=", "le"), (">", "gt"), (">=", "ge")],
+    )
+    def test_symbol_comparisons(self, symbol, name):
+        node = parse_query(f"1 {symbol} 2")
+        assert node.op == name
+
+    def test_precedence_and_over_or(self):
+        node = parse_query("$a or $b and $c")
+        assert node.op == "or"
+        assert node.right.op == "and"
+
+    def test_precedence_arithmetic_over_comparison(self):
+        node = parse_query("$a + 1 eq 2 * 3")
+        assert node.op == "eq"
+        assert node.left.op == "+"
+        assert node.right.op == "*"
+
+    def test_div_idiv_mod(self):
+        assert parse_query("6 div 3").op == "div"
+        assert parse_query("6 idiv 3").op == "idiv"
+        assert parse_query("6 mod 3").op == "mod"
+
+    def test_unary_minus(self):
+        assert parse_query("-$x") == UnaryMinusNode(VarNode("x"))
+
+    def test_subtraction_binds_left(self):
+        node = parse_query("1 - 2 - 3")
+        assert node.op == "-" and node.left.op == "-"
+
+
+class TestConstructors:
+    def test_object(self):
+        node = parse_query('{"a": 1, "b": $x}')
+        assert node == ObjectConstructorNode(
+            (("a", LiteralNode(1)), ("b", VarNode("x")))
+        )
+
+    def test_object_name_keys(self):
+        node = parse_query("{a: 1}")
+        assert node.pairs[0][0] == "a"
+
+    def test_empty_object(self):
+        assert parse_query("{}") == ObjectConstructorNode(())
+
+    def test_array(self):
+        node = parse_query("[1, 2]")
+        assert node == ArrayConstructorNode((LiteralNode(1), LiteralNode(2)))
+
+    def test_empty_array(self):
+        assert parse_query("[]") == ArrayConstructorNode(())
+
+
+class TestFlwor:
+    def test_minimal_for(self):
+        node = parse_query("for $x in $y return $x")
+        assert isinstance(node, FlworNode)
+        assert node.clauses == (ForClause("x", VarNode("y")),)
+        assert node.return_expr == VarNode("x")
+
+    def test_let(self):
+        node = parse_query("let $a := 1 return $a")
+        assert node.clauses == (LetClause("a", LiteralNode(1)),)
+
+    def test_multiple_for_bindings_with_comma(self):
+        node = parse_query("for $a in $x, $b in $y return $a")
+        assert [c.variable for c in node.clauses] == ["a", "b"]
+
+    def test_consecutive_for_clauses(self):
+        node = parse_query("for $a in $x for $b in $y return $a")
+        assert len(node.clauses) == 2
+
+    def test_where(self):
+        node = parse_query('for $x in $y where $x eq 1 return $x')
+        assert isinstance(node.clauses[1], WhereClause)
+
+    def test_group_by_with_binding(self):
+        node = parse_query(
+            'for $x in $y group by $k := $x("a") return count($x)'
+        )
+        group = node.clauses[1]
+        assert isinstance(group, GroupByClause)
+        assert group.keys[0][0] == "k"
+        assert group.keys[0][1] is not None
+
+    def test_group_by_without_binding(self):
+        node = parse_query("for $x in $y group by $x return count($x)")
+        assert node.clauses[1].keys[0][1] is None
+
+    def test_nested_flwor_in_function(self):
+        node = parse_query("count(for $i in $x return $i)")
+        assert isinstance(node, FunctionCallNode)
+        assert isinstance(node.args[0], FlworNode)
+
+    def test_if_expression(self):
+        node = parse_query("if ($a eq 1) then 2 else 3")
+        assert isinstance(node, IfNode)
+
+    def test_paper_q0_parses(self):
+        parse_query(
+            'for $r in collection("/sensors")("root")()("results")() '
+            'let $datetime := dateTime(data($r("date"))) '
+            "where year-from-dateTime($datetime) ge 2003 "
+            "and month-from-dateTime($datetime) eq 12 "
+            "and day-from-dateTime($datetime) eq 25 "
+            "return $r"
+        )
+
+    def test_paper_q2_parses(self):
+        parse_query(
+            "avg( for $r_min in collection(\"/s\")(\"root\")()(\"results\")() "
+            'for $r_max in collection("/s")("root")()("results")() '
+            'where $r_min("station") eq $r_max("station") '
+            'and $r_min("dataType") eq "TMIN" '
+            'return $r_max("value") - $r_min("value") ) div 10'
+        )
+
+
+class TestErrors:
+    def test_trailing_input(self):
+        with pytest.raises(ParseError):
+            parse_query("1 2")
+
+    def test_missing_return(self):
+        with pytest.raises(ParseError):
+            parse_query("for $x in $y")
+
+    def test_unbalanced_paren(self):
+        with pytest.raises(ParseError):
+            parse_query("(1")
+
+    def test_bad_object_key(self):
+        with pytest.raises(ParseError):
+            parse_query("{1: 2}")
+
+    def test_missing_in(self):
+        with pytest.raises(ParseError):
+            parse_query("for $x $y return 1")
+
+    def test_empty_input(self):
+        with pytest.raises(ParseError):
+            parse_query("")

@@ -1,0 +1,180 @@
+"""Unit tests for the item model: predicates, sizing, equality, building."""
+
+import datetime
+
+import pytest
+
+from repro.errors import ItemTypeError, JsonSyntaxError
+from repro.jsonlib.events import (
+    END_ARRAY,
+    END_OBJECT,
+    START_ARRAY,
+    START_OBJECT,
+    atomic_event,
+    key_event,
+)
+from repro.jsonlib.items import (
+    ItemBuilder,
+    build_items,
+    deep_equals,
+    is_array,
+    is_atomic,
+    is_object,
+    item_type_name,
+    sizeof_item,
+    sizeof_sequence,
+)
+
+
+class TestPredicates:
+    def test_object(self):
+        assert is_object({}) and not is_array({}) and not is_atomic({})
+
+    def test_array(self):
+        assert is_array([]) and not is_object([]) and not is_atomic([])
+
+    @pytest.mark.parametrize("value", ["s", 1, 1.5, True, None])
+    def test_atomics(self, value):
+        assert is_atomic(value)
+        assert not is_object(value)
+        assert not is_array(value)
+
+    def test_datetime_is_atomic(self):
+        assert is_atomic(datetime.datetime(2013, 12, 25))
+
+
+class TestTypeNames:
+    @pytest.mark.parametrize(
+        "value,name",
+        [
+            ({}, "object"),
+            ([], "array"),
+            ("x", "string"),
+            (1, "number"),
+            (1.5, "number"),
+            (True, "boolean"),
+            (None, "null"),
+            (datetime.datetime(2000, 1, 1), "dateTime"),
+        ],
+    )
+    def test_names(self, value, name):
+        assert item_type_name(value) == name
+
+    def test_non_item_rejected(self):
+        with pytest.raises(ItemTypeError):
+            item_type_name(object())
+
+
+class TestSizeof:
+    def test_bigger_structures_cost_more(self):
+        assert sizeof_item({"a": 1, "b": 2}) > sizeof_item({"a": 1})
+        assert sizeof_item([1, 2, 3]) > sizeof_item([1])
+        assert sizeof_item("longer string") > sizeof_item("s")
+
+    def test_nested_size_includes_children(self):
+        inner = {"k": [1, 2, 3]}
+        assert sizeof_item({"outer": inner}) > sizeof_item(inner)
+
+    def test_deep_nesting_does_not_recurse(self):
+        # 100k-deep nesting would overflow a recursive implementation.
+        deep = []
+        for _ in range(100_000):
+            deep = [deep]
+        assert sizeof_item(deep) > 100_000
+
+    def test_sequence_size(self):
+        items = [{"a": 1}, {"b": 2}]
+        assert sizeof_sequence(items) > sizeof_item(items[0]) + sizeof_item(items[1])
+
+    def test_non_item_rejected(self):
+        with pytest.raises(ItemTypeError):
+            sizeof_item({"a": object()})
+
+
+class TestDeepEquals:
+    def test_scalars(self):
+        assert deep_equals(1, 1)
+        assert deep_equals(1, 1.0)
+        assert not deep_equals(1, 2)
+
+    def test_bool_is_not_number(self):
+        assert not deep_equals(True, 1)
+        assert not deep_equals(0, False)
+        assert deep_equals(True, True)
+
+    def test_containers(self):
+        assert deep_equals({"a": [1, {"b": None}]}, {"a": [1, {"b": None}]})
+        assert not deep_equals({"a": 1}, {"a": 1, "b": 2})
+        assert not deep_equals([1, 2], [2, 1])
+
+    def test_object_key_order_irrelevant(self):
+        assert deep_equals({"a": 1, "b": 2}, {"b": 2, "a": 1})
+
+    def test_cross_type(self):
+        assert not deep_equals([], {})
+        assert not deep_equals("1", 1)
+        assert not deep_equals(None, 0)
+
+
+class TestItemBuilder:
+    def test_build_scalar(self):
+        builder = ItemBuilder()
+        builder.push(atomic_event(7))
+        assert builder.take_finished() == [7]
+
+    def test_build_object(self):
+        events = [START_OBJECT, key_event("a"), atomic_event(1), END_OBJECT]
+        assert list(build_items(events)) == [{"a": 1}]
+
+    def test_build_nested(self):
+        events = [
+            START_ARRAY,
+            START_OBJECT,
+            key_event("xs"),
+            START_ARRAY,
+            atomic_event(1),
+            atomic_event(2),
+            END_ARRAY,
+            END_OBJECT,
+            END_ARRAY,
+        ]
+        assert list(build_items(events)) == [[{"xs": [1, 2]}]]
+
+    def test_multiple_top_level(self):
+        events = [atomic_event(1), atomic_event("two")]
+        assert list(build_items(events)) == [1, "two"]
+
+    def test_depth_tracking(self):
+        builder = ItemBuilder()
+        builder.push(START_ARRAY)
+        builder.push(START_OBJECT)
+        assert builder.depth == 2
+        builder.push(END_OBJECT)
+        builder.push(END_ARRAY)
+        assert builder.depth == 0
+
+    def test_key_outside_object_rejected(self):
+        builder = ItemBuilder()
+        with pytest.raises(JsonSyntaxError):
+            builder.push(key_event("k"))
+
+    def test_unbalanced_end_rejected(self):
+        builder = ItemBuilder()
+        with pytest.raises(JsonSyntaxError):
+            builder.push(END_ARRAY)
+
+    def test_mismatched_end_rejected(self):
+        builder = ItemBuilder()
+        builder.push(START_OBJECT)
+        with pytest.raises(JsonSyntaxError):
+            builder.push(END_ARRAY)
+
+    def test_truncated_stream_rejected(self):
+        with pytest.raises(JsonSyntaxError):
+            list(build_items([START_ARRAY, atomic_event(1)]))
+
+    def test_value_without_key_rejected(self):
+        builder = ItemBuilder()
+        builder.push(START_OBJECT)
+        with pytest.raises(JsonSyntaxError):
+            builder.push(atomic_event(1))

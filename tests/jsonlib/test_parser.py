@@ -1,0 +1,272 @@
+"""Unit tests for the incremental streaming JSON parser."""
+
+import json
+
+import pytest
+
+from repro.errors import JsonIncompleteError, JsonSyntaxError
+from repro.jsonlib.events import EventKind
+from repro.jsonlib.parser import (
+    StreamingJsonParser,
+    iter_events,
+    parse,
+    parse_many,
+)
+
+
+def events_of(text):
+    return list(iter_events(text))
+
+
+class TestScalars:
+    def test_integer(self):
+        assert parse("42") == 42
+
+    def test_negative_integer(self):
+        assert parse("-7") == -7
+
+    def test_zero(self):
+        assert parse("0") == 0
+
+    def test_float(self):
+        assert parse("3.25") == 3.25
+
+    def test_exponent(self):
+        assert parse("1e3") == 1000.0
+
+    def test_negative_exponent(self):
+        assert parse("25E-2") == 0.25
+
+    def test_int_stays_int(self):
+        assert isinstance(parse("5"), int)
+
+    def test_float_stays_float(self):
+        assert isinstance(parse("5.0"), float)
+
+    def test_true(self):
+        assert parse("true") is True
+
+    def test_false(self):
+        assert parse("false") is False
+
+    def test_null(self):
+        assert parse("null") is None
+
+    def test_simple_string(self):
+        assert parse('"hello"') == "hello"
+
+    def test_empty_string(self):
+        assert parse('""') == ""
+
+    def test_escapes(self):
+        assert parse(r'"a\"b\\c\/d\b\f\n\r\t"') == 'a"b\\c/d\b\f\n\r\t'
+
+    def test_unicode_escape(self):
+        assert parse(r'"café"') == "café"
+
+    def test_surrogate_pair(self):
+        assert parse(r'"😀"') == "\U0001f600"
+
+    def test_whitespace_around_value(self):
+        assert parse("  \n\t 1 \r\n") == 1
+
+
+class TestContainers:
+    def test_empty_object(self):
+        assert parse("{}") == {}
+
+    def test_empty_array(self):
+        assert parse("[]") == []
+
+    def test_nested(self):
+        assert parse('[{"a": [1, {"b": []}]}]') == [{"a": [1, {"b": []}]}]
+
+    def test_object_preserves_all_pairs(self):
+        assert parse('{"x": 1, "y": 2, "z": 3}') == {"x": 1, "y": 2, "z": 3}
+
+    def test_array_order(self):
+        assert parse("[3, 1, 2]") == [3, 1, 2]
+
+    def test_deeply_nested_array(self):
+        depth = 500
+        text = "[" * depth + "]" * depth
+        value = parse(text)
+        for _ in range(depth - 1):
+            assert isinstance(value, list) and len(value) == 1
+            value = value[0]
+        assert value == []
+
+    def test_max_depth_guard(self):
+        parser = StreamingJsonParser(max_depth=10)
+        with pytest.raises(JsonSyntaxError):
+            parser.feed("[" * 11)
+
+
+class TestEventStream:
+    def test_event_kinds(self):
+        kinds = [e.kind for e in events_of('{"a": [1]}')]
+        assert kinds == [
+            EventKind.START_OBJECT,
+            EventKind.KEY,
+            EventKind.START_ARRAY,
+            EventKind.ATOMIC,
+            EventKind.END_ARRAY,
+            EventKind.END_OBJECT,
+        ]
+
+    def test_key_values(self):
+        keys = [e.value for e in events_of('{"a": 1, "b": 2}') if e.kind is EventKind.KEY]
+        assert keys == ["a", "b"]
+
+
+class TestIncrementalFeeding:
+    def test_char_by_char_equals_single_feed(self):
+        text = '{"n": [-0.5, 1e-2, 123], "s": "q\\"t", "b": false, "e": []}'
+        single = events_of(text)
+        parser = StreamingJsonParser()
+        chunked = []
+        for ch in text:
+            chunked.extend(parser.feed(ch))
+        chunked.extend(parser.finish())
+        assert chunked == single
+
+    def test_number_split_at_exponent(self):
+        parser = StreamingJsonParser()
+        events = parser.feed("[1.5e")
+        events += parser.feed("3]")
+        events += parser.finish()
+        values = [e.value for e in events if e.kind is EventKind.ATOMIC]
+        assert values == [1500.0]
+
+    def test_literal_split(self):
+        parser = StreamingJsonParser()
+        events = parser.feed("[fal")
+        events += parser.feed("se]")
+        events += parser.finish()
+        values = [e.value for e in events if e.kind is EventKind.ATOMIC]
+        assert values == [False]
+
+    def test_string_split_inside_escape(self):
+        parser = StreamingJsonParser()
+        events = parser.feed('["ab\\')
+        events += parser.feed('n cd"]')
+        events += parser.finish()
+        values = [e.value for e in events if e.kind is EventKind.ATOMIC]
+        assert values == ["ab\n cd"]
+
+    def test_lone_minus_then_digits(self):
+        parser = StreamingJsonParser()
+        events = parser.feed("[-")
+        events += parser.feed("12]")
+        events += parser.finish()
+        values = [e.value for e in events if e.kind is EventKind.ATOMIC]
+        assert values == [-12]
+
+    def test_feed_after_finish_rejected(self):
+        parser = StreamingJsonParser()
+        parser.feed("1 ")
+        parser.finish()
+        with pytest.raises(JsonSyntaxError):
+            parser.feed("2")
+
+
+class TestMultipleTopLevelValues:
+    def test_parse_many(self):
+        assert parse_many('1 "two" [3] {"four": 4}') == [1, "two", [3], {"four": 4}]
+
+    def test_multiple_values_rejected_when_strict(self):
+        parser = StreamingJsonParser(allow_multiple_values=False)
+        with pytest.raises(JsonSyntaxError):
+            parser.feed("1 2")
+            parser.finish()
+
+    def test_parse_rejects_trailing_value(self):
+        with pytest.raises(JsonSyntaxError):
+            parse("1 2")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "{",
+            "[",
+            '{"a"',
+            '{"a":',
+            '{"a": 1',
+            "[1,",
+            '"abc',
+            "tru",
+            "-",
+            "12.",
+        ],
+    )
+    def test_incomplete_inputs(self, text):
+        parser = StreamingJsonParser()
+        with pytest.raises(JsonSyntaxError):
+            parser.feed(text)
+            parser.finish()
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "{]",
+            "[}",
+            "[1 2]",
+            '{"a" 1}',
+            '{"a": 1,}',
+            "[1,]",
+            "{1: 2}",
+            "nul1",
+            "+1",
+            '"a\tb"',  # raw control character inside a string
+            "[1]]",
+        ],
+    )
+    def test_invalid_inputs(self, text):
+        parser = StreamingJsonParser()
+        with pytest.raises(JsonSyntaxError):
+            parser.feed(text)
+            parser.finish()
+
+    def test_leading_zero_number_splits_into_two_values(self):
+        # In multi-value mode "01" reads as the two values 0 and 1 (like
+        # concatenated-JSON readers); strict mode rejects the second one.
+        assert parse_many("01") == [0, 1]
+        with pytest.raises(JsonSyntaxError):
+            parse("01")
+
+    def test_incomplete_error_is_distinguished(self):
+        parser = StreamingJsonParser()
+        parser.feed('{"a": ')
+        with pytest.raises(JsonIncompleteError):
+            parser.finish()
+
+    def test_error_offset_spans_chunks(self):
+        parser = StreamingJsonParser()
+        parser.feed("[1, 2, ")
+        with pytest.raises(JsonSyntaxError) as excinfo:
+            parser.feed("x]")
+        assert excinfo.value.offset == 7
+
+    def test_stdlib_rejects_what_we_reject(self):
+        # Sanity: our invalid inputs are also invalid for the stdlib.
+        for text in ["{]", "[1,]", "+1", "01"]:
+            with pytest.raises(json.JSONDecodeError):
+                json.loads(text)
+
+
+class TestStdlibAgreement:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "[]",
+            "{}",
+            '{"a": 1, "b": [true, false, null], "c": {"d": "e"}}',
+            "[1.5, -2e10, 0.001, 1e-20]",
+            '"\\u0041\\u00df\\u6c34\\ud83c\\udf09"',
+            '[{"deep": [[[["x"]]]]}]',
+        ],
+    )
+    def test_agrees_with_json_module(self, text):
+        assert parse(text) == json.loads(text)

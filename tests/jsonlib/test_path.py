@@ -1,0 +1,124 @@
+"""Unit tests for navigation paths."""
+
+import pytest
+
+from repro.errors import JsonError
+from repro.jsonlib.path import (
+    KeysOrMembers,
+    Path,
+    ValueByIndex,
+    ValueByKey,
+    navigate,
+    navigate_sequence,
+    parse_path,
+)
+
+BOOKSTORE = {
+    "bookstore": {
+        "book": [
+            {"title": "Everyday Italian", "author": "Giada", "price": 30.0},
+            {"title": "Harry Potter", "author": "Rowling", "price": 29.99},
+        ]
+    }
+}
+
+
+class TestParsePath:
+    def test_empty(self):
+        assert parse_path("") == Path()
+
+    def test_value_by_key(self):
+        assert parse_path('("bookstore")') == Path([ValueByKey("bookstore")])
+
+    def test_keys_or_members(self):
+        assert parse_path("()") == Path([KeysOrMembers()])
+
+    def test_value_by_index(self):
+        assert parse_path("(2)") == Path([ValueByIndex(2)])
+
+    def test_mixed(self):
+        path = parse_path('("root")()("results")()')
+        assert path == Path(
+            [
+                ValueByKey("root"),
+                KeysOrMembers(),
+                ValueByKey("results"),
+                KeysOrMembers(),
+            ]
+        )
+
+    def test_whitespace_tolerated(self):
+        assert parse_path('( "a" ) ( )') == Path([ValueByKey("a"), KeysOrMembers()])
+
+    def test_invalid_rejected(self):
+        with pytest.raises(JsonError):
+            parse_path("(unquoted)")
+
+    def test_roundtrip_str(self):
+        path = parse_path('("a")(3)()')
+        assert parse_path(str(path)) == path
+
+
+class TestNavigate:
+    def test_value_by_key(self):
+        assert navigate(BOOKSTORE, parse_path('("bookstore")')) == [
+            BOOKSTORE["bookstore"]
+        ]
+
+    def test_missing_key_is_empty(self):
+        assert navigate(BOOKSTORE, parse_path('("nope")')) == []
+
+    def test_chained_values(self):
+        path = parse_path('("bookstore")("book")')
+        assert navigate(BOOKSTORE, path) == [BOOKSTORE["bookstore"]["book"]]
+
+    def test_keys_or_members_on_array(self):
+        path = parse_path('("bookstore")("book")()')
+        books = navigate(BOOKSTORE, path)
+        assert [b["title"] for b in books] == ["Everyday Italian", "Harry Potter"]
+
+    def test_keys_or_members_on_object(self):
+        assert navigate({"a": 1, "b": 2}, parse_path("()")) == ["a", "b"]
+
+    def test_value_by_index_is_one_based(self):
+        assert navigate([10, 20, 30], parse_path("(1)")) == [10]
+        assert navigate([10, 20, 30], parse_path("(3)")) == [30]
+
+    def test_out_of_range_index_is_empty(self):
+        assert navigate([10], parse_path("(2)")) == []
+        assert navigate([10], parse_path("(0)")) == []
+
+    def test_wrong_type_yields_empty(self):
+        assert navigate(42, parse_path('("k")')) == []
+        assert navigate("s", parse_path("()")) == []
+        assert navigate({"a": 1}, parse_path("(1)")) == []
+
+    def test_fanout_across_members(self):
+        path = parse_path('("bookstore")("book")()("author")')
+        assert navigate(BOOKSTORE, path) == ["Giada", "Rowling"]
+
+    def test_empty_path_is_identity(self):
+        assert navigate(BOOKSTORE, Path()) == [BOOKSTORE]
+
+    def test_navigate_sequence_concatenates(self):
+        items = [{"x": 1}, {"y": 2}, {"x": 3}]
+        assert navigate_sequence(items, parse_path('("x")')) == [1, 3]
+
+
+class TestPathObject:
+    def test_extended_is_persistent(self):
+        base = parse_path('("a")')
+        extended = base.extended(KeysOrMembers())
+        assert len(base) == 1
+        assert len(extended) == 2
+
+    def test_hashable(self):
+        assert hash(parse_path('("a")()')) == hash(parse_path('("a")()'))
+
+    def test_iteration_and_indexing(self):
+        path = parse_path('("a")(2)')
+        assert list(path) == [ValueByKey("a"), ValueByIndex(2)]
+        assert path[1] == ValueByIndex(2)
+
+    def test_str_forms(self):
+        assert str(parse_path('("a")(2)()')) == '("a")(2)()'

@@ -1,0 +1,116 @@
+"""Property-based tests (hypothesis) for the JSON substrate invariants.
+
+Invariants:
+
+1. ``parse`` agrees with the stdlib ``json`` module on anything the
+   stdlib can produce.
+2. Parsing is chunking-invariant: feeding the text in arbitrary pieces
+   yields the same event stream as one big feed.
+3. ``parse(dumps(item)) == item`` (serializer round-trip).
+4. The projecting parser agrees with ``navigate`` over materialized items
+   for arbitrary documents and arbitrary paths.
+5. ``sizeof_item`` is monotone under structural growth.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.jsonlib.items import sizeof_item
+from repro.jsonlib.parser import StreamingJsonParser, iter_events, parse
+from repro.jsonlib.path import (
+    KeysOrMembers,
+    Path,
+    ValueByIndex,
+    ValueByKey,
+    navigate,
+)
+from repro.jsonlib.projection import project_text
+from repro.jsonlib.serializer import dumps
+
+# Finite floats only: JSON has no NaN/Infinity.
+json_atoms = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(10**15), max_value=10**15),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=20),
+)
+
+json_values = st.recursive(
+    json_atoms,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.dictionaries(st.text(max_size=8), children, max_size=5),
+    ),
+    max_leaves=25,
+)
+
+path_steps = st.one_of(
+    st.builds(ValueByKey, st.sampled_from(["a", "b", "k", "results", ""])),
+    st.builds(ValueByIndex, st.integers(min_value=1, max_value=4)),
+    st.just(KeysOrMembers()),
+)
+
+paths = st.builds(Path, st.lists(path_steps, max_size=4))
+
+
+@given(json_values)
+def test_parse_agrees_with_stdlib(value):
+    text = json.dumps(value)
+    assert parse(text) == json.loads(text)
+
+
+@given(json_values, st.data())
+@settings(max_examples=60)
+def test_chunking_invariance(value, data):
+    text = json.dumps(value)
+    reference = list(iter_events(text))
+    # Split the text at random cut points.
+    cuts = sorted(
+        data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=len(text)), max_size=6
+            )
+        )
+    )
+    parser = StreamingJsonParser()
+    events = []
+    previous = 0
+    for cut in cuts + [len(text)]:
+        events.extend(parser.feed(text[previous:cut]))
+        previous = cut
+    events.extend(parser.finish())
+    assert events == reference
+
+
+@given(json_values)
+def test_serializer_roundtrip(value):
+    assert parse(dumps(value)) == value
+
+
+@given(json_values)
+@settings(max_examples=60)
+def test_indented_serializer_roundtrip(value):
+    assert parse(dumps(value, indent=2)) == value
+
+
+@given(json_values, paths)
+@settings(max_examples=120)
+def test_projection_equals_navigate(value, path):
+    text = json.dumps(value)
+    assert list(project_text(text, path)) == navigate(parse(text), path)
+
+
+@given(json_values, st.text(max_size=6), json_values)
+def test_sizeof_monotone_object_growth(value, key, extra):
+    base = {"seed": value}
+    grown = dict(base)
+    grown[key + "!"] = extra  # guaranteed new key
+    assert sizeof_item(grown) > sizeof_item(base)
+
+
+@given(st.lists(json_values, max_size=5))
+def test_sizeof_array_at_least_members(members):
+    assert sizeof_item(members) >= sum(sizeof_item(m) for m in members)

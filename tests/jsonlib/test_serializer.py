@@ -1,0 +1,97 @@
+"""Unit tests for JSON serialization."""
+
+import datetime
+import io
+import json
+import math
+
+import pytest
+
+from repro.errors import ItemTypeError
+from repro.jsonlib.parser import parse
+from repro.jsonlib.serializer import dump, dumps
+
+
+class TestScalars:
+    @pytest.mark.parametrize(
+        "item,text",
+        [
+            (1, "1"),
+            (-7, "-7"),
+            (1.5, "1.5"),
+            (True, "true"),
+            (False, "false"),
+            (None, "null"),
+            ("hi", '"hi"'),
+            ("", '""'),
+        ],
+    )
+    def test_compact(self, item, text):
+        assert dumps(item) == text
+
+    def test_string_escapes(self):
+        assert dumps('a"b\\c\n') == '"a\\"b\\\\c\\n"'
+
+    def test_control_characters_escaped(self):
+        assert dumps("\x01") == '"\\u0001"'
+
+    def test_datetime_serialized_as_iso_string(self):
+        dt = datetime.datetime(2013, 12, 25, 0, 0)
+        assert dumps(dt) == '"2013-12-25T00:00:00"'
+
+    def test_nan_rejected(self):
+        with pytest.raises(ItemTypeError):
+            dumps(math.nan)
+
+    def test_infinity_rejected(self):
+        with pytest.raises(ItemTypeError):
+            dumps(math.inf)
+
+    def test_non_item_rejected(self):
+        with pytest.raises(ItemTypeError):
+            dumps({"k": object()})
+
+
+class TestContainers:
+    def test_empty(self):
+        assert dumps({}) == "{}"
+        assert dumps([]) == "[]"
+
+    def test_object_compact(self):
+        assert dumps({"a": 1, "b": [2, 3]}) == '{"a": 1, "b": [2, 3]}'
+
+    def test_indented(self):
+        text = dumps({"a": [1, 2]}, indent=2)
+        assert text == '{\n  "a": [\n    1,\n    2\n  ]\n}'
+
+    def test_key_escaping(self):
+        assert dumps({'a"b': 1}) == '{"a\\"b": 1}'
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "item",
+        [
+            {"a": [1, 2.5, True, None, "s"], "b": {"c": []}},
+            [[], {}, [{}], {"": [0]}],
+            "unicode: café \U0001f600",
+            -1.25e-10,
+        ],
+    )
+    def test_parse_dumps_roundtrip(self, item):
+        assert parse(dumps(item)) == item
+
+    def test_stdlib_can_read_our_output(self):
+        item = {"k": [1, "two", {"three": 3.0}], "uni": "é水"}
+        assert json.loads(dumps(item)) == item
+
+    def test_indent_roundtrip(self):
+        item = {"a": [1, {"b": None}]}
+        assert parse(dumps(item, indent=4)) == item
+
+
+class TestDump:
+    def test_dump_to_handle(self):
+        buffer = io.StringIO()
+        dump([1, 2], buffer)
+        assert buffer.getvalue() == "[1, 2]"

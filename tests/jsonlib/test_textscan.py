@@ -1,0 +1,148 @@
+"""Unit and property tests for the raw-text projecting scanner."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import JsonSyntaxError
+from repro.jsonlib.parser import parse, parse_many
+from repro.jsonlib.path import (
+    KeysOrMembers,
+    Path,
+    ValueByIndex,
+    ValueByKey,
+    navigate,
+    parse_path,
+)
+from repro.jsonlib.textscan import scan_file, scan_text
+
+
+def reference(text, path):
+    out = []
+    for value in parse_many(text):
+        out.extend(navigate(value, path))
+    return out
+
+
+class TestScanText:
+    def test_whole_value(self):
+        assert list(scan_text('{"a": 1}', Path())) == [{"a": 1}]
+
+    def test_value_by_key(self):
+        assert list(scan_text('{"a": 1, "b": 2}', parse_path('("b")'))) == [2]
+
+    def test_skips_non_matching_values(self):
+        text = '{"skip": {"deep": [1, [2, {"x": 3}]]}, "take": true}'
+        assert list(scan_text(text, parse_path('("take")'))) == [True]
+
+    def test_members(self):
+        assert list(scan_text("[1, 2, 3]", parse_path("()"))) == [1, 2, 3]
+
+    def test_object_keys(self):
+        assert list(scan_text('{"a": 1, "b": 2}', parse_path("()"))) == ["a", "b"]
+
+    def test_index(self):
+        assert list(scan_text("[10, 20, 30]", parse_path("(2)"))) == [20]
+
+    def test_index_out_of_range(self):
+        assert list(scan_text("[10]", parse_path("(9)"))) == []
+
+    def test_nested_path(self):
+        text = '{"root": [{"results": [{"v": 1}, {"v": 2}]}]}'
+        path = parse_path('("root")()("results")()("v")')
+        assert list(scan_text(text, path)) == [1, 2]
+
+    def test_multiple_top_level_values(self):
+        assert list(scan_text('{"v": 1} {"v": 2}', parse_path('("v")'))) == [1, 2]
+
+    def test_wrong_type_skipped(self):
+        text = '[5, {"a": 1}, "s", [2], {"a": 3}]'
+        assert list(scan_text(text, parse_path('()("a")'))) == [1, 3]
+
+    def test_duplicate_keys_all_match(self):
+        assert list(scan_text('{"a": 1, "a": 2}', parse_path('("a")'))) == [1, 2]
+
+    def test_escaped_strings_in_skipped_values(self):
+        text = r'{"skip": "quote \" brace } bracket ]", "take": 1}'
+        assert list(scan_text(text, parse_path('("take")'))) == [1]
+
+    def test_escaped_backslash_before_quote(self):
+        text = r'{"skip": "ends with backslash \\", "take": 1}'
+        assert list(scan_text(text, parse_path('("take")'))) == [1]
+
+    def test_builds_exact_values(self):
+        text = '{"take": {"n": -1.5e2, "b": false, "s": "x", "nul": null}}'
+        (value,) = scan_text(text, parse_path('("take")'))
+        assert value == {"n": -150.0, "b": False, "s": "x", "nul": None}
+
+    def test_whitespace_everywhere(self):
+        text = ' { "a" :\n [ 1 ,\t2 ] } '
+        assert list(scan_text(text, parse_path('("a")()'))) == [1, 2]
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        ["{", "[1,", '{"a" 1}', '{"a": }', '"unterminated', "@"],
+    )
+    def test_malformed_inputs(self, text):
+        with pytest.raises(JsonSyntaxError):
+            list(scan_text(text, parse_path('("a")')))
+
+    def test_skipped_regions_are_not_validated(self):
+        # Like other structural skippers, the scanner only tracks nesting
+        # and strings inside regions the path never touches — "[1 2]" is
+        # skipped without noticing the missing comma.
+        assert list(scan_text('{"skip": [1 2], "a": 3}', parse_path('("a")'))) == [3]
+
+    def test_malformed_matched_value(self):
+        with pytest.raises(JsonSyntaxError):
+            list(scan_text('{"a": [1,]}', parse_path('("a")')))
+
+
+class TestScanFile:
+    def test_reads_from_disk(self, tmp_path):
+        target = tmp_path / "data.json"
+        target.write_text('{"v": [1, 2]}', encoding="utf-8")
+        assert list(scan_file(str(target), parse_path('("v")()'))) == [1, 2]
+
+
+# -- property: equivalence with the navigate reference -----------------------
+
+json_values = st.recursive(
+    st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(min_value=-(10**9), max_value=10**9),
+        st.floats(allow_nan=False, allow_infinity=False, width=32),
+        st.text(max_size=12),
+    ),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=6), children, max_size=4),
+    ),
+    max_leaves=20,
+)
+
+path_steps = st.one_of(
+    st.builds(ValueByKey, st.sampled_from(["a", "b", "results", ""])),
+    st.builds(ValueByIndex, st.integers(min_value=1, max_value=3)),
+    st.just(KeysOrMembers()),
+)
+paths = st.builds(Path, st.lists(path_steps, max_size=4))
+
+
+@given(json_values, paths)
+@settings(max_examples=150)
+def test_property_matches_navigate(value, path):
+    text = json.dumps(value)
+    assert list(scan_text(text, path)) == navigate(parse(text), path)
+
+
+@given(st.lists(json_values, min_size=1, max_size=3), paths)
+@settings(max_examples=60)
+def test_property_multi_value_stream(values, path):
+    text = " ".join(json.dumps(v) for v in values)
+    assert list(scan_text(text, path)) == reference(text, path)

@@ -1,0 +1,89 @@
+"""End-to-end tests for ``order by`` (the SORT operator)."""
+
+import pytest
+
+from repro import InMemorySource, JsonProcessor, RewriteConfig
+
+DATA = (
+    '{"root": [{"results": ['
+    '{"station": "S2", "value": 30},'
+    '{"station": "S1", "value": 10},'
+    '{"station": "S3", "value": 20}]}]}'
+)
+
+
+@pytest.fixture
+def processor():
+    source = InMemorySource(collections={"/s": [[DATA]]})
+    return JsonProcessor(source)
+
+
+class TestOrderBy:
+    def test_ascending(self, processor):
+        values = processor.evaluate(
+            'for $r in collection("/s")("root")()("results")() '
+            'order by $r("value") return $r("value")'
+        )
+        assert values == [10, 20, 30]
+
+    def test_descending(self, processor):
+        values = processor.evaluate(
+            'for $r in collection("/s")("root")()("results")() '
+            'order by $r("value") descending return $r("value")'
+        )
+        assert values == [30, 20, 10]
+
+    def test_string_keys(self, processor):
+        stations = processor.evaluate(
+            'for $r in collection("/s")("root")()("results")() '
+            'order by $r("station") return $r("station")'
+        )
+        assert stations == ["S1", "S2", "S3"]
+
+    def test_multiple_keys(self):
+        data = (
+            '{"root": [{"results": ['
+            '{"a": 1, "b": 2}, {"a": 1, "b": 1}, {"a": 0, "b": 9}]}]}'
+        )
+        processor = JsonProcessor(
+            InMemorySource(collections={"/s": [[data]]})
+        )
+        out = processor.evaluate(
+            'for $r in collection("/s")("root")()("results")() '
+            'order by $r("a"), $r("b") return [$r("a"), $r("b")]'
+        )
+        assert out == [[0, 9], [1, 1], [1, 2]]
+
+    def test_naive_config_agrees(self, processor):
+        query = (
+            'for $r in collection("/s")("root")()("results")() '
+            'order by $r("value") return $r("value")'
+        )
+        naive = JsonProcessor(
+            InMemorySource(collections={"/s": [[DATA]]}),
+            rewrite=RewriteConfig.none(),
+        )
+        assert naive.evaluate(query) == processor.evaluate(query)
+
+    def test_multi_partition_global_order(self):
+        part_a = '{"root": [{"results": [{"value": 5}, {"value": 1}]}]}'
+        part_b = '{"root": [{"results": [{"value": 3}, {"value": 2}]}]}'
+        processor = JsonProcessor(
+            InMemorySource(collections={"/s": [[part_a], [part_b]]})
+        )
+        result = processor.execute(
+            'for $r in collection("/s")("root")()("results")() '
+            'order by $r("value") return $r("value")'
+        )
+        assert result.items == [1, 2, 3, 5]
+        # A global sort cannot run partitioned.
+        assert result.strategy == "global"
+
+    def test_order_after_group_by(self, processor):
+        out = processor.evaluate(
+            'for $r in collection("/s")("root")()("results")() '
+            'group by $s := $r("station") '
+            "order by $s descending "
+            "return $s"
+        )
+        assert out == ["S3", "S2", "S1"]

@@ -1,0 +1,109 @@
+"""Tests for the public facade (JsonProcessor) and compilation pipeline."""
+
+import pytest
+
+from repro import JsonProcessor, RewriteConfig, compile_query
+from repro.errors import ParseError, ReproError
+from repro.compiler.pipeline import CompiledQuery
+
+BOOKS = '{"bookstore": {"book": [{"t": "A", "p": 10}, {"t": "B", "p": 20}]}}'
+
+
+@pytest.fixture
+def processor():
+    return JsonProcessor.in_memory(
+        collections={"/books": [[BOOKS]]},
+        documents={"books.json": BOOKS},
+    )
+
+
+class TestFacade:
+    def test_evaluate_collection(self, processor):
+        titles = processor.evaluate(
+            'for $b in collection("/books")("bookstore")("book")() '
+            'return $b("t")'
+        )
+        assert titles == ["A", "B"]
+
+    def test_evaluate_document(self, processor):
+        prices = processor.evaluate(
+            'json-doc("books.json")("bookstore")("book")()("p")'
+        )
+        assert prices == [10, 20]
+
+    def test_execute_returns_measurements(self, processor):
+        result = processor.execute('count(for $b in collection("/books")("bookstore")("book")() return $b)')
+        assert result.items == [2]
+        assert result.wall_seconds >= 0
+
+    def test_literal_query_without_source(self):
+        processor = JsonProcessor()
+        assert processor.evaluate("(1 + 2) * 3") == [9]
+
+    def test_constructors(self):
+        processor = JsonProcessor()
+        assert processor.evaluate('{"a": [1, 2], "b": null}') == [
+            {"a": [1, 2], "b": None}
+        ]
+
+    def test_from_directory(self, tmp_path):
+        directory = tmp_path / "c" / "partition0"
+        directory.mkdir(parents=True)
+        (directory / "f.json").write_text('{"x": 5}', encoding="utf-8")
+        processor = JsonProcessor.from_directory(str(tmp_path))
+        assert processor.evaluate(
+            'for $d in collection("/c")("x") return $d'
+        ) == [5]
+
+    def test_unknown_collection_surfaces(self, processor):
+        with pytest.raises(ReproError):
+            processor.evaluate('for $x in collection("/nope")("a")() return $x')
+
+    def test_parse_error_surfaces(self, processor):
+        with pytest.raises(ParseError):
+            processor.evaluate("for for for")
+
+    def test_rewrite_config_respected(self, processor):
+        naive = JsonProcessor.in_memory(
+            collections={"/books": [[BOOKS]]}, rewrite=RewriteConfig.none()
+        )
+        query = (
+            'for $b in collection("/books")("bookstore")("book")() '
+            'return $b("t")'
+        )
+        assert naive.evaluate(query) == processor.evaluate(query)
+        assert "DATASCAN" not in naive.compile(query).plan.explain()
+        assert "DATASCAN" in processor.compile(query).plan.explain()
+
+
+class TestCompileQuery:
+    def test_returns_all_stages(self):
+        compiled = compile_query('1 + 1')
+        assert isinstance(compiled, CompiledQuery)
+        assert compiled.naive_plan is not None
+        assert compiled.plan is not None
+
+    def test_trace_populated_when_rules_fire(self):
+        compiled = compile_query(
+            'for $x in collection("/c")("a")() return $x'
+        )
+        assert compiled.trace
+        names = [name for name, _ in compiled.trace]
+        assert "introduce-datascan" in names
+
+    def test_explain_sections(self):
+        compiled = compile_query(
+            'for $x in collection("/c")("a")() return $x'
+        )
+        text = compiled.explain(show_trace=True)
+        assert "naive plan" in text
+        assert "rewritten plan" in text
+        assert "rewrite trace" in text
+
+    def test_config_label_in_explain(self):
+        compiled = compile_query("1", RewriteConfig.none())
+        assert "built-ins only" in compiled.explain()
+
+    def test_default_config_is_all(self):
+        compiled = compile_query("1")
+        assert compiled.config == RewriteConfig.all()
