@@ -36,6 +36,12 @@ from repro.errors import ReproError
 from repro.hyracks.cluster import ClusterSpec
 from repro.hyracks.executor import QueryResult
 from repro.processor import JsonProcessor
+from repro.resilience import (
+    DegradationReport,
+    FaultPlan,
+    ResilienceConfig,
+    RetryPolicy,
+)
 
 __version__ = "1.0.0"
 
@@ -43,10 +49,14 @@ __all__ = [
     "ClusterSpec",
     "CollectionCatalog",
     "CompiledQuery",
+    "DegradationReport",
+    "FaultPlan",
     "InMemorySource",
     "JsonProcessor",
     "QueryResult",
     "ReproError",
+    "ResilienceConfig",
+    "RetryPolicy",
     "RewriteConfig",
     "SensorDataConfig",
     "compile_query",

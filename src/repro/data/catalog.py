@@ -12,6 +12,11 @@ and implements the :class:`~repro.algebra.context.DataSource` protocol:
 
 :class:`InMemorySource` provides the same protocol over in-memory JSON
 texts, for tests and small examples.
+
+Both sources take an ``on_malformed`` policy (``fail`` | ``skip_record``
+| ``skip_file``) deciding what a scan does with malformed JSON, and an
+``attach_degradation`` hook the executor uses to collect the skips of
+one query into its :class:`~repro.resilience.report.DegradationReport`.
 """
 
 from __future__ import annotations
@@ -19,12 +24,13 @@ from __future__ import annotations
 import os
 from typing import Iterator
 
-from repro.errors import ReproError
+from repro.errors import FileScanError, JsonError, ReproError
 from repro.jsonlib.items import Item
-from repro.jsonlib.parser import parse, parse_many
+from repro.jsonlib.parser import parse, parse_many, parse_many_resilient
 from repro.jsonlib.path import Path
 from repro.jsonlib.projection import project_file
 from repro.jsonlib.textscan import scan_file, scan_text
+from repro.resilience.policies import validate_on_malformed
 
 
 class CollectionCatalog:
@@ -35,10 +41,32 @@ class CollectionCatalog:
     ``<base>/<collection>/partition<i>/*.json``.
     """
 
-    def __init__(self, base_dir: str | None = None):
+    def __init__(self, base_dir: str | None = None, on_malformed: str = "fail"):
         self._collections: dict[str, list[list[str]]] = {}
+        self.on_malformed = validate_on_malformed(on_malformed)
+        self._report = None
         if base_dir is not None:
             self.discover(base_dir)
+
+    # -- resilience wiring -------------------------------------------------------
+
+    def attach_degradation(self, report) -> None:
+        """Attach (or detach, with None) a degradation report.
+
+        While attached, records and files skipped under a non-``fail``
+        ``on_malformed`` policy are recorded on *report*.
+        """
+        self._report = report
+
+    def _record_skipped_record(
+        self, file_path: str, offset: int | None, message: str
+    ) -> None:
+        if self._report is not None:
+            self._report.record_skipped_record(file_path, offset, message)
+
+    def _record_skipped_file(self, file_path: str, cause: Exception) -> None:
+        if self._report is not None:
+            self._report.record_skipped_file(file_path, cause)
 
     # -- registration ----------------------------------------------------------
 
@@ -52,6 +80,9 @@ class CollectionCatalog:
         """Register ``directory`` (with ``partition<i>`` subdirs) as *name*.
 
         A directory holding JSON files directly becomes one partition.
+        Raises :class:`~repro.errors.ReproError` when any partition
+        directory holds no ``*.json`` files — an empty partition would
+        silently return no data from every query over it.
         """
         partition_dirs = sorted(
             entry.path
@@ -60,21 +91,37 @@ class CollectionCatalog:
         )
         if not partition_dirs:
             partition_dirs = [directory]
-        partitions = [
-            sorted(
+        partitions = []
+        for partition_dir in partition_dirs:
+            files = sorted(
                 os.path.join(partition_dir, file_name)
                 for file_name in os.listdir(partition_dir)
                 if file_name.endswith(".json")
             )
-            for partition_dir in partition_dirs
-        ]
+            if not files:
+                raise ReproError(
+                    f"cannot register collection {name!r}: no *.json files "
+                    f"in {partition_dir!r}"
+                )
+            partitions.append(files)
         self.register(name, partitions)
 
     def discover(self, base_dir: str) -> None:
-        """Register every ``<base>/<collection>`` subdirectory."""
+        """Register every ``<base>/<collection>`` subdirectory.
+
+        Raises :class:`~repro.errors.ReproError` when *base_dir* holds no
+        collection subdirectories at all — a catalog discovered from an
+        empty directory cannot answer any query.
+        """
+        found = False
         for entry in os.scandir(base_dir):
             if entry.is_dir():
                 self.register_directory("/" + entry.name, entry.path)
+                found = True
+        if not found:
+            raise ReproError(
+                f"no collection directories found under {base_dir!r}"
+            )
 
     @staticmethod
     def _normalize(name: str) -> str:
@@ -113,7 +160,25 @@ class CollectionCatalog:
         items: list[Item] = []
         for path in self.files(name, partition):
             with open(path, "r", encoding="utf-8") as handle:
-                items.extend(parse_many(handle.read()))
+                text = handle.read()
+            if self.on_malformed == "skip_record":
+                items.extend(
+                    parse_many_resilient(
+                        text,
+                        on_malformed="skip_record",
+                        recorder=self._recorder(path),
+                    )
+                )
+            elif self.on_malformed == "skip_file":
+                try:
+                    items.extend(parse_many(text))
+                except JsonError as error:
+                    self._record_skipped_file(path, error)
+            else:
+                try:
+                    items.extend(parse_many(text))
+                except JsonError as error:
+                    raise FileScanError(path, error) from error
         return items
 
     def scan_collection(
@@ -126,14 +191,64 @@ class CollectionCatalog:
         projector when even one file must not be held in memory.
         """
         for file_path in self.files(name, partition):
-            yield from scan_file(file_path, path)
+            yield from self._scan_one(file_path, path)
+
+    def _scan_one(self, file_path: str, path: Path) -> Iterator[Item]:
+        if self.on_malformed == "skip_record":
+            yield from scan_file(
+                file_path,
+                path,
+                on_malformed="skip_record",
+                recorder=self._recorder(file_path),
+            )
+        elif self.on_malformed == "skip_file":
+            # Buffer the file's matches so a mid-file error drops the
+            # whole file, not just its tail (memory stays file-bounded,
+            # the same bound scan_file already has).
+            try:
+                items = list(scan_file(file_path, path))
+            except JsonError as error:
+                self._record_skipped_file(file_path, error)
+                return
+            yield from items
+        else:
+            try:
+                yield from scan_file(file_path, path)
+            except JsonError as error:
+                raise FileScanError(file_path, error) from error
+
+    def _recorder(self, file_path: str):
+        def record(offset: int | None, message: str) -> None:
+            self._record_skipped_record(file_path, offset, message)
+
+        return record
 
     def stream_collection(
         self, name: str, path: Path, partition: int | None = None
     ) -> Iterator[Item]:
-        """Chunked event-based projection (memory bounded by chunk size)."""
+        """Chunked event-based projection (memory bounded by chunk size).
+
+        The event stream cannot resync past malformed input, so both
+        skip policies degrade to truncating the broken file's remainder
+        (recorded as a skipped file).
+        """
         for file_path in self.files(name, partition):
-            yield from project_file(file_path, path)
+            if self.on_malformed == "fail":
+                try:
+                    yield from project_file(file_path, path)
+                except JsonError as error:
+                    raise FileScanError(file_path, error) from error
+            else:
+                truncated: list[str] = []
+
+                def record(offset, message, _path=file_path):
+                    truncated.append(f"{message} (rest of file dropped)")
+
+                yield from project_file(
+                    file_path, path, on_malformed=self.on_malformed, recorder=record
+                )
+                for message in truncated:
+                    self._record_skipped_file(file_path, ReproError(message))
 
 
 class InMemorySource:
@@ -147,12 +262,19 @@ class InMemorySource:
         self,
         collections: dict[str, list[list[str]]] | None = None,
         documents: dict[str, str] | None = None,
+        on_malformed: str = "fail",
     ):
         self._collections = {
             CollectionCatalog._normalize(name): partitions
             for name, partitions in (collections or {}).items()
         }
         self._documents = dict(documents or {})
+        self.on_malformed = validate_on_malformed(on_malformed)
+        self._report = None
+
+    def attach_degradation(self, report) -> None:
+        """Attach (or detach, with None) a degradation report."""
+        self._report = report
 
     def add_document(self, uri: str, text: str) -> None:
         """Register a document text under *uri*."""
@@ -162,14 +284,24 @@ class InMemorySource:
         """Register a collection of JSON-text partitions."""
         self._collections[CollectionCatalog._normalize(name)] = partitions
 
-    def _texts(self, name: str, partition: int | None) -> list[str]:
+    def _texts(
+        self, name: str, partition: int | None
+    ) -> list[tuple[str, str]]:
+        """(label, text) pairs of one partition (or all of them)."""
         key = CollectionCatalog._normalize(name)
         if key not in self._collections:
             raise ReproError(f"unknown collection {name!r}")
         partitions = self._collections[key]
         if partition is None:
-            return [text for texts in partitions for text in texts]
-        return list(partitions[partition])
+            return [
+                (f"{key}[partition {p}] text {i}", text)
+                for p, texts in enumerate(partitions)
+                for i, text in enumerate(texts)
+            ]
+        return [
+            (f"{key}[partition {partition}] text {i}", text)
+            for i, text in enumerate(partitions[partition])
+        ]
 
     def partition_count(self, name: str) -> int:
         key = CollectionCatalog._normalize(name)
@@ -184,12 +316,58 @@ class InMemorySource:
 
     def read_collection(self, name: str, partition: int | None = None) -> list[Item]:
         items: list[Item] = []
-        for text in self._texts(name, partition):
-            items.extend(parse_many(text))
+        for label, text in self._texts(name, partition):
+            if self.on_malformed == "skip_record":
+                items.extend(
+                    parse_many_resilient(
+                        text,
+                        on_malformed="skip_record",
+                        recorder=self._recorder(label),
+                    )
+                )
+            elif self.on_malformed == "skip_file":
+                try:
+                    items.extend(parse_many(text))
+                except JsonError as error:
+                    self._record_skipped_file(label, error)
+            else:
+                try:
+                    items.extend(parse_many(text))
+                except JsonError as error:
+                    raise FileScanError(label, error) from error
         return items
 
     def scan_collection(
         self, name: str, path: Path, partition: int | None = None
     ) -> Iterator[Item]:
-        for text in self._texts(name, partition):
-            yield from scan_text(text, path)
+        for label, text in self._texts(name, partition):
+            if self.on_malformed == "skip_record":
+                yield from scan_text(
+                    text,
+                    path,
+                    on_malformed="skip_record",
+                    recorder=self._recorder(label),
+                )
+            elif self.on_malformed == "skip_file":
+                try:
+                    items = list(scan_text(text, path))
+                except JsonError as error:
+                    self._record_skipped_file(label, error)
+                    continue
+                yield from items
+            else:
+                try:
+                    yield from scan_text(text, path)
+                except JsonError as error:
+                    raise FileScanError(label, error) from error
+
+    def _recorder(self, label: str):
+        def record(offset: int | None, message: str) -> None:
+            if self._report is not None:
+                self._report.record_skipped_record(label, offset, message)
+
+        return record
+
+    def _record_skipped_file(self, label: str, cause: Exception) -> None:
+        if self._report is not None:
+            self._report.record_skipped_file(label, cause)

@@ -50,6 +50,19 @@ class ItemTypeError(JsonError):
     """A JSONiq navigation or function was applied to the wrong item type."""
 
 
+class FileScanError(JsonError):
+    """A JSON file could not be scanned.
+
+    Wraps the underlying :class:`JsonError` (available as ``__cause__``)
+    and carries the path of the offending file so partition-level errors
+    can say *which* file broke.
+    """
+
+    def __init__(self, file_path: str, cause: Exception):
+        super().__init__(f"error scanning {file_path!r}: {cause}")
+        self.file_path = file_path
+
+
 # ---------------------------------------------------------------------------
 # Query language layer
 # ---------------------------------------------------------------------------
@@ -153,6 +166,38 @@ class MemoryBudgetExceededError(RuntimeExecutionError):
 
 class TypeCheckError(RuntimeExecutionError):
     """A ``treat`` assertion failed at runtime."""
+
+
+class PartitionExecutionError(RuntimeExecutionError):
+    """A partition of a partitioned job failed.
+
+    Wraps the underlying error (available as ``__cause__``) and carries
+    the collection name(s) being scanned, the partition index, the file
+    path (when the cause identifies one), and how many attempts were
+    made before giving up.
+    """
+
+    def __init__(
+        self,
+        partition: int,
+        cause: Exception,
+        collections: tuple[str, ...] = (),
+        file_path: str | None = None,
+        attempts: int = 1,
+    ):
+        where = f"partition {partition}"
+        if collections:
+            where += " of collection " + ", ".join(
+                repr(name) for name in collections
+            )
+        if file_path is not None:
+            where += f" (file {file_path!r})"
+        tries = f" after {attempts} attempt(s)" if attempts > 1 else ""
+        super().__init__(f"{where} failed{tries}: {cause}")
+        self.partition = partition
+        self.collections = tuple(collections)
+        self.file_path = file_path
+        self.attempts = attempts
 
 
 # ---------------------------------------------------------------------------

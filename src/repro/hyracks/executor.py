@@ -21,6 +21,17 @@ Every partition's work is executed for real and timed; the result
 carries per-partition seconds so a
 :class:`~repro.hyracks.cluster.ClusterSpec` can compose a simulated
 cluster makespan.
+
+Partition work additionally runs under a
+:class:`~repro.resilience.policies.ResilienceConfig`: ``fail_fast`` (the
+default) wraps any failure in a
+:class:`~repro.errors.PartitionExecutionError` naming the collection,
+partition, and file; ``retry`` re-executes the partition under a
+:class:`~repro.resilience.retry.RetryPolicy`, charging backoff to a
+simulated clock (``QueryResult.injected_seconds``) so the cluster
+makespan accounts for retry time; ``skip_partition`` drops the failing
+partition and records it in the result's
+:class:`~repro.resilience.report.DegradationReport`.
 """
 
 from __future__ import annotations
@@ -28,7 +39,12 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from repro.errors import PlanError
+from repro.errors import (
+    FileScanError,
+    PartitionExecutionError,
+    PlanError,
+    ReproError,
+)
 from repro.algebra.context import EvaluationContext
 from repro.algebra.operators import (
     Aggregate,
@@ -57,8 +73,13 @@ from repro.hyracks.operators import (
 )
 from repro.hyracks.tuples import Tuple, sizeof_tuple
 from repro.jsonlib.items import Item
+from repro.resilience.policies import ResilienceConfig
+from repro.resilience.report import DegradationReport
 
 _CHAIN_OPS = (Assign, Select, Unnest, Subplan)
+
+# Sentinel for a partition dropped by the skip policy.
+_SKIPPED = object()
 
 
 @dataclass
@@ -82,6 +103,18 @@ class QueryResult:
     peak_memory_bytes: int = 0
     stats: ExecutionStats = field(default_factory=ExecutionStats)
     strategy: str = "global"
+    injected_seconds: list[float] = field(default_factory=list)
+    degradation: DegradationReport = field(default_factory=DegradationReport)
+
+    @property
+    def is_partial(self) -> bool:
+        """True when degradation dropped data from this result."""
+        return self.degradation.is_partial
+
+    @property
+    def warnings(self) -> list[str]:
+        """Human-readable degradation warnings (empty for a clean run)."""
+        return self.degradation.warnings
 
     def simulated_seconds(self, cluster: ClusterSpec, smooth: bool = True) -> float:
         """Cluster makespan for this execution under *cluster*.
@@ -91,6 +124,10 @@ class QueryResult:
         shares, so the variance measured by running them sequentially in
         one process is scheduler/GC jitter, not real skew.  Pass
         ``smooth=False`` to place the raw measurements.
+
+        Injected seconds (retry backoff, straggler delays) are real
+        per-partition skew, never jitter, so they are charged *after*
+        smoothing.
         """
         seconds = self.partition_seconds
         if smooth and seconds:
@@ -100,6 +137,7 @@ class QueryResult:
             seconds,
             exchange_bytes=self.stats.exchange_bytes,
             global_seconds=self.global_seconds,
+            injected_seconds=self.injected_seconds or None,
         )
 
 
@@ -118,6 +156,10 @@ class PartitionedExecutor:
         coordinator.
     memory_budget_bytes:
         Optional per-instance memory budget.
+    resilience:
+        Per-partition error handling
+        (:class:`~repro.resilience.policies.ResilienceConfig`); the
+        default is ``fail_fast``, today's behaviour.
     """
 
     def __init__(
@@ -126,11 +168,13 @@ class PartitionedExecutor:
         functions=None,
         two_step_aggregation: bool = True,
         memory_budget_bytes: int | None = None,
+        resilience: ResilienceConfig | None = None,
     ):
         self._source = source
         self._functions = functions
         self._two_step = two_step_aggregation
         self._memory_budget = memory_budget_bytes
+        self._resilience = resilience if resilience is not None else ResilienceConfig()
 
     # -- public ---------------------------------------------------------------
 
@@ -138,25 +182,38 @@ class PartitionedExecutor:
         """Execute *plan* and return items plus measurements."""
         started = time.perf_counter()
         stats = ExecutionStats()
+        report = DegradationReport()
+        attach = getattr(self._source, "attach_degradation", None)
+        if attach is not None:
+            attach(report)
+        try:
+            result = self._dispatch(plan, stats, report)
+        finally:
+            if attach is not None:
+                attach(None)
+        result.degradation = report
+        result.wall_seconds = time.perf_counter() - started
+        return result
+
+    def _dispatch(
+        self, plan: LogicalPlan, stats: ExecutionStats, report: DegradationReport
+    ) -> QueryResult:
         scans = plan.operators_of(DataScan)
         partition_counts = {
             self._source.partition_count(scan.collection) for scan in scans
         }
         if not scans:
-            result = self._run_global(plan, stats)
-        elif len(partition_counts) > 1:
+            return self._run_global(plan, stats)
+        if len(partition_counts) > 1:
             # Collections partitioned differently cannot share one
             # partition-aligned job; run a single global instance.
-            result = self._run_global(plan, stats)
-        else:
-            (partitions,) = partition_counts
-            if partitions <= 0:
-                raise PlanError(
-                    f"collection {scans[0].collection!r} has no partitions"
-                )
-            result = self._run_partitioned(plan, partitions, stats)
-        result.wall_seconds = time.perf_counter() - started
-        return result
+            return self._run_global(plan, stats)
+        (partitions,) = partition_counts
+        if partitions <= 0:
+            raise PlanError(
+                f"collection {scans[0].collection!r} has no partitions"
+            )
+        return self._run_partitioned(plan, partitions, stats, report)
 
     # -- contexts ---------------------------------------------------------------
 
@@ -174,10 +231,105 @@ class PartitionedExecutor:
     def _tracker(self) -> MemoryTracker:
         return MemoryTracker(self._memory_budget, context="query execution")
 
+    # -- resilient partition attempts -------------------------------------------
+
+    def _run_partition(
+        self,
+        plan: LogicalPlan,
+        partition: int,
+        stats: ExecutionStats,
+        report: DegradationReport,
+        work,
+        charge_delay: bool = True,
+    ):
+        """Run ``work(ctx)`` for one partition under the partition policy.
+
+        Returns ``(value, measured_seconds, injected_seconds, peak)``
+        where ``value`` is :data:`_SKIPPED` when the partition was
+        dropped.  ``measured_seconds`` accumulates the real compute of
+        every attempt; ``injected_seconds`` accumulates the simulated
+        clock (retry backoff, injected straggler delay).
+        """
+        config = self._resilience
+        delay_hook = (
+            getattr(self._source, "injected_delay", None) if charge_delay else None
+        )
+        measured = 0.0
+        injected = 0.0
+        peak = 0
+        attempts = 0
+        while True:
+            attempts += 1
+            memory = self._tracker()
+            ctx = self._context(partition, memory, stats)
+            attempt_started = time.perf_counter()
+            try:
+                value = work(ctx)
+            except (ReproError, OSError) as error:
+                measured += time.perf_counter() - attempt_started
+                peak = max(peak, memory.peak)
+                if delay_hook is not None:
+                    injected += delay_hook(partition)
+                wrapped = self._wrap_partition_error(
+                    plan, partition, attempts, error
+                )
+                if config.partition_policy == "fail_fast":
+                    raise wrapped from error
+                retryable = getattr(error, "retryable", True)
+                if (
+                    config.partition_policy == "retry"
+                    and retryable
+                    and attempts < config.retry.max_attempts
+                ):
+                    backoff = config.retry.backoff_seconds(attempts)
+                    injected += backoff
+                    report.record_retry(partition, attempts, backoff, error)
+                    continue
+                if (
+                    config.partition_policy == "skip_partition"
+                    or config.on_exhausted == "skip"
+                ):
+                    report.record_skipped_partition(
+                        partition, _scan_collections(plan), attempts, error
+                    )
+                    return _SKIPPED, measured, injected, peak
+                raise wrapped from error
+            measured += time.perf_counter() - attempt_started
+            peak = max(peak, memory.peak)
+            if delay_hook is not None:
+                injected += delay_hook(partition)
+            return value, measured, injected, peak
+
+    def _wrap_partition_error(
+        self,
+        plan: LogicalPlan,
+        partition: int,
+        attempts: int,
+        error: Exception,
+    ) -> PartitionExecutionError:
+        file_path = None
+        node: Exception | None = error
+        while node is not None:
+            if isinstance(node, FileScanError):
+                file_path = node.file_path
+                break
+            node = node.__cause__
+        return PartitionExecutionError(
+            partition,
+            error,
+            collections=_scan_collections(plan),
+            file_path=file_path,
+            attempts=attempts,
+        )
+
     # -- strategies ---------------------------------------------------------------
 
     def _run_global(self, plan: LogicalPlan, stats: ExecutionStats) -> QueryResult:
-        """Single-instance execution (naive plans, unsupported shapes)."""
+        """Single-instance execution (naive plans, unsupported shapes).
+
+        A global instance has no partitions to retry or skip, so the
+        resilience policies do not apply here.
+        """
         memory = self._tracker()
         ctx = self._context(None, memory, stats)
         started = time.perf_counter()
@@ -192,7 +344,11 @@ class PartitionedExecutor:
         )
 
     def _run_partitioned(
-        self, plan: LogicalPlan, partitions: int, stats: ExecutionStats
+        self,
+        plan: LogicalPlan,
+        partitions: int,
+        stats: ExecutionStats,
+        report: DegradationReport,
     ) -> QueryResult:
         global_ops, boundary = _split(plan)
         if isinstance(boundary, GroupBy):
@@ -200,7 +356,7 @@ class PartitionedExecutor:
                 boundary.input_op
             ):
                 return self._run_grouped(
-                    plan, global_ops, boundary, partitions, stats
+                    plan, global_ops, boundary, partitions, stats, report
                 )
             return self._run_global(plan, stats)
         if isinstance(boundary, Aggregate):
@@ -216,11 +372,12 @@ class PartitionedExecutor:
                         join,
                         partitions,
                         stats,
+                        report,
                     )
                 return self._run_global(plan, stats)
             if _is_chain_to_scan(boundary.input_op):
                 return self._run_aggregated(
-                    plan, global_ops, boundary, partitions, stats
+                    plan, global_ops, boundary, partitions, stats, report
                 )
             return self._run_global(plan, stats)
         if isinstance(boundary, Join):
@@ -228,30 +385,42 @@ class PartitionedExecutor:
                 boundary.right
             ):
                 return self._run_join(
-                    plan, global_ops, None, [], boundary, partitions, stats
+                    plan, global_ops, None, [], boundary, partitions, stats, report
                 )
             return self._run_global(plan, stats)
         if isinstance(boundary, DataScan) or _is_chain_to_scan(boundary):
-            return self._run_pipelined(plan, partitions, stats)
+            return self._run_pipelined(plan, partitions, stats, report)
         return self._run_global(plan, stats)
 
     def _run_pipelined(
-        self, plan: LogicalPlan, partitions: int, stats: ExecutionStats
+        self,
+        plan: LogicalPlan,
+        partitions: int,
+        stats: ExecutionStats,
+        report: DegradationReport,
     ) -> QueryResult:
         """Fully pipelined plan: one independent instance per partition."""
         items: list[Item] = []
         partition_seconds: list[float] = []
+        injected_seconds: list[float] = []
         peak = 0
         for partition in range(partitions):
-            memory = self._tracker()
-            ctx = self._context(partition, memory, stats)
-            started = time.perf_counter()
-            items.extend(run_plan(plan, ctx))
-            partition_seconds.append(time.perf_counter() - started)
-            peak = max(peak, memory.peak)
+            value, measured, injected, attempt_peak = self._run_partition(
+                plan,
+                partition,
+                stats,
+                report,
+                lambda ctx: run_plan(plan, ctx),
+            )
+            partition_seconds.append(measured)
+            injected_seconds.append(injected)
+            peak = max(peak, attempt_peak)
+            if value is not _SKIPPED:
+                items.extend(value)
         return QueryResult(
             items,
             partition_seconds=partition_seconds,
+            injected_seconds=injected_seconds,
             peak_memory_bytes=peak,
             stats=stats,
             strategy="pipelined",
@@ -264,6 +433,7 @@ class PartitionedExecutor:
         group_by: GroupBy,
         partitions: int,
         stats: ExecutionStats,
+        report: DegradationReport,
     ) -> QueryResult:
         """Partition-local GROUP-BY plus coordinator combine."""
         nested = group_by.nested_root
@@ -272,17 +442,16 @@ class PartitionedExecutor:
         )
         if not (incremental and self._two_step):
             return self._run_grouped_raw(
-                plan, global_ops, group_by, partitions, stats
+                plan, global_ops, group_by, partitions, stats, report
             )
         key_exprs = [expr for _, expr in group_by.keys]
         key_vars = [var for var, _ in group_by.keys]
         partition_seconds: list[float] = []
+        injected_seconds: list[float] = []
         peak = 0
         local_tables: list[dict] = []
-        for partition in range(partitions):
-            memory = self._tracker()
-            ctx = self._context(partition, memory, stats)
-            started = time.perf_counter()
+
+        def build_table(ctx):
             table: dict = {}
             for tup in execute(group_by.input_op, ctx):
                 key_values = [expr.evaluate(tup, ctx) for expr in key_exprs]
@@ -293,11 +462,20 @@ class PartitionedExecutor:
                     table[key] = state
                 for accumulator in state[1]:
                     accumulator.add(tup, ctx)
-            partition_seconds.append(time.perf_counter() - started)
-            peak = max(peak, memory.peak)
-            local_tables.append(table)
-            stats.exchange_tuples += len(table)
-            stats.exchange_bytes += len(table) * _PARTIAL_TUPLE_BYTES
+            return table
+
+        for partition in range(partitions):
+            value, measured, injected, attempt_peak = self._run_partition(
+                plan, partition, stats, report, build_table
+            )
+            partition_seconds.append(measured)
+            injected_seconds.append(injected)
+            peak = max(peak, attempt_peak)
+            if value is _SKIPPED:
+                continue
+            local_tables.append(value)
+            stats.exchange_tuples += len(value)
+            stats.exchange_bytes += len(value) * _PARTIAL_TUPLE_BYTES
         # Coordinator: combine partials, finalize groups, run the ops above.
         memory = self._tracker()
         ctx = self._context(None, memory, stats)
@@ -323,6 +501,7 @@ class PartitionedExecutor:
         return QueryResult(
             items,
             partition_seconds=partition_seconds,
+            injected_seconds=injected_seconds,
             global_seconds=global_seconds,
             peak_memory_bytes=max(peak, memory.peak),
             stats=stats,
@@ -336,21 +515,30 @@ class PartitionedExecutor:
         group_by: GroupBy,
         partitions: int,
         stats: ExecutionStats,
+        report: DegradationReport,
     ) -> QueryResult:
         """Two-step disabled: ship raw tuples and group at the coordinator."""
         partition_seconds: list[float] = []
+        injected_seconds: list[float] = []
         peak = 0
         shipped: list[Tuple] = []
         for partition in range(partitions):
-            memory = self._tracker()
-            ctx = self._context(partition, memory, stats)
-            started = time.perf_counter()
-            for tup in execute(group_by.input_op, ctx):
+            value, measured, injected, attempt_peak = self._run_partition(
+                plan,
+                partition,
+                stats,
+                report,
+                lambda ctx: list(execute(group_by.input_op, ctx)),
+            )
+            partition_seconds.append(measured)
+            injected_seconds.append(injected)
+            peak = max(peak, attempt_peak)
+            if value is _SKIPPED:
+                continue
+            for tup in value:
                 shipped.append(tup)
                 stats.exchange_tuples += 1
                 stats.exchange_bytes += sizeof_tuple(tup)
-            partition_seconds.append(time.perf_counter() - started)
-            peak = max(peak, memory.peak)
         memory = self._tracker()
         ctx = self._context(None, memory, stats)
         started = time.perf_counter()
@@ -360,6 +548,7 @@ class PartitionedExecutor:
         return QueryResult(
             items,
             partition_seconds=partition_seconds,
+            injected_seconds=injected_seconds,
             global_seconds=global_seconds,
             peak_memory_bytes=max(peak, memory.peak),
             stats=stats,
@@ -373,26 +562,35 @@ class PartitionedExecutor:
         aggregate: Aggregate,
         partitions: int,
         stats: ExecutionStats,
+        report: DegradationReport,
     ) -> QueryResult:
         """Global aggregate with partial/combine across partitions."""
         if not self._two_step:
             return self._run_aggregated_raw(
-                plan, global_ops, aggregate, partitions, stats
+                plan, global_ops, aggregate, partitions, stats, report
             )
         partition_seconds: list[float] = []
+        injected_seconds: list[float] = []
         peak = 0
         partials: list[list] = []
-        for partition in range(partitions):
-            memory = self._tracker()
-            ctx = self._context(partition, memory, stats)
-            started = time.perf_counter()
+
+        def fold_partials(ctx):
             accumulators = make_accumulators(aggregate.specs)
             for tup in execute(aggregate.input_op, ctx):
                 for accumulator in accumulators:
                     accumulator.add(tup, ctx)
-            partials.append([acc.partial() for acc in accumulators])
-            partition_seconds.append(time.perf_counter() - started)
-            peak = max(peak, memory.peak)
+            return [acc.partial() for acc in accumulators]
+
+        for partition in range(partitions):
+            value, measured, injected, attempt_peak = self._run_partition(
+                plan, partition, stats, report, fold_partials
+            )
+            partition_seconds.append(measured)
+            injected_seconds.append(injected)
+            peak = max(peak, attempt_peak)
+            if value is _SKIPPED:
+                continue
+            partials.append(value)
             stats.exchange_tuples += 1
             stats.exchange_bytes += _PARTIAL_TUPLE_BYTES
         memory = self._tracker()
@@ -410,6 +608,7 @@ class PartitionedExecutor:
         return QueryResult(
             items,
             partition_seconds=partition_seconds,
+            injected_seconds=injected_seconds,
             global_seconds=global_seconds,
             peak_memory_bytes=max(peak, memory.peak),
             stats=stats,
@@ -423,20 +622,29 @@ class PartitionedExecutor:
         aggregate: Aggregate,
         partitions: int,
         stats: ExecutionStats,
+        report: DegradationReport,
     ) -> QueryResult:
         partition_seconds: list[float] = []
+        injected_seconds: list[float] = []
         peak = 0
         shipped: list[Tuple] = []
         for partition in range(partitions):
-            memory = self._tracker()
-            ctx = self._context(partition, memory, stats)
-            started = time.perf_counter()
-            for tup in execute(aggregate.input_op, ctx):
+            value, measured, injected, attempt_peak = self._run_partition(
+                plan,
+                partition,
+                stats,
+                report,
+                lambda ctx: list(execute(aggregate.input_op, ctx)),
+            )
+            partition_seconds.append(measured)
+            injected_seconds.append(injected)
+            peak = max(peak, attempt_peak)
+            if value is _SKIPPED:
+                continue
+            for tup in value:
                 shipped.append(tup)
                 stats.exchange_tuples += 1
                 stats.exchange_bytes += sizeof_tuple(tup)
-            partition_seconds.append(time.perf_counter() - started)
-            peak = max(peak, memory.peak)
         memory = self._tracker()
         ctx = self._context(None, memory, stats)
         started = time.perf_counter()
@@ -446,6 +654,7 @@ class PartitionedExecutor:
         return QueryResult(
             items,
             partition_seconds=partition_seconds,
+            injected_seconds=injected_seconds,
             global_seconds=global_seconds,
             peak_memory_bytes=max(peak, memory.peak),
             stats=stats,
@@ -461,6 +670,7 @@ class PartitionedExecutor:
         join: Join,
         partitions: int,
         stats: ExecutionStats,
+        report: DegradationReport,
     ) -> QueryResult:
         """Hash-partitioned join (plus optional aggregate on top).
 
@@ -469,6 +679,10 @@ class PartitionedExecutor:
         bucket joins locally, runs the intermediate operators, and — when
         an aggregate sits on top — folds a partial that the coordinator
         combines.
+
+        The partition policy applies to both phases: a skipped phase-1
+        partition contributes no tuples to any bucket; a skipped phase-2
+        bucket contributes nothing to the result.
         """
         left_keys, right_keys, residual = split_join_condition(join)
         if not left_keys:
@@ -478,58 +692,84 @@ class PartitionedExecutor:
         left_buckets: list[list[Tuple]] = [[] for _ in range(buckets)]
         right_buckets: list[list[Tuple]] = [[] for _ in range(buckets)]
         phase1_seconds = [0.0] * partitions
+        injected_seconds = [0.0] * partitions
         peak = 0
-        for partition in range(partitions):
-            memory = self._tracker()
-            ctx = self._context(partition, memory, stats)
-            started = time.perf_counter()
+
+        def exchange(ctx):
+            local_left: list[list[Tuple]] = [[] for _ in range(buckets)]
+            local_right: list[list[Tuple]] = [[] for _ in range(buckets)]
+            exchanged_tuples = 0
+            exchanged_bytes = 0
             for side, keys, target in (
-                (join.left, left_keys, left_buckets),
-                (join.right, right_keys, right_buckets),
+                (join.left, left_keys, local_left),
+                (join.right, right_keys, local_right),
             ):
                 for tup in execute(side, ctx):
                     key = tuple(
                         canonical_key(expr.evaluate(tup, ctx)) for expr in keys
                     )
                     target[hash(key) % buckets].append(tup)
-                    stats.exchange_tuples += 1
-                    stats.exchange_bytes += sizeof_tuple(tup)
-            phase1_seconds[partition] = time.perf_counter() - started
-            peak = max(peak, memory.peak)
+                    exchanged_tuples += 1
+                    exchanged_bytes += sizeof_tuple(tup)
+            return local_left, local_right, exchanged_tuples, exchanged_bytes
+
+        for partition in range(partitions):
+            value, measured, injected, attempt_peak = self._run_partition(
+                plan, partition, stats, report, exchange
+            )
+            phase1_seconds[partition] = measured
+            injected_seconds[partition] += injected
+            peak = max(peak, attempt_peak)
+            if value is _SKIPPED:
+                continue
+            local_left, local_right, exchanged_tuples, exchanged_bytes = value
+            for bucket in range(buckets):
+                left_buckets[bucket].extend(local_left[bucket])
+                right_buckets[bucket].extend(local_right[bucket])
+            stats.exchange_tuples += exchanged_tuples
+            stats.exchange_bytes += exchanged_bytes
         phase2_seconds = [0.0] * buckets
         use_two_step = aggregate is not None and self._two_step
         partials: list[list] = []
         bucket_outputs: list[Tuple] = []
         for bucket in range(buckets):
-            memory = self._tracker()
-            ctx = self._context(bucket, memory, stats)
-            started = time.perf_counter()
-            joined = hash_join(
-                iter(left_buckets[bucket]),
-                iter(right_buckets[bucket]),
-                left_keys,
-                right_keys,
-                residual,
-                ctx,
+            def join_bucket(ctx, bucket=bucket):
+                joined = hash_join(
+                    iter(left_buckets[bucket]),
+                    iter(right_buckets[bucket]),
+                    left_keys,
+                    right_keys,
+                    residual,
+                    ctx,
+                )
+                stream = run_chain(mid_ops, joined, ctx)
+                if use_two_step:
+                    accumulators = make_accumulators(aggregate.specs)
+                    for tup in stream:
+                        for accumulator in accumulators:
+                            accumulator.add(tup, ctx)
+                    return [acc.partial() for acc in accumulators]
+                return list(stream)
+
+            value, measured, injected, attempt_peak = self._run_partition(
+                plan, bucket, stats, report, join_bucket, charge_delay=False
             )
-            stream = run_chain(mid_ops, joined, ctx)
+            phase2_seconds[bucket] = measured
+            injected_seconds[bucket] += injected
+            peak = max(peak, attempt_peak)
+            if value is _SKIPPED:
+                continue
             if use_two_step:
-                accumulators = make_accumulators(aggregate.specs)
-                for tup in stream:
-                    for accumulator in accumulators:
-                        accumulator.add(tup, ctx)
-                partials.append([acc.partial() for acc in accumulators])
+                partials.append(value)
                 stats.exchange_tuples += 1
                 stats.exchange_bytes += _PARTIAL_TUPLE_BYTES
             else:
-                for tup in stream:
+                for tup in value:
                     bucket_outputs.append(tup)
                     # Joined tuples ship to the coordinator for the
                     # global aggregate / result assembly.
                     stats.exchange_tuples += 1
                     stats.exchange_bytes += sizeof_tuple(tup)
-            phase2_seconds[bucket] = time.perf_counter() - started
-            peak = max(peak, memory.peak)
         partition_seconds = [
             phase1_seconds[i] + phase2_seconds[i] for i in range(partitions)
         ]
@@ -554,6 +794,7 @@ class PartitionedExecutor:
         return QueryResult(
             items,
             partition_seconds=partition_seconds,
+            injected_seconds=injected_seconds,
             global_seconds=global_seconds,
             peak_memory_bytes=max(peak, memory.peak),
             stats=stats,
@@ -567,6 +808,13 @@ _PARTIAL_TUPLE_BYTES = 128
 # ---------------------------------------------------------------------------
 # Plan-shape analysis
 # ---------------------------------------------------------------------------
+
+
+def _scan_collections(plan: LogicalPlan) -> tuple[str, ...]:
+    """The collection names a plan scans, sorted for determinism."""
+    return tuple(
+        sorted({scan.collection for scan in plan.operators_of(DataScan)})
+    )
 
 
 def _split(plan: LogicalPlan) -> tuple[list[Operator], Operator]:

@@ -411,3 +411,22 @@ def parse_many(text: str) -> list:
     from repro.jsonlib.items import build_items
 
     return list(build_items(iter_events(text)))
+
+
+def parse_many_resilient(
+    text: str, on_malformed: str = "fail", recorder=None
+) -> list:
+    """:func:`parse_many` with a malformed-input policy.
+
+    With ``on_malformed="skip_record"`` malformed top-level values are
+    skipped (resyncing at the next newline) instead of raising; skips
+    report to ``recorder(offset, message)``.  Delegates to the raw-text
+    scanner with an empty path, whose contract is equivalence with
+    :func:`parse_many` on well-formed input.
+    """
+    from repro.jsonlib.path import Path
+    from repro.jsonlib.textscan import scan_text
+
+    return list(
+        scan_text(text, Path(), on_malformed=on_malformed, recorder=recorder)
+    )

@@ -161,11 +161,33 @@ def project_text(text: str, path: Path) -> Iterator[Item]:
 
 
 def project_file(
-    file_path: str, path: Path, chunk_size: int = 1 << 16
+    file_path: str,
+    path: Path,
+    chunk_size: int = 1 << 16,
+    on_malformed: str = "fail",
+    recorder=None,
 ) -> Iterator[Item]:
     """Project *path* over a JSON file, reading it incrementally.
 
     Peak memory is bounded by ``chunk_size`` plus the size of the largest
     single matched item — never the whole file.
+
+    The incremental event stream cannot resync past malformed input (the
+    parser state is gone), so any ``on_malformed`` policy other than
+    ``fail`` degrades by truncating the rest of the file: items already
+    yielded stand, the remainder is dropped and reported to
+    ``recorder(offset, message)`` when given.
     """
-    return project_events(iter_file_events(file_path, chunk_size), path)
+    events = iter_file_events(file_path, chunk_size)
+    if on_malformed == "fail":
+        return project_events(events, path)
+    return _project_events_truncating(events, path, recorder)
+
+
+def _project_events_truncating(events, path: Path, recorder) -> Iterator[Item]:
+    """Yield projected items until the stream breaks; swallow the break."""
+    try:
+        yield from project_events(events, path)
+    except JsonSyntaxError as error:
+        if recorder is not None:
+            recorder(getattr(error, "offset", None), str(error))

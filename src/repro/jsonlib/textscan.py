@@ -286,23 +286,61 @@ def _walk_array(
         raise JsonSyntaxError(f"expected ',' or ']', found {text[pos]!r}", pos)
 
 
-def scan_text(text: str, path: Path) -> Iterator[Item]:
+def _resync(text: str, pos: int, error: JsonSyntaxError) -> int:
+    """Position to resume scanning from after a malformed top-level value.
+
+    Resyncs at the next newline past the error (the line-delimited
+    convention most concatenated-JSON files follow); a multi-line broken
+    record may cascade into several skips, but the position strictly
+    advances so the scan always terminates.
+    """
+    start = error.offset if error.offset is not None else pos
+    start = max(start, pos)
+    newline = text.find("\n", start)
+    if newline < 0:
+        return len(text)
+    return newline + 1
+
+
+def scan_text(
+    text: str,
+    path: Path,
+    on_malformed: str = "fail",
+    recorder=None,
+) -> Iterator[Item]:
     """Project *path* over every top-level value of *text*.
 
     Yields matched items lazily per top-level value; within one
     top-level value matches are collected eagerly (the value has to be
     walked to its end anyway to find the next one).
+
+    With ``on_malformed="skip_record"`` a malformed top-level value is
+    skipped (resyncing at the next newline) instead of raising; each
+    skip is reported to ``recorder(offset, message)`` when given.
     """
     pos = _skip_ws(text, 0)
     n = len(text)
     while pos < n:
         out: list = []
-        pos = _project(text, pos, path, 0, out)
+        try:
+            pos = _project(text, pos, path, 0, out)
+        except JsonSyntaxError as error:
+            if on_malformed != "skip_record":
+                raise
+            if recorder is not None:
+                recorder(pos, str(error))
+            pos = _skip_ws(text, _resync(text, pos, error))
+            continue
         yield from out
         pos = _skip_ws(text, pos)
 
 
-def scan_file(file_path: str, path: Path) -> Iterator[Item]:
+def scan_file(
+    file_path: str,
+    path: Path,
+    on_malformed: str = "fail",
+    recorder=None,
+) -> Iterator[Item]:
     """Project *path* over a JSON file.
 
     Reads the whole file text (memory bounded by the largest file, never
@@ -310,4 +348,4 @@ def scan_file(file_path: str, path: Path) -> Iterator[Item]:
     """
     with open(file_path, "r", encoding="utf-8") as handle:
         text = handle.read()
-    return scan_text(text, path)
+    return scan_text(text, path, on_malformed=on_malformed, recorder=recorder)

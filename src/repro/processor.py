@@ -25,6 +25,8 @@ from repro.compiler.pipeline import CompiledQuery, compile_query
 from repro.data.catalog import CollectionCatalog, InMemorySource
 from repro.hyracks.executor import PartitionedExecutor, QueryResult
 from repro.jsonlib.items import Item
+from repro.resilience.faults import FaultPlan
+from repro.resilience.policies import ResilienceConfig
 
 
 class JsonProcessor:
@@ -45,6 +47,14 @@ class JsonProcessor:
         :class:`~repro.errors.MemoryBudgetExceededError`.
     functions:
         Override the builtin scalar-function library.
+    resilience:
+        Per-partition error handling
+        (:class:`~repro.resilience.policies.ResilienceConfig`):
+        ``fail_fast`` (default), ``retry``, or ``skip_partition``.
+    fault_plan:
+        Optional :class:`~repro.resilience.faults.FaultPlan`; when
+        given, *source* is wrapped so the plan's faults are injected
+        (testing and chaos experiments).
     """
 
     def __init__(
@@ -53,7 +63,11 @@ class JsonProcessor:
         rewrite: RewriteConfig | None = None,
         memory_budget_bytes: int | None = None,
         functions=None,
+        resilience: ResilienceConfig | None = None,
+        fault_plan: FaultPlan | None = None,
     ):
+        if fault_plan is not None:
+            source = fault_plan.wrap(source)
         self.source = source
         self.rewrite = rewrite if rewrite is not None else RewriteConfig.all()
         self._executor = PartitionedExecutor(
@@ -61,24 +75,34 @@ class JsonProcessor:
             functions=functions,
             two_step_aggregation=self.rewrite.two_step_aggregation,
             memory_budget_bytes=memory_budget_bytes,
+            resilience=resilience,
         )
 
     # -- constructors -----------------------------------------------------------
 
     @classmethod
-    def from_directory(cls, base_dir: str, **kwargs) -> "JsonProcessor":
+    def from_directory(
+        cls, base_dir: str, on_malformed: str = "fail", **kwargs
+    ) -> "JsonProcessor":
         """Processor over ``<base_dir>/<collection>/partition<i>/*.json``."""
-        return cls(source=CollectionCatalog(base_dir), **kwargs)
+        return cls(
+            source=CollectionCatalog(base_dir, on_malformed=on_malformed),
+            **kwargs,
+        )
 
     @classmethod
     def in_memory(
         cls,
         collections: dict[str, list[list[str]]] | None = None,
         documents: dict[str, str] | None = None,
+        on_malformed: str = "fail",
         **kwargs,
     ) -> "JsonProcessor":
         """Processor over in-memory JSON texts (tests, notebooks)."""
-        return cls(source=InMemorySource(collections, documents), **kwargs)
+        return cls(
+            source=InMemorySource(collections, documents, on_malformed=on_malformed),
+            **kwargs,
+        )
 
     # -- query API ---------------------------------------------------------------
 

@@ -1,0 +1,294 @@
+"""Deterministic, seedable fault injection for partitioned scans.
+
+A :class:`FaultPlan` describes which partitions misbehave and how:
+raise a transient error for the first *n* attempts, raise permanently,
+run slow (a straggler delay charged to the simulated clock), or corrupt
+a fraction of the records they scan.  ``plan.wrap(source)`` returns a
+:class:`FaultInjectingSource` that implements the
+:class:`~repro.algebra.context.DataSource` protocol and injects the
+plan's faults on the way through — the engine under test cannot tell an
+injected fault from a real one.
+
+Every decision is a pure function of the plan's seed (via CRC32, never
+``hash()``), so two runs of the same plan inject byte-identical faults;
+only the transient-attempt counters are stateful, and :meth:`FaultPlan.reset`
+rewinds them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import JsonSyntaxError, RuntimeExecutionError
+from repro.jsonlib.path import Path
+from repro.resilience.retry import stable_seed
+
+
+class InjectedFaultError(RuntimeExecutionError):
+    """Base class for errors raised by fault injection."""
+
+    retryable = True
+
+
+class TransientFaultError(InjectedFaultError):
+    """An injected fault that goes away after a bounded number of attempts."""
+
+    retryable = True
+
+
+class PermanentFaultError(InjectedFaultError):
+    """An injected fault that never goes away; retrying cannot help."""
+
+    retryable = False
+
+
+class CorruptRecordError(JsonSyntaxError):
+    """An injected corrupt record, surfaced as malformed JSON."""
+
+
+def _normalize(name: str) -> str:
+    return "/" + name.strip("/")
+
+
+@dataclass
+class PartitionFault:
+    """One partition's injected failure behaviour."""
+
+    partition: int
+    collection: str | None  # None matches any collection
+    permanent: bool
+    failures: int  # attempts that fail (ignored when permanent)
+    message: str
+
+    def matches(self, collection: str, partition: int) -> bool:
+        if self.partition != partition:
+            return False
+        return self.collection is None or self.collection == collection
+
+
+@dataclass
+class CorruptionFault:
+    """A fraction of one partition's records surfaced as corrupt."""
+
+    partition: int
+    collection: str | None
+    fraction: float
+
+    def matches(self, collection: str, partition: int) -> bool:
+        if self.partition != partition:
+            return False
+        return self.collection is None or self.collection == collection
+
+
+class FaultPlan:
+    """A seeded schedule of faults to inject into a data source."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._failures: list[PartitionFault] = []
+        self._corruptions: list[CorruptionFault] = []
+        self._delays: dict[int, float] = {}
+        self._attempts: dict[tuple[str, int], int] = {}
+
+    # -- declaring faults -------------------------------------------------------
+
+    def fail_partition(
+        self,
+        partition: int,
+        times: int = 1,
+        permanent: bool = False,
+        collection: str | None = None,
+        message: str | None = None,
+    ) -> "FaultPlan":
+        """Make *partition* raise on its first *times* attempts (or always)."""
+        if message is None:
+            kind = "permanent" if permanent else "transient"
+            message = f"injected {kind} fault on partition {partition}"
+        self._failures.append(
+            PartitionFault(
+                partition,
+                None if collection is None else _normalize(collection),
+                permanent,
+                times,
+                message,
+            )
+        )
+        return self
+
+    def delay_partition(self, partition: int, seconds: float) -> "FaultPlan":
+        """Make *partition* a straggler: charge *seconds* per attempt."""
+        self._delays[partition] = self._delays.get(partition, 0.0) + seconds
+        return self
+
+    def corrupt_records(
+        self, partition: int, fraction: float, collection: str | None = None
+    ) -> "FaultPlan":
+        """Corrupt a deterministic *fraction* of *partition*'s records."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction!r}")
+        self._corruptions.append(
+            CorruptionFault(
+                partition,
+                None if collection is None else _normalize(collection),
+                fraction,
+            )
+        )
+        return self
+
+    def reset(self) -> None:
+        """Rewind the transient-attempt counters (for repeat runs)."""
+        self._attempts.clear()
+
+    # -- injection hooks --------------------------------------------------------
+
+    def begin_attempt(self, collection: str, partition: int | None) -> None:
+        """Count an attempt on (collection, partition); raise if a fault is due.
+
+        Faults are partition-scoped: scans over all partitions at once
+        (``partition=None``, the global strategy) pass through untouched.
+        """
+        if partition is None:
+            return
+        collection = _normalize(collection)
+        key = (collection, partition)
+        attempt = self._attempts.get(key, 0) + 1
+        self._attempts[key] = attempt
+        for fault in self._failures:
+            if not fault.matches(collection, partition):
+                continue
+            if fault.permanent:
+                raise PermanentFaultError(fault.message)
+            if attempt <= fault.failures:
+                raise TransientFaultError(
+                    f"{fault.message} (attempt {attempt} of {fault.failures})"
+                )
+
+    def should_corrupt(
+        self, collection: str, partition: int | None, index: int
+    ) -> bool:
+        """Whether record *index* of (collection, partition) is corrupted.
+
+        Deterministic: depends only on the plan seed and the coordinates.
+        """
+        if partition is None:
+            return False
+        collection = _normalize(collection)
+        for fault in self._corruptions:
+            if not fault.matches(collection, partition):
+                continue
+            if fault.fraction >= 1.0:
+                return True
+            draw = stable_seed("corrupt", self.seed, collection, partition, index)
+            if (draw % 1_000_000) / 1_000_000.0 < fault.fraction:
+                return True
+        return False
+
+    def injected_delay(self, partition: int | None) -> float:
+        """Straggler seconds charged to *partition* per attempt."""
+        if partition is None:
+            return 0.0
+        return self._delays.get(partition, 0.0)
+
+    def wrap(self, source) -> "FaultInjectingSource":
+        """A :class:`FaultInjectingSource` injecting this plan into *source*."""
+        return FaultInjectingSource(self, source)
+
+
+class FaultInjectingSource:
+    """DataSource wrapper that injects a :class:`FaultPlan`'s faults.
+
+    Partition failures raise at scan start; corrupt records either raise
+    a :class:`CorruptRecordError` or — when the wrapped source's
+    ``on_malformed`` policy is ``skip_record`` — are dropped and recorded
+    in the attached degradation report, exactly like a really-malformed
+    record would be.
+    """
+
+    def __init__(self, plan: FaultPlan, source):
+        self.plan = plan
+        self._source = source
+        self._report = None
+
+    # -- resilience wiring ------------------------------------------------------
+
+    @property
+    def on_malformed(self) -> str:
+        return getattr(self._source, "on_malformed", "fail")
+
+    def attach_degradation(self, report) -> None:
+        """Attach (or detach, with None) the per-query degradation report."""
+        self._report = report
+        attach = getattr(self._source, "attach_degradation", None)
+        if attach is not None:
+            attach(report)
+
+    def injected_delay(self, partition: int | None) -> float:
+        return self.plan.injected_delay(partition)
+
+    # -- DataSource protocol ----------------------------------------------------
+
+    def partition_count(self, name: str) -> int:
+        return self._source.partition_count(name)
+
+    def files(self, name: str, partition: int | None = None):
+        return self._source.files(name, partition)
+
+    def total_bytes(self, name: str, partition: int | None = None) -> int:
+        return self._source.total_bytes(name, partition)
+
+    def read_document(self, uri: str):
+        return self._source.read_document(uri)
+
+    def read_collection(self, name: str, partition: int | None = None) -> list:
+        self.plan.begin_attempt(name, partition)
+        items = self._source.read_collection(name, partition)
+        return [
+            item
+            for index, item in enumerate(items)
+            if not self._corrupted(name, partition, index)
+        ]
+
+    def scan_collection(
+        self, name: str, path: Path, partition: int | None = None
+    ) -> Iterator:
+        # A generator, so the fault raises when the scan is *pulled*
+        # (inside the executor's per-partition attempt), not when the
+        # plan is built.
+        self.plan.begin_attempt(name, partition)
+        for index, item in enumerate(
+            self._source.scan_collection(name, path, partition)
+        ):
+            if self._corrupted(name, partition, index):
+                continue
+            yield item
+
+    def stream_collection(
+        self, name: str, path: Path, partition: int | None = None
+    ) -> Iterator:
+        self.plan.begin_attempt(name, partition)
+        for index, item in enumerate(
+            self._source.stream_collection(name, path, partition)
+        ):
+            if self._corrupted(name, partition, index):
+                continue
+            yield item
+
+    # -- internals --------------------------------------------------------------
+
+    def _corrupted(self, name: str, partition: int | None, index: int) -> bool:
+        """Apply the on-malformed policy to an injected-corrupt record.
+
+        Returns True when the record must be dropped; raises when the
+        policy is not ``skip_record``.
+        """
+        if not self.plan.should_corrupt(name, partition, index):
+            return False
+        message = f"injected corrupt record {index}"
+        if self.on_malformed == "skip_record":
+            if self._report is not None:
+                self._report.record_skipped_record(
+                    f"{_normalize(name)}[partition {partition}]", index, message
+                )
+            return True
+        raise CorruptRecordError(message, offset=index)

@@ -1,0 +1,162 @@
+"""Graceful-degradation reporting.
+
+A :class:`DegradationReport` accumulates everything a query execution
+survived rather than computed: partitions skipped after exhausted
+retries, records and files dropped by an ``on_malformed`` policy, and
+every retry that was charged to the simulated clock.  It hangs off
+:class:`~repro.hyracks.executor.QueryResult` so callers can distinguish
+a complete answer from a degraded one.
+
+Everything recorded here is deterministic under a fixed fault seed: no
+wall-clock values, no unordered containers.  ``to_dict`` therefore
+serializes byte-identically across runs of the same faulty scenario,
+which ``tools/check_determinism.py`` exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+
+@dataclass(frozen=True)
+class SkippedPartition:
+    """A partition dropped from the result."""
+
+    partition: int
+    collections: tuple[str, ...]
+    attempts: int
+    message: str
+
+
+@dataclass(frozen=True)
+class SkippedRecord:
+    """A single malformed (or injected-corrupt) record dropped by a scan."""
+
+    source: str
+    offset: int | None
+    message: str
+
+
+@dataclass(frozen=True)
+class SkippedFile:
+    """A whole file dropped by the ``skip_file`` policy."""
+
+    file_path: str
+    message: str
+
+
+@dataclass(frozen=True)
+class RetryEvent:
+    """One retry of a failed partition, with its simulated backoff."""
+
+    partition: int
+    attempt: int
+    backoff_seconds: float
+    message: str
+
+
+@dataclass
+class DegradationReport:
+    """What a query execution skipped, retried, and survived."""
+
+    skipped_partitions: list[SkippedPartition] = field(default_factory=list)
+    skipped_records: list[SkippedRecord] = field(default_factory=list)
+    skipped_files: list[SkippedFile] = field(default_factory=list)
+    retries: list[RetryEvent] = field(default_factory=list)
+
+    def __post_init__(self):
+        # Dedup keys: a retried partition attempt may re-skip the same
+        # record/file; the degradation it causes is still one skip.
+        self._seen_records: set = set()
+        self._seen_files: set = set()
+
+    # -- recording ------------------------------------------------------------
+
+    def record_skipped_partition(
+        self,
+        partition: int,
+        collections: tuple[str, ...],
+        attempts: int,
+        cause: Exception,
+    ) -> None:
+        self.skipped_partitions.append(
+            SkippedPartition(partition, tuple(collections), attempts, str(cause))
+        )
+
+    def record_skipped_record(
+        self, source: str, offset: int | None, message: str
+    ) -> None:
+        key = (source, offset)
+        if key in self._seen_records:
+            return
+        self._seen_records.add(key)
+        self.skipped_records.append(SkippedRecord(source, offset, message))
+
+    def record_skipped_file(self, file_path: str, cause: Exception) -> None:
+        if file_path in self._seen_files:
+            return
+        self._seen_files.add(file_path)
+        self.skipped_files.append(SkippedFile(file_path, str(cause)))
+
+    def record_retry(
+        self, partition: int, attempt: int, backoff_seconds: float, cause: Exception
+    ) -> None:
+        self.retries.append(
+            RetryEvent(partition, attempt, backoff_seconds, str(cause))
+        )
+
+    def record_skip(self, source: str, offset: int | None, message: str) -> None:
+        """Callback-shaped alias used by the jsonlib scanners."""
+        self.record_skipped_record(source, offset, message)
+
+    # -- inspection -----------------------------------------------------------
+
+    @property
+    def is_partial(self) -> bool:
+        """True when the result is missing data (not merely retried)."""
+        return bool(
+            self.skipped_partitions or self.skipped_records or self.skipped_files
+        )
+
+    @property
+    def is_degraded(self) -> bool:
+        """True when anything at all was skipped or retried."""
+        return self.is_partial or bool(self.retries)
+
+    @property
+    def retry_count(self) -> int:
+        return len(self.retries)
+
+    @property
+    def warnings(self) -> list[str]:
+        """Human-readable degradation summary, one line per event."""
+        lines: list[str] = []
+        for skip in self.skipped_partitions:
+            names = ", ".join(skip.collections) or "<unknown>"
+            lines.append(
+                f"skipped partition {skip.partition} of {names} after "
+                f"{skip.attempts} attempt(s): {skip.message}"
+            )
+        for rec in self.skipped_records:
+            at = f" at offset {rec.offset}" if rec.offset is not None else ""
+            lines.append(f"skipped record in {rec.source}{at}: {rec.message}")
+        for skipped_file in self.skipped_files:
+            lines.append(
+                f"skipped file {skipped_file.file_path}: {skipped_file.message}"
+            )
+        for retry in self.retries:
+            lines.append(
+                f"retried partition {retry.partition} (attempt {retry.attempt}, "
+                f"backoff {retry.backoff_seconds:.6f}s): {retry.message}"
+            )
+        return lines
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable, deterministically ordered view."""
+        return {
+            "partial": self.is_partial,
+            "skipped_partitions": [asdict(s) for s in self.skipped_partitions],
+            "skipped_records": [asdict(s) for s in self.skipped_records],
+            "skipped_files": [asdict(s) for s in self.skipped_files],
+            "retries": [asdict(r) for r in self.retries],
+        }

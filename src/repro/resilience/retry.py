@@ -1,0 +1,55 @@
+"""Retry policy with deterministic exponential backoff.
+
+Backoff is charged to the **simulated clock** — the executor adds it to
+a partition's injected seconds so :meth:`ClusterSpec.makespan
+<repro.hyracks.cluster.ClusterSpec.makespan>` accounts for retry time —
+and never slept for real.  Jitter comes from a seeded RNG keyed on
+``(seed, attempt)`` so two runs of the same faulty scenario charge
+byte-identical backoff.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass
+
+
+def stable_seed(*parts) -> int:
+    """A process-stable integer seed from arbitrary printable parts.
+
+    Python's ``hash()`` of strings is randomized per process, so every
+    seeded decision in this package derives from CRC32 instead.
+    """
+    return zlib.crc32(":".join(str(part) for part in parts).encode("utf-8"))
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How (and how often) a failed partition is re-executed.
+
+    ``max_attempts`` counts the first try: the default of 3 means one
+    initial attempt plus up to two retries.  The backoff before retry
+    *n* is ``base_backoff_seconds * multiplier**(n - 1)``, inflated by a
+    deterministic jitter of up to ``jitter`` (a fraction).
+    """
+
+    max_attempts: int = 3
+    base_backoff_seconds: float = 0.05
+    multiplier: float = 2.0
+    jitter: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.base_backoff_seconds < 0 or self.jitter < 0:
+            raise ValueError("backoff and jitter must be non-negative")
+
+    def backoff_seconds(self, attempt: int) -> float:
+        """Simulated backoff charged before retrying after failure *attempt*."""
+        base = self.base_backoff_seconds * self.multiplier ** (attempt - 1)
+        if not self.jitter:
+            return base
+        rng = random.Random(stable_seed("backoff", self.seed, attempt))
+        return base * (1.0 + self.jitter * rng.random())

@@ -1,0 +1,214 @@
+"""Scan-level on_malformed policies across the data layer.
+
+Covers the raw-text scanner's resync, parse_many_resilient, both
+catalogs, the event projector's truncation, and the registration
+bugfixes (empty partitions, empty base dirs).
+"""
+
+import pytest
+
+from repro.data.catalog import CollectionCatalog, InMemorySource
+from repro.errors import FileScanError, JsonSyntaxError, ReproError
+from repro.jsonlib.parser import parse_many_resilient
+from repro.jsonlib.path import Path, parse_path
+from repro.jsonlib.textscan import scan_text
+from repro.resilience import DegradationReport
+
+GOOD = '{"v": 1}\n{"v": 2}\n{"v": 3}\n'
+BAD_MIDDLE = '{"v": 1}\n{"v": oops}\n{"v": 3}\n'
+
+
+class TestScanTextSkipRecord:
+    def test_fail_is_default(self):
+        with pytest.raises(JsonSyntaxError):
+            list(scan_text(BAD_MIDDLE, parse_path('("v")')))
+
+    def test_skip_record_resyncs_at_newline(self):
+        items = list(
+            scan_text(BAD_MIDDLE, parse_path('("v")'), on_malformed="skip_record")
+        )
+        assert items == [1, 3]
+
+    def test_skip_record_records_offsets(self):
+        skips = []
+        list(
+            scan_text(
+                BAD_MIDDLE,
+                parse_path('("v")'),
+                on_malformed="skip_record",
+                recorder=lambda offset, message: skips.append((offset, message)),
+            )
+        )
+        assert len(skips) == 1
+        offset, message = skips[0]
+        assert offset == BAD_MIDDLE.index('{"v": oops}')
+        assert "oops"[0] in message  # mentions the unexpected character
+
+    def test_no_trailing_newline(self):
+        text = '{"v": 1}\n{"v":'
+        items = list(
+            scan_text(text, parse_path('("v")'), on_malformed="skip_record")
+        )
+        assert items == [1]
+
+    def test_garbage_only(self):
+        items = list(scan_text("!!!\n???", Path(), on_malformed="skip_record"))
+        assert items == []
+
+    def test_clean_text_unaffected(self):
+        assert list(
+            scan_text(GOOD, parse_path('("v")'), on_malformed="skip_record")
+        ) == list(scan_text(GOOD, parse_path('("v")')))
+
+
+class TestParseManyResilient:
+    def test_equivalent_on_clean_input(self):
+        assert parse_many_resilient(GOOD) == [{"v": 1}, {"v": 2}, {"v": 3}]
+
+    def test_skips_malformed_values(self):
+        items = parse_many_resilient(BAD_MIDDLE, on_malformed="skip_record")
+        assert items == [{"v": 1}, {"v": 3}]
+
+
+@pytest.fixture
+def faulty_dir(tmp_path):
+    base = tmp_path / "data"
+    part = base / "events" / "partition0"
+    part.mkdir(parents=True)
+    (part / "good.json").write_text(GOOD, encoding="utf-8")
+    (part / "bad.json").write_text(BAD_MIDDLE, encoding="utf-8")
+    return base
+
+
+class TestCollectionCatalogPolicies:
+    def test_fail_wraps_with_file_path(self, faulty_dir):
+        catalog = CollectionCatalog(str(faulty_dir))
+        with pytest.raises(FileScanError) as excinfo:
+            list(catalog.scan_collection("/events", parse_path('("v")')))
+        assert excinfo.value.file_path.endswith("bad.json")
+        assert isinstance(excinfo.value.__cause__, JsonSyntaxError)
+
+    def test_read_collection_fail_wraps_with_file_path(self, faulty_dir):
+        catalog = CollectionCatalog(str(faulty_dir))
+        with pytest.raises(FileScanError) as excinfo:
+            catalog.read_collection("/events")
+        assert excinfo.value.file_path.endswith("bad.json")
+
+    def test_skip_record_survives_and_records(self, faulty_dir):
+        catalog = CollectionCatalog(str(faulty_dir), on_malformed="skip_record")
+        report = DegradationReport()
+        catalog.attach_degradation(report)
+        items = list(catalog.scan_collection("/events", parse_path('("v")')))
+        assert items == [1, 3, 1, 2, 3]  # bad.json sorts before good.json
+        assert len(report.skipped_records) == 1
+        assert report.skipped_records[0].source.endswith("bad.json")
+        assert report.is_partial
+
+    def test_skip_file_drops_whole_file(self, faulty_dir):
+        catalog = CollectionCatalog(str(faulty_dir), on_malformed="skip_file")
+        report = DegradationReport()
+        catalog.attach_degradation(report)
+        items = list(catalog.scan_collection("/events", parse_path('("v")')))
+        # bad.json (entirely dropped) sorts before good.json
+        assert items == [1, 2, 3]
+        assert len(report.skipped_files) == 1
+        assert report.skipped_files[0].file_path.endswith("bad.json")
+
+    def test_read_collection_skip_record(self, faulty_dir):
+        catalog = CollectionCatalog(str(faulty_dir), on_malformed="skip_record")
+        items = catalog.read_collection("/events")
+        assert {"v": 2} in items and len(items) == 5
+
+    def test_stream_collection_truncates_broken_file(self, faulty_dir):
+        catalog = CollectionCatalog(str(faulty_dir), on_malformed="skip_record")
+        report = DegradationReport()
+        catalog.attach_degradation(report)
+        items = list(catalog.stream_collection("/events", parse_path('("v")')))
+        # The event projector cannot resync: bad.json is truncated from
+        # the chunk containing the error (here: the whole small file),
+        # and good.json is untouched.
+        assert items == [1, 2, 3]
+        assert len(report.skipped_files) == 1
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            CollectionCatalog(on_malformed="explode")
+
+    def test_unattached_skips_do_not_crash(self, faulty_dir):
+        catalog = CollectionCatalog(str(faulty_dir), on_malformed="skip_record")
+        items = list(catalog.scan_collection("/events", parse_path('("v")')))
+        assert items  # skips simply go unrecorded
+
+
+class TestRegistrationValidation:
+    def test_empty_partition_dir_raises(self, tmp_path):
+        empty = tmp_path / "c" / "partition0"
+        empty.mkdir(parents=True)
+        catalog = CollectionCatalog()
+        with pytest.raises(ReproError, match="partition0"):
+            catalog.register_directory("/c", str(tmp_path / "c"))
+
+    def test_one_empty_among_full_partitions_raises(self, tmp_path):
+        base = tmp_path / "c"
+        (base / "partition0").mkdir(parents=True)
+        (base / "partition0" / "a.json").write_text("1", encoding="utf-8")
+        (base / "partition1").mkdir()
+        catalog = CollectionCatalog()
+        with pytest.raises(ReproError, match="partition1"):
+            catalog.register_directory("/c", str(base))
+
+    def test_flat_dir_without_json_raises(self, tmp_path):
+        flat = tmp_path / "flat"
+        flat.mkdir()
+        (flat / "README.txt").write_text("no data", encoding="utf-8")
+        catalog = CollectionCatalog()
+        with pytest.raises(ReproError, match="flat"):
+            catalog.register_directory("/flat", str(flat))
+
+    def test_discover_empty_base_dir_raises(self, tmp_path):
+        with pytest.raises(ReproError, match=str(tmp_path)):
+            CollectionCatalog(str(tmp_path))
+
+
+class TestInMemorySourcePolicies:
+    def _source(self, on_malformed):
+        return InMemorySource(
+            {"/events": [[GOOD], [BAD_MIDDLE]]}, on_malformed=on_malformed
+        )
+
+    def test_fail_wraps_with_label(self):
+        source = self._source("fail")
+        with pytest.raises(FileScanError) as excinfo:
+            list(source.scan_collection("/events", parse_path('("v")')))
+        assert "partition 1" in str(excinfo.value)
+
+    def test_skip_record(self):
+        source = self._source("skip_record")
+        report = DegradationReport()
+        source.attach_degradation(report)
+        items = list(source.scan_collection("/events", parse_path('("v")')))
+        assert items == [1, 2, 3, 1, 3]
+        assert len(report.skipped_records) == 1
+        assert "partition 1" in report.skipped_records[0].source
+
+    def test_skip_file(self):
+        source = self._source("skip_file")
+        report = DegradationReport()
+        source.attach_degradation(report)
+        items = list(source.scan_collection("/events", parse_path('("v")')))
+        assert items == [1, 2, 3]
+        assert len(report.skipped_files) == 1
+
+    def test_read_collection_policies(self):
+        assert self._source("skip_record").read_collection("/events") == [
+            {"v": 1},
+            {"v": 2},
+            {"v": 3},
+            {"v": 1},
+            {"v": 3},
+        ]
+        assert self._source("skip_file").read_collection("/events") == [
+            {"v": 1},
+            {"v": 2},
+            {"v": 3},
+        ]

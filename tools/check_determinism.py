@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Check that fault-injected executions degrade deterministically.
+
+Runs a battery of fault-injection scenarios twice each and diffs the
+serialized degradation reports (and result items): under a fixed seed,
+both runs must be byte-identical.  Exits non-zero on any mismatch.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_determinism.py
+"""
+
+from __future__ import annotations
+
+import difflib
+import json
+import sys
+
+from repro import (
+    FaultPlan,
+    InMemorySource,
+    JsonProcessor,
+    ResilienceConfig,
+    RetryPolicy,
+)
+
+PARTITIONS = 4
+RECORDS = 120
+QUERY = 'for $r in collection("/events") return $r("v")'
+COUNT_QUERY = 'count(for $r in collection("/events") return $r)'
+
+
+def make_source(on_malformed: str) -> InMemorySource:
+    collections = {
+        "/events": [
+            ["\n".join(json.dumps({"v": p * 1000 + i}) for i in range(RECORDS))]
+            for p in range(PARTITIONS)
+        ]
+    }
+    return InMemorySource(collections, on_malformed=on_malformed)
+
+
+def scenario_retry_and_corruption(seed: int):
+    plan = FaultPlan(seed=seed)
+    plan.fail_partition(2, times=2)
+    plan.corrupt_records(1, fraction=0.02)
+    config = ResilienceConfig(
+        partition_policy="retry", retry=RetryPolicy(max_attempts=3, seed=seed)
+    )
+    return make_source("skip_record"), plan, config, QUERY
+
+
+def scenario_skip_partition(seed: int):
+    plan = FaultPlan(seed=seed)
+    plan.fail_partition(0, permanent=True)
+    config = ResilienceConfig(partition_policy="skip_partition")
+    return make_source("fail"), plan, config, COUNT_QUERY
+
+
+def scenario_exhausted_degrades(seed: int):
+    plan = FaultPlan(seed=seed)
+    plan.fail_partition(3, times=10)
+    plan.delay_partition(1, 0.25)
+    config = ResilienceConfig(
+        partition_policy="retry",
+        retry=RetryPolicy(max_attempts=3, seed=seed),
+        on_exhausted="skip",
+    )
+    return make_source("skip_record"), plan, config, QUERY
+
+
+SCENARIOS = {
+    "retry+corruption": scenario_retry_and_corruption,
+    "skip_partition": scenario_skip_partition,
+    "retry-exhausted+straggler": scenario_exhausted_degrades,
+}
+
+
+def run_once(factory, seed: int) -> str:
+    source, plan, config, query = factory(seed)
+    processor = JsonProcessor(source=source, fault_plan=plan, resilience=config)
+    result = processor.execute(query)
+    payload = {
+        "items": result.items,
+        "strategy": result.strategy,
+        "injected_seconds": result.injected_seconds,
+        "degradation": result.degradation.to_dict(),
+    }
+    return json.dumps(payload, sort_keys=True, indent=2)
+
+
+def main() -> int:
+    failures = 0
+    for name, factory in SCENARIOS.items():
+        first = run_once(factory, seed=7)
+        second = run_once(factory, seed=7)
+        if first == second:
+            print(f"OK   {name}: degradation report byte-identical")
+            continue
+        failures += 1
+        print(f"FAIL {name}: reports differ between runs")
+        diff = difflib.unified_diff(
+            first.splitlines(), second.splitlines(), "run1", "run2", lineterm=""
+        )
+        for line in list(diff)[:40]:
+            print(f"  {line}")
+    if failures:
+        print(f"{failures} scenario(s) were non-deterministic")
+        return 1
+    print("all scenarios deterministic")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
