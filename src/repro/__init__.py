@@ -33,6 +33,11 @@ from repro.compiler.pipeline import CompiledQuery, compile_query
 from repro.data.catalog import CollectionCatalog, InMemorySource
 from repro.data.generator import SensorDataConfig, write_sensor_collection
 from repro.errors import ReproError
+from repro.hyracks.backends import (
+    ProcessBackend,
+    SequentialBackend,
+    ThreadBackend,
+)
 from repro.hyracks.cluster import ClusterSpec
 from repro.hyracks.executor import QueryResult
 from repro.processor import JsonProcessor
@@ -53,12 +58,15 @@ __all__ = [
     "FaultPlan",
     "InMemorySource",
     "JsonProcessor",
+    "ProcessBackend",
     "QueryResult",
     "ReproError",
     "ResilienceConfig",
     "RetryPolicy",
     "RewriteConfig",
     "SensorDataConfig",
+    "SequentialBackend",
+    "ThreadBackend",
     "compile_query",
     "write_sensor_collection",
     "__version__",

@@ -22,6 +22,7 @@ one query into its :class:`~repro.resilience.report.DegradationReport`.
 from __future__ import annotations
 
 import os
+import threading
 from typing import Iterator
 
 from repro.errors import FileScanError, JsonError, ReproError
@@ -44,19 +45,36 @@ class CollectionCatalog:
     def __init__(self, base_dir: str | None = None, on_malformed: str = "fail"):
         self._collections: dict[str, list[list[str]]] = {}
         self.on_malformed = validate_on_malformed(on_malformed)
-        self._report = None
+        self._local = threading.local()
         if base_dir is not None:
             self.discover(base_dir)
 
     # -- resilience wiring -------------------------------------------------------
 
+    @property
+    def _report(self):
+        return getattr(self._local, "report", None)
+
     def attach_degradation(self, report) -> None:
         """Attach (or detach, with None) a degradation report.
 
         While attached, records and files skipped under a non-``fail``
-        ``on_malformed`` policy are recorded on *report*.
+        ``on_malformed`` policy are recorded on *report*.  The
+        attachment is **per thread**, so parallel execution backends can
+        give every partition worker its own report without racing.
         """
-        self._report = report
+        self._local.report = report
+
+    def __getstate__(self):
+        # The report attachment is per-thread runtime state; a pickled
+        # catalog (a process-backend work unit) starts detached.
+        state = self.__dict__.copy()
+        del state["_local"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._local = threading.local()
 
     def _record_skipped_record(
         self, file_path: str, offset: int | None, message: str
@@ -270,11 +288,24 @@ class InMemorySource:
         }
         self._documents = dict(documents or {})
         self.on_malformed = validate_on_malformed(on_malformed)
-        self._report = None
+        self._local = threading.local()
+
+    @property
+    def _report(self):
+        return getattr(self._local, "report", None)
 
     def attach_degradation(self, report) -> None:
-        """Attach (or detach, with None) a degradation report."""
-        self._report = report
+        """Attach (or detach, with None) a degradation report (per thread)."""
+        self._local.report = report
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_local"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._local = threading.local()
 
     def add_document(self, uri: str, text: str) -> None:
         """Register a document text under *uri*."""

@@ -13,6 +13,23 @@ class ReproError(Exception):
     """Base class for all errors raised by the repro package."""
 
 
+class _PickleByInitArgs:
+    """Mixin for exceptions whose ``__init__`` composes the message.
+
+    The default exception pickling reconstructs via ``Cls(*self.args)``,
+    but ``args`` holds the *composed* message, not the original
+    constructor arguments — so a class like
+    ``FileScanError(file_path, cause)`` would fail to unpickle (or
+    double-compose its message).  Classes using this mixin record their
+    raw constructor arguments in ``self._init_args`` and round-trip
+    through them, which is what lets the process execution backend ship
+    errors across worker boundaries.
+    """
+
+    def __reduce__(self):
+        return (type(self), self._init_args)
+
+
 # ---------------------------------------------------------------------------
 # JSON data layer
 # ---------------------------------------------------------------------------
@@ -22,7 +39,7 @@ class JsonError(ReproError):
     """Base class for errors in the JSON data substrate."""
 
 
-class JsonSyntaxError(JsonError):
+class JsonSyntaxError(_PickleByInitArgs, JsonError):
     """Malformed JSON text.
 
     Attributes
@@ -32,6 +49,7 @@ class JsonSyntaxError(JsonError):
     """
 
     def __init__(self, message: str, offset: int | None = None):
+        self._init_args = (message, offset)
         if offset is not None:
             message = f"{message} (at offset {offset})"
         super().__init__(message)
@@ -50,7 +68,7 @@ class ItemTypeError(JsonError):
     """A JSONiq navigation or function was applied to the wrong item type."""
 
 
-class FileScanError(JsonError):
+class FileScanError(_PickleByInitArgs, JsonError):
     """A JSON file could not be scanned.
 
     Wraps the underlying :class:`JsonError` (available as ``__cause__``)
@@ -59,6 +77,7 @@ class FileScanError(JsonError):
     """
 
     def __init__(self, file_path: str, cause: Exception):
+        self._init_args = (file_path, cause)
         super().__init__(f"error scanning {file_path!r}: {cause}")
         self.file_path = file_path
 
@@ -72,20 +91,22 @@ class QueryError(ReproError):
     """Base class for errors in the JSONiq frontend."""
 
 
-class LexerError(QueryError):
+class LexerError(_PickleByInitArgs, QueryError):
     """Query text could not be tokenized."""
 
     def __init__(self, message: str, position: int | None = None):
+        self._init_args = (message, position)
         if position is not None:
             message = f"{message} (at position {position})"
         super().__init__(message)
         self.position = position
 
 
-class ParseError(QueryError):
+class ParseError(_PickleByInitArgs, QueryError):
     """Query token stream did not match the grammar."""
 
     def __init__(self, message: str, position: int | None = None):
+        self._init_args = (message, position)
         if position is not None:
             message = f"{message} (at position {position})"
         super().__init__(message)
@@ -96,19 +117,21 @@ class TranslationError(QueryError):
     """The AST could not be translated into a logical plan."""
 
 
-class UnknownFunctionError(QueryError):
+class UnknownFunctionError(_PickleByInitArgs, QueryError):
     """A query referenced a function that is not in the builtin library."""
 
     def __init__(self, name: str, arity: int):
+        self._init_args = (name, arity)
         super().__init__(f"unknown function: {name}#{arity}")
         self.name = name
         self.arity = arity
 
 
-class UnboundVariableError(QueryError):
+class UnboundVariableError(_PickleByInitArgs, QueryError):
     """A query referenced a variable that is not in scope."""
 
     def __init__(self, name: str):
+        self._init_args = (name,)
         super().__init__(f"unbound variable: ${name}")
         self.name = name
 
@@ -135,7 +158,7 @@ class RuntimeExecutionError(ReproError):
     """Base class for errors raised while executing a physical job."""
 
 
-class FrameOverflowError(RuntimeExecutionError):
+class FrameOverflowError(_PickleByInitArgs, RuntimeExecutionError):
     """A single tuple exceeded the fixed frame size.
 
     Mirrors Hyracks' dataflow frame size restriction discussed in
@@ -143,6 +166,7 @@ class FrameOverflowError(RuntimeExecutionError):
     """
 
     def __init__(self, tuple_bytes: int, frame_bytes: int):
+        self._init_args = (tuple_bytes, frame_bytes)
         super().__init__(
             f"tuple of {tuple_bytes} bytes does not fit in a "
             f"{frame_bytes}-byte frame"
@@ -151,10 +175,11 @@ class FrameOverflowError(RuntimeExecutionError):
         self.frame_bytes = frame_bytes
 
 
-class MemoryBudgetExceededError(RuntimeExecutionError):
+class MemoryBudgetExceededError(_PickleByInitArgs, RuntimeExecutionError):
     """An operator (or engine) exceeded its memory budget."""
 
     def __init__(self, used_bytes: int, budget_bytes: int, context: str = ""):
+        self._init_args = (used_bytes, budget_bytes, context)
         where = f" in {context}" if context else ""
         super().__init__(
             f"memory budget exceeded{where}: used {used_bytes} bytes, "
@@ -168,7 +193,7 @@ class TypeCheckError(RuntimeExecutionError):
     """A ``treat`` assertion failed at runtime."""
 
 
-class PartitionExecutionError(RuntimeExecutionError):
+class PartitionExecutionError(_PickleByInitArgs, RuntimeExecutionError):
     """A partition of a partitioned job failed.
 
     Wraps the underlying error (available as ``__cause__``) and carries
@@ -185,6 +210,7 @@ class PartitionExecutionError(RuntimeExecutionError):
         file_path: str | None = None,
         attempts: int = 1,
     ):
+        self._init_args = (partition, cause, collections, file_path, attempts)
         where = f"partition {partition}"
         if collections:
             where += " of collection " + ", ".join(
@@ -198,6 +224,10 @@ class PartitionExecutionError(RuntimeExecutionError):
         self.collections = tuple(collections)
         self.file_path = file_path
         self.attempts = attempts
+        # Set in __init__ (not via ``raise ... from``) so the chain
+        # survives a pickle round-trip through a process-pool worker:
+        # __reduce__ re-runs __init__, which restores __cause__ here.
+        self.__cause__ = cause
 
 
 # ---------------------------------------------------------------------------
@@ -209,7 +239,7 @@ class BaselineError(ReproError):
     """Base class for errors raised by the simulated comparison systems."""
 
 
-class DocumentTooLargeError(BaselineError):
+class DocumentTooLargeError(_PickleByInitArgs, BaselineError):
     """A document exceeded the document store's size limit.
 
     Mirrors MongoDB's 16 MB document limit that makes the naive Q2 join
@@ -217,6 +247,7 @@ class DocumentTooLargeError(BaselineError):
     """
 
     def __init__(self, doc_bytes: int, limit_bytes: int):
+        self._init_args = (doc_bytes, limit_bytes)
         super().__init__(
             f"document of {doc_bytes} bytes exceeds the "
             f"{limit_bytes}-byte document limit"

@@ -8,7 +8,22 @@ places partitions on (node, core, hyperthread) slots to compose a
 makespan from really-measured per-partition work.
 """
 
+from repro.hyracks.backends import (
+    ExecutionBackend,
+    ProcessBackend,
+    SequentialBackend,
+    ThreadBackend,
+    resolve_backend,
+)
 from repro.hyracks.cluster import ClusterSpec
 from repro.hyracks.memory import MemoryTracker
 
-__all__ = ["ClusterSpec", "MemoryTracker"]
+__all__ = [
+    "ClusterSpec",
+    "ExecutionBackend",
+    "MemoryTracker",
+    "ProcessBackend",
+    "SequentialBackend",
+    "ThreadBackend",
+    "resolve_backend",
+]

@@ -1,0 +1,572 @@
+"""Pluggable execution backends: real multi-core partition execution.
+
+The paper's headline claim is *parallel* scalable JSON processing —
+partitioned Hyracks jobs running one plan instance per partition
+concurrently.  This module supplies the execution layer that makes the
+partitions actually run in parallel:
+
+- :class:`SequentialBackend` — one partition after another in the
+  calling thread (the default; today's exact behaviour);
+- :class:`ThreadBackend` — partitions on a ``ThreadPoolExecutor``
+  (I/O-bound scans overlap; CPU-bound parsing is still GIL-limited);
+- :class:`ProcessBackend` — partitions on a
+  ``concurrent.futures.ProcessPoolExecutor``, one OS process per
+  worker, which is the configuration that actually uses multiple cores
+  for the pure-Python parser.
+
+Every partition's work travels as a picklable :class:`WorkUnit`
+(serialized plan + data source + partition id + resilience config) and
+comes back as a :class:`PartitionOutcome` carrying that partition's own
+:class:`~repro.hyracks.executor.ExecutionStats`, memory peak, and
+:class:`~repro.resilience.report.DegradationReport`.  The coordinator
+(:class:`~repro.hyracks.executor.PartitionedExecutor`) merges outcomes
+**in partition order**, so results, stats, and degradation reports are
+byte-identical across all three backends — including under injected
+faults, retries, and ``skip_partition`` degradation.
+
+Two behavioural fine points:
+
+- ``fail_fast`` errors are *returned* in the outcome rather than raised
+  inside the worker, and the coordinator raises the first error in
+  partition order — deterministic even when several partitions fail
+  concurrently;
+- under :class:`ProcessBackend` each worker mutates its own *copy* of
+  the data source, so transient-fault attempt counters on a shared
+  :class:`~repro.resilience.faults.FaultPlan` do not accumulate in the
+  parent process across queries (call ``plan.reset()`` between runs,
+  as the sequential backend also requires for repeatability).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+import zlib
+from dataclasses import dataclass, field
+
+from repro.errors import (
+    FileScanError,
+    PartitionExecutionError,
+    ReproError,
+    RuntimeExecutionError,
+)
+from repro.algebra.context import EvaluationContext
+from repro.algebra.operators import Aggregate, DataScan, GroupBy, Join, Operator
+from repro.algebra.plan import LogicalPlan
+from repro.hyracks.aggregates import make_accumulators
+from repro.hyracks.memory import MemoryTracker
+from repro.hyracks.operators import (
+    canonical_key,
+    execute,
+    hash_join,
+    run_chain,
+    run_plan,
+)
+
+
+class BackendError(RuntimeExecutionError):
+    """A backend could not execute (or ship) a partition work unit."""
+
+
+# ---------------------------------------------------------------------------
+# Work descriptions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PipelinedWork:
+    """One full plan instance over the worker's partition."""
+
+    plan: LogicalPlan
+
+    def __call__(self, ctx: EvaluationContext):
+        return run_plan(self.plan, ctx)
+
+
+@dataclass(frozen=True)
+class GroupTableWork:
+    """Partition-local GROUP-BY: fold tuples into an accumulator table."""
+
+    group_by: GroupBy
+
+    def __call__(self, ctx: EvaluationContext):
+        nested = self.group_by.nested_root
+        key_exprs = [expr for _, expr in self.group_by.keys]
+        table: dict = {}
+        for tup in execute(self.group_by.input_op, ctx):
+            key_values = [expr.evaluate(tup, ctx) for expr in key_exprs]
+            key = tuple(canonical_key(v) for v in key_values)
+            state = table.get(key)
+            if state is None:
+                state = (key_values, make_accumulators(nested.specs))
+                table[key] = state
+            for accumulator in state[1]:
+                accumulator.add(tup, ctx)
+        return table
+
+
+@dataclass(frozen=True)
+class TupleStreamWork:
+    """Materialize a subplan's raw tuples (the two-step-disabled path)."""
+
+    op: Operator
+
+    def __call__(self, ctx: EvaluationContext):
+        return list(execute(self.op, ctx))
+
+
+@dataclass(frozen=True)
+class FoldPartialsWork:
+    """Global aggregate: fold a partition into accumulator partials."""
+
+    aggregate: Aggregate
+
+    def __call__(self, ctx: EvaluationContext):
+        accumulators = make_accumulators(self.aggregate.specs)
+        for tup in execute(self.aggregate.input_op, ctx):
+            for accumulator in accumulators:
+                accumulator.add(tup, ctx)
+        return [acc.partial() for acc in accumulators]
+
+
+@dataclass(frozen=True)
+class ExchangeWork:
+    """Join phase 1: scan both sides, hash tuples into bucket lists."""
+
+    join: Join
+    left_keys: tuple
+    right_keys: tuple
+    buckets: int
+
+    def __call__(self, ctx: EvaluationContext):
+        local_left: list[list] = [[] for _ in range(self.buckets)]
+        local_right: list[list] = [[] for _ in range(self.buckets)]
+        exchanged_tuples = 0
+        exchanged_bytes = 0
+        from repro.hyracks.tuples import sizeof_tuple
+
+        for side, keys, target in (
+            (self.join.left, self.left_keys, local_left),
+            (self.join.right, self.right_keys, local_right),
+        ):
+            for tup in execute(side, ctx):
+                key = tuple(
+                    canonical_key(expr.evaluate(tup, ctx)) for expr in keys
+                )
+                target[stable_bucket(key, self.buckets)].append(tup)
+                exchanged_tuples += 1
+                exchanged_bytes += sizeof_tuple(tup)
+        return local_left, local_right, exchanged_tuples, exchanged_bytes
+
+
+@dataclass(frozen=True)
+class JoinBucketWork:
+    """Join phase 2: join one bucket locally, optionally fold a partial."""
+
+    left_rows: tuple
+    right_rows: tuple
+    left_keys: tuple
+    right_keys: tuple
+    residual: object
+    mid_ops: tuple
+    aggregate: Aggregate | None
+
+    def __call__(self, ctx: EvaluationContext):
+        joined = hash_join(
+            iter(self.left_rows),
+            iter(self.right_rows),
+            list(self.left_keys),
+            list(self.right_keys),
+            self.residual,
+            ctx,
+        )
+        stream = run_chain(list(self.mid_ops), joined, ctx)
+        if self.aggregate is not None:
+            accumulators = make_accumulators(self.aggregate.specs)
+            for tup in stream:
+                for accumulator in accumulators:
+                    accumulator.add(tup, ctx)
+            return [acc.partial() for acc in accumulators]
+        return list(stream)
+
+
+def stable_bucket(key: tuple, buckets: int) -> int:
+    """Deterministic bucket index for a canonical join key.
+
+    ``hash()`` is salted per process (``PYTHONHASHSEED``), so it cannot
+    partition an exchange whose sides are hashed in *different* worker
+    processes; CRC32 over the canonical repr is stable everywhere.
+    """
+    return zlib.crc32(repr(key).encode("utf-8")) % buckets
+
+
+# ---------------------------------------------------------------------------
+# Work units and outcomes
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class WorkUnit:
+    """Everything one partition's worker needs, picklable end to end."""
+
+    plan: LogicalPlan
+    partition: int
+    work: object  # one of the *Work callables above
+    source: object
+    functions: object | None
+    memory_budget: int | None
+    resilience: object
+    charge_delay: bool = True
+
+
+@dataclass
+class PartitionOutcome:
+    """What one partition's worker produced and measured.
+
+    ``value`` is the work product (None when skipped or failed);
+    ``error`` carries the wrapped ``fail_fast`` error instead of raising
+    in the worker, so the coordinator can surface failures in
+    deterministic partition order.
+    """
+
+    partition: int
+    value: object = None
+    skipped: bool = False
+    measured_seconds: float = 0.0
+    injected_seconds: float = 0.0
+    peak_memory_bytes: int = 0
+    stats: object = None
+    report: object = None
+    error: PartitionExecutionError | None = None
+
+
+def _scan_collections(plan: LogicalPlan) -> tuple[str, ...]:
+    """The collection names a plan scans, sorted for determinism."""
+    return tuple(
+        sorted({scan.collection for scan in plan.operators_of(DataScan)})
+    )
+
+
+def _wrap_partition_error(
+    plan: LogicalPlan, partition: int, attempts: int, error: Exception
+) -> PartitionExecutionError:
+    file_path = None
+    node: Exception | None = error
+    while node is not None:
+        if isinstance(node, FileScanError):
+            file_path = node.file_path
+            break
+        node = node.__cause__
+    wrapped = PartitionExecutionError(
+        partition,
+        error,
+        collections=_scan_collections(plan),
+        file_path=file_path,
+        attempts=attempts,
+    )
+    wrapped.__cause__ = error
+    return wrapped
+
+
+def execute_work_unit(unit: WorkUnit) -> PartitionOutcome:
+    """Run one partition's work under its resilience policy.
+
+    This is the function every backend ultimately calls — in the calling
+    thread, on a pool thread, or in a worker process.  It owns the whole
+    retry/skip loop so a partition's attempts never straddle workers,
+    and gives the partition its own stats, memory tracker, and
+    degradation report for deterministic coordinator-side merging.
+    """
+    from repro.hyracks.executor import ExecutionStats
+    from repro.resilience.report import DegradationReport
+
+    stats = ExecutionStats()
+    report = DegradationReport()
+    source = unit.source
+    config = unit.resilience
+    attach = getattr(source, "attach_degradation", None)
+    if attach is not None:
+        attach(report)
+    delay_hook = (
+        getattr(source, "injected_delay", None) if unit.charge_delay else None
+    )
+    measured = 0.0
+    injected = 0.0
+    peak = 0
+    attempts = 0
+    try:
+        while True:
+            attempts += 1
+            memory = MemoryTracker(unit.memory_budget, context="query execution")
+            ctx = EvaluationContext(
+                source=source,
+                functions=unit.functions,
+                memory=memory,
+                partition=unit.partition,
+                stats=stats,
+            )
+            attempt_started = time.perf_counter()
+            try:
+                value = unit.work(ctx)
+            except (ReproError, OSError) as error:
+                measured += time.perf_counter() - attempt_started
+                peak = max(peak, memory.peak)
+                if delay_hook is not None:
+                    injected += delay_hook(unit.partition)
+                wrapped = _wrap_partition_error(
+                    unit.plan, unit.partition, attempts, error
+                )
+                if config.partition_policy == "fail_fast":
+                    return PartitionOutcome(
+                        unit.partition,
+                        measured_seconds=measured,
+                        injected_seconds=injected,
+                        peak_memory_bytes=peak,
+                        stats=stats,
+                        report=report,
+                        error=wrapped,
+                    )
+                retryable = getattr(error, "retryable", True)
+                if (
+                    config.partition_policy == "retry"
+                    and retryable
+                    and attempts < config.retry.max_attempts
+                ):
+                    backoff = config.retry.backoff_seconds(attempts)
+                    injected += backoff
+                    report.record_retry(unit.partition, attempts, backoff, error)
+                    continue
+                if (
+                    config.partition_policy == "skip_partition"
+                    or config.on_exhausted == "skip"
+                ):
+                    report.record_skipped_partition(
+                        unit.partition,
+                        _scan_collections(unit.plan),
+                        attempts,
+                        error,
+                    )
+                    return PartitionOutcome(
+                        unit.partition,
+                        skipped=True,
+                        measured_seconds=measured,
+                        injected_seconds=injected,
+                        peak_memory_bytes=peak,
+                        stats=stats,
+                        report=report,
+                    )
+                return PartitionOutcome(
+                    unit.partition,
+                    measured_seconds=measured,
+                    injected_seconds=injected,
+                    peak_memory_bytes=peak,
+                    stats=stats,
+                    report=report,
+                    error=wrapped,
+                )
+            measured += time.perf_counter() - attempt_started
+            peak = max(peak, memory.peak)
+            if delay_hook is not None:
+                injected += delay_hook(unit.partition)
+            return PartitionOutcome(
+                unit.partition,
+                value=value,
+                measured_seconds=measured,
+                injected_seconds=injected,
+                peak_memory_bytes=peak,
+                stats=stats,
+                report=report,
+            )
+    finally:
+        if attach is not None:
+            attach(None)
+
+
+def _run_pickled_unit(blob: bytes) -> PartitionOutcome:
+    """Process-pool entry point: unpickle and execute a work unit."""
+    return execute_work_unit(pickle.loads(blob))
+
+
+# ---------------------------------------------------------------------------
+# Backends
+# ---------------------------------------------------------------------------
+
+
+class ExecutionBackend:
+    """Interface: execute work units, yield outcomes in submission order."""
+
+    name = "abstract"
+
+    def run_units(self, units: list[WorkUnit]):
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release pooled workers (no-op for poolless backends)."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+
+class SequentialBackend(ExecutionBackend):
+    """One partition after another in the calling thread (the default).
+
+    Lazily yields outcomes, so a ``fail_fast`` error on partition *i*
+    means partitions *i+1..n* never execute — exactly the pre-backend
+    behaviour.
+    """
+
+    name = "sequential"
+
+    def __init__(self, max_workers: int | None = None):
+        del max_workers  # accepted for interface symmetry
+
+    def run_units(self, units: list[WorkUnit]):
+        for unit in units:
+            yield execute_work_unit(unit)
+
+
+class ThreadBackend(ExecutionBackend):
+    """Partitions on a shared ``ThreadPoolExecutor``.
+
+    The GIL serializes the pure-Python parsing, so this backend mostly
+    overlaps file I/O; it exists as the cheap middle ground (no pickling
+    of work units or results) and as a stepping stone for the tests'
+    three-way parity checks.
+    """
+
+    name = "thread"
+
+    def __init__(self, max_workers: int | None = None):
+        self._max_workers = max_workers or os.cpu_count() or 1
+        self._pool = None
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._pool = ThreadPoolExecutor(
+                max_workers=self._max_workers,
+                thread_name_prefix="repro-partition",
+            )
+        return self._pool
+
+    def run_units(self, units: list[WorkUnit]):
+        units = list(units)
+        if len(units) <= 1 or self._max_workers <= 1:
+            for unit in units:
+                yield execute_work_unit(unit)
+            return
+        pool = self._ensure_pool()
+        futures = [pool.submit(execute_work_unit, unit) for unit in units]
+        try:
+            for future in futures:
+                yield future.result()
+        finally:
+            for future in futures:
+                future.cancel()
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class ProcessBackend(ExecutionBackend):
+    """Partitions on a ``ProcessPoolExecutor`` — real multi-core execution.
+
+    Work units are pickled up front (one clear :class:`BackendError`
+    instead of an opaque pool crash when a source or function library is
+    not picklable) and executed by ``_run_pickled_unit`` in the worker.
+    The pool persists across queries so fork/spawn cost is paid once.
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers: int | None = None):
+        self._max_workers = max_workers or os.cpu_count() or 1
+        self._pool = None
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            import multiprocessing
+            from concurrent.futures import ProcessPoolExecutor
+
+            try:
+                mp_context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX platforms
+                mp_context = multiprocessing.get_context()
+            self._pool = ProcessPoolExecutor(
+                max_workers=self._max_workers, mp_context=mp_context
+            )
+        return self._pool
+
+    def run_units(self, units: list[WorkUnit]):
+        units = list(units)
+        blobs = []
+        for unit in units:
+            try:
+                blobs.append(pickle.dumps(unit))
+            except Exception as error:
+                raise BackendError(
+                    f"work unit for partition {unit.partition} is not "
+                    f"picklable under the process backend ({error}); use "
+                    "backend='thread' or 'sequential', or make the data "
+                    "source and function library picklable"
+                ) from error
+        pool = self._ensure_pool()
+        from concurrent.futures.process import BrokenProcessPool
+
+        futures = [pool.submit(_run_pickled_unit, blob) for blob in blobs]
+        try:
+            for future in futures:
+                try:
+                    yield future.result()
+                except BrokenProcessPool as error:
+                    self.close()
+                    raise BackendError(
+                        "process pool worker died while executing a "
+                        "partition; results are incomplete"
+                    ) from error
+        finally:
+            for future in futures:
+                future.cancel()
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+BACKENDS = {
+    "sequential": SequentialBackend,
+    "thread": ThreadBackend,
+    "process": ProcessBackend,
+}
+
+
+def resolve_backend(backend=None, max_workers: int | None = None):
+    """Turn a backend name (or instance, or None) into a backend.
+
+    ``None`` consults the ``REPRO_BACKEND`` environment variable and
+    falls back to ``sequential`` — which is how CI runs the whole test
+    suite under the process backend without touching any call site.
+    """
+    if backend is None:
+        backend = os.environ.get("REPRO_BACKEND") or "sequential"
+    if isinstance(backend, str):
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of "
+                f"{sorted(BACKENDS)} or an ExecutionBackend instance"
+            )
+        return BACKENDS[backend](max_workers=max_workers)
+    if max_workers is not None:
+        raise ValueError(
+            "max_workers applies only when the backend is given by name"
+        )
+    return backend

@@ -17,10 +17,15 @@ partitioned collection, mirroring how VXQuery's Hyracks jobs run:
   partitioned at all and run as a single global instance, exactly the
   behaviour that makes the "before rules" bars of Figures 13-16 tall.
 
-Every partition's work is executed for real and timed; the result
-carries per-partition seconds so a
-:class:`~repro.hyracks.cluster.ClusterSpec` can compose a simulated
-cluster makespan.
+Partition work is dispatched through a pluggable
+:mod:`~repro.hyracks.backends` layer: ``sequential`` (the default) runs
+partitions one after another in-process, ``thread`` overlaps them on a
+thread pool, and ``process`` runs them on a ``ProcessPoolExecutor`` —
+real multi-core parallelism for the pure-Python parser.  Every
+partition's work is executed for real and timed; the result carries
+per-partition seconds so a :class:`~repro.hyracks.cluster.ClusterSpec`
+can compose a simulated cluster makespan, plus the *measured* parallel
+wall time of the partition phases under the chosen backend.
 
 Partition work additionally runs under a
 :class:`~repro.resilience.policies.ResilienceConfig`: ``fail_fast`` (the
@@ -31,7 +36,10 @@ partition, and file; ``retry`` re-executes the partition under a
 simulated clock (``QueryResult.injected_seconds``) so the cluster
 makespan accounts for retry time; ``skip_partition`` drops the failing
 partition and records it in the result's
-:class:`~repro.resilience.report.DegradationReport`.
+:class:`~repro.resilience.report.DegradationReport`.  Per-partition
+stats and degradation entries are merged on the coordinator in
+partition order, so all backends produce identical results and reports
+under a fixed fault seed.
 """
 
 from __future__ import annotations
@@ -39,12 +47,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from repro.errors import (
-    FileScanError,
-    PartitionExecutionError,
-    PlanError,
-    ReproError,
-)
+from repro.errors import PlanError
 from repro.algebra.context import EvaluationContext
 from repro.algebra.operators import (
     Aggregate,
@@ -61,25 +64,26 @@ from repro.algebra.operators import (
 )
 from repro.algebra.plan import LogicalPlan
 from repro.hyracks.aggregates import make_accumulators
+from repro.hyracks.backends import (
+    ExchangeWork,
+    FoldPartialsWork,
+    GroupTableWork,
+    JoinBucketWork,
+    PartitionOutcome,
+    PipelinedWork,
+    TupleStreamWork,
+    WorkUnit,
+    resolve_backend,
+)
 from repro.hyracks.cluster import ClusterSpec
 from repro.hyracks.memory import MemoryTracker
-from repro.hyracks.operators import (
-    canonical_key,
-    execute,
-    hash_join,
-    run_chain,
-    run_plan,
-    split_join_condition,
-)
+from repro.hyracks.operators import run_chain, run_plan, split_join_condition
 from repro.hyracks.tuples import Tuple, sizeof_tuple
 from repro.jsonlib.items import Item
 from repro.resilience.policies import ResilienceConfig
 from repro.resilience.report import DegradationReport
 
 _CHAIN_OPS = (Assign, Select, Unnest, Subplan)
-
-# Sentinel for a partition dropped by the skip policy.
-_SKIPPED = object()
 
 
 @dataclass
@@ -90,6 +94,13 @@ class ExecutionStats:
     scanned_item_bytes: int = 0
     exchange_tuples: int = 0
     exchange_bytes: int = 0
+
+    def merge(self, other: "ExecutionStats") -> None:
+        """Fold another stats object into this one (coordinator merge)."""
+        self.items_scanned += other.items_scanned
+        self.scanned_item_bytes += other.scanned_item_bytes
+        self.exchange_tuples += other.exchange_tuples
+        self.exchange_bytes += other.exchange_bytes
 
 
 @dataclass
@@ -105,6 +116,8 @@ class QueryResult:
     strategy: str = "global"
     injected_seconds: list[float] = field(default_factory=list)
     degradation: DegradationReport = field(default_factory=DegradationReport)
+    backend: str = "sequential"
+    parallel_wall_seconds: float = 0.0
 
     @property
     def is_partial(self) -> bool:
@@ -120,17 +133,22 @@ class QueryResult:
         """Cluster makespan for this execution under *cluster*.
 
         With ``smooth`` (the default), per-partition times are replaced
-        by their mean before placement: partitions carry symmetric data
-        shares, so the variance measured by running them sequentially in
-        one process is scheduler/GC jitter, not real skew.  Pass
-        ``smooth=False`` to place the raw measurements.
+        by their mean before placement — **sequential backend only**:
+        partitions carry symmetric data shares, so the variance measured
+        by running them one after another in one process is
+        scheduler/GC jitter, not real skew.  Under the ``thread`` and
+        ``process`` backends the measured per-partition times include
+        *real* contention (GIL, cores, memory bandwidth), which is
+        exactly what a cluster placement should see, so smoothing is
+        never applied there and ``smooth`` is ignored.  Pass
+        ``smooth=False`` to place the raw sequential measurements too.
 
         Injected seconds (retry backoff, straggler delays) are real
         per-partition skew, never jitter, so they are charged *after*
         smoothing.
         """
         seconds = self.partition_seconds
-        if smooth and seconds:
+        if smooth and self.backend == "sequential" and seconds:
             mean = sum(seconds) / len(seconds)
             seconds = [mean] * len(seconds)
         return cluster.makespan(
@@ -160,6 +178,13 @@ class PartitionedExecutor:
         Per-partition error handling
         (:class:`~repro.resilience.policies.ResilienceConfig`); the
         default is ``fail_fast``, today's behaviour.
+    backend:
+        Execution backend for partition work: ``"sequential"`` (default),
+        ``"thread"``, ``"process"``, or an
+        :class:`~repro.hyracks.backends.ExecutionBackend` instance.
+        ``None`` consults the ``REPRO_BACKEND`` environment variable.
+    max_workers:
+        Worker cap for the named pooled backends (default: CPU count).
     """
 
     def __init__(
@@ -169,12 +194,25 @@ class PartitionedExecutor:
         two_step_aggregation: bool = True,
         memory_budget_bytes: int | None = None,
         resilience: ResilienceConfig | None = None,
+        backend=None,
+        max_workers: int | None = None,
     ):
         self._source = source
         self._functions = functions
         self._two_step = two_step_aggregation
         self._memory_budget = memory_budget_bytes
         self._resilience = resilience if resilience is not None else ResilienceConfig()
+        self._backend = resolve_backend(backend, max_workers=max_workers)
+        self._parallel_wall = 0.0
+
+    @property
+    def backend(self):
+        """The resolved :class:`~repro.hyracks.backends.ExecutionBackend`."""
+        return self._backend
+
+    def close(self) -> None:
+        """Release backend worker pools (threads/processes)."""
+        self._backend.close()
 
     # -- public ---------------------------------------------------------------
 
@@ -183,6 +221,7 @@ class PartitionedExecutor:
         started = time.perf_counter()
         stats = ExecutionStats()
         report = DegradationReport()
+        self._parallel_wall = 0.0
         attach = getattr(self._source, "attach_degradation", None)
         if attach is not None:
             attach(report)
@@ -193,6 +232,8 @@ class PartitionedExecutor:
                 attach(None)
         result.degradation = report
         result.wall_seconds = time.perf_counter() - started
+        result.backend = self._backend.name
+        result.parallel_wall_seconds = self._parallel_wall
         return result
 
     def _dispatch(
@@ -231,96 +272,64 @@ class PartitionedExecutor:
     def _tracker(self) -> MemoryTracker:
         return MemoryTracker(self._memory_budget, context="query execution")
 
-    # -- resilient partition attempts -------------------------------------------
+    # -- backend dispatch --------------------------------------------------------
 
-    def _run_partition(
+    def _map(
         self,
         plan: LogicalPlan,
-        partition: int,
+        tasks: list[tuple[int, object]],
         stats: ExecutionStats,
         report: DegradationReport,
-        work,
         charge_delay: bool = True,
-    ):
-        """Run ``work(ctx)`` for one partition under the partition policy.
+    ) -> list[PartitionOutcome]:
+        """Run (partition, work) *tasks* on the backend; merge outcomes.
 
-        Returns ``(value, measured_seconds, injected_seconds, peak)``
-        where ``value`` is :data:`_SKIPPED` when the partition was
-        dropped.  ``measured_seconds`` accumulates the real compute of
-        every attempt; ``injected_seconds`` accumulates the simulated
-        clock (retry backoff, injected straggler delay).
+        Outcomes come back in submission (partition-id) order regardless
+        of completion order, so the merged stats, degradation report,
+        and any ``fail_fast`` error are deterministic under every
+        backend.
         """
-        config = self._resilience
-        delay_hook = (
-            getattr(self._source, "injected_delay", None) if charge_delay else None
-        )
-        measured = 0.0
-        injected = 0.0
-        peak = 0
-        attempts = 0
-        while True:
-            attempts += 1
-            memory = self._tracker()
-            ctx = self._context(partition, memory, stats)
-            attempt_started = time.perf_counter()
-            try:
-                value = work(ctx)
-            except (ReproError, OSError) as error:
-                measured += time.perf_counter() - attempt_started
-                peak = max(peak, memory.peak)
-                if delay_hook is not None:
-                    injected += delay_hook(partition)
-                wrapped = self._wrap_partition_error(
-                    plan, partition, attempts, error
-                )
-                if config.partition_policy == "fail_fast":
-                    raise wrapped from error
-                retryable = getattr(error, "retryable", True)
-                if (
-                    config.partition_policy == "retry"
-                    and retryable
-                    and attempts < config.retry.max_attempts
-                ):
-                    backoff = config.retry.backoff_seconds(attempts)
-                    injected += backoff
-                    report.record_retry(partition, attempts, backoff, error)
-                    continue
-                if (
-                    config.partition_policy == "skip_partition"
-                    or config.on_exhausted == "skip"
-                ):
-                    report.record_skipped_partition(
-                        partition, _scan_collections(plan), attempts, error
-                    )
-                    return _SKIPPED, measured, injected, peak
-                raise wrapped from error
-            measured += time.perf_counter() - attempt_started
-            peak = max(peak, memory.peak)
-            if delay_hook is not None:
-                injected += delay_hook(partition)
-            return value, measured, injected, peak
+        units = [
+            WorkUnit(
+                plan=plan,
+                partition=partition,
+                work=work,
+                source=self._source,
+                functions=self._functions,
+                memory_budget=self._memory_budget,
+                resilience=self._resilience,
+                charge_delay=charge_delay,
+            )
+            for partition, work in tasks
+        ]
+        started = time.perf_counter()
+        outcomes: list[PartitionOutcome] = []
+        try:
+            for outcome in self._backend.run_units(units):
+                if outcome.error is not None:
+                    raise outcome.error
+                outcomes.append(outcome)
+        finally:
+            self._parallel_wall += time.perf_counter() - started
+            # Work units attach their own per-partition reports to the
+            # (thread-local) source slot; restore the query-level report
+            # for any coordinator-side scanning that follows.
+            attach = getattr(self._source, "attach_degradation", None)
+            if attach is not None:
+                attach(report)
+        for outcome in outcomes:
+            stats.merge(outcome.stats)
+            report.absorb(outcome.report)
+        return outcomes
 
-    def _wrap_partition_error(
-        self,
-        plan: LogicalPlan,
-        partition: int,
-        attempts: int,
-        error: Exception,
-    ) -> PartitionExecutionError:
-        file_path = None
-        node: Exception | None = error
-        while node is not None:
-            if isinstance(node, FileScanError):
-                file_path = node.file_path
-                break
-            node = node.__cause__
-        return PartitionExecutionError(
-            partition,
-            error,
-            collections=_scan_collections(plan),
-            file_path=file_path,
-            attempts=attempts,
-        )
+    @staticmethod
+    def _collect_timing(
+        outcomes: list[PartitionOutcome],
+    ) -> tuple[list[float], list[float], int]:
+        seconds = [o.measured_seconds for o in outcomes]
+        injected = [o.injected_seconds for o in outcomes]
+        peak = max((o.peak_memory_bytes for o in outcomes), default=0)
+        return seconds, injected, peak
 
     # -- strategies ---------------------------------------------------------------
 
@@ -400,23 +409,15 @@ class PartitionedExecutor:
         report: DegradationReport,
     ) -> QueryResult:
         """Fully pipelined plan: one independent instance per partition."""
+        work = PipelinedWork(plan)
+        outcomes = self._map(
+            plan, [(p, work) for p in range(partitions)], stats, report
+        )
+        partition_seconds, injected_seconds, peak = self._collect_timing(outcomes)
         items: list[Item] = []
-        partition_seconds: list[float] = []
-        injected_seconds: list[float] = []
-        peak = 0
-        for partition in range(partitions):
-            value, measured, injected, attempt_peak = self._run_partition(
-                plan,
-                partition,
-                stats,
-                report,
-                lambda ctx: run_plan(plan, ctx),
-            )
-            partition_seconds.append(measured)
-            injected_seconds.append(injected)
-            peak = max(peak, attempt_peak)
-            if value is not _SKIPPED:
-                items.extend(value)
+        for outcome in outcomes:
+            if not outcome.skipped:
+                items.extend(outcome.value)
         return QueryResult(
             items,
             partition_seconds=partition_seconds,
@@ -444,38 +445,19 @@ class PartitionedExecutor:
             return self._run_grouped_raw(
                 plan, global_ops, group_by, partitions, stats, report
             )
-        key_exprs = [expr for _, expr in group_by.keys]
         key_vars = [var for var, _ in group_by.keys]
-        partition_seconds: list[float] = []
-        injected_seconds: list[float] = []
-        peak = 0
+        work = GroupTableWork(group_by)
+        outcomes = self._map(
+            plan, [(p, work) for p in range(partitions)], stats, report
+        )
+        partition_seconds, injected_seconds, peak = self._collect_timing(outcomes)
         local_tables: list[dict] = []
-
-        def build_table(ctx):
-            table: dict = {}
-            for tup in execute(group_by.input_op, ctx):
-                key_values = [expr.evaluate(tup, ctx) for expr in key_exprs]
-                key = tuple(canonical_key(v) for v in key_values)
-                state = table.get(key)
-                if state is None:
-                    state = (key_values, make_accumulators(nested.specs))
-                    table[key] = state
-                for accumulator in state[1]:
-                    accumulator.add(tup, ctx)
-            return table
-
-        for partition in range(partitions):
-            value, measured, injected, attempt_peak = self._run_partition(
-                plan, partition, stats, report, build_table
-            )
-            partition_seconds.append(measured)
-            injected_seconds.append(injected)
-            peak = max(peak, attempt_peak)
-            if value is _SKIPPED:
+        for outcome in outcomes:
+            if outcome.skipped:
                 continue
-            local_tables.append(value)
-            stats.exchange_tuples += len(value)
-            stats.exchange_bytes += len(value) * _PARTIAL_TUPLE_BYTES
+            local_tables.append(outcome.value)
+            stats.exchange_tuples += len(outcome.value)
+            stats.exchange_bytes += len(outcome.value) * _PARTIAL_TUPLE_BYTES
         # Coordinator: combine partials, finalize groups, run the ops above.
         memory = self._tracker()
         ctx = self._context(None, memory, stats)
@@ -518,24 +500,16 @@ class PartitionedExecutor:
         report: DegradationReport,
     ) -> QueryResult:
         """Two-step disabled: ship raw tuples and group at the coordinator."""
-        partition_seconds: list[float] = []
-        injected_seconds: list[float] = []
-        peak = 0
+        work = TupleStreamWork(group_by.input_op)
+        outcomes = self._map(
+            plan, [(p, work) for p in range(partitions)], stats, report
+        )
+        partition_seconds, injected_seconds, peak = self._collect_timing(outcomes)
         shipped: list[Tuple] = []
-        for partition in range(partitions):
-            value, measured, injected, attempt_peak = self._run_partition(
-                plan,
-                partition,
-                stats,
-                report,
-                lambda ctx: list(execute(group_by.input_op, ctx)),
-            )
-            partition_seconds.append(measured)
-            injected_seconds.append(injected)
-            peak = max(peak, attempt_peak)
-            if value is _SKIPPED:
+        for outcome in outcomes:
+            if outcome.skipped:
                 continue
-            for tup in value:
+            for tup in outcome.value:
                 shipped.append(tup)
                 stats.exchange_tuples += 1
                 stats.exchange_bytes += sizeof_tuple(tup)
@@ -569,28 +543,16 @@ class PartitionedExecutor:
             return self._run_aggregated_raw(
                 plan, global_ops, aggregate, partitions, stats, report
             )
-        partition_seconds: list[float] = []
-        injected_seconds: list[float] = []
-        peak = 0
+        work = FoldPartialsWork(aggregate)
+        outcomes = self._map(
+            plan, [(p, work) for p in range(partitions)], stats, report
+        )
+        partition_seconds, injected_seconds, peak = self._collect_timing(outcomes)
         partials: list[list] = []
-
-        def fold_partials(ctx):
-            accumulators = make_accumulators(aggregate.specs)
-            for tup in execute(aggregate.input_op, ctx):
-                for accumulator in accumulators:
-                    accumulator.add(tup, ctx)
-            return [acc.partial() for acc in accumulators]
-
-        for partition in range(partitions):
-            value, measured, injected, attempt_peak = self._run_partition(
-                plan, partition, stats, report, fold_partials
-            )
-            partition_seconds.append(measured)
-            injected_seconds.append(injected)
-            peak = max(peak, attempt_peak)
-            if value is _SKIPPED:
+        for outcome in outcomes:
+            if outcome.skipped:
                 continue
-            partials.append(value)
+            partials.append(outcome.value)
             stats.exchange_tuples += 1
             stats.exchange_bytes += _PARTIAL_TUPLE_BYTES
         memory = self._tracker()
@@ -624,24 +586,16 @@ class PartitionedExecutor:
         stats: ExecutionStats,
         report: DegradationReport,
     ) -> QueryResult:
-        partition_seconds: list[float] = []
-        injected_seconds: list[float] = []
-        peak = 0
+        work = TupleStreamWork(aggregate.input_op)
+        outcomes = self._map(
+            plan, [(p, work) for p in range(partitions)], stats, report
+        )
+        partition_seconds, injected_seconds, peak = self._collect_timing(outcomes)
         shipped: list[Tuple] = []
-        for partition in range(partitions):
-            value, measured, injected, attempt_peak = self._run_partition(
-                plan,
-                partition,
-                stats,
-                report,
-                lambda ctx: list(execute(aggregate.input_op, ctx)),
-            )
-            partition_seconds.append(measured)
-            injected_seconds.append(injected)
-            peak = max(peak, attempt_peak)
-            if value is _SKIPPED:
+        for outcome in outcomes:
+            if outcome.skipped:
                 continue
-            for tup in value:
+            for tup in outcome.value:
                 shipped.append(tup)
                 stats.exchange_tuples += 1
                 stats.exchange_bytes += sizeof_tuple(tup)
@@ -678,7 +632,9 @@ class PartitionedExecutor:
         tuples into per-partition buckets (the exchange).  Phase 2: each
         bucket joins locally, runs the intermediate operators, and — when
         an aggregate sits on top — folds a partial that the coordinator
-        combines.
+        combines.  Both phases run on the configured backend; the bucket
+        hash is process-stable so exchange sides hashed in different
+        workers still meet in the same bucket.
 
         The partition policy applies to both phases: a skipped phase-1
         partition contributes no tuples to any bucket; a skipped phase-2
@@ -689,82 +645,60 @@ class PartitionedExecutor:
             # Cross products cannot hash-partition; run globally.
             return self._run_global(plan, stats)
         buckets = partitions
+        exchange = ExchangeWork(
+            join, tuple(left_keys), tuple(right_keys), buckets
+        )
+        outcomes = self._map(
+            plan, [(p, exchange) for p in range(partitions)], stats, report
+        )
+        phase1_seconds, injected_seconds, peak = self._collect_timing(outcomes)
         left_buckets: list[list[Tuple]] = [[] for _ in range(buckets)]
         right_buckets: list[list[Tuple]] = [[] for _ in range(buckets)]
-        phase1_seconds = [0.0] * partitions
-        injected_seconds = [0.0] * partitions
-        peak = 0
-
-        def exchange(ctx):
-            local_left: list[list[Tuple]] = [[] for _ in range(buckets)]
-            local_right: list[list[Tuple]] = [[] for _ in range(buckets)]
-            exchanged_tuples = 0
-            exchanged_bytes = 0
-            for side, keys, target in (
-                (join.left, left_keys, local_left),
-                (join.right, right_keys, local_right),
-            ):
-                for tup in execute(side, ctx):
-                    key = tuple(
-                        canonical_key(expr.evaluate(tup, ctx)) for expr in keys
-                    )
-                    target[hash(key) % buckets].append(tup)
-                    exchanged_tuples += 1
-                    exchanged_bytes += sizeof_tuple(tup)
-            return local_left, local_right, exchanged_tuples, exchanged_bytes
-
-        for partition in range(partitions):
-            value, measured, injected, attempt_peak = self._run_partition(
-                plan, partition, stats, report, exchange
-            )
-            phase1_seconds[partition] = measured
-            injected_seconds[partition] += injected
-            peak = max(peak, attempt_peak)
-            if value is _SKIPPED:
+        for outcome in outcomes:
+            if outcome.skipped:
                 continue
-            local_left, local_right, exchanged_tuples, exchanged_bytes = value
+            local_left, local_right, exchanged_tuples, exchanged_bytes = (
+                outcome.value
+            )
             for bucket in range(buckets):
                 left_buckets[bucket].extend(local_left[bucket])
                 right_buckets[bucket].extend(local_right[bucket])
             stats.exchange_tuples += exchanged_tuples
             stats.exchange_bytes += exchanged_bytes
-        phase2_seconds = [0.0] * buckets
         use_two_step = aggregate is not None and self._two_step
+        bucket_tasks = [
+            (
+                bucket,
+                JoinBucketWork(
+                    tuple(left_buckets[bucket]),
+                    tuple(right_buckets[bucket]),
+                    tuple(left_keys),
+                    tuple(right_keys),
+                    residual,
+                    tuple(mid_ops),
+                    aggregate if use_two_step else None,
+                ),
+            )
+            for bucket in range(buckets)
+        ]
+        bucket_outcomes = self._map(
+            plan, bucket_tasks, stats, report, charge_delay=False
+        )
+        phase2_seconds, phase2_injected, phase2_peak = self._collect_timing(
+            bucket_outcomes
+        )
+        peak = max(peak, phase2_peak)
         partials: list[list] = []
         bucket_outputs: list[Tuple] = []
-        for bucket in range(buckets):
-            def join_bucket(ctx, bucket=bucket):
-                joined = hash_join(
-                    iter(left_buckets[bucket]),
-                    iter(right_buckets[bucket]),
-                    left_keys,
-                    right_keys,
-                    residual,
-                    ctx,
-                )
-                stream = run_chain(mid_ops, joined, ctx)
-                if use_two_step:
-                    accumulators = make_accumulators(aggregate.specs)
-                    for tup in stream:
-                        for accumulator in accumulators:
-                            accumulator.add(tup, ctx)
-                    return [acc.partial() for acc in accumulators]
-                return list(stream)
-
-            value, measured, injected, attempt_peak = self._run_partition(
-                plan, bucket, stats, report, join_bucket, charge_delay=False
-            )
-            phase2_seconds[bucket] = measured
-            injected_seconds[bucket] += injected
-            peak = max(peak, attempt_peak)
-            if value is _SKIPPED:
+        for outcome in bucket_outcomes:
+            if outcome.skipped:
                 continue
             if use_two_step:
-                partials.append(value)
+                partials.append(outcome.value)
                 stats.exchange_tuples += 1
                 stats.exchange_bytes += _PARTIAL_TUPLE_BYTES
             else:
-                for tup in value:
+                for tup in outcome.value:
                     bucket_outputs.append(tup)
                     # Joined tuples ship to the coordinator for the
                     # global aggregate / result assembly.
@@ -772,6 +706,9 @@ class PartitionedExecutor:
                     stats.exchange_bytes += sizeof_tuple(tup)
         partition_seconds = [
             phase1_seconds[i] + phase2_seconds[i] for i in range(partitions)
+        ]
+        injected_seconds = [
+            injected_seconds[i] + phase2_injected[i] for i in range(partitions)
         ]
         memory = self._tracker()
         ctx = self._context(None, memory, stats)
@@ -808,13 +745,6 @@ _PARTIAL_TUPLE_BYTES = 128
 # ---------------------------------------------------------------------------
 # Plan-shape analysis
 # ---------------------------------------------------------------------------
-
-
-def _scan_collections(plan: LogicalPlan) -> tuple[str, ...]:
-    """The collection names a plan scans, sorted for determinism."""
-    return tuple(
-        sorted({scan.collection for scan in plan.operators_of(DataScan)})
-    )
 
 
 def _split(plan: LogicalPlan) -> tuple[list[Operator], Operator]:

@@ -80,6 +80,21 @@ def _skip_value(cursor: _EventCursor, first: Event) -> None:
             depth -= 1
 
 
+def _skip_container_remainder(cursor: _EventCursor) -> None:
+    """Consume events to the end of the enclosing container (depth 1).
+
+    One flat depth-counting loop — no per-member dispatch — for the
+    early-exit paths where nothing further in the container can match.
+    """
+    depth = 1
+    while depth:
+        event = cursor.next()
+        if event.is_start():
+            depth += 1
+        elif event.is_end():
+            depth -= 1
+
+
 def _project_value(
     cursor: _EventCursor, first: Event, path: Path, step_index: int
 ) -> Iterator[Item]:
@@ -117,8 +132,11 @@ def _project_value(
             position += 1
             if position == step.index:
                 yield from _project_value(cursor, event, path, step_index + 1)
-            else:
-                _skip_value(cursor, event)
+                # Positions only grow, so no later member can match:
+                # drain the rest of the array in one bulk loop.
+                _skip_container_remainder(cursor)
+                return
+            _skip_value(cursor, event)
     elif isinstance(step, KeysOrMembers):
         if first.kind is EventKind.START_ARRAY:
             while True:

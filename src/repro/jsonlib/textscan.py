@@ -13,9 +13,10 @@ sources.  Its contract is equivalence with the reference strategy::
 
     list(scan_text(text, path)) == navigate(parse(text), path)
 
-checked property-based in the test suite.  The trade-off against the
-event projector: the whole file text must be in memory (bounded by file
-size, never collection size).
+checked property-based in the test suite.  :func:`scan_file` feeds the
+skipper through a sliding buffer, so memory is bounded by the read
+chunk size plus the largest single top-level value — never by file (or
+collection) size.
 """
 
 from __future__ import annotations
@@ -254,6 +255,29 @@ def _walk_object(
         raise JsonSyntaxError(f"expected ',' or '}}', found {text[pos]!r}", pos)
 
 
+def _skip_to_container_end(text: str, pos: int, start: int) -> int:
+    """From depth 1 inside a container, skip just past its closer.
+
+    Jumps at string-search speed: one structural hop per bracket, quote
+    search over string literals — no per-member tokenization, the same
+    leniency :func:`_skip_value` already applies to skipped containers.
+    """
+    depth = 1
+    i = pos
+    while True:
+        match = _STRUCT_RE.search(text, i)
+        if match is None:
+            raise JsonSyntaxError("unterminated container", start)
+        found = match.group()
+        if found == '"':
+            i = _skip_string(text, match.start())
+            continue
+        depth += 1 if found in "{[" else -1
+        i = match.end()
+        if depth == 0:
+            return i
+
+
 def _walk_array(
     text: str,
     pos: int,
@@ -263,6 +287,7 @@ def _walk_array(
     target_index: int | None,
 ) -> int:
     """Walk an array; ``target_index`` None means keys-or-members."""
+    start = pos
     pos += 1  # past '['
     pos = _skip_ws(text, pos)
     if pos < len(text) and text[pos] == "]":
@@ -273,6 +298,10 @@ def _walk_array(
         position += 1
         if target_index is None or position == target_index:
             pos = _project(text, pos, path, step_index + 1, out)
+            if target_index is not None:
+                # Positions only grow, so no later member can match:
+                # skip the rest of the array in one bulk hop.
+                return _skip_to_container_end(text, pos, start)
         else:
             pos = _skip_value(text, pos)
         pos = _skip_ws(text, pos)
@@ -335,17 +364,92 @@ def scan_text(
         pos = _skip_ws(text, pos)
 
 
+_DEFAULT_CHUNK_SIZE = 1 << 20  # characters per read
+
+
+def _rebase(error: JsonSyntaxError, base: int) -> JsonSyntaxError:
+    """Shift *error*'s buffer-relative offset to an absolute file offset."""
+    if base == 0 or error.offset is None:
+        return error
+    message = error._init_args[0]
+    return type(error)(message, base + error.offset)
+
+
 def scan_file(
     file_path: str,
     path: Path,
     on_malformed: str = "fail",
     recorder=None,
+    chunk_size: int = _DEFAULT_CHUNK_SIZE,
 ) -> Iterator[Item]:
-    """Project *path* over a JSON file.
+    """Project *path* over a JSON file, reading it in chunks.
 
-    Reads the whole file text (memory bounded by the largest file, never
-    by the collection) and scans it with the fast skipper.
+    The file streams through a sliding buffer: at least one chunk is
+    read ahead, whole top-level values are scanned out of the buffer,
+    and the consumed prefix is dropped as the scan advances — memory is
+    bounded by ``chunk_size`` plus the largest single top-level value,
+    never by file size.  A value that extends past the buffered text is
+    detected (the skipper either raises mid-token or stops exactly at
+    the buffer edge), the buffer grows by a doubling read, and the value
+    is re-scanned — amortized linear in file size.
+
+    Offsets reported to ``recorder`` and carried by raised
+    :class:`~repro.errors.JsonSyntaxError`\\ s are absolute file
+    offsets, identical to what a whole-file :func:`scan_text` reports.
     """
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size!r}")
     with open(file_path, "r", encoding="utf-8") as handle:
-        text = handle.read()
-    return scan_text(text, path, on_malformed=on_malformed, recorder=recorder)
+        buffer = handle.read(chunk_size)
+        eof = buffer == ""
+        base = 0  # absolute offset of buffer[0]
+        pos = 0
+        read_size = chunk_size
+
+        def grow() -> bool:
+            """Read more text into the buffer; True when anything arrived."""
+            nonlocal buffer, eof, read_size
+            chunk = handle.read(read_size)
+            if chunk == "":
+                eof = True
+                return False
+            buffer += chunk
+            # Double so a value spanning many chunks costs O(n) total
+            # re-scans, not O(n^2).
+            read_size *= 2
+            return True
+
+        while True:
+            pos = _skip_ws(buffer, pos)
+            if pos >= len(buffer):
+                if eof or not grow():
+                    return
+                continue
+            out: list = []
+            try:
+                end = _project(buffer, pos, path, 0, out)
+            except JsonSyntaxError as error:
+                # Not EOF yet: the error may just be a truncated token
+                # (a string or container cut mid-chunk) — grow and retry.
+                if not eof and grow():
+                    continue
+                if on_malformed != "skip_record":
+                    raise _rebase(error, base) from None
+                if recorder is not None:
+                    recorder(base + pos, str(_rebase(error, base)))
+                pos = _skip_ws(buffer, _resync(buffer, pos, error))
+                continue
+            if end >= len(buffer) and not eof:
+                # The value ran to the buffer edge; it may continue in
+                # the next chunk (e.g. a number whose digits are split),
+                # so re-scan with more text before trusting it.
+                if grow():
+                    continue
+            yield from out
+            pos = end
+            if pos > chunk_size:
+                # Drop the consumed prefix; keep offsets absolute.
+                base += pos
+                buffer = buffer[pos:]
+                pos = 0
+                read_size = chunk_size

@@ -55,6 +55,15 @@ class JsonProcessor:
         Optional :class:`~repro.resilience.faults.FaultPlan`; when
         given, *source* is wrapped so the plan's faults are injected
         (testing and chaos experiments).
+    backend:
+        Execution backend for partition work: ``"sequential"``
+        (default), ``"thread"``, ``"process"``, or an
+        :class:`~repro.hyracks.backends.ExecutionBackend` instance.
+        ``None`` consults the ``REPRO_BACKEND`` environment variable.
+        All backends produce identical results and degradation reports;
+        ``process`` runs partitions on real cores.
+    max_workers:
+        Worker cap for the named pooled backends (default: CPU count).
     """
 
     def __init__(
@@ -65,6 +74,8 @@ class JsonProcessor:
         functions=None,
         resilience: ResilienceConfig | None = None,
         fault_plan: FaultPlan | None = None,
+        backend=None,
+        max_workers: int | None = None,
     ):
         if fault_plan is not None:
             source = fault_plan.wrap(source)
@@ -76,6 +87,8 @@ class JsonProcessor:
             two_step_aggregation=self.rewrite.two_step_aggregation,
             memory_budget_bytes=memory_budget_bytes,
             resilience=resilience,
+            backend=backend,
+            max_workers=max_workers,
         )
 
     # -- constructors -----------------------------------------------------------
@@ -121,3 +134,19 @@ class JsonProcessor:
     def explain(self, query: str, show_trace: bool = False) -> str:
         """The naive and rewritten plans (optionally the rewrite trace)."""
         return self.compile(query).explain(show_trace=show_trace)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release backend worker pools (threads/processes).
+
+        Idempotent; the sequential backend makes this a no-op, so
+        callers never need to guard it.
+        """
+        self._executor.close()
+
+    def __enter__(self) -> "JsonProcessor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

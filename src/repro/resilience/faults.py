@@ -17,6 +17,7 @@ rewinds them.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -208,20 +209,36 @@ class FaultInjectingSource:
     def __init__(self, plan: FaultPlan, source):
         self.plan = plan
         self._source = source
-        self._report = None
+        self._local = threading.local()
 
     # -- resilience wiring ------------------------------------------------------
+
+    @property
+    def _report(self):
+        return getattr(self._local, "report", None)
 
     @property
     def on_malformed(self) -> str:
         return getattr(self._source, "on_malformed", "fail")
 
     def attach_degradation(self, report) -> None:
-        """Attach (or detach, with None) the per-query degradation report."""
-        self._report = report
+        """Attach (or detach, with None) the per-query degradation report.
+
+        The attachment is per thread, mirroring the catalogs'.
+        """
+        self._local.report = report
         attach = getattr(self._source, "attach_degradation", None)
         if attach is not None:
             attach(report)
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_local"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._local = threading.local()
 
     def injected_delay(self, partition: int | None) -> float:
         return self.plan.injected_delay(partition)

@@ -109,6 +109,26 @@ class DegradationReport:
         """Callback-shaped alias used by the jsonlib scanners."""
         self.record_skipped_record(source, offset, message)
 
+    def absorb(self, other: "DegradationReport") -> None:
+        """Merge *other*'s events into this report (coordinator-side).
+
+        The parallel execution backends give every partition its own
+        report and merge them in partition order, so the combined report
+        is byte-identical to a sequential run's.  Record/file dedup keys
+        apply across the merge, exactly as they would within one report.
+        """
+        self.skipped_partitions.extend(other.skipped_partitions)
+        for record in other.skipped_records:
+            key = (record.source, record.offset)
+            if key not in self._seen_records:
+                self._seen_records.add(key)
+                self.skipped_records.append(record)
+        for skipped_file in other.skipped_files:
+            if skipped_file.file_path not in self._seen_files:
+                self._seen_files.add(skipped_file.file_path)
+                self.skipped_files.append(skipped_file)
+        self.retries.extend(other.retries)
+
     # -- inspection -----------------------------------------------------------
 
     @property

@@ -1,0 +1,320 @@
+"""Execution backends: three-way parity, picklability, and speedup."""
+
+import json
+import os
+import pickle
+
+import pytest
+
+from repro import (
+    FaultPlan,
+    InMemorySource,
+    JsonProcessor,
+    ProcessBackend,
+    ResilienceConfig,
+    RetryPolicy,
+    SequentialBackend,
+    ThreadBackend,
+)
+from repro.data.catalog import CollectionCatalog
+from repro.errors import PartitionExecutionError
+from repro.hyracks.backends import (
+    BackendError,
+    PipelinedWork,
+    WorkUnit,
+    execute_work_unit,
+    resolve_backend,
+    stable_bucket,
+)
+from repro.hyracks.cluster import ClusterSpec
+from repro.hyracks.executor import QueryResult
+from repro.resilience import TransientFaultError
+
+BACKEND_NAMES = ["sequential", "thread", "process"]
+
+QUERY = 'for $r in collection("/events") return $r("v")'
+COUNT_QUERY = 'count(for $r in collection("/events") return $r)'
+GROUP_QUERY = (
+    'for $r in collection("/events") '
+    'group by $g := $r("g") return count($r("v"))'
+)
+JOIN_QUERY = (
+    "avg( "
+    'for $a in collection("/events") '
+    'for $b in collection("/events") '
+    'where $a("g") eq $b("g") and $a("side") eq "l" and $b("side") eq "r" '
+    'return $b("v") - $a("v") )'
+)
+
+
+def make_source(on_malformed="fail", partitions=4, per_partition=6):
+    collections = {
+        "/events": [
+            [
+                "\n".join(
+                    json.dumps(
+                        {
+                            "v": p * 100 + i,
+                            "g": i % 3,
+                            "side": "l" if i % 2 else "r",
+                        }
+                    )
+                    for i in range(per_partition)
+                )
+            ]
+            for p in range(partitions)
+        ]
+    }
+    return InMemorySource(collections, on_malformed=on_malformed)
+
+
+def run_backend(backend, query=QUERY, plan=None, config=None, **kwargs):
+    processor = JsonProcessor(
+        source=make_source(**{k: kwargs.pop(k) for k in list(kwargs) if k == "on_malformed"}),
+        fault_plan=plan,
+        resilience=config,
+        backend=backend,
+        **kwargs,
+    )
+    with processor:
+        return processor.execute(query)
+
+
+def fingerprint(result: QueryResult) -> dict:
+    """Everything that must be byte-identical across backends."""
+    return {
+        "items": result.items,
+        "strategy": result.strategy,
+        "injected": result.injected_seconds,
+        "stats": (
+            result.stats.items_scanned,
+            result.stats.scanned_item_bytes,
+            result.stats.exchange_tuples,
+            result.stats.exchange_bytes,
+        ),
+        "degradation": result.degradation.to_dict(),
+    }
+
+
+class TestCleanParity:
+    @pytest.mark.parametrize(
+        "query", [QUERY, COUNT_QUERY, GROUP_QUERY, JOIN_QUERY]
+    )
+    def test_backends_agree_on_clean_runs(self, query):
+        reference = fingerprint(run_backend("sequential", query))
+        for name in ("thread", "process"):
+            assert fingerprint(run_backend(name, query)) == reference
+
+    def test_result_records_backend_and_parallel_wall(self):
+        for name in BACKEND_NAMES:
+            result = run_backend(name)
+            assert result.backend == name
+            assert result.parallel_wall_seconds > 0.0
+            assert result.parallel_wall_seconds <= result.wall_seconds
+
+    def test_max_workers_cap(self):
+        result = run_backend("process", max_workers=1)
+        assert result.items == run_backend("sequential").items
+
+
+class TestFaultParity:
+    """Identical degradation under a fixed fault seed, every backend."""
+
+    def scenario_retry(self):
+        plan = FaultPlan(seed=7).fail_partition(1, times=2).delay_partition(3, 0.5)
+        config = ResilienceConfig(
+            partition_policy="retry",
+            retry=RetryPolicy(max_attempts=3, base_backoff_seconds=0.01, seed=7),
+        )
+        return plan, config
+
+    def scenario_skip_partition(self):
+        plan = FaultPlan(seed=11).fail_partition(2, permanent=True)
+        config = ResilienceConfig(partition_policy="skip_partition")
+        return plan, config
+
+    def scenario_retry_then_skip(self):
+        plan = FaultPlan(seed=13).fail_partition(0, permanent=True)
+        config = ResilienceConfig(
+            partition_policy="retry",
+            retry=RetryPolicy(max_attempts=4, base_backoff_seconds=0.01, seed=13),
+            on_exhausted="skip",
+        )
+        return plan, config
+
+    def scenario_corruption(self):
+        plan = FaultPlan(seed=5).corrupt_records(1, fraction=0.5)
+        config = ResilienceConfig(partition_policy="fail_fast")
+        return plan, config
+
+    @pytest.mark.parametrize(
+        "scenario",
+        ["retry", "skip_partition", "retry_then_skip", "corruption"],
+    )
+    @pytest.mark.parametrize("query", [QUERY, GROUP_QUERY])
+    def test_degradation_identical_across_backends(self, scenario, query):
+        make_scenario = getattr(self, f"scenario_{scenario}")
+        on_malformed = "skip_record" if scenario == "corruption" else "fail"
+        results = {}
+        for name in BACKEND_NAMES:
+            plan, config = make_scenario()
+            results[name] = fingerprint(
+                run_backend(
+                    name,
+                    query,
+                    plan=plan,
+                    config=config,
+                    on_malformed=on_malformed,
+                )
+            )
+        assert results["thread"] == results["sequential"]
+        assert results["process"] == results["sequential"]
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_fail_fast_raises_first_partition_in_order(self, name):
+        # Two failing partitions: the coordinator must surface the
+        # lower-numbered one no matter which worker finishes first.
+        plan = (
+            FaultPlan(seed=3)
+            .fail_partition(1, times=1)
+            .fail_partition(3, times=1)
+        )
+        with pytest.raises(PartitionExecutionError) as excinfo:
+            run_backend(name, plan=plan)
+        error = excinfo.value
+        assert error.partition == 1
+        assert error.collections == ("/events",)
+        assert isinstance(error.__cause__, TransientFaultError)
+
+
+class TestPicklability:
+    def test_work_unit_round_trip_with_catalog(self, tmp_path):
+        collection = tmp_path / "events" / "partition0"
+        collection.mkdir(parents=True)
+        (collection / "data.json").write_text('{"v": 1}\n{"v": 2}')
+        catalog = CollectionCatalog(str(tmp_path))
+        processor = JsonProcessor(source=catalog)
+        plan = processor.compile(QUERY).plan
+        unit = WorkUnit(
+            plan=plan,
+            partition=0,
+            work=PipelinedWork(plan),
+            source=catalog,
+            functions=None,
+            memory_budget=None,
+            resilience=ResilienceConfig(),
+        )
+        clone = pickle.loads(pickle.dumps(unit))
+        direct = execute_work_unit(unit)
+        via_pickle = execute_work_unit(clone)
+        assert direct.value == via_pickle.value == [1, 2]
+        assert via_pickle.stats.items_scanned == direct.stats.items_scanned
+
+    def test_partition_error_survives_pickle_with_cause(self):
+        cause = TransientFaultError("injected")
+        error = PartitionExecutionError(
+            2, cause, collections=("/events",), attempts=3
+        )
+        clone = pickle.loads(pickle.dumps(error))
+        assert clone.partition == 2
+        assert clone.attempts == 3
+        assert str(clone) == str(error)
+        assert isinstance(clone.__cause__, TransientFaultError)
+
+    def test_unpicklable_source_gets_clear_backend_error(self):
+        source = make_source()
+        source.poison = lambda: None  # lambdas cannot pickle
+        processor = JsonProcessor(source=source, backend="process")
+        with processor, pytest.raises(BackendError, match="not\\s+picklable"):
+            processor.execute(QUERY)
+
+
+class TestResolution:
+    def test_unknown_backend_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            resolve_backend("gpu")
+
+    def test_env_var_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "thread")
+        assert resolve_backend(None).name == "thread"
+        monkeypatch.delenv("REPRO_BACKEND")
+        assert resolve_backend(None).name == "sequential"
+
+    def test_instance_passthrough_rejects_max_workers(self):
+        backend = SequentialBackend()
+        assert resolve_backend(backend) is backend
+        with pytest.raises(ValueError, match="max_workers"):
+            resolve_backend(ThreadBackend(), max_workers=2)
+
+    def test_backend_instances_are_context_managers(self):
+        with ProcessBackend(max_workers=1) as backend:
+            assert backend.run_units([]) is not None
+
+    def test_stable_bucket_is_deterministic(self):
+        assert stable_bucket(("a", 1), 4) == stable_bucket(("a", 1), 4)
+        assert 0 <= stable_bucket(("x",), 3) < 3
+
+
+class TestSimulatedSeconds:
+    def test_sequential_smooths_jitter(self):
+        cluster = ClusterSpec(nodes=1, cores_per_node=2)
+        result = QueryResult(
+            [], partition_seconds=[1.0, 3.0], backend="sequential"
+        )
+        smoothed = result.simulated_seconds(cluster)
+        raw = result.simulated_seconds(cluster, smooth=False)
+        # Smoothing places two mean-sized (2.0s) partitions on two
+        # cores; raw placement is bounded by the 3.0s straggler.
+        assert smoothed == pytest.approx(cluster.makespan([2.0, 2.0]))
+        assert raw == pytest.approx(cluster.makespan([1.0, 3.0]))
+        assert smoothed < raw
+
+    @pytest.mark.parametrize("name", ["thread", "process"])
+    def test_parallel_backends_never_smooth(self, name):
+        cluster = ClusterSpec(nodes=1, cores_per_node=2)
+        result = QueryResult([], partition_seconds=[1.0, 3.0], backend=name)
+        # Measured contention is real skew, not jitter: smooth is ignored.
+        assert result.simulated_seconds(cluster) == pytest.approx(
+            cluster.makespan([1.0, 3.0])
+        )
+        assert result.simulated_seconds(cluster) == result.simulated_seconds(
+            cluster, smooth=False
+        )
+
+
+@pytest.mark.benchmark
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 2,
+    reason="speedup needs at least two cores",
+)
+class TestSpeedup:
+    def test_process_backend_speeds_up_q0(self, tmp_path):
+        from repro.data.generator import SensorDataConfig, write_sensor_collection
+
+        write_sensor_collection(
+            str(tmp_path),
+            "sensors",
+            partitions=4,
+            bytes_per_partition=1 << 20,
+            config=SensorDataConfig(seed=42),
+        )
+        query = (
+            'for $r in collection("/sensors")("root")()("results")() '
+            'where $r("dataType") eq "TMIN" return $r("value")'
+        )
+
+        def timed(backend):
+            with JsonProcessor.from_directory(
+                str(tmp_path), backend=backend
+            ) as processor:
+                processor.execute(query)  # warm caches / pools
+                result = processor.execute(query)
+            return result
+
+        sequential = timed("sequential")
+        process = timed("process")
+        assert process.items == sequential.items
+        speedup = (
+            sequential.parallel_wall_seconds / process.parallel_wall_seconds
+        )
+        assert speedup >= 1.5

@@ -109,6 +109,109 @@ class TestScanFile:
         assert list(scan_file(str(target), parse_path('("v")()'))) == [1, 2]
 
 
+class TestChunkedScanFile:
+    """scan_file streams in chunks; behaviour must match scan_text."""
+
+    TEXT = "\n".join(
+        json.dumps(
+            {"v": {"k": [i, i + 0.5, f's"{i}', True, None]}, "pad": "y" * 23}
+        )
+        for i in range(40)
+    ) + '\n[1, 2, 3]\n12345\n"tail"\n'
+
+    def write(self, tmp_path):
+        target = tmp_path / "data.json"
+        target.write_text(self.TEXT, encoding="utf-8")
+        return str(target)
+
+    @pytest.mark.parametrize("chunk_size", [1, 2, 3, 7, 64, 1000, 1 << 20])
+    @pytest.mark.parametrize("path_text", ['("v")("k")()', "()", '("v")("k")(2)'])
+    def test_equivalent_to_scan_text_at_any_chunk_size(
+        self, tmp_path, chunk_size, path_text
+    ):
+        name = self.write(tmp_path)
+        path = parse_path(path_text)
+        expected = list(scan_text(self.TEXT, path))
+        assert list(scan_file(name, path, chunk_size=chunk_size)) == expected
+
+    def test_token_split_across_chunk_boundary(self, tmp_path):
+        # A number whose digits straddle the read boundary must not be
+        # truncated into a shorter valid prefix.
+        target = tmp_path / "data.json"
+        target.write_text("1234567 8901", encoding="utf-8")
+        path = parse_path("")
+        assert list(scan_file(str(target), path, chunk_size=4)) == [
+            1234567,
+            8901,
+        ]
+
+    def test_skip_record_offsets_are_absolute(self, tmp_path):
+        bad = self.TEXT[:150] + '{"broken": \n' + self.TEXT[150:]
+        target = tmp_path / "data.json"
+        target.write_text(bad, encoding="utf-8")
+        path = parse_path('("v")("k")()')
+        expected_events: list = []
+        expected = list(
+            scan_text(
+                bad,
+                path,
+                on_malformed="skip_record",
+                recorder=lambda o, m: expected_events.append((o, m)),
+            )
+        )
+        for chunk_size in (5, 37, 1 << 20):
+            events: list = []
+            items = list(
+                scan_file(
+                    str(target),
+                    path,
+                    on_malformed="skip_record",
+                    recorder=lambda o, m: events.append((o, m)),
+                    chunk_size=chunk_size,
+                )
+            )
+            assert items == expected
+            assert events == expected_events
+
+    def test_fail_mode_error_offset_is_absolute(self, tmp_path):
+        # A stray top-level '}' right after the first record.
+        bad = self.TEXT.replace("\n", "\n} ", 1)
+        target = tmp_path / "data.json"
+        target.write_text(bad, encoding="utf-8")
+        path = parse_path('("v")("k")()')
+        with pytest.raises(JsonSyntaxError) as reference:
+            list(scan_text(bad, path))
+        with pytest.raises(JsonSyntaxError) as chunked:
+            list(scan_file(str(target), path, chunk_size=7))
+        assert chunked.value.offset == reference.value.offset
+        assert str(chunked.value) == str(reference.value)
+
+    def test_rejects_nonpositive_chunk_size(self, tmp_path):
+        name = self.write(tmp_path)
+        with pytest.raises(ValueError, match="chunk_size"):
+            list(scan_file(name, parse_path(""), chunk_size=0))
+
+    def test_memory_stays_buffer_bounded(self, tmp_path):
+        # The consumed prefix must be compacted away: scanning with a
+        # tiny chunk must never hold the whole file in the buffer.
+        import tracemalloc
+
+        big = "\n".join(
+            json.dumps({"v": i, "pad": "z" * 64}) for i in range(2000)
+        )
+        target = tmp_path / "big.json"
+        target.write_text(big, encoding="utf-8")
+        path = parse_path('("v")')
+        tracemalloc.start()
+        count = sum(1 for _ in scan_file(str(target), path, chunk_size=512))
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert count == 2000
+        # Whole file is ~160 KiB; the sliding buffer should stay well
+        # under half of it even with allocator overhead.
+        assert peak < len(big) // 2
+
+
 # -- property: equivalence with the navigate reference -----------------------
 
 json_values = st.recursive(
