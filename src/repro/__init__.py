@@ -40,6 +40,12 @@ from repro.hyracks.backends import (
 )
 from repro.hyracks.cluster import ClusterSpec
 from repro.hyracks.executor import QueryResult
+from repro.observability import (
+    OperatorProfile,
+    ProfileConfig,
+    QueryProfile,
+    RewriteAudit,
+)
 from repro.processor import JsonProcessor
 from repro.resilience import (
     DegradationReport,
@@ -58,11 +64,15 @@ __all__ = [
     "FaultPlan",
     "InMemorySource",
     "JsonProcessor",
+    "OperatorProfile",
     "ProcessBackend",
+    "ProfileConfig",
+    "QueryProfile",
     "QueryResult",
     "ReproError",
     "ResilienceConfig",
     "RetryPolicy",
+    "RewriteAudit",
     "RewriteConfig",
     "SensorDataConfig",
     "SequentialBackend",

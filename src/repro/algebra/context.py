@@ -60,6 +60,10 @@ class EvaluationContext:
     stats:
         Optional :class:`repro.hyracks.executor.ExecutionStats` charged by
         physical operators (scanned items, exchanged tuples, ...).
+    profile:
+        Optional :class:`repro.observability.profile.ProfileCollector`;
+        when present, the physical operators record per-operator
+        counters and timing spans on it.
     """
 
     def __init__(
@@ -69,6 +73,7 @@ class EvaluationContext:
         memory: "MemoryTracker | None" = None,
         partition: int | None = None,
         stats=None,
+        profile=None,
     ):
         if functions is None:
             from repro.jsoniq.functions import BUILTIN_FUNCTIONS
@@ -79,6 +84,7 @@ class EvaluationContext:
         self.memory = memory
         self.partition = partition
         self.stats = stats
+        self.profile = profile
 
     def for_partition(
         self, partition: int | None, memory: "MemoryTracker | None" = None
@@ -90,6 +96,7 @@ class EvaluationContext:
             memory=memory if memory is not None else self.memory,
             partition=partition,
             stats=self.stats,
+            profile=self.profile,
         )
 
     def charge(self, n_bytes: int) -> None:

@@ -44,12 +44,18 @@ class RuleEngine:
         self.rules = list(rules)
 
     def rewrite(
-        self, plan: LogicalPlan, trace: list[tuple[str, LogicalPlan]] | None = None
+        self,
+        plan: LogicalPlan,
+        trace: list[tuple[str, LogicalPlan]] | None = None,
+        audit=None,
     ) -> LogicalPlan:
         """Rewrite *plan* to a fixpoint.
 
         When *trace* is given, every applied step is appended as a
-        ``(rule_name, plan_after)`` pair — used by ``explain``.
+        ``(rule_name, plan_after)`` pair — used by ``explain``.  When
+        *audit* (a :class:`~repro.observability.rewrite_audit.RewriteAudit`)
+        is given, every firing is recorded with its operator-count delta
+        — used by the query profiles.
         """
         for _ in range(_MAX_REWRITE_PASSES):
             for rule in self.rules:
@@ -57,6 +63,8 @@ class RuleEngine:
                 if rewritten is not None:
                     if trace is not None:
                         trace.append((rule.name, rewritten))
+                    if audit is not None:
+                        audit.record(rule.name, plan, rewritten)
                     plan = rewritten
                     break
             else:

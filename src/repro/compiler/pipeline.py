@@ -16,6 +16,7 @@ from repro.algebra.rules import RewriteConfig, rule_pipeline
 from repro.jsoniq.ast import AstNode
 from repro.jsoniq.parser import parse_query
 from repro.jsoniq.translator import translate
+from repro.observability.rewrite_audit import RewriteAudit
 
 
 @dataclass
@@ -28,6 +29,7 @@ class CompiledQuery:
     plan: LogicalPlan
     config: RewriteConfig
     trace: list[tuple[str, LogicalPlan]] = field(default_factory=list)
+    audit: RewriteAudit = field(default_factory=RewriteAudit)
 
     def explain(self, show_trace: bool = False) -> str:
         """Human-readable compilation report."""
@@ -68,7 +70,8 @@ def compile_query(
     ast = parse_query(text)
     naive_plan = translate(ast)
     trace: list[tuple[str, LogicalPlan]] = []
-    plan = rule_pipeline(config).rewrite(naive_plan, trace=trace)
+    audit = RewriteAudit()
+    plan = rule_pipeline(config).rewrite(naive_plan, trace=trace, audit=audit)
     return CompiledQuery(
         text=text,
         ast=ast,
@@ -76,4 +79,5 @@ def compile_query(
         plan=plan,
         config=config,
         trace=trace,
+        audit=audit,
     )

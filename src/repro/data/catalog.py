@@ -55,6 +55,10 @@ class CollectionCatalog:
     def _report(self):
         return getattr(self._local, "report", None)
 
+    @property
+    def _counters(self):
+        return getattr(self._local, "scan_counters", None)
+
     def attach_degradation(self, report) -> None:
         """Attach (or detach, with None) a degradation report.
 
@@ -65,9 +69,19 @@ class CollectionCatalog:
         """
         self._local.report = report
 
+    def attach_scan_counters(self, counters) -> None:
+        """Attach (or detach, with None) projection scan counters.
+
+        While attached, every raw-text scan accumulates its projection
+        hit/skip counts on *counters* (a
+        :class:`~repro.jsonlib.textscan.ScanCounters`).  Per thread,
+        like :meth:`attach_degradation`.
+        """
+        self._local.scan_counters = counters
+
     def __getstate__(self):
-        # The report attachment is per-thread runtime state; a pickled
-        # catalog (a process-backend work unit) starts detached.
+        # The report/counters attachments are per-thread runtime state;
+        # a pickled catalog (a process-backend work unit) starts detached.
         state = self.__dict__.copy()
         del state["_local"]
         return state
@@ -212,26 +226,28 @@ class CollectionCatalog:
             yield from self._scan_one(file_path, path)
 
     def _scan_one(self, file_path: str, path: Path) -> Iterator[Item]:
+        counters = self._counters
         if self.on_malformed == "skip_record":
             yield from scan_file(
                 file_path,
                 path,
                 on_malformed="skip_record",
                 recorder=self._recorder(file_path),
+                counters=counters,
             )
         elif self.on_malformed == "skip_file":
             # Buffer the file's matches so a mid-file error drops the
             # whole file, not just its tail (memory stays file-bounded,
             # the same bound scan_file already has).
             try:
-                items = list(scan_file(file_path, path))
+                items = list(scan_file(file_path, path, counters=counters))
             except JsonError as error:
                 self._record_skipped_file(file_path, error)
                 return
             yield from items
         else:
             try:
-                yield from scan_file(file_path, path)
+                yield from scan_file(file_path, path, counters=counters)
             except JsonError as error:
                 raise FileScanError(file_path, error) from error
 
@@ -294,9 +310,17 @@ class InMemorySource:
     def _report(self):
         return getattr(self._local, "report", None)
 
+    @property
+    def _counters(self):
+        return getattr(self._local, "scan_counters", None)
+
     def attach_degradation(self, report) -> None:
         """Attach (or detach, with None) a degradation report (per thread)."""
         self._local.report = report
+
+    def attach_scan_counters(self, counters) -> None:
+        """Attach (or detach, with None) scan counters (per thread)."""
+        self._local.scan_counters = counters
 
     def __getstate__(self):
         state = self.__dict__.copy()
@@ -371,6 +395,7 @@ class InMemorySource:
     def scan_collection(
         self, name: str, path: Path, partition: int | None = None
     ) -> Iterator[Item]:
+        counters = self._counters
         for label, text in self._texts(name, partition):
             if self.on_malformed == "skip_record":
                 yield from scan_text(
@@ -378,17 +403,18 @@ class InMemorySource:
                     path,
                     on_malformed="skip_record",
                     recorder=self._recorder(label),
+                    counters=counters,
                 )
             elif self.on_malformed == "skip_file":
                 try:
-                    items = list(scan_text(text, path))
+                    items = list(scan_text(text, path, counters=counters))
                 except JsonError as error:
                     self._record_skipped_file(label, error)
                     continue
                 yield from items
             else:
                 try:
-                    yield from scan_text(text, path)
+                    yield from scan_text(text, path, counters=counters)
                 except JsonError as error:
                     raise FileScanError(label, error) from error
 

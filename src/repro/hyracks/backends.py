@@ -94,7 +94,10 @@ class GroupTableWork:
         nested = self.group_by.nested_root
         key_exprs = [expr for _, expr in self.group_by.keys]
         table: dict = {}
-        for tup in execute(self.group_by.input_op, ctx):
+        source = execute(self.group_by.input_op, ctx)
+        if ctx.profile is not None:
+            source = ctx.profile.count_input(self.group_by, source)
+        for tup in source:
             key_values = [expr.evaluate(tup, ctx) for expr in key_exprs]
             key = tuple(canonical_key(v) for v in key_values)
             state = table.get(key)
@@ -103,6 +106,8 @@ class GroupTableWork:
                 table[key] = state
             for accumulator in state[1]:
                 accumulator.add(tup, ctx)
+        if ctx.profile is not None:
+            ctx.profile.add(self.group_by, "groups", len(table))
         return table
 
 
@@ -146,11 +151,14 @@ class ExchangeWork:
         exchanged_bytes = 0
         from repro.hyracks.tuples import sizeof_tuple
 
-        for side, keys, target in (
-            (self.join.left, self.left_keys, local_left),
-            (self.join.right, self.right_keys, local_right),
+        for side, keys, target, counter in (
+            (self.join.left, self.left_keys, local_left, "probe_tuples"),
+            (self.join.right, self.right_keys, local_right, "build_tuples"),
         ):
-            for tup in execute(side, ctx):
+            stream = execute(side, ctx)
+            if ctx.profile is not None:
+                stream = ctx.profile.count_into(self.join, counter, stream)
+            for tup in stream:
                 key = tuple(
                     canonical_key(expr.evaluate(tup, ctx)) for expr in keys
                 )
@@ -218,6 +226,11 @@ class WorkUnit:
     memory_budget: int | None
     resilience: object
     charge_delay: bool = True
+    #: ProfileConfig, or None for unprofiled execution.  The worker
+    #: builds its own ProfileCollector over the (pickled) plan; operator
+    #: identity survives the round trip because plan and work pickle
+    #: together, so profile indices match the coordinator's.
+    profile: object = None
 
 
 @dataclass
@@ -239,6 +252,8 @@ class PartitionOutcome:
     stats: object = None
     report: object = None
     error: PartitionExecutionError | None = None
+    #: plain-dict ProfileCollector snapshot (None when unprofiled)
+    profile: object = None
 
 
 def _scan_collections(plan: LogicalPlan) -> tuple[str, ...]:
@@ -295,16 +310,25 @@ def execute_work_unit(unit: WorkUnit) -> PartitionOutcome:
     injected = 0.0
     peak = 0
     attempts = 0
+    collector = None
     try:
         while True:
             attempts += 1
             memory = MemoryTracker(unit.memory_budget, context="query execution")
+            if unit.profile is not None:
+                # A fresh collector per attempt (like the fresh memory
+                # tracker): retried attempts do not leak half-executed
+                # counters into the reported profile.
+                from repro.observability.profile import ProfileCollector
+
+                collector = ProfileCollector(unit.plan, unit.profile)
             ctx = EvaluationContext(
                 source=source,
                 functions=unit.functions,
                 memory=memory,
                 partition=unit.partition,
                 stats=stats,
+                profile=collector,
             )
             attempt_started = time.perf_counter()
             try:
@@ -326,6 +350,7 @@ def execute_work_unit(unit: WorkUnit) -> PartitionOutcome:
                         stats=stats,
                         report=report,
                         error=wrapped,
+                        profile=_snapshot(collector),
                     )
                 retryable = getattr(error, "retryable", True)
                 if (
@@ -355,6 +380,7 @@ def execute_work_unit(unit: WorkUnit) -> PartitionOutcome:
                         peak_memory_bytes=peak,
                         stats=stats,
                         report=report,
+                        profile=_snapshot(collector),
                     )
                 return PartitionOutcome(
                     unit.partition,
@@ -364,6 +390,7 @@ def execute_work_unit(unit: WorkUnit) -> PartitionOutcome:
                     stats=stats,
                     report=report,
                     error=wrapped,
+                    profile=_snapshot(collector),
                 )
             measured += time.perf_counter() - attempt_started
             peak = max(peak, memory.peak)
@@ -377,10 +404,16 @@ def execute_work_unit(unit: WorkUnit) -> PartitionOutcome:
                 peak_memory_bytes=peak,
                 stats=stats,
                 report=report,
+                profile=_snapshot(collector),
             )
     finally:
         if attach is not None:
             attach(None)
+
+
+def _snapshot(collector) -> dict | None:
+    """Picklable snapshot of a worker's profile collector (None when off)."""
+    return None if collector is None else collector.data()
 
 
 def _run_pickled_unit(blob: bytes) -> PartitionOutcome:

@@ -80,6 +80,11 @@ from repro.hyracks.memory import MemoryTracker
 from repro.hyracks.operators import run_chain, run_plan, split_join_condition
 from repro.hyracks.tuples import Tuple, sizeof_tuple
 from repro.jsonlib.items import Item
+from repro.observability.profile import (
+    ProfileCollector,
+    build_query_profile,
+    resolve_profile_config,
+)
 from repro.resilience.policies import ResilienceConfig
 from repro.resilience.report import DegradationReport
 
@@ -118,6 +123,9 @@ class QueryResult:
     degradation: DegradationReport = field(default_factory=DegradationReport)
     backend: str = "sequential"
     parallel_wall_seconds: float = 0.0
+    #: merged :class:`~repro.observability.profile.QueryProfile`
+    #: (None unless the run was profiled)
+    profile: object = None
 
     @property
     def is_partial(self) -> bool:
@@ -204,6 +212,8 @@ class PartitionedExecutor:
         self._resilience = resilience if resilience is not None else ResilienceConfig()
         self._backend = resolve_backend(backend, max_workers=max_workers)
         self._parallel_wall = 0.0
+        self._profile_config = None
+        self._profile = None  # coordinator-side ProfileCollector while running
 
     @property
     def backend(self):
@@ -216,12 +226,26 @@ class PartitionedExecutor:
 
     # -- public ---------------------------------------------------------------
 
-    def run(self, plan: LogicalPlan) -> QueryResult:
-        """Execute *plan* and return items plus measurements."""
+    def run(self, plan: LogicalPlan, profile=None) -> QueryResult:
+        """Execute *plan* and return items plus measurements.
+
+        *profile* enables operator-level profiling: ``True`` (wall
+        clock), a clock name (``"wall"`` | ``"counter"`` | ``"none"``),
+        or a :class:`~repro.observability.profile.ProfileConfig`; the
+        default ``None`` consults the ``REPRO_PROFILE`` environment
+        variable.  When enabled, ``result.profile`` carries the merged
+        :class:`~repro.observability.profile.QueryProfile`.
+        """
         started = time.perf_counter()
         stats = ExecutionStats()
         report = DegradationReport()
         self._parallel_wall = 0.0
+        self._profile_config = resolve_profile_config(profile)
+        self._profile = (
+            ProfileCollector(plan, self._profile_config)
+            if self._profile_config is not None
+            else None
+        )
         attach = getattr(self._source, "attach_degradation", None)
         if attach is not None:
             attach(report)
@@ -234,6 +258,15 @@ class PartitionedExecutor:
         result.wall_seconds = time.perf_counter() - started
         result.backend = self._backend.name
         result.parallel_wall_seconds = self._parallel_wall
+        if self._profile is not None:
+            result.profile = build_query_profile(
+                plan,
+                self._profile,
+                result.strategy,
+                len(result.partition_seconds),
+            )
+            self._profile = None
+            self._profile_config = None
         return result
 
     def _dispatch(
@@ -267,6 +300,7 @@ class PartitionedExecutor:
             memory=memory,
             partition=partition,
             stats=stats,
+            profile=self._profile,
         )
 
     def _tracker(self) -> MemoryTracker:
@@ -299,6 +333,7 @@ class PartitionedExecutor:
                 memory_budget=self._memory_budget,
                 resilience=self._resilience,
                 charge_delay=charge_delay,
+                profile=self._profile_config,
             )
             for partition, work in tasks
         ]
@@ -320,7 +355,33 @@ class PartitionedExecutor:
         for outcome in outcomes:
             stats.merge(outcome.stats)
             report.absorb(outcome.report)
+            if self._profile is not None:
+                self._profile.absorb(outcome.profile)
         return outcomes
+
+    def _record_frames(self, op: Operator, tuples=None, n_bytes: int = 0) -> None:
+        """Charge ``frames_emitted`` for tuples shipped at an exchange.
+
+        Raw tuple streams are packed through a real
+        :class:`~repro.hyracks.frames.FrameWriter`; partial/byte-counted
+        exchanges charge whole frames over *n_bytes*.  Only runs while
+        profiling, so the unprofiled path never packs frames twice.
+        """
+        if self._profile is None:
+            return
+        from repro.hyracks.frames import DEFAULT_FRAME_BYTES, FrameWriter
+
+        frames = 0
+        if tuples is not None:
+            writer = FrameWriter(allow_big_objects=True)
+            for tup in tuples:
+                writer.write(tup)
+            writer.flush()
+            frames = writer.frames_emitted
+        if n_bytes > 0:
+            frames += -(-n_bytes // DEFAULT_FRAME_BYTES)  # ceil division
+        if frames:
+            self._profile.add(op, "frames_emitted", frames)
 
     @staticmethod
     def _collect_timing(
@@ -458,6 +519,10 @@ class PartitionedExecutor:
             local_tables.append(outcome.value)
             stats.exchange_tuples += len(outcome.value)
             stats.exchange_bytes += len(outcome.value) * _PARTIAL_TUPLE_BYTES
+        self._record_frames(
+            group_by,
+            n_bytes=sum(len(t) for t in local_tables) * _PARTIAL_TUPLE_BYTES,
+        )
         # Coordinator: combine partials, finalize groups, run the ops above.
         memory = self._tracker()
         ctx = self._context(None, memory, stats)
@@ -513,6 +578,7 @@ class PartitionedExecutor:
                 shipped.append(tup)
                 stats.exchange_tuples += 1
                 stats.exchange_bytes += sizeof_tuple(tup)
+        self._record_frames(group_by, tuples=shipped)
         memory = self._tracker()
         ctx = self._context(None, memory, stats)
         started = time.perf_counter()
@@ -555,6 +621,9 @@ class PartitionedExecutor:
             partials.append(outcome.value)
             stats.exchange_tuples += 1
             stats.exchange_bytes += _PARTIAL_TUPLE_BYTES
+        self._record_frames(
+            aggregate, n_bytes=len(partials) * _PARTIAL_TUPLE_BYTES
+        )
         memory = self._tracker()
         ctx = self._context(None, memory, stats)
         started = time.perf_counter()
@@ -599,6 +668,7 @@ class PartitionedExecutor:
                 shipped.append(tup)
                 stats.exchange_tuples += 1
                 stats.exchange_bytes += sizeof_tuple(tup)
+        self._record_frames(aggregate, tuples=shipped)
         memory = self._tracker()
         ctx = self._context(None, memory, stats)
         started = time.perf_counter()
@@ -665,6 +735,22 @@ class PartitionedExecutor:
                 right_buckets[bucket].extend(local_right[bucket])
             stats.exchange_tuples += exchanged_tuples
             stats.exchange_bytes += exchanged_bytes
+        if self._profile is not None:
+            self._profile.set_detail(
+                join, "left_buckets", [len(b) for b in left_buckets]
+            )
+            self._profile.set_detail(
+                join, "right_buckets", [len(b) for b in right_buckets]
+            )
+            self._record_frames(
+                join,
+                tuples=(
+                    tup
+                    for side in (left_buckets, right_buckets)
+                    for bucket in side
+                    for tup in bucket
+                ),
+            )
         use_two_step = aggregate is not None and self._two_step
         bucket_tasks = [
             (
@@ -704,6 +790,12 @@ class PartitionedExecutor:
                     # global aggregate / result assembly.
                     stats.exchange_tuples += 1
                     stats.exchange_bytes += sizeof_tuple(tup)
+        if use_two_step:
+            self._record_frames(
+                join, n_bytes=len(partials) * _PARTIAL_TUPLE_BYTES
+            )
+        else:
+            self._record_frames(join, tuples=bucket_outputs)
         partition_seconds = [
             phase1_seconds[i] + phase2_seconds[i] for i in range(partitions)
         ]

@@ -47,25 +47,26 @@ from repro.algebra.plan import LogicalPlan
 from repro.algebra.rules.base import conjuncts, subtree_variables
 from repro.hyracks.aggregates import make_accumulators
 from repro.hyracks.tuples import Tuple, extend_tuple, merge_tuples, sizeof_tuple
-from repro.jsonlib.items import Item, sizeof_item
-from repro.jsonlib.serializer import dumps
+from repro.jsonlib.items import (
+    Item,
+    canonical_item,
+    canonical_key,
+    sizeof_item,
+)
 
-
-# ---------------------------------------------------------------------------
-# Grouping / join keys
-# ---------------------------------------------------------------------------
-
-
-def canonical_item(item: Item):
-    """A hashable canonical form of one item (containers via JSON text)."""
-    if isinstance(item, (dict, list)):
-        return ("json", dumps(item))
-    return (type(item).__name__, item)
-
-
-def canonical_key(sequence: list) -> tuple:
-    """A hashable canonical form of a sequence (a grouping/join key)."""
-    return tuple(canonical_item(item) for item in sequence)
+# Re-exported here for backwards compatibility: the canonical grouping /
+# join / distinct-values key lives in repro.jsonlib.items so the JSONiq
+# builtins share exactly the same numeric-equality semantics.
+__all__ = [
+    "canonical_item",
+    "canonical_key",
+    "execute",
+    "hash_join",
+    "run_chain",
+    "run_operator",
+    "run_plan",
+    "split_join_condition",
+]
 
 
 # ---------------------------------------------------------------------------
@@ -82,9 +83,15 @@ def execute(op: Operator, ctx: EvaluationContext) -> Iterator[Tuple]:
             "NESTED-TUPLE-SOURCE outside a SUBPLAN/GROUP-BY nested plan"
         )
     if isinstance(op, DataScan):
-        return _execute_datascan(op, ctx)
+        stream = _execute_datascan(op, ctx)
+        if ctx.profile is not None:
+            stream = ctx.profile.observe(op, stream)
+        return stream
     if isinstance(op, Join):
-        return _execute_join(op, ctx)
+        stream = _execute_join(op, ctx)
+        if ctx.profile is not None:
+            stream = ctx.profile.observe(op, stream)
+        return stream
     (input_op,) = op.inputs
     return run_operator(op, execute(input_op, ctx), ctx)
 
@@ -92,7 +99,24 @@ def execute(op: Operator, ctx: EvaluationContext) -> Iterator[Tuple]:
 def run_operator(
     op: Operator, source: Iterable[Tuple], ctx: EvaluationContext
 ) -> Iterator[Tuple]:
-    """Run one unary operator over a given input tuple stream."""
+    """Run one unary operator over a given input tuple stream.
+
+    With profiling enabled the input stream is wrapped to count tuples
+    flowing in, and the output stream to count tuples flowing out and
+    to charge the operator's (inclusive) timing span.
+    """
+    profile = ctx.profile
+    if profile is not None:
+        source = profile.count_input(op, source)
+    stream = _dispatch_operator(op, source, ctx)
+    if profile is not None:
+        stream = profile.observe(op, stream)
+    return stream
+
+
+def _dispatch_operator(
+    op: Operator, source: Iterable[Tuple], ctx: EvaluationContext
+) -> Iterator[Tuple]:
     if isinstance(op, Assign):
         return _execute_assign(op, source, ctx)
     if isinstance(op, Unnest):
@@ -149,17 +173,37 @@ def _execute_datascan(op: DataScan, ctx: EvaluationContext) -> Iterator[Tuple]:
         raise RuntimeExecutionError("no data source configured for DATASCAN")
     scanned = 0
     scanned_bytes = 0
-    track = ctx.stats is not None
-    for item in ctx.source.scan_collection(
-        op.collection, op.project_path, partition=ctx.partition
-    ):
-        scanned += 1
-        if track:
-            scanned_bytes += sizeof_item(item)
-        yield {op.variable: [item]}
-    if track:
-        ctx.stats.items_scanned += scanned
-        ctx.stats.scanned_item_bytes += scanned_bytes
+    profile = ctx.profile
+    track = ctx.stats is not None or profile is not None
+    attach_counters = None
+    counters = None
+    if profile is not None:
+        attach_counters = getattr(ctx.source, "attach_scan_counters", None)
+        if attach_counters is not None:
+            from repro.jsonlib.textscan import ScanCounters
+
+            counters = ScanCounters()
+            attach_counters(counters)
+    try:
+        for item in ctx.source.scan_collection(
+            op.collection, op.project_path, partition=ctx.partition
+        ):
+            scanned += 1
+            if track:
+                scanned_bytes += sizeof_item(item)
+            yield {op.variable: [item]}
+    finally:
+        if attach_counters is not None:
+            attach_counters(None)
+        if ctx.stats is not None:
+            ctx.stats.items_scanned += scanned
+            ctx.stats.scanned_item_bytes += scanned_bytes
+        if profile is not None:
+            profile.add(op, "items_scanned", scanned)
+            profile.add(op, "bytes_scanned", scanned_bytes)
+            if counters is not None:
+                profile.add(op, "projection_hits", counters.matched)
+                profile.add(op, "projection_skips", counters.skipped)
 
 
 def _execute_assign(
@@ -266,6 +310,8 @@ def _execute_group_by(
                     ctx.charge(_GROUP_ENTRY_BYTES)
             for accumulator in state[1]:
                 accumulator.add(tup, ctx)
+        if ctx.profile is not None:
+            ctx.profile.add(op, "groups", len(groups))
         for key_values, accumulators in groups.values():
             out = dict(zip(key_vars, key_values))
             for accumulator in accumulators:
@@ -287,6 +333,8 @@ def _execute_group_by(
             n_bytes = sizeof_tuple(tup)
             charged += n_bytes
             ctx.charge(n_bytes)
+    if ctx.profile is not None:
+        ctx.profile.add(op, "groups", len(grouped))
     for key_values, tuples in grouped.values():
         bindings = execute_nested_plan(op.nested_root, tuples, ctx)
         out = dict(zip(key_vars, key_values))
@@ -379,6 +427,9 @@ def _execute_join(op: Join, ctx: EvaluationContext) -> Iterator[Tuple]:
     left_keys, right_keys, residual = split_join_condition(op)
     left_stream = execute(op.left, ctx)
     right_stream = execute(op.right, ctx)
+    if ctx.profile is not None:
+        left_stream = ctx.profile.count_into(op, "probe_tuples", left_stream)
+        right_stream = ctx.profile.count_into(op, "build_tuples", right_stream)
     if left_keys:
         yield from hash_join(
             left_stream, right_stream, left_keys, right_keys, residual, ctx

@@ -19,7 +19,7 @@ import re
 from typing import Callable
 
 from repro.errors import ItemTypeError
-from repro.jsonlib.items import Item, is_atomic, item_type_name
+from repro.jsonlib.items import Item, canonical_atomic, is_atomic, item_type_name
 
 Sequence = list
 FunctionImpl = Callable[[list], Sequence]
@@ -27,6 +27,14 @@ FunctionImpl = Callable[[list], Sequence]
 # Compact NOAA-style timestamps ("20131225T00:00") and ISO timestamps.
 _COMPACT_DATETIME_RE = re.compile(
     r"^(\d{4})(\d{2})(\d{2})T(\d{2}):(\d{2})(?::(\d{2}))?$"
+)
+
+# The JSON numeric grammar (RFC 8259 section 6) — what number() accepts
+# from strings.  Python's own float()/int() are far more liberal ("inf",
+# "nan", "1_000", "0x1f", padded "  12  "), none of which are numbers in
+# the JSONiq data model.
+_JSON_NUMBER_RE = re.compile(
+    r"-?(?:0|[1-9][0-9]*)(?:\.[0-9]+)?(?:[eE][+-]?[0-9]+)?\Z"
 )
 
 
@@ -179,22 +187,24 @@ def fn_string(args: list) -> Sequence:
 
 def fn_number(args: list) -> Sequence:
     """``number($x)`` — numeric form of an atomic item (NaN-free variant:
-    unconvertible input is a type error rather than NaN)."""
+    unconvertible input is a type error rather than NaN).
+
+    String input must match the JSON numeric grammar exactly; Python's
+    liberal ``float()`` extensions ("inf", "nan", "1_000", padded
+    whitespace, hex) are type errors, keeping ``number()`` closed over
+    the values the parser itself can produce.
+    """
     item = _singleton(args[0], "number")
     if isinstance(item, bool):
         return [1 if item else 0]
     if isinstance(item, (int, float)):
         return [item]
     if isinstance(item, str):
-        try:
-            return [int(item)]
-        except ValueError:
-            try:
-                return [float(item)]
-            except ValueError:
-                raise ItemTypeError(
-                    f"number() cannot convert {item!r}"
-                ) from None
+        if _JSON_NUMBER_RE.match(item) is None:
+            raise ItemTypeError(f"number() cannot convert {item!r}")
+        if any(mark in item for mark in ".eE"):
+            return [float(item)]
+        return [int(item)]
     raise ItemTypeError(f"number() over a {item_type_name(item)} item")
 
 
@@ -251,15 +261,43 @@ def fn_string_join(args: list) -> Sequence:
 
 
 def fn_substring(args: list) -> Sequence:
-    """``substring($s, $start[, $length])`` — 1-based, XQuery style."""
+    """``substring($s, $start[, $length])`` — 1-based, XQuery style.
+
+    Returns the characters at positions ``p`` with
+    ``p >= round($start)`` and (three-argument form)
+    ``p < round($start) + round($length)``, where ``round`` is XQuery's
+    round-half-up (``floor(x + 0.5)``) — so fractional arguments round
+    instead of truncating, and NaN/±INF arguments follow the spec's
+    comparison semantics (any comparison with NaN is false).
+    """
     text = _as_string(_singleton(args[0], "substring"), "substring")
-    start = int(_as_number(_singleton(args[1], "substring"), "substring"))
-    begin = max(start - 1, 0)
+    start = _xquery_round(
+        _as_number(_singleton(args[1], "substring"), "substring")
+    )
+    if isinstance(start, float) and (math.isnan(start) or start == math.inf):
+        # p >= NaN and p >= +INF both hold for no position.
+        return [""]
+    lower = 1 if start == -math.inf else max(int(start), 1)
     if len(args) == 3:
-        length = int(_as_number(_singleton(args[2], "substring"), "substring"))
-        end = max(start - 1 + length, begin)
-        return [text[begin:end]]
-    return [text[begin:]]
+        length = _xquery_round(
+            _as_number(_singleton(args[2], "substring"), "substring")
+        )
+        upper = start + length  # exclusive bound on p
+        if isinstance(upper, float) and math.isnan(upper):
+            # -INF start with +INF length: p < NaN holds nowhere.
+            return [""]
+        if upper == -math.inf:
+            return [""]
+        if upper != math.inf:
+            return [text[lower - 1 : int(upper) - 1]]
+    return [text[lower - 1 :]]
+
+
+def _xquery_round(value: int | float) -> int | float:
+    """XQuery ``fn:round``: half-up toward +INF; NaN/±INF propagate."""
+    if isinstance(value, float) and (math.isnan(value) or math.isinf(value)):
+        return value
+    return math.floor(value + 0.5)
 
 
 def fn_string_length(args: list) -> Sequence:
@@ -325,7 +363,14 @@ def fn_reverse(args: list) -> Sequence:
 
 
 def fn_distinct_values(args: list) -> Sequence:
-    """``distinct-values($seq)`` — order-preserving dedup of atomics."""
+    """``distinct-values($seq)`` — order-preserving dedup of atomics.
+
+    Equality is value-based across the numeric types (XQuery: ``1`` and
+    ``1.0`` are the same value), while booleans stay distinct from the
+    numbers they'd convert to — both via the one canonical atomic key
+    shared with group-by keys and join buckets
+    (:func:`repro.jsonlib.items.canonical_atomic`).
+    """
     seen: set = set()
     out = []
     for item in args[0]:
@@ -333,7 +378,7 @@ def fn_distinct_values(args: list) -> Sequence:
             raise ItemTypeError(
                 f"distinct-values() over a {item_type_name(item)} item"
             )
-        key = (type(item).__name__, item)
+        key = canonical_atomic(item)
         if key not in seen:
             seen.add(key)
             out.append(item)

@@ -31,6 +31,7 @@ sequence.
 from __future__ import annotations
 
 import datetime
+import math
 from typing import Any, Iterable, Iterator
 
 from repro.errors import ItemTypeError, JsonSyntaxError
@@ -130,6 +131,74 @@ def sizeof_item(item: Item) -> int:
 def sizeof_sequence(items: Iterable[Item]) -> int:
     """Estimate the footprint of a sequence of items."""
     return _ARRAY_BASE + sum(_PER_MEMBER + sizeof_item(item) for item in items)
+
+
+# ---------------------------------------------------------------------------
+# Canonical keys (grouping, distinct-values, join bucketing)
+# ---------------------------------------------------------------------------
+
+
+def _canonical_number(value: int | float) -> int | float:
+    """One canonical representative per numeric *value*.
+
+    XQuery numeric equality says ``1 eq 1.0``, so equal numbers must map
+    to the same canonical object — including an identical ``repr``,
+    because the hash-join exchange buckets on the CRC32 of the key's
+    canonical repr.  Ints that are exactly representable as floats
+    canonicalize to the float (so ``1`` and ``1.0`` collide); ints
+    beyond float precision stay ints, which is safe because no float
+    equals them.  ``-0.0`` collapses to ``0.0``.
+    """
+    if isinstance(value, int):
+        try:
+            as_float = float(value)
+        except OverflowError:
+            return value
+        return as_float if as_float == value else value
+    if value == 0.0:
+        return 0.0  # collapse -0.0, whose repr differs
+    return value
+
+
+def canonical_atomic(item: Item) -> tuple:
+    """A hashable canonical key for one atomic item.
+
+    Follows XQuery atomic-value equality: numbers compare across
+    int/float (``1`` equals ``1.0``), booleans stay distinct from
+    numbers (``true`` is not ``1``), strings stay distinct from numbers,
+    and ``NaN`` equals ``NaN`` (so distinct-values keeps one).
+    """
+    if isinstance(item, bool):
+        return ("bool", item)
+    if isinstance(item, (int, float)):
+        if isinstance(item, float) and math.isnan(item):
+            return ("nan", "NaN")
+        return ("num", _canonical_number(item))
+    return (type(item).__name__, item)
+
+
+def canonical_item(item: Item) -> tuple:
+    """A hashable canonical form of one item, recursing into containers.
+
+    Containers canonicalize structurally so the numeric unification of
+    :func:`canonical_atomic` reaches nested values — ``{"a": [1]}`` and
+    ``{"a": [1.0]}`` share a key, matching :func:`deep_equals`.  Object
+    keys are sorted, making the form (and its ``repr``, which the
+    hash-join exchange buckets on) independent of insertion order.
+    """
+    if isinstance(item, dict):
+        return (
+            "obj",
+            tuple(sorted((key, canonical_item(value)) for key, value in item.items())),
+        )
+    if isinstance(item, list):
+        return ("arr", tuple(canonical_item(value) for value in item))
+    return canonical_atomic(item)
+
+
+def canonical_key(sequence: list) -> tuple:
+    """A hashable canonical form of a sequence (a grouping/join key)."""
+    return tuple(canonical_item(item) for item in sequence)
 
 
 # ---------------------------------------------------------------------------

@@ -35,6 +35,9 @@ from repro.jsonlib.path import (
 )
 
 _WS_RE = re.compile(r"[ \t\n\r]*")
+#: Unicode byte-order mark; legal as the very first character of a JSON
+#: text (RFC 8259 permits parsers to ignore it), never anywhere else.
+_BOM = "\ufeff"
 # Structural characters that change nesting depth, plus string openers.
 _STRUCT_RE = re.compile(r'["{}\[\]]')
 _STRING_RE = re.compile(
@@ -43,6 +46,23 @@ _STRING_RE = re.compile(
 _NUMBER_RE = re.compile(r"-?(?:0|[1-9][0-9]*)(?:\.[0-9]+)?(?:[eE][+-]?[0-9]+)?")
 _LITERAL_RE = re.compile(r"true|false|null")
 _LITERAL_VALUES = {"true": True, "false": False, "null": None}
+
+
+class ScanCounters:
+    """Projection-effectiveness counters for one raw-text scan.
+
+    ``matched`` counts items the projection materialized; ``skipped``
+    counts the values it jumped over at string-search speed (a bulk
+    container skip counts once).  Attached to a scan through the data
+    source's ``attach_scan_counters`` hook and surfaced in query
+    profiles as ``projection_hits`` / ``projection_skips``.
+    """
+
+    __slots__ = ("matched", "skipped")
+
+    def __init__(self):
+        self.matched = 0
+        self.skipped = 0
 
 
 def _skip_ws(text: str, pos: int) -> int:
@@ -183,15 +203,24 @@ def _expect(text: str, pos: int, ch: str) -> int:
 
 
 def _project(
-    text: str, pos: int, path: Path, step_index: int, out: list
+    text: str,
+    pos: int,
+    path: Path,
+    step_index: int,
+    out: list,
+    counters: ScanCounters | None = None,
 ) -> int:
     """Project steps from *step_index* over the value at *pos*.
 
     Matched items append to *out*; returns the value's end offset.
+    When *counters* is given, materialized items bump ``matched`` and
+    skipped-over values bump ``skipped``.
     """
     if step_index == len(path):
         item, end = _build_value(text, pos)
         out.append(item)
+        if counters is not None:
+            counters.matched += 1
         return end
 
     pos = _skip_ws(text, pos)
@@ -202,18 +231,26 @@ def _project(
 
     if isinstance(step, ValueByKey):
         if ch != "{":
-            return _skip_value(text, pos)
-        return _walk_object(text, pos, path, step_index, out, step.key)
+            return _skip(text, pos, counters)
+        return _walk_object(text, pos, path, step_index, out, step.key, counters)
     if isinstance(step, ValueByIndex):
         if ch != "[":
-            return _skip_value(text, pos)
-        return _walk_array(text, pos, path, step_index, out, step.index)
+            return _skip(text, pos, counters)
+        return _walk_array(text, pos, path, step_index, out, step.index, counters)
     # KeysOrMembers
     if ch == "[":
-        return _walk_array(text, pos, path, step_index, out, None)
+        return _walk_array(text, pos, path, step_index, out, None, counters)
     if ch == "{":
-        return _walk_object(text, pos, path, step_index, out, None)
-    return _skip_value(text, pos)
+        return _walk_object(text, pos, path, step_index, out, None, counters)
+    return _skip(text, pos, counters)
+
+
+def _skip(text: str, pos: int, counters: ScanCounters | None) -> int:
+    """Skip the value at *pos*, counting it when *counters* is given."""
+    end = _skip_value(text, pos)
+    if counters is not None:
+        counters.skipped += 1
+    return end
 
 
 def _walk_object(
@@ -223,6 +260,7 @@ def _walk_object(
     step_index: int,
     out: list,
     target_key: str | None,
+    counters: ScanCounters | None = None,
 ) -> int:
     """Walk an object; ``target_key`` None means keys-or-members."""
     at_end = step_index + 1 == len(path)
@@ -239,11 +277,13 @@ def _walk_object(
             # Keys-or-members over an object yields its keys.
             if at_end:
                 out.append(key)
-            pos = _skip_value(text, pos)
+                if counters is not None:
+                    counters.matched += 1
+            pos = _skip(text, pos, counters)
         elif key == target_key:
-            pos = _project(text, pos, path, step_index + 1, out)
+            pos = _project(text, pos, path, step_index + 1, out, counters)
         else:
-            pos = _skip_value(text, pos)
+            pos = _skip(text, pos, counters)
         pos = _skip_ws(text, pos)
         if pos >= len(text):
             raise JsonSyntaxError("unterminated object", pos)
@@ -285,6 +325,7 @@ def _walk_array(
     step_index: int,
     out: list,
     target_index: int | None,
+    counters: ScanCounters | None = None,
 ) -> int:
     """Walk an array; ``target_index`` None means keys-or-members."""
     start = pos
@@ -297,13 +338,16 @@ def _walk_array(
         pos = _skip_ws(text, pos)
         position += 1
         if target_index is None or position == target_index:
-            pos = _project(text, pos, path, step_index + 1, out)
+            pos = _project(text, pos, path, step_index + 1, out, counters)
             if target_index is not None:
                 # Positions only grow, so no later member can match:
                 # skip the rest of the array in one bulk hop.
-                return _skip_to_container_end(text, pos, start)
+                end = _skip_to_container_end(text, pos, start)
+                if counters is not None and text[_skip_ws(text, pos)] != "]":
+                    counters.skipped += 1
+                return end
         else:
-            pos = _skip_value(text, pos)
+            pos = _skip(text, pos, counters)
         pos = _skip_ws(text, pos)
         if pos >= len(text):
             raise JsonSyntaxError("unterminated array", pos)
@@ -336,6 +380,7 @@ def scan_text(
     path: Path,
     on_malformed: str = "fail",
     recorder=None,
+    counters: ScanCounters | None = None,
 ) -> Iterator[Item]:
     """Project *path* over every top-level value of *text*.
 
@@ -343,16 +388,21 @@ def scan_text(
     top-level value matches are collected eagerly (the value has to be
     walked to its end anyway to find the next one).
 
+    A leading byte-order mark is ignored, matching RFC 8259's allowance
+    for BOM-prefixed JSON texts.
+
     With ``on_malformed="skip_record"`` a malformed top-level value is
     skipped (resyncing at the next newline) instead of raising; each
-    skip is reported to ``recorder(offset, message)`` when given.
+    skip is reported to ``recorder(offset, message)`` when given.  When
+    *counters* is given it accumulates projection hit/skip counts.
     """
-    pos = _skip_ws(text, 0)
+    pos = 1 if text.startswith(_BOM) else 0
+    pos = _skip_ws(text, pos)
     n = len(text)
     while pos < n:
         out: list = []
         try:
-            pos = _project(text, pos, path, 0, out)
+            pos = _project(text, pos, path, 0, out, counters)
         except JsonSyntaxError as error:
             if on_malformed != "skip_record":
                 raise
@@ -381,6 +431,7 @@ def scan_file(
     on_malformed: str = "fail",
     recorder=None,
     chunk_size: int = _DEFAULT_CHUNK_SIZE,
+    counters: ScanCounters | None = None,
 ) -> Iterator[Item]:
     """Project *path* over a JSON file, reading it in chunks.
 
@@ -393,13 +444,20 @@ def scan_file(
     the buffer edge), the buffer grows by a doubling read, and the value
     is re-scanned — amortized linear in file size.
 
+    A leading byte-order mark is stripped by the ``utf-8-sig`` codec
+    (RFC 8259 allows BOM-prefixed JSON texts); absolute offsets count
+    from the first post-BOM character, matching :func:`scan_text` on
+    the decoded text.
+
     Offsets reported to ``recorder`` and carried by raised
     :class:`~repro.errors.JsonSyntaxError`\\ s are absolute file
     offsets, identical to what a whole-file :func:`scan_text` reports.
+    When *counters* is given it accumulates projection hit/skip counts;
+    a value re-scanned after a buffer grow is counted once.
     """
     if chunk_size <= 0:
         raise ValueError(f"chunk_size must be positive, got {chunk_size!r}")
-    with open(file_path, "r", encoding="utf-8") as handle:
+    with open(file_path, "r", encoding="utf-8-sig") as handle:
         buffer = handle.read(chunk_size)
         eof = buffer == ""
         base = 0  # absolute offset of buffer[0]
@@ -426,8 +484,12 @@ def scan_file(
                     return
                 continue
             out: list = []
+            # Counters accumulate per attempt and merge only once the
+            # value is accepted, so a grow-and-retry re-scan of the same
+            # value cannot double-count hits or skips.
+            attempt = None if counters is None else ScanCounters()
             try:
-                end = _project(buffer, pos, path, 0, out)
+                end = _project(buffer, pos, path, 0, out, attempt)
             except JsonSyntaxError as error:
                 # Not EOF yet: the error may just be a truncated token
                 # (a string or container cut mid-chunk) — grow and retry.
@@ -445,6 +507,9 @@ def scan_file(
                 # so re-scan with more text before trusting it.
                 if grow():
                     continue
+            if counters is not None:
+                counters.matched += attempt.matched
+                counters.skipped += attempt.skipped
             yield from out
             pos = end
             if pos > chunk_size:

@@ -1,0 +1,38 @@
+"""Observability: operator-level profiling and rewrite auditing.
+
+The measurement layer behind ``JsonProcessor.profile(query)``,
+``explain(..., profile=True)``, and ``tools/profile.py``:
+
+- :mod:`repro.observability.profile` — per-operator
+  :class:`QueryProfile` trees with counters and clock-driven spans,
+- :mod:`repro.observability.clock` — injectable monotonic clocks
+  (wall, deterministic counter, null),
+- :mod:`repro.observability.rewrite_audit` — per-rule firing log of the
+  fixpoint rewrite engine.
+"""
+
+from repro.observability.clock import CLOCKS, make_clock
+from repro.observability.profile import (
+    OperatorProfile,
+    ProfileCollector,
+    ProfileConfig,
+    QueryProfile,
+    build_query_profile,
+    iter_plan_operators,
+    resolve_profile_config,
+)
+from repro.observability.rewrite_audit import RewriteAudit, RuleFiring
+
+__all__ = [
+    "CLOCKS",
+    "OperatorProfile",
+    "ProfileCollector",
+    "ProfileConfig",
+    "QueryProfile",
+    "RewriteAudit",
+    "RuleFiring",
+    "build_query_profile",
+    "iter_plan_operators",
+    "make_clock",
+    "resolve_profile_config",
+]

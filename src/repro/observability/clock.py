@@ -1,0 +1,61 @@
+"""Injectable monotonic clocks for profiling spans.
+
+Timing spans in a :class:`~repro.observability.profile.QueryProfile` are
+read from a clock the caller chooses, so the same query can be profiled
+against wall time (``"wall"``) or against a deterministic virtual clock:
+
+- ``"counter"`` — every read advances a tick counter by one, so a span's
+  "seconds" is the number of clock reads it covered.  Two runs of the
+  same partition work read the clock the same number of times in the
+  same order, which makes profiles **byte-identical across execution
+  backends** (the property the parity tests pin down);
+- ``"none"`` — always reads zero; counters are collected, spans stay 0.
+
+Clocks are referred to *by name* everywhere a profile configuration
+travels (work units are pickled to process-pool workers), and each
+partition's worker builds its own instance, so ticks never race across
+threads or processes.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+Clock = Callable[[], float]
+
+
+def _wall_clock() -> Clock:
+    return time.perf_counter
+
+
+def _counter_clock() -> Clock:
+    ticks = 0
+
+    def read() -> float:
+        nonlocal ticks
+        ticks += 1
+        return float(ticks)
+
+    return read
+
+
+def _null_clock() -> Clock:
+    return lambda: 0.0
+
+
+#: clock-name registry; values are zero-argument factories of clocks.
+CLOCKS: dict[str, Callable[[], Clock]] = {
+    "wall": _wall_clock,
+    "counter": _counter_clock,
+    "none": _null_clock,
+}
+
+
+def make_clock(name: str) -> Clock:
+    """Build a fresh clock instance for *name* (``wall|counter|none``)."""
+    if name not in CLOCKS:
+        raise ValueError(
+            f"unknown profile clock {name!r}; expected one of {sorted(CLOCKS)}"
+        )
+    return CLOCKS[name]()

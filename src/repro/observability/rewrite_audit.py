@@ -1,0 +1,111 @@
+"""Rewrite-rule audit: what each rule firing did to the plan.
+
+The paper attributes its wins to rewrite *families* (DATASCAN projection
+vs. path rules vs. pushed-down aggregation), which requires knowing not
+just the final plan but **which rules fired and what each firing
+changed**.  A :class:`RewriteAudit` hangs off the fixpoint engine
+(:class:`~repro.algebra.rules.base.RuleEngine`) and records, per firing,
+the rule name and the operator-count delta it caused; aggregated
+per-rule fire counts drive the ``explain(..., profile=True)`` report and
+the structured-JSON profile export.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.algebra.plan import LogicalPlan
+
+
+def _operator_count(plan: LogicalPlan) -> int:
+    return sum(1 for _ in plan.iter_operators())
+
+
+@dataclass(frozen=True)
+class RuleFiring:
+    """One rule application inside the fixpoint loop."""
+
+    sequence: int
+    rule: str
+    operators_before: int
+    operators_after: int
+
+    @property
+    def operator_delta(self) -> int:
+        """Operators added (positive) or removed (negative) by the firing."""
+        return self.operators_after - self.operators_before
+
+
+@dataclass
+class RewriteAudit:
+    """Per-rule firing log of one compilation's rewrite phase."""
+
+    firings: list[RuleFiring] = field(default_factory=list)
+
+    def record(
+        self, rule: str, before: LogicalPlan, after: LogicalPlan
+    ) -> None:
+        """Record one firing of *rule* that turned *before* into *after*."""
+        self.firings.append(
+            RuleFiring(
+                sequence=len(self.firings) + 1,
+                rule=rule,
+                operators_before=_operator_count(before),
+                operators_after=_operator_count(after),
+            )
+        )
+
+    @property
+    def total_firings(self) -> int:
+        return len(self.firings)
+
+    def fire_counts(self) -> dict[str, int]:
+        """Per-rule fire counts, in first-fired order."""
+        counts: dict[str, int] = {}
+        for firing in self.firings:
+            counts[firing.rule] = counts.get(firing.rule, 0) + 1
+        return counts
+
+    def operator_deltas(self) -> dict[str, int]:
+        """Per-rule net operator-count delta, in first-fired order."""
+        deltas: dict[str, int] = {}
+        for firing in self.firings:
+            deltas[firing.rule] = (
+                deltas.get(firing.rule, 0) + firing.operator_delta
+            )
+        return deltas
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable, deterministically ordered view."""
+        return {
+            "total_firings": self.total_firings,
+            "rules": [
+                {
+                    "rule": rule,
+                    "fired": count,
+                    "operator_delta": self.operator_deltas()[rule],
+                }
+                for rule, count in self.fire_counts().items()
+            ],
+            "firings": [
+                {
+                    "sequence": f.sequence,
+                    "rule": f.rule,
+                    "operators_before": f.operators_before,
+                    "operators_after": f.operators_after,
+                }
+                for f in self.firings
+            ],
+        }
+
+    def render(self) -> str:
+        """Human-readable per-rule summary table."""
+        if not self.firings:
+            return "(no rewrite rules fired)"
+        deltas = self.operator_deltas()
+        width = max(len(rule) for rule in deltas)
+        lines = [f"{'rule'.ljust(width)}  fires  op-delta"]
+        for rule, count in self.fire_counts().items():
+            delta = deltas[rule]
+            lines.append(f"{rule.ljust(width)}  {count:5d}  {delta:+8d}")
+        return "\n".join(lines)

@@ -123,17 +123,54 @@ class JsonProcessor:
         """Compile *query* under this processor's rewrite configuration."""
         return compile_query(query, self.rewrite)
 
-    def execute(self, query: str) -> QueryResult:
-        """Compile and run *query*; returns items plus measurements."""
-        return self._executor.run(self.compile(query).plan)
+    def execute(self, query: str, profile=None) -> QueryResult:
+        """Compile and run *query*; returns items plus measurements.
+
+        *profile* enables operator-level profiling: ``True`` (wall
+        clock), a clock name (``"wall"`` | ``"counter"`` | ``"none"``),
+        or a :class:`~repro.observability.profile.ProfileConfig`; the
+        default ``None`` consults the ``REPRO_PROFILE`` environment
+        variable.  A profiled result carries
+        ``result.profile`` — a
+        :class:`~repro.observability.profile.QueryProfile` with the
+        per-operator counters, timing spans, and the rewrite audit of
+        this query's compilation.
+        """
+        compiled = self.compile(query)
+        result = self._executor.run(compiled.plan, profile=profile)
+        if result.profile is not None:
+            result.profile.rewrite = compiled.audit
+        return result
+
+    def profile(self, query: str, clock: str = "counter"):
+        """Run *query* profiled and return just its ``QueryProfile``.
+
+        Defaults to the deterministic ``counter`` clock (spans count
+        clock reads, not wall time), so profiles of seeded runs are
+        byte-identical across the sequential, thread, and process
+        backends.
+        """
+        return self.execute(query, profile=clock).profile
 
     def evaluate(self, query: str) -> list[Item]:
         """Compile and run *query*; returns just the result items."""
         return self.execute(query).items
 
-    def explain(self, query: str, show_trace: bool = False) -> str:
-        """The naive and rewritten plans (optionally the rewrite trace)."""
-        return self.compile(query).explain(show_trace=show_trace)
+    def explain(
+        self, query: str, show_trace: bool = False, profile: bool = False
+    ) -> str:
+        """The naive and rewritten plans (optionally the rewrite trace).
+
+        With ``profile=True`` the query is also *executed* under the
+        deterministic counter clock and the rendered operator profile
+        (plus the rewrite audit) is appended to the report.
+        """
+        compiled = self.compile(query)
+        report = compiled.explain(show_trace=show_trace)
+        if profile:
+            query_profile = self.profile(query)
+            report += "\n\n" + query_profile.render()
+        return report
 
     # -- lifecycle ---------------------------------------------------------------
 

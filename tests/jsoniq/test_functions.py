@@ -103,6 +103,43 @@ class TestConversions:
         with pytest.raises(ItemTypeError):
             call("number", ["abc"])
 
+    def test_number_accepts_json_numeric_grammar(self):
+        assert call("number", ["-17"]) == [-17]
+        assert call("number", ["0"]) == [0]
+        assert call("number", ["-0.5"]) == [-0.5]
+        assert call("number", ["6.02e23"]) == [6.02e23]
+        assert call("number", ["1E-3"]) == [0.001]
+        # Exponent form is a float even when integral.
+        assert call("number", ["1e2"]) == [100.0]
+        assert isinstance(call("number", ["1e2"])[0], float)
+        assert isinstance(call("number", ["42"])[0], int)
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "inf",
+            "-inf",
+            "Infinity",
+            "nan",
+            "NaN",
+            "1_000",
+            "  12  ",
+            "12\n",
+            "+1",
+            ".5",
+            "1.",
+            "01",
+            "0x1f",
+            "1e",
+            "",
+        ],
+    )
+    def test_number_rejects_non_json_spellings(self, text):
+        # Python's float() is far more liberal than the JSON numeric
+        # grammar; fn:number must not inherit that liberality.
+        with pytest.raises(ItemTypeError):
+            call("number", [text])
+
     def test_boolean_and_not(self):
         assert call("boolean", [1]) == [True]
         assert call("not", []) == [True]
@@ -139,6 +176,29 @@ class TestStrings:
         assert call("substring", ["hello"], [2]) == ["ello"]
         assert call("substring", ["hello"], [2], [3]) == ["ell"]
 
+    def test_substring_xquery_spec_examples(self):
+        # The worked examples from the XQuery F&O spec for fn:substring.
+        assert call("substring", ["motor car"], [6]) == [" car"]
+        assert call("substring", ["metadata"], [4], [3]) == ["ada"]
+        assert call("substring", ["12345"], [1.5], [2.6]) == ["234"]
+        assert call("substring", ["12345"], [0], [3]) == ["12"]
+        assert call("substring", ["12345"], [5], [-3]) == [""]
+        assert call("substring", ["12345"], [-3], [5]) == ["1"]
+
+    def test_substring_rounds_not_truncates(self):
+        # round(1.5) = 2, round(2.6) = 3 — truncation would give "123".
+        assert call("substring", ["abcde"], [2.5]) == ["cde"]
+        assert call("substring", ["abcde"], [1.4]) == ["abcde"]
+
+    def test_substring_infinite_and_nan_args(self):
+        inf = float("inf")
+        nan = float("nan")
+        assert call("substring", ["12345"], [-42], [inf]) == ["12345"]
+        assert call("substring", ["12345"], [-inf], [inf]) == [""]
+        assert call("substring", ["12345"], [inf]) == [""]
+        assert call("substring", ["12345"], [nan]) == [""]
+        assert call("substring", ["12345"], [1], [nan]) == [""]
+
     def test_string_length(self):
         assert call("string-length", ["abc"]) == [3]
         assert call("string-length", []) == [0]
@@ -171,6 +231,22 @@ class TestSequences:
 
     def test_distinct_values_keeps_bool_and_int_apart(self):
         assert call("distinct-values", [1, True]) == [1, True]
+
+    def test_distinct_values_unifies_int_and_float(self):
+        # XQuery numeric equality: 1 eq 1.0, so they are one value.
+        assert call("distinct-values", [1, 1.0, True, "1", 2]) == [1, True, "1", 2]
+
+    def test_distinct_values_unifies_zero_spellings(self):
+        assert call("distinct-values", [0, False, -0.0, 0.0]) == [0, False]
+
+    def test_distinct_values_dedups_nan(self):
+        import math
+
+        nan = float("nan")
+        result = call("distinct-values", [nan, 1, nan])
+        assert len(result) == 2
+        assert math.isnan(result[0])
+        assert result[1] == 1
 
 
 class TestJsonFunctions:

@@ -16,6 +16,9 @@ from repro.jsonlib.events import (
 from repro.jsonlib.items import (
     ItemBuilder,
     build_items,
+    canonical_atomic,
+    canonical_item,
+    canonical_key,
     deep_equals,
     is_array,
     is_atomic,
@@ -114,6 +117,49 @@ class TestDeepEquals:
         assert not deep_equals([], {})
         assert not deep_equals("1", 1)
         assert not deep_equals(None, 0)
+
+
+class TestCanonicalKeys:
+    """One canonical key per XQuery-equal value class.
+
+    distinct-values, group-by, and join bucketing all key on these, so
+    the invariants here are the invariants of every keyed operator.
+    """
+
+    def test_int_and_float_collapse(self):
+        assert canonical_atomic(1) == canonical_atomic(1.0)
+        assert canonical_atomic(-3) == canonical_atomic(-3.0)
+
+    def test_bool_stays_distinct_from_number(self):
+        assert canonical_atomic(True) != canonical_atomic(1)
+        assert canonical_atomic(False) != canonical_atomic(0)
+
+    def test_zero_spellings_collapse(self):
+        assert canonical_atomic(0) == canonical_atomic(-0.0) == canonical_atomic(0.0)
+
+    def test_nan_is_self_equal(self):
+        nan = float("nan")
+        assert canonical_atomic(nan) == canonical_atomic(float("nan"))
+        assert canonical_atomic(nan) != canonical_atomic(0.0)
+
+    def test_string_never_collides_with_number(self):
+        assert canonical_atomic("1") != canonical_atomic(1)
+        assert canonical_atomic("true") != canonical_atomic(True)
+
+    def test_huge_int_not_conflated_by_float_rounding(self):
+        # 2**53 and 2**53 + 1 round to the same float; the canonical
+        # key must keep exact ints exact.
+        assert canonical_atomic(2**53) != canonical_atomic(2**53 + 1)
+        assert canonical_atomic(2**53) == canonical_atomic(float(2**53))
+
+    def test_canonical_item_handles_containers(self):
+        assert canonical_item({"a": [1]}) == canonical_item({"a": [1.0]})
+        assert canonical_item({"a": 1}) != canonical_item({"a": 2})
+
+    def test_canonical_key_is_hashable_and_positional(self):
+        assert isinstance(hash(canonical_key([1, "x"])), int)
+        assert canonical_key([1, 2]) != canonical_key([2, 1])
+        assert canonical_key([1]) == canonical_key([1.0])
 
 
 class TestItemBuilder:

@@ -96,6 +96,67 @@ def test_indented_serializer_roundtrip(value):
     assert parse(dumps(value, indent=2)) == value
 
 
+# Strings drawn from the hostile end of Unicode: C0/C1 controls (which
+# must be \u-escaped), astral-plane characters (surrogate pairs in the
+# \uXXXX escape form), and the BOM/quote/backslash specials.
+hostile_text = st.text(
+    alphabet=st.one_of(
+        st.characters(min_codepoint=0x00, max_codepoint=0x1F),
+        st.characters(min_codepoint=0x7F, max_codepoint=0x9F),
+        st.characters(min_codepoint=0x10000, max_codepoint=0x10FFFF),
+        st.sampled_from(['"', "\\", "/", "﻿", " ", " "]),
+        st.characters(),
+    ),
+    max_size=20,
+)
+
+hostile_values = st.recursive(
+    st.one_of(json_atoms, hostile_text),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(hostile_text, children, max_size=4),
+    ),
+    max_leaves=20,
+)
+
+
+@given(hostile_values)
+@settings(max_examples=150)
+def test_serializer_roundtrip_hostile_strings(value):
+    assert parse(dumps(value)) == value
+
+
+@given(hostile_values)
+@settings(max_examples=60)
+def test_hostile_output_agrees_with_stdlib(value):
+    # Our serializer's output must also be valid for the stdlib parser.
+    assert json.loads(dumps(value)) == value
+
+
+@given(st.integers(min_value=1, max_value=300), st.sampled_from(["arr", "obj"]))
+@settings(max_examples=30)
+def test_serializer_roundtrip_deep_nesting(depth, kind):
+    value = 7
+    for _ in range(depth):
+        value = [value] if kind == "arr" else {"k": value}
+    assert parse(dumps(value)) == value
+
+
+def test_roundtrip_control_character_corpus():
+    # Every C0 control plus the documented escapes, deterministically.
+    corpus = [chr(i) for i in range(0x20)] + ["\b\f\n\r\t", '\\"', "\x7f"]
+    assert parse(dumps(corpus)) == corpus
+    assert json.loads(dumps(corpus)) == corpus
+
+
+def test_roundtrip_surrogate_pair_corpus():
+    corpus = ["𝄞", "😀🎉", "a𝕊b", "\U0010FFFF"]
+    assert parse(dumps(corpus)) == corpus
+    # The stdlib escapes astral characters as surrogate pairs; our
+    # parser must decode those pair escapes back to one code point.
+    assert parse(json.dumps(corpus)) == corpus
+
+
 @given(json_values, paths)
 @settings(max_examples=120)
 def test_projection_equals_navigate(value, path):

@@ -16,7 +16,7 @@ from repro.jsonlib.path import (
     navigate,
     parse_path,
 )
-from repro.jsonlib.textscan import scan_file, scan_text
+from repro.jsonlib.textscan import ScanCounters, scan_file, scan_text
 
 
 def reference(text, path):
@@ -191,6 +191,36 @@ class TestChunkedScanFile:
         with pytest.raises(ValueError, match="chunk_size"):
             list(scan_file(name, parse_path(""), chunk_size=0))
 
+    def test_multibyte_char_straddles_chunk_boundary(self, tmp_path):
+        # "é" is 2 bytes, "日" 3, "𝄞" 4 (a surrogate pair in UTF-16);
+        # byte-sized chunks force every one of them across a read
+        # boundary.  The text-mode reader must never hand back half a
+        # code point.
+        value = {"take": "héllo 日本 𝄞 clef", "skip": "é𝄞" * 7}
+        text = json.dumps(value, ensure_ascii=False)
+        target = tmp_path / "data.json"
+        target.write_text(text, encoding="utf-8")
+        path = parse_path('("take")')
+        for chunk_size in (1, 2, 3, 5):
+            assert list(scan_file(str(target), path, chunk_size=chunk_size)) == [
+                value["take"]
+            ]
+
+    def test_escaped_quote_straddles_chunk_boundary(self, tmp_path):
+        # The two characters of '\"' (and of '\\\\') must not be split by
+        # rescanning: the backslash state has to survive the boundary.
+        text = r'{"skip": "a\"b\\", "take": "x\"y"}'
+        target = tmp_path / "data.json"
+        target.write_text(text, encoding="utf-8")
+        path = parse_path('("take")')
+        expected = list(scan_text(text, path))
+        assert expected == ['x"y']
+        for chunk_size in range(1, 8):
+            assert (
+                list(scan_file(str(target), path, chunk_size=chunk_size))
+                == expected
+            )
+
     def test_memory_stays_buffer_bounded(self, tmp_path):
         # The consumed prefix must be compacted away: scanning with a
         # tiny chunk must never hold the whole file in the buffer.
@@ -210,6 +240,76 @@ class TestChunkedScanFile:
         # Whole file is ~160 KiB; the sliding buffer should stay well
         # under half of it even with allocator overhead.
         assert peak < len(big) // 2
+
+
+class TestByteOrderMark:
+    """RFC 8259 §8.1: a leading BOM may be present and must be ignored."""
+
+    def test_scan_text_skips_leading_bom(self):
+        assert list(scan_text('﻿{"a": 1}', parse_path('("a")'))) == [1]
+
+    def test_scan_file_skips_leading_bom(self, tmp_path):
+        target = tmp_path / "data.json"
+        target.write_bytes(b'\xef\xbb\xbf{"a": [1, 2]}')
+        path = parse_path('("a")()')
+        for chunk_size in (1, 2, 7, 1 << 20):
+            assert list(scan_file(str(target), path, chunk_size=chunk_size)) == [
+                1,
+                2,
+            ]
+
+    def test_interior_bom_is_not_stripped(self):
+        # Only a *leading* BOM is special; U+FEFF inside a string is data.
+        assert list(scan_text('{"a": "﻿x"}', parse_path('("a")'))) == [
+            "﻿x"
+        ]
+
+
+class TestScanCounters:
+    def test_counts_matches_and_skips(self):
+        text = '{"skip": {"deep": [1, 2]}, "take": 5, "also": 6}'
+        counters = ScanCounters()
+        assert list(scan_text(text, parse_path('("take")'), counters=counters)) == [5]
+        assert counters.matched == 1
+        assert counters.skipped == 2  # "skip" subtree + "also"
+
+    def test_keys_or_members_counts_each_match(self):
+        counters = ScanCounters()
+        assert list(scan_text("[1, 2, 3]", parse_path("()"), counters=counters)) == [
+            1,
+            2,
+            3,
+        ]
+        assert counters.matched == 3
+        assert counters.skipped == 0
+
+    def test_index_skip_counts_remaining_members_once(self):
+        counters = ScanCounters()
+        assert list(scan_text("[10, 20, 30]", parse_path("(2)"), counters=counters)) == [
+            20
+        ]
+        assert counters.matched == 1
+        # One leading member skipped element-wise, the tail in bulk.
+        assert counters.skipped == 2
+
+    def test_chunked_retry_does_not_double_count(self, tmp_path):
+        # With a tiny chunk_size the scanner repeatedly hits the end of
+        # the buffer mid-value, grows it, and rescans the same value.
+        # Counters must reflect the logical scan, not the retries.
+        text = '{"skip": [1, 2, 3], "take": {"x": "yyyyyyyy"}} {"take": 1}'
+        target = tmp_path / "data.json"
+        target.write_text(text, encoding="utf-8")
+        path = parse_path('("take")')
+        reference_counters = ScanCounters()
+        expected = list(scan_text(text, path, counters=reference_counters))
+        for chunk_size in (1, 3, 1 << 20):
+            counters = ScanCounters()
+            items = list(
+                scan_file(str(target), path, counters=counters, chunk_size=chunk_size)
+            )
+            assert items == expected
+            assert counters.matched == reference_counters.matched
+            assert counters.skipped == reference_counters.skipped
 
 
 # -- property: equivalence with the navigate reference -----------------------
