@@ -27,12 +27,19 @@ class RewriteConfig:
     +pipelining → +group-by); ``two_step_aggregation`` is the
     partition-local/global aggregation scheme the group-by section
     enables, honored by the physical compiler.
+
+    ``validate`` wires the plan invariant validator
+    (:func:`repro.correctness.validator.validate_plan`) into the rule
+    engine so every rule fire is checked; it is on by default and only
+    meant to be disabled by tests that construct deliberately broken
+    plans.
     """
 
     path: bool = True
     pipelining: bool = True
     groupby: bool = True
     two_step_aggregation: bool = True
+    validate: bool = True
 
     @classmethod
     def none(cls) -> "RewriteConfig":
@@ -51,6 +58,43 @@ class RewriteConfig:
     def all(cls) -> "RewriteConfig":
         return cls(True, True, True, True)
 
+    @classmethod
+    def without_family(cls, family: str) -> "RewriteConfig":
+        """All rules on except one named family — the differential
+        harness's per-family toggles.  ``family`` is one of ``"path"``,
+        ``"pipelining"``, ``"groupby"``, ``"two_step_aggregation"``."""
+        if family not in _FAMILY_FIELDS:
+            raise ValueError(
+                f"unknown rule family {family!r}; expected one of "
+                f"{sorted(_FAMILY_FIELDS)}"
+            )
+        return cls(**{name: name != family for name in _FAMILY_FIELDS})
+
+    def label(self) -> str:
+        """Short human-readable toggle label (used in reports/goldens)."""
+        if all(getattr(self, name) for name in _FAMILY_FIELDS):
+            return "all"
+        if not any(getattr(self, name) for name in _FAMILY_FIELDS):
+            return "none"
+        off = [name for name in _FAMILY_FIELDS if not getattr(self, name)]
+        return "no-" + "+".join(off)
+
+
+_FAMILY_FIELDS = ("path", "pipelining", "groupby", "two_step_aggregation")
+
+#: The harness's rule-toggle axis: everything on, each family off in
+#: turn, everything off.
+TOGGLE_CONFIGS: dict[str, RewriteConfig] = {
+    "all": RewriteConfig.all(),
+    "no-path": RewriteConfig.without_family("path"),
+    "no-pipelining": RewriteConfig.without_family("pipelining"),
+    "no-groupby": RewriteConfig.without_family("groupby"),
+    "no-two_step_aggregation": RewriteConfig.without_family(
+        "two_step_aggregation"
+    ),
+    "none": RewriteConfig.none(),
+}
+
 
 def rule_pipeline(config: RewriteConfig) -> RuleEngine:
     """Build the rule engine for *config*."""
@@ -65,7 +109,18 @@ def rule_pipeline(config: RewriteConfig) -> RuleEngine:
     if config.groupby:
         rules.extend(groupby_rules.GROUPBY_RULES)
     rules.extend(builtin.BUILTIN_RULES)
-    return RuleEngine(rules)
+    validator = None
+    if config.validate:
+        from repro.correctness.validator import validate_plan
+
+        validator = validate_plan
+    return RuleEngine(rules, validator=validator)
 
 
-__all__ = ["RewriteConfig", "RewriteRule", "RuleEngine", "rule_pipeline"]
+__all__ = [
+    "RewriteConfig",
+    "RewriteRule",
+    "RuleEngine",
+    "TOGGLE_CONFIGS",
+    "rule_pipeline",
+]

@@ -38,10 +38,22 @@ class RewriteRule:
 
 
 class RuleEngine:
-    """Applies an ordered rule list to a fixpoint."""
+    """Applies an ordered rule list to a fixpoint.
 
-    def __init__(self, rules: Sequence[RewriteRule]):
+    When *validator* is given (a callable raising on an invalid
+    :class:`LogicalPlan`), the input plan is validated once up front and
+    the rewritten plan is re-validated after **every** rule fire, so a
+    rule that breaks a structural invariant fails immediately with the
+    offending rule's name instead of executing a corrupt plan.
+    """
+
+    def __init__(
+        self,
+        rules: Sequence[RewriteRule],
+        validator: Callable[[LogicalPlan], None] | None = None,
+    ):
         self.rules = list(rules)
+        self.validator = validator
 
     def rewrite(
         self,
@@ -57,10 +69,12 @@ class RuleEngine:
         is given, every firing is recorded with its operator-count delta
         — used by the query profiles.
         """
+        self._validate(plan, "translated plan")
         for _ in range(_MAX_REWRITE_PASSES):
             for rule in self.rules:
                 rewritten = rule.apply(plan)
                 if rewritten is not None:
+                    self._validate(rewritten, f"rule {rule.name}")
                     if trace is not None:
                         trace.append((rule.name, rewritten))
                     if audit is not None:
@@ -72,6 +86,14 @@ class RuleEngine:
         raise RewriteError(
             f"rewrite did not reach a fixpoint in {_MAX_REWRITE_PASSES} passes"
         )
+
+    def _validate(self, plan: LogicalPlan, origin: str) -> None:
+        if self.validator is None:
+            return
+        try:
+            self.validator(plan)
+        except RewriteError as error:
+            raise type(error)(f"after {origin}: {error}") from error
 
 
 # ---------------------------------------------------------------------------

@@ -1,81 +1,28 @@
 """Reference implementations of the paper's queries in plain Python.
 
-These compute Q0-Q2 directly over materialized items, with none of the
-query-engine machinery.  They define ground truth: the integration tests
-check that every engine (VXQuery under every rule configuration, the
-document store, the SQL engine, the ADM engine) agrees with them.
+Promoted to :mod:`repro.correctness.oracle`, where they serve as the
+independent ground truth for the differential harness as well as the
+integration tests; this module re-exports them for existing callers.
 """
 
 from __future__ import annotations
 
-from repro.jsonlib.items import Item
+from repro.correctness.oracle import (
+    iter_measurements,
+    oracle_result,
+    reference_q0,
+    reference_q0b,
+    reference_q1,
+    reference_q1_groups,
+    reference_q2,
+)
 
-
-def iter_measurements(documents: list[Item]):
-    """All measurement objects of a parsed sensor dataset.
-
-    Accepts both file shapes: wrapped (``{"root": [...]}`` per file) and
-    unwrapped (``{metadata, results}`` documents).
-    """
-    for document in documents:
-        if not isinstance(document, dict):
-            continue
-        if isinstance(document.get("root"), list):
-            members = document["root"]
-        else:
-            members = [document]
-        for member in members:
-            if isinstance(member, dict) and isinstance(
-                member.get("results"), list
-            ):
-                yield from member["results"]
-
-
-def _is_dec25_from_2003(date_text: str) -> bool:
-    return (
-        date_text[4:6] == "12"
-        and date_text[6:8] == "25"
-        and int(date_text[:4]) >= 2003
-    )
-
-
-def reference_q0(documents: list[Item]) -> list[Item]:
-    """Q0: measurements taken on Dec 25 of 2003 or later."""
-    return [
-        m
-        for m in iter_measurements(documents)
-        if _is_dec25_from_2003(m["date"])
-    ]
-
-
-def reference_q0b(documents: list[Item]) -> list[str]:
-    """Q0b: the dates of those measurements."""
-    return [m["date"] for m in reference_q0(documents)]
-
-
-def reference_q1(documents: list[Item]) -> dict[str, int]:
-    """Q1/Q1b: per-date count of TMIN measurements."""
-    counts: dict[str, int] = {}
-    for m in iter_measurements(documents):
-        if m["dataType"] == "TMIN":
-            counts[m["date"]] = counts.get(m["date"], 0) + 1
-    return counts
-
-
-def reference_q2(documents: list[Item]) -> float | None:
-    """Q2: avg(TMAX - TMIN) over matching (station, date), div 10."""
-    tmin: dict[tuple, list] = {}
-    for m in iter_measurements(documents):
-        if m["dataType"] == "TMIN":
-            tmin.setdefault((m["station"], m["date"]), []).append(m["value"])
-    total = 0.0
-    pairs = 0
-    for m in iter_measurements(documents):
-        if m["dataType"] != "TMAX":
-            continue
-        for tmin_value in tmin.get((m["station"], m["date"]), ()):
-            total += m["value"] - tmin_value
-            pairs += 1
-    if pairs == 0:
-        return None
-    return (total / pairs) / 10
+__all__ = [
+    "iter_measurements",
+    "oracle_result",
+    "reference_q0",
+    "reference_q0b",
+    "reference_q1",
+    "reference_q1_groups",
+    "reference_q2",
+]

@@ -1,0 +1,336 @@
+"""Randomized GHCN-shaped documents and small JSONiq queries.
+
+The differential harness needs inputs beyond the five paper queries and
+the well-formed benchmark dataset — the bugs worth finding live on the
+edges: missing keys, null values, duplicate keys inside one object,
+int/float mixes, empty results arrays, wrapped vs unwrapped file
+shapes, and multi-partition layouts.
+
+Each :class:`GeneratedCase` pairs a query text with the partitioned
+document texts it runs over **and** a plain-Python oracle closure that
+computes the expected result sequence directly from parsed items —
+mirroring the engine's specified semantics (general comparisons with
+``()`` are false, ``null eq null`` is true, missing grouping keys form
+their own group) without touching the algebra or the rewrite rules.
+
+Documents are serialized by hand from ordered key/value pair lists so
+the generator can emit *duplicate keys* — something no dict-based
+serializer can produce — while the oracle works over the parsed
+(last-occurrence-wins) form.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, replace
+from typing import Callable
+
+from repro.jsonlib.items import Item
+from repro.jsonlib.parser import parse_many
+
+COLLECTION = "/gen"
+
+_STATIONS = ["GHCND:USW1", "GHCND:USW2", "GHCND:CA3", "S4"]
+_DATA_TYPES = ["TMIN", "TMAX", "WIND", "PRCP"]
+_DATES = [
+    "20031225T00:00",
+    "20041225T00:00",
+    "20020301T06:30",
+    "2003-12-25T00:00:00",
+    "2001-07-14T12:00:00",
+]
+
+
+@dataclass(frozen=True)
+class GeneratedCase:
+    """One differential test case: a query over partitioned documents,
+    with an independent oracle for the expected result sequence."""
+
+    name: str
+    query_text: str
+    #: list of partitions, each a list of JSON file texts
+    #: (one top-level document per line within a text)
+    partitions: tuple
+    #: oracle(documents) -> expected item sequence (compared
+    #: order-insensitively by the harness)
+    oracle: Callable[[list], list]
+
+    def documents(self) -> list[Item]:
+        """Parse every partition text into its top-level items."""
+        docs: list[Item] = []
+        for partition in self.partitions:
+            for text in partition:
+                docs.extend(parse_many(text))
+        return docs
+
+    def expected(self) -> list:
+        return self.oracle(self.documents())
+
+    def with_partitions(self, partitions) -> "GeneratedCase":
+        return replace(self, partitions=tuple(tuple(p) for p in partitions))
+
+
+# ---------------------------------------------------------------------------
+# Document generation
+# ---------------------------------------------------------------------------
+
+
+def _record_pairs(rng: random.Random) -> list[tuple[str, object]]:
+    """Ordered key/value pairs of one measurement; keys may repeat."""
+    pairs: list[tuple[str, object]] = []
+    # date: a parseable timestamp or missing (null would make the paper
+    # queries' dateTime() raise, which is an *error* path, not a
+    # semantics difference).
+    if rng.random() < 0.85:
+        pairs.append(("date", rng.choice(_DATES)))
+    data_type = None
+    if rng.random() < 0.9:
+        data_type = rng.choice(_DATA_TYPES) if rng.random() < 0.9 else None
+        pairs.append(("dataType", data_type))
+    if rng.random() < 0.85:
+        station = rng.choice(_STATIONS) if rng.random() < 0.85 else None
+        pairs.append(("station", station))
+    # value: TMIN/TMAX records keep numeric values (the paper's Q2
+    # subtracts them; null there is an arithmetic error, again an error
+    # path) — other records also exercise null and missing.
+    if data_type in ("TMIN", "TMAX"):
+        value = rng.choice([rng.randint(-400, 400), rng.uniform(-40.0, 40.0)])
+        pairs.append(("value", value))
+    elif rng.random() < 0.8:
+        value = rng.choice(
+            [rng.randint(-400, 400), rng.uniform(-40.0, 40.0), None]
+        )
+        pairs.append(("value", value))
+    if rng.random() < 0.15:
+        pairs.append(("attributes", [",", "", rng.choice("abc")]))
+    # Inject duplicate keys: repeat an existing key with a fresh value;
+    # the parsed record keeps the *last* occurrence.
+    if pairs and rng.random() < 0.25:
+        key, _ = rng.choice(pairs)
+        duplicate: object
+        if key == "date":
+            duplicate = rng.choice(_DATES)
+        elif key == "dataType":
+            duplicate = rng.choice(_DATA_TYPES)
+        elif key == "station":
+            duplicate = rng.choice(_STATIONS)
+        elif key == "value":
+            duplicate = rng.randint(-400, 400)
+        else:
+            duplicate = ["x"]
+        position = rng.randrange(len(pairs) + 1)
+        pairs.insert(position, (key, duplicate))
+    return pairs
+
+
+def _serialize_pairs(pairs: list[tuple[str, object]]) -> str:
+    """JSON object text preserving pair order — including duplicates."""
+    inner = ", ".join(
+        f"{json.dumps(key)}: {json.dumps(value)}" for key, value in pairs
+    )
+    return "{" + inner + "}"
+
+
+def _document_text(rng: random.Random, wrapped: bool) -> str:
+    """One top-level document holding 0-5 measurement records."""
+    records = [
+        _serialize_pairs(_record_pairs(rng))
+        for _ in range(rng.randint(0, 5))
+    ]
+    results = "[" + ", ".join(records) + "]"
+    count = json.dumps({"count": len(records)})
+    body = f'{{"metadata": {count}, "results": {results}}}'
+    if wrapped:
+        return f'{{"root": [{body}]}}'
+    return body
+
+
+def generate_partitions(rng: random.Random) -> tuple:
+    """1-3 partitions, each one file text of newline-separated docs."""
+    wrapped = rng.random() < 0.5
+    partitions = []
+    for _ in range(rng.randint(1, 3)):
+        lines = [
+            _document_text(rng, wrapped)
+            for _ in range(rng.randint(1, 4))
+        ]
+        partitions.append((("\n".join(lines)),))
+    return tuple(partitions), wrapped
+
+
+def _scan_path(wrapped: bool) -> str:
+    return '("root")()("results")()' if wrapped else '("results")()'
+
+
+# ---------------------------------------------------------------------------
+# Query templates (each with its oracle closure)
+# ---------------------------------------------------------------------------
+
+
+def _measurements(documents: list[Item]):
+    from repro.correctness.oracle import iter_measurements
+
+    return list(iter_measurements(documents))
+
+
+def _template_path(rng, wrapped):
+    key = rng.choice(["station", "date", "value"])
+    query = (
+        f'for $m in collection("{COLLECTION}"){_scan_path(wrapped)} '
+        f'return $m("{key}")'
+    )
+
+    def oracle(documents):
+        return [m[key] for m in _measurements(documents) if key in m]
+
+    return f"path-{key}", query, oracle
+
+
+def _template_keys(rng, wrapped):
+    query = (
+        f'for $m in collection("{COLLECTION}"){_scan_path(wrapped)} '
+        "return $m()"
+    )
+
+    def oracle(documents):
+        out = []
+        for m in _measurements(documents):
+            out.extend(m.keys())
+        return out
+
+    return "keys", query, oracle
+
+
+def _template_predicate_eq(rng, wrapped):
+    wanted = rng.choice(_DATA_TYPES)
+    returned = rng.choice(["station", "date"])
+    query = (
+        f'for $m in collection("{COLLECTION}"){_scan_path(wrapped)} '
+        f'where $m("dataType") eq "{wanted}" '
+        f'return $m("{returned}")'
+    )
+
+    def oracle(documents):
+        return [
+            m[returned]
+            for m in _measurements(documents)
+            if m.get("dataType", _ABSENT) == wanted and returned in m
+        ]
+
+    return f"select-{wanted}", query, oracle
+
+
+def _template_predicate_gt(rng, wrapped):
+    threshold = rng.randint(-100, 100)
+    query = (
+        f'for $m in collection("{COLLECTION}"){_scan_path(wrapped)} '
+        f'where $m("value") gt {threshold} '
+        f'return $m("station")'
+    )
+
+    def oracle(documents):
+        out = []
+        for m in _measurements(documents):
+            value = m.get("value", _ABSENT)
+            # () gt n is false; null gt n is false (incomparable).
+            if value is _ABSENT or value is None:
+                continue
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            if value > threshold and "station" in m:
+                out.append(m["station"])
+        return out
+
+    return f"select-gt{threshold}", query, oracle
+
+
+def _template_group_count(rng, wrapped):
+    wanted = rng.choice(["TMIN", "TMAX", "WIND"])
+    query = (
+        f'for $m in collection("{COLLECTION}"){_scan_path(wrapped)} '
+        f'where $m("dataType") eq "{wanted}" '
+        'group by $d := $m("date") '
+        "return count($m)"
+    )
+
+    def oracle(documents):
+        from repro.jsonlib.items import canonical_item
+
+        groups: dict = {}
+        for m in _measurements(documents):
+            if m.get("dataType", _ABSENT) != wanted:
+                continue
+            key = (
+                canonical_item(m["date"]) if "date" in m else _ABSENT
+            )
+            groups[key] = groups.get(key, 0) + 1
+        return list(groups.values())
+
+    return f"group-count-{wanted}", query, oracle
+
+
+def _template_join(rng, wrapped):
+    left_type, right_type = rng.sample(_DATA_TYPES, 2)
+    query = (
+        f'for $a in collection("{COLLECTION}"){_scan_path(wrapped)} '
+        f'for $b in collection("{COLLECTION}"){_scan_path(wrapped)} '
+        f'where $a("station") eq $b("station") '
+        f'and $a("dataType") eq "{left_type}" '
+        f'and $b("dataType") eq "{right_type}" '
+        'return $b("value")'
+    )
+
+    def oracle(documents):
+        from repro.jsonlib.items import canonical_item
+
+        measurements = _measurements(documents)
+        left_stations = [
+            canonical_item(m["station"])
+            for m in measurements
+            if m.get("dataType", _ABSENT) == left_type and "station" in m
+        ]
+        out = []
+        for b in measurements:
+            if b.get("dataType", _ABSENT) != right_type or "station" not in b:
+                continue
+            key = canonical_item(b["station"])
+            for other in left_stations:
+                if other == key:
+                    if "value" in b:
+                        out.append(b["value"])
+        return out
+
+    return f"join-{left_type}-{right_type}", query, oracle
+
+
+_ABSENT = ("absent",)
+
+_TEMPLATES = [
+    _template_path,
+    _template_keys,
+    _template_predicate_eq,
+    _template_predicate_gt,
+    _template_group_count,
+    _template_join,
+]
+
+
+def generate_case(rng: random.Random, index: int) -> GeneratedCase:
+    """One seeded (query, data) pair with its oracle."""
+    partitions, wrapped = generate_partitions(rng)
+    template = _TEMPLATES[index % len(_TEMPLATES)]
+    label, query, oracle = template(rng, wrapped)
+    shape = "wrapped" if wrapped else "flat"
+    return GeneratedCase(
+        name=f"gen{index:04d}-{label}-{shape}",
+        query_text=query,
+        partitions=partitions,
+        oracle=oracle,
+    )
+
+
+def generate_cases(seed: int, count: int) -> list[GeneratedCase]:
+    """*count* deterministic cases derived from *seed*."""
+    rng = random.Random(seed)
+    return [generate_case(rng, index) for index in range(count)]

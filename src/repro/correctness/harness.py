@@ -1,0 +1,542 @@
+"""The differential harness: one query, every configuration, one answer.
+
+Runs each query through the full matrix of
+
+- rewrite-rule toggles ({all on, each family off, all off} —
+  :data:`repro.algebra.rules.TOGGLE_CONFIGS`),
+- execution backends (sequential, thread, process),
+- DATASCAN projection on/off (off replaces the projecting scanners
+  with :class:`EagerNavigationSource`: parse everything, then
+  navigate — the definitional semantics),
+
+and asserts that every cell's result is canonically equal to an
+independent oracle.  The grouped queries' output order is genuinely
+nondeterministic across strategies, so results compare as multisets of
+canonical item forms (:func:`canonical_result`).
+
+For the five paper queries the oracle is
+:mod:`repro.correctness.oracle` over the benchmark generator's dataset;
+beyond those, seeded random (query, data) pairs from
+:mod:`repro.correctness.generator` carry their own oracle closures.
+When a generated pair disagrees, a greedy deterministic shrinker
+(:func:`shrink_case`) minimizes the documents to a small repro before
+reporting.
+
+Every compile in the harness goes through the default pipeline, so the
+plan invariant validator runs after every rule fire of every cell.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.algebra.rules import TOGGLE_CONFIGS, RewriteConfig
+from repro.correctness.generator import (
+    COLLECTION,
+    GeneratedCase,
+    generate_cases,
+)
+from repro.correctness.oracle import oracle_result
+from repro.data.catalog import InMemorySource
+from repro.data.generator import SensorDataConfig, generate_file_text
+from repro.errors import ReproError
+from repro.hyracks.backends import BACKENDS
+from repro.jsonlib.items import canonical_item
+from repro.jsonlib.parser import parse_many
+from repro.jsonlib.path import navigate_sequence
+from repro.processor import JsonProcessor
+
+BACKEND_NAMES = ("sequential", "thread", "process")
+PROJECTION_MODES = ("projected", "eager")
+
+
+# ---------------------------------------------------------------------------
+# Result canonicalization
+# ---------------------------------------------------------------------------
+
+
+def _fold_floats(node):
+    """Format floats at 12 significant digits inside a canonical form.
+
+    Float addition is not associative: two-step aggregation sums
+    per-partition then combines, the oracle sums in document order, and
+    the two legitimately differ in the last ulp (Q2's average).  Twelve
+    significant digits is far tighter than any real semantics bug and
+    far looser than summation-order noise.
+    """
+    if isinstance(node, float):
+        return format(node, ".12g")
+    if isinstance(node, tuple):
+        return tuple(_fold_floats(child) for child in node)
+    return node
+
+
+def canonical_result(items: list) -> tuple:
+    """Order-insensitive canonical form of a result sequence.
+
+    Group-by output order depends on hash-table iteration and partition
+    merge order, which differ legitimately across backends; comparing
+    sorted canonical reprs makes equality mean "same multiset of
+    values" with value-based numeric equality (``1`` vs ``1.0``) and
+    last-ulp float tolerance (see :func:`_fold_floats`).
+    """
+    return tuple(
+        sorted(repr(_fold_floats(canonical_item(item))) for item in items)
+    )
+
+
+# ---------------------------------------------------------------------------
+# The projection-off data source
+# ---------------------------------------------------------------------------
+
+
+class EagerNavigationSource:
+    """DataSource wrapper replacing projected scans with parse+navigate.
+
+    ``scan_collection`` is re-implemented as "materialize every item,
+    then navigate the path" — the definitional semantics the projecting
+    scanners (event projector, raw-text skipper) must be equivalent to.
+    Module-level and state-free so it pickles to process workers.
+    """
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    def scan_collection(self, name, path, partition=None):
+        return navigate_sequence(
+            self._inner.read_collection(name, partition), path
+        )
+
+    def read_collection(self, name, partition=None):
+        return self._inner.read_collection(name, partition)
+
+    def read_document(self, uri):
+        return self._inner.read_document(uri)
+
+    def partition_count(self, name):
+        return self._inner.partition_count(name)
+
+    def attach_degradation(self, report):
+        self._inner.attach_degradation(report)
+
+    def attach_scan_counters(self, counters):
+        self._inner.attach_scan_counters(counters)
+
+
+# ---------------------------------------------------------------------------
+# Report structures
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Mismatch:
+    """One disagreeing (or erroring) cell of the matrix."""
+
+    case: str
+    config: str
+    backend: str
+    projection: str
+    kind: str  # "mismatch" | "error"
+    detail: str
+    #: minimized repro (shrunk partitions + query), when available
+    repro_query: str | None = None
+    repro_partitions: list | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "case": self.case,
+            "config": self.config,
+            "backend": self.backend,
+            "projection": self.projection,
+            "kind": self.kind,
+            "detail": self.detail,
+            "repro_query": self.repro_query,
+            "repro_partitions": self.repro_partitions,
+        }
+
+
+@dataclass
+class DiffCheckReport:
+    """Outcome of one full differential run."""
+
+    seed: int
+    budget: str
+    paper_cells: int = 0
+    generated_cells: int = 0
+    generated_cases: int = 0
+    mismatches: list = field(default_factory=list)
+
+    @property
+    def total_cells(self) -> int:
+        return self.paper_cells + self.generated_cells
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "budget": self.budget,
+            "paper_cells": self.paper_cells,
+            "generated_cases": self.generated_cases,
+            "generated_cells": self.generated_cells,
+            "total_cells": self.total_cells,
+            "mismatch_count": len(self.mismatches),
+            "ok": self.ok,
+            "mismatches": [m.to_dict() for m in self.mismatches],
+        }
+
+
+# ---------------------------------------------------------------------------
+# Matrix execution
+# ---------------------------------------------------------------------------
+
+
+class _MatrixRunner:
+    """Shares data sources and backend instances across matrix cells
+    (the process backend's worker pool is expensive to start)."""
+
+    def __init__(self, max_workers: int = 2):
+        self._backends = {
+            name: BACKENDS[name](max_workers=max_workers)
+            for name in BACKEND_NAMES
+        }
+
+    def close(self) -> None:
+        for backend in self._backends.values():
+            close = getattr(backend, "close", None)
+            if close is not None:
+                close()
+
+    def run(
+        self,
+        source,
+        query_text: str,
+        config: RewriteConfig,
+        backend_name: str,
+        projection: str,
+    ) -> list:
+        if projection == "eager":
+            source = EagerNavigationSource(source)
+        processor = JsonProcessor(
+            source=source,
+            rewrite=config,
+            backend=self._backends[backend_name],
+        )
+        return processor.evaluate(query_text)
+
+
+def _cells(configs, backends, projections):
+    for config_name in configs:
+        for backend_name in backends:
+            for projection in projections:
+                yield config_name, backend_name, projection
+
+
+def _check_cell(
+    runner: _MatrixRunner,
+    report: DiffCheckReport,
+    source,
+    case_name: str,
+    query_text: str,
+    expected: tuple,
+    config_name: str,
+    backend_name: str,
+    projection: str,
+) -> Mismatch | None:
+    try:
+        got = runner.run(
+            source,
+            query_text,
+            TOGGLE_CONFIGS[config_name],
+            backend_name,
+            projection,
+        )
+    except ReproError as error:
+        return Mismatch(
+            case=case_name,
+            config=config_name,
+            backend=backend_name,
+            projection=projection,
+            kind="error",
+            detail=f"{type(error).__name__}: {error}",
+        )
+    actual = canonical_result(got)
+    if actual != expected:
+        return Mismatch(
+            case=case_name,
+            config=config_name,
+            backend=backend_name,
+            projection=projection,
+            kind="mismatch",
+            detail=(
+                f"expected {len(expected)} canonical items, "
+                f"got {len(actual)}; "
+                f"missing={list(set(expected) - set(actual))[:3]!r} "
+                f"unexpected={list(set(actual) - set(expected))[:3]!r}"
+            ),
+        )
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Shrinking
+# ---------------------------------------------------------------------------
+
+
+def shrink_case(case: GeneratedCase, still_fails) -> GeneratedCase:
+    """Greedy deterministic minimization of a failing generated case.
+
+    Tries, in order: dropping whole partitions, dropping document lines
+    within each partition text, and dropping one record at a time from
+    each document's ``results`` array (re-serialized; a candidate is
+    kept only if ``still_fails`` still reports the failure, so edits
+    that lose a load-bearing anomaly — e.g. a duplicate key — are
+    rejected).
+    """
+    import json
+
+    def try_candidate(partitions) -> GeneratedCase | None:
+        partitions = [p for p in partitions if any(t.strip() for t in p)]
+        if not partitions:
+            return None
+        candidate = case.with_partitions(partitions)
+        try:
+            return candidate if still_fails(candidate) else None
+        except ReproError:
+            # A shrink step that turns the failure into a hard error is
+            # still a repro of *something*, but not of this failure.
+            return None
+
+    current = case
+    changed = True
+    while changed:
+        changed = False
+        # 1. Drop whole partitions.
+        if len(current.partitions) > 1:
+            for index in range(len(current.partitions)):
+                candidate = try_candidate(
+                    [
+                        p
+                        for i, p in enumerate(current.partitions)
+                        if i != index
+                    ]
+                )
+                if candidate is not None:
+                    current, changed = candidate, True
+                    break
+        if changed:
+            continue
+        # 2. Drop document lines inside a partition text.
+        for pi, partition in enumerate(current.partitions):
+            lines = partition[0].split("\n")
+            if len(lines) <= 1:
+                continue
+            for li in range(len(lines)):
+                kept = [line for i, line in enumerate(lines) if i != li]
+                partitions = [list(p) for p in current.partitions]
+                partitions[pi] = ["\n".join(kept)]
+                candidate = try_candidate(partitions)
+                if candidate is not None:
+                    current, changed = candidate, True
+                    break
+            if changed:
+                break
+        if changed:
+            continue
+        # 3. Drop one record from a document's results array.
+        for pi, partition in enumerate(current.partitions):
+            lines = partition[0].split("\n")
+            for li, line in enumerate(lines):
+                try:
+                    docs = parse_many(line)
+                except ReproError:
+                    continue
+                if len(docs) != 1:
+                    continue
+                reduced = _drop_one_record(docs[0])
+                for doc in reduced:
+                    new_lines = list(lines)
+                    new_lines[li] = json.dumps(doc)
+                    partitions = [list(p) for p in current.partitions]
+                    partitions[pi] = ["\n".join(new_lines)]
+                    candidate = try_candidate(partitions)
+                    if candidate is not None:
+                        current, changed = candidate, True
+                        break
+                if changed:
+                    break
+            if changed:
+                break
+    return current
+
+
+def _drop_one_record(document):
+    """Variants of *document* with one ``results`` record removed."""
+    variants = []
+    if not isinstance(document, dict):
+        return variants
+    members = (
+        document["root"]
+        if isinstance(document.get("root"), list)
+        else [document]
+    )
+    for mi, member in enumerate(members):
+        if not isinstance(member, dict):
+            continue
+        results = member.get("results")
+        if not isinstance(results, list) or not results:
+            continue
+        for ri in range(len(results)):
+            new_member = dict(member)
+            new_member["results"] = [
+                r for i, r in enumerate(results) if i != ri
+            ]
+            if isinstance(document.get("root"), list):
+                new_root = list(document["root"])
+                new_root[mi] = new_member
+                variants.append({**document, "root": new_root})
+            else:
+                variants.append(new_member)
+    return variants
+
+
+# ---------------------------------------------------------------------------
+# Top-level run
+# ---------------------------------------------------------------------------
+
+#: budget name -> (generated case count, paper dataset size knobs)
+BUDGETS = {
+    # start_year=2003 so Q0's "December 25 of 2003 or later" filter
+    # selects real rows even from the tiny dataset.
+    "small": (40, SensorDataConfig(stations=4, start_year=2003,
+                                   year_span=2, measurements_per_array=8,
+                                   target_file_bytes=4 * 1024)),
+    "full": (200, SensorDataConfig(stations=6, start_year=2003,
+                                   year_span=3, measurements_per_array=12,
+                                   target_file_bytes=8 * 1024)),
+}
+
+
+def _paper_sources(seed: int, config: SensorDataConfig):
+    """The benchmark dataset as a 2-partition in-memory collection."""
+    rng = random.Random(seed)
+    partitions = [
+        [generate_file_text(rng, config, wrapped=True)] for _ in range(2)
+    ]
+    documents = [
+        doc
+        for partition in partitions
+        for text in partition
+        for doc in parse_many(text)
+    ]
+    return InMemorySource(collections={"/sensors": partitions}), documents
+
+
+def run_diffcheck(
+    seed: int = 0,
+    budget: str = "full",
+    max_workers: int = 2,
+    shrink: bool = True,
+    progress=None,
+) -> DiffCheckReport:
+    """Run the full differential matrix; return a report.
+
+    The five paper queries get every (toggle × backend × projection)
+    cell.  Generated pairs check every rewrite toggle on the
+    (sequential, projected) cell, plus one rotating (backend,
+    projection) cell under the all-rules config, so the whole axis
+    stays covered across the case population at a fraction of the cost.
+    """
+    from repro.bench.queries import ALL_QUERIES
+
+    if budget not in BUDGETS:
+        raise ValueError(
+            f"unknown budget {budget!r}; expected one of {sorted(BUDGETS)}"
+        )
+    case_count, data_config = BUDGETS[budget]
+    report = DiffCheckReport(seed=seed, budget=budget)
+    runner = _MatrixRunner(max_workers=max_workers)
+    try:
+        _run_paper_queries(runner, report, seed, data_config, ALL_QUERIES,
+                           progress)
+        _run_generated_cases(runner, report, seed, case_count, shrink,
+                             progress)
+    finally:
+        runner.close()
+    return report
+
+
+def _run_paper_queries(runner, report, seed, data_config, queries, progress):
+    source, documents = _paper_sources(seed, data_config)
+    for name, builder in queries.items():
+        query_text = builder(collection="/sensors", wrapped=True)
+        expected = canonical_result(oracle_result(name, documents))
+        for cell in _cells(TOGGLE_CONFIGS, BACKEND_NAMES, PROJECTION_MODES):
+            mismatch = _check_cell(
+                runner, report, source, name, query_text, expected, *cell
+            )
+            report.paper_cells += 1
+            if mismatch is not None:
+                report.mismatches.append(mismatch)
+        if progress is not None:
+            progress(f"paper query {name}: {report.paper_cells} cells")
+
+
+def _run_generated_cases(runner, report, seed, case_count, shrink, progress):
+    cases = generate_cases(seed, case_count)
+    report.generated_cases = len(cases)
+    rotation = [
+        (backend, projection)
+        for backend in BACKEND_NAMES
+        for projection in PROJECTION_MODES
+    ]
+    for index, case in enumerate(cases):
+        source = InMemorySource(
+            collections={COLLECTION: [list(p) for p in case.partitions]}
+        )
+        expected = canonical_result(case.expected())
+        cells = [
+            (config_name, "sequential", "projected")
+            for config_name in TOGGLE_CONFIGS
+        ]
+        cells.append(("all", *rotation[index % len(rotation)]))
+        for cell in cells:
+            mismatch = _check_cell(
+                runner, report, source, case.name, case.query_text,
+                expected, *cell,
+            )
+            report.generated_cells += 1
+            if mismatch is not None:
+                if shrink and mismatch.kind == "mismatch":
+                    mismatch = _shrink_mismatch(runner, case, mismatch)
+                report.mismatches.append(mismatch)
+        if progress is not None and (index + 1) % 25 == 0:
+            progress(f"generated cases: {index + 1}/{len(cases)}")
+
+
+def _shrink_mismatch(runner, case, mismatch: Mismatch) -> Mismatch:
+    config = TOGGLE_CONFIGS[mismatch.config]
+
+    def still_fails(candidate: GeneratedCase) -> bool:
+        source = InMemorySource(
+            collections={COLLECTION: [list(p) for p in candidate.partitions]}
+        )
+        try:
+            got = runner.run(
+                source,
+                candidate.query_text,
+                config,
+                mismatch.backend,
+                mismatch.projection,
+            )
+        except ReproError:
+            return False
+        return canonical_result(got) != canonical_result(candidate.expected())
+
+    shrunk = shrink_case(case, still_fails)
+    mismatch.repro_query = shrunk.query_text
+    mismatch.repro_partitions = [list(p) for p in shrunk.partitions]
+    return mismatch

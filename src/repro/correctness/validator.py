@@ -1,0 +1,178 @@
+"""Structural plan invariants, checked after every rewrite-rule fire.
+
+A broken rewrite rule should fail at *compile time* with a message
+naming the rule, not execute and silently return wrong answers.  The
+validator walks a :class:`~repro.algebra.plan.LogicalPlan` bottom-up,
+tracking the exact set of variables each operator's output tuples carry
+(mirroring the physical semantics in :mod:`repro.hyracks.operators`),
+and raises :class:`PlanInvariantError` on:
+
+- a free variable in any expression that its operator's input scope does
+  not provide (dangling reference after a bad inline/removal),
+- a root that is not DISTRIBUTE-RESULT, or a DISTRIBUTE-RESULT below
+  the root,
+- a NESTED-TUPLE-SOURCE in the main operator tree, or any other leaf
+  inside a nested plan,
+- a SUBPLAN / GROUP-BY nested plan whose root is not an AGGREGATE
+  (execution requires exactly one output tuple per group),
+- duplicate variables within one AGGREGATE's specs or one GROUP-BY's
+  keys,
+- a DATASCAN projection path containing non-path-step entries (a
+  malformed fold of navigation steps into the scan).
+
+Scoping follows execution, not the operators' optimistic
+``produced_variables``: AGGREGATE emits a *fresh* tuple holding only
+its spec variables, GROUP-BY emits key variables plus the nested root
+aggregate's spec variables, and SUBPLAN merges the input tuple with the
+nested root aggregate's bindings.  Variable *rebinding* across scopes is
+normal (Figure 9 re-binds grouped variables through ``ASSIGN treat``),
+so the validator checks reachability, not global uniqueness.
+"""
+
+from __future__ import annotations
+
+from repro.errors import RewriteError
+from repro.algebra.operators import (
+    Aggregate,
+    Assign,
+    DataScan,
+    DistributeResult,
+    EmptyTupleSource,
+    GroupBy,
+    Join,
+    NestedTupleSource,
+    Operator,
+    Select,
+    Sort,
+    Subplan,
+    Unnest,
+)
+from repro.algebra.plan import LogicalPlan
+from repro.jsonlib.path import KeysOrMembers, ValueByIndex, ValueByKey
+
+_PATH_STEP_TYPES = (ValueByKey, ValueByIndex, KeysOrMembers)
+
+
+class PlanInvariantError(RewriteError):
+    """A structural invariant of the logical plan does not hold."""
+
+
+def validate_plan(plan: LogicalPlan) -> None:
+    """Check all structural invariants of *plan*; raise on violation."""
+    root = plan.root
+    if not isinstance(root, DistributeResult):
+        raise PlanInvariantError(
+            f"plan root must be DISTRIBUTE-RESULT, found {root.name}"
+        )
+    scope = _scope_of(root.input_op, None)
+    _check_expressions(root, scope)
+
+
+def _check_expressions(op: Operator, scope: frozenset) -> None:
+    """Every free variable of *op*'s expressions must be in *scope*."""
+    for expr in op.used_expressions():
+        dangling = expr.free_variables() - scope
+        if dangling:
+            names = ", ".join(sorted(f"${name}" for name in dangling))
+            raise PlanInvariantError(
+                f"{op.signature()} references {names}, not produced by its "
+                f"input (scope: {sorted(scope) or '{}'})"
+            )
+
+
+def _scope_of(op: Operator, nested_scope: frozenset | None) -> frozenset:
+    """Output-tuple variable set of *op*, validating its subtree.
+
+    ``nested_scope`` is None in the main tree; inside a nested plan it
+    is the scope a NESTED-TUPLE-SOURCE leaf re-emits.
+    """
+    if isinstance(op, DistributeResult):
+        raise PlanInvariantError("DISTRIBUTE-RESULT below the plan root")
+    if isinstance(op, EmptyTupleSource):
+        return frozenset()
+    if isinstance(op, NestedTupleSource):
+        if nested_scope is None:
+            raise PlanInvariantError(
+                "NESTED-TUPLE-SOURCE outside a nested plan"
+            )
+        return nested_scope
+    if isinstance(op, DataScan):
+        for step in op.project_path:
+            if not isinstance(step, _PATH_STEP_TYPES):
+                raise PlanInvariantError(
+                    f"{op.signature()} projection path holds a non-step "
+                    f"entry {step!r}"
+                )
+        return frozenset((op.variable,))
+    if isinstance(op, (Assign, Unnest)):
+        scope = _scope_of(op.input_op, nested_scope)
+        _check_expressions(op, scope)
+        return scope | {op.variable}
+    if isinstance(op, (Select, Sort)):
+        scope = _scope_of(op.input_op, nested_scope)
+        _check_expressions(op, scope)
+        return scope
+    if isinstance(op, Aggregate):
+        scope = _scope_of(op.input_op, nested_scope)
+        _check_expressions(op, scope)
+        _check_distinct(
+            op, (spec.variable for spec in op.specs), "aggregate spec"
+        )
+        # AGGREGATE emits one fresh tuple holding only its spec variables.
+        return frozenset(spec.variable for spec in op.specs)
+    if isinstance(op, Subplan):
+        scope = _scope_of(op.input_op, nested_scope)
+        produced = _validate_nested_plan(op, op.nested_root, scope)
+        return scope | produced
+    if isinstance(op, GroupBy):
+        scope = _scope_of(op.input_op, nested_scope)
+        _check_expressions(op, scope)
+        _check_distinct(op, (var for var, _ in op.keys), "group-by key")
+        produced = _validate_nested_plan(op, op.nested_root, scope)
+        return frozenset(var for var, _ in op.keys) | produced
+    if isinstance(op, Join):
+        left = _scope_of(op.left, nested_scope)
+        right = _scope_of(op.right, nested_scope)
+        _check_expressions(op, left | right)
+        return left | right
+    raise PlanInvariantError(f"unknown operator {op.name}")
+
+
+def _check_distinct(op: Operator, names, what: str) -> None:
+    seen: set[str] = set()
+    for name in names:
+        if name in seen:
+            raise PlanInvariantError(
+                f"{op.signature()} binds {what} ${name} twice"
+            )
+        seen.add(name)
+
+
+def _validate_nested_plan(
+    owner: Operator, nested_root: Operator, outer_scope: frozenset
+) -> frozenset:
+    """Validate a SUBPLAN/GROUP-BY nested plan; return its output scope.
+
+    Execution (:func:`repro.hyracks.operators.execute_nested_plan`)
+    requires the nested root to be an AGGREGATE — it contributes exactly
+    one tuple of its spec variables per outer tuple / group.
+    """
+    if not isinstance(nested_root, Aggregate):
+        raise PlanInvariantError(
+            f"{owner.name} nested plan root must be AGGREGATE, "
+            f"found {nested_root.name}"
+        )
+    node: Operator = nested_root
+    while node.inputs:
+        if len(node.inputs) != 1:
+            raise PlanInvariantError(
+                f"{owner.name} nested plan contains non-unary "
+                f"operator {node.name}"
+            )
+        node = node.inputs[0]
+    if not isinstance(node, NestedTupleSource):
+        raise PlanInvariantError(
+            f"{owner.name} nested plan leaf must be NESTED-TUPLE-SOURCE, "
+            f"found {node.name}"
+        )
+    return _scope_of(nested_root, outer_scope)

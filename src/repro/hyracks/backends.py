@@ -60,6 +60,7 @@ from repro.hyracks.operators import (
     canonical_key,
     execute,
     hash_join,
+    join_key,
     run_chain,
     run_plan,
 )
@@ -159,9 +160,11 @@ class ExchangeWork:
             if ctx.profile is not None:
                 stream = ctx.profile.count_into(self.join, counter, stream)
             for tup in stream:
-                key = tuple(
-                    canonical_key(expr.evaluate(tup, ctx)) for expr in keys
-                )
+                # Tuples with an empty key sequence cannot join (x eq ()
+                # is false) — drop them here to match hash_join.
+                key = join_key(tup, list(keys), ctx)
+                if key is None:
+                    continue
                 target[stable_bucket(key, self.buckets)].append(tup)
                 exchanged_tuples += 1
                 exchanged_bytes += sizeof_tuple(tup)

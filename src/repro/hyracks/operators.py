@@ -438,6 +438,18 @@ def _execute_join(op: Join, ctx: EvaluationContext) -> Iterator[Tuple]:
         yield from _nested_loop_join(left_stream, right_stream, op, ctx)
 
 
+def join_key(tup: Tuple, keys: list[Expression], ctx: EvaluationContext):
+    """Canonical equi-join key of *tup*, or None when any component is
+    the empty sequence (``x eq ()`` is false, so the tuple cannot join)."""
+    key = []
+    for expr in keys:
+        value = expr.evaluate(tup, ctx)
+        if not value:
+            return None
+        key.append(canonical_key(value))
+    return tuple(key)
+
+
 def hash_join(
     left_stream: Iterable[Tuple],
     right_stream: Iterable[Tuple],
@@ -446,22 +458,29 @@ def hash_join(
     residual: list[Expression],
     ctx: EvaluationContext,
 ) -> Iterator[Tuple]:
-    """Hash join: build on the right input, probe with the left."""
+    """Hash join: build on the right input, probe with the left.
+
+    A tuple whose key expression evaluates to the empty sequence can
+    never satisfy the ``eq`` conjunct it came from (a general comparison
+    with ``()`` is false), so such tuples are dropped on both sides
+    instead of being hashed — two missing keys must not match each
+    other.
+    """
     table: dict = {}
     charged = 0
     for tup in right_stream:
-        key = tuple(
-            canonical_key(expr.evaluate(tup, ctx)) for expr in right_keys
-        )
+        key = join_key(tup, right_keys, ctx)
+        if key is None:
+            continue
         table.setdefault(key, []).append(tup)
         if ctx.memory is not None:
             n_bytes = sizeof_tuple(tup)
             charged += n_bytes
             ctx.charge(n_bytes)
     for tup in left_stream:
-        key = tuple(
-            canonical_key(expr.evaluate(tup, ctx)) for expr in left_keys
-        )
+        key = join_key(tup, left_keys, ctx)
+        if key is None:
+            continue
         for match in table.get(key, ()):
             joined = merge_tuples(tup, match)
             if all(

@@ -68,6 +68,16 @@ def _as_string(item: Item, function: str) -> str:
     return item
 
 
+def _string_arg(sequence: Sequence, function: str) -> str:
+    """A ``xs:string?`` argument: the XPath F&O string functions treat an
+    empty-sequence argument as the zero-length string (F&O 3.1 "if the
+    value of $arg is the empty sequence, [...] the zero-length string")."""
+    item = _optional_singleton(sequence, function)
+    if item is None:
+        return ""
+    return _as_string(item, function)
+
+
 def _numbers(sequence: Sequence, function: str) -> list:
     return [_as_number(item, function) for item in sequence]
 
@@ -193,8 +203,18 @@ def fn_number(args: list) -> Sequence:
     liberal ``float()`` extensions ("inf", "nan", "1_000", padded
     whitespace, hex) are type errors, keeping ``number()`` closed over
     the values the parser itself can produce.
+
+    XPath F&O 4.5.1 defines ``fn:number(())`` as NaN, and JSONiq gives
+    ``number(null)`` NaN as well; in this NaN-free variant both spec-NaN
+    results map to the empty sequence, so a predicate like
+    ``number($m("value")) gt 0`` over a missing or null key is simply
+    false instead of an error.
     """
+    if not args[0]:
+        return []
     item = _singleton(args[0], "number")
+    if item is None:
+        return []
     if isinstance(item, bool):
         return [1 if item else 0]
     if isinstance(item, (int, float)):
@@ -270,7 +290,7 @@ def fn_substring(args: list) -> Sequence:
     instead of truncating, and NaN/±INF arguments follow the spec's
     comparison semantics (any comparison with NaN is false).
     """
-    text = _as_string(_singleton(args[0], "substring"), "substring")
+    text = _string_arg(args[0], "substring")
     start = _xquery_round(
         _as_number(_singleton(args[1], "substring"), "substring")
     )
@@ -309,27 +329,30 @@ def fn_string_length(args: list) -> Sequence:
 
 
 def fn_contains(args: list) -> Sequence:
-    """``contains($s, $needle)``."""
-    text = _as_string(_singleton(args[0], "contains"), "contains")
-    needle = _as_string(_singleton(args[1], "contains"), "contains")
+    """``contains($s, $needle)`` — empty arguments are zero-length
+    strings (F&O 5.5.1), so ``contains((), "x")`` is false and
+    ``contains($s, ())`` is true."""
+    text = _string_arg(args[0], "contains")
+    needle = _string_arg(args[1], "contains")
     return [needle in text]
 
 
 def fn_starts_with(args: list) -> Sequence:
-    """``starts-with($s, $prefix)``."""
-    text = _as_string(_singleton(args[0], "starts-with"), "starts-with")
-    prefix = _as_string(_singleton(args[1], "starts-with"), "starts-with")
+    """``starts-with($s, $prefix)`` — empty arguments are zero-length
+    strings (F&O 5.5.2)."""
+    text = _string_arg(args[0], "starts-with")
+    prefix = _string_arg(args[1], "starts-with")
     return [text.startswith(prefix)]
 
 
 def fn_upper_case(args: list) -> Sequence:
-    """``upper-case($s)``."""
-    return [_as_string(_singleton(args[0], "upper-case"), "upper-case").upper()]
+    """``upper-case($s)`` — ``upper-case(())`` is ``""`` (F&O 5.4.7)."""
+    return [_string_arg(args[0], "upper-case").upper()]
 
 
 def fn_lower_case(args: list) -> Sequence:
-    """``lower-case($s)``."""
-    return [_as_string(_singleton(args[0], "lower-case"), "lower-case").lower()]
+    """``lower-case($s)`` — ``lower-case(())`` is ``""`` (F&O 5.4.8)."""
+    return [_string_arg(args[0], "lower-case").lower()]
 
 
 # ---------------------------------------------------------------------------

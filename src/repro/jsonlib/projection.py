@@ -108,16 +108,26 @@ def _project_value(
         if first.kind is not EventKind.START_OBJECT:
             _skip_value(cursor, first)
             return
+        # Duplicate keys: the parser's ItemBuilder keeps the *last*
+        # occurrence of a repeated key, so buffer each matching
+        # occurrence's projection and emit only the final one when the
+        # object closes.  The buffer holds one matched sub-projection at
+        # a time, so peak memory stays "one matched item".
+        matched: list[Item] | None = None
         while True:
             event = cursor.next()
             if event.kind is EventKind.END_OBJECT:
+                if matched is not None:
+                    yield from matched
                 return
             # Inside an object the stream alternates KEY, value.
             if event.kind is not EventKind.KEY:
                 raise JsonSyntaxError(f"expected KEY event, got {event!r}")
             value_first = cursor.next()
             if event.value == step.key:
-                yield from _project_value(cursor, value_first, path, step_index + 1)
+                matched = list(
+                    _project_value(cursor, value_first, path, step_index + 1)
+                )
             else:
                 _skip_value(cursor, value_first)
     elif isinstance(step, ValueByIndex):
@@ -147,14 +157,18 @@ def _project_value(
         elif first.kind is EventKind.START_OBJECT:
             # Keys-or-members over an object yields its *keys*; further
             # steps over strings yield nothing, so only emit at path end.
+            # dict.keys() on the built item deduplicates repeated keys
+            # (first-insertion order), so do the same here.
             at_end = step_index + 1 == len(path)
+            seen: set[str] = set()
             while True:
                 event = cursor.next()
                 if event.kind is EventKind.END_OBJECT:
                     return
                 if event.kind is not EventKind.KEY:
                     raise JsonSyntaxError(f"expected KEY event, got {event!r}")
-                if at_end:
+                if at_end and event.value not in seen:
+                    seen.add(event.value)
                     yield event.value
                 _skip_value(cursor, cursor.next())
         else:

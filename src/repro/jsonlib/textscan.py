@@ -268,6 +268,14 @@ def _walk_object(
     pos = _skip_ws(text, pos)
     if pos < len(text) and text[pos] == "}":
         return pos + 1
+    # Duplicate keys: the parser keeps the *last* occurrence of a
+    # repeated key, so buffer each matching occurrence's projection
+    # (items + counters) and emit only the final one at the closing
+    # brace.  Keys-or-members likewise deduplicates, because the built
+    # dict's keys() would.
+    matched: list | None = None
+    matched_counters: ScanCounters | None = None
+    seen_keys: set[str] = set()
     while True:
         pos = _skip_ws(text, pos)
         key, pos = _read_key(text, pos)
@@ -275,13 +283,23 @@ def _walk_object(
         pos = _skip_ws(text, pos)
         if target_key is None:
             # Keys-or-members over an object yields its keys.
-            if at_end:
+            if at_end and key not in seen_keys:
+                seen_keys.add(key)
                 out.append(key)
                 if counters is not None:
                     counters.matched += 1
             pos = _skip(text, pos, counters)
         elif key == target_key:
-            pos = _project(text, pos, path, step_index + 1, out, counters)
+            occurrence: list = []
+            occurrence_counters = None if counters is None else ScanCounters()
+            pos = _project(
+                text, pos, path, step_index + 1, occurrence, occurrence_counters
+            )
+            if matched is not None and counters is not None:
+                # The earlier occurrence is discarded unseen: recount
+                # the whole value as one skipped.
+                counters.skipped += 1
+            matched, matched_counters = occurrence, occurrence_counters
         else:
             pos = _skip(text, pos, counters)
         pos = _skip_ws(text, pos)
@@ -291,6 +309,11 @@ def _walk_object(
             pos += 1
             continue
         if text[pos] == "}":
+            if matched is not None:
+                out.extend(matched)
+                if counters is not None:
+                    counters.matched += matched_counters.matched
+                    counters.skipped += matched_counters.skipped
             return pos + 1
         raise JsonSyntaxError(f"expected ',' or '}}', found {text[pos]!r}", pos)
 

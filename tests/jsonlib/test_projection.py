@@ -76,10 +76,11 @@ class TestProjectText:
         text = '{"x": 1} {"x": 2} {"y": 3}'
         assert list(project_text(text, parse_path('("x")'))) == [1, 2]
 
-    def test_duplicate_keys_all_match(self):
-        # The event stream sees both pairs even though a dict keeps one.
+    def test_duplicate_keys_last_occurrence_wins(self):
+        # The event stream sees both pairs, but the parser's dict keeps
+        # only the last — projection must emit the same winner.
         text = '{"a": 1, "a": 2}'
-        assert list(project_text(text, parse_path('("a")'))) == [1, 2]
+        assert list(project_text(text, parse_path('("a")'))) == [2]
 
 
 class TestEquivalenceWithNavigate:

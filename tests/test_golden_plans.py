@@ -1,0 +1,53 @@
+"""Golden plan tests: pin the exact plan each rule toggle produces.
+
+Every (paper query, rewrite toggle) pair has a checked-in ``explain()``
+report under ``tests/golden_plans/``.  A failure here means a rewrite
+rule (or the translator) changed the plan shape — if intentional,
+regenerate with ``PYTHONPATH=src python tools/update_golden_plans.py``
+and review the diff.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+import pytest
+
+from repro.algebra.rules import TOGGLE_CONFIGS
+from repro.bench.queries import ALL_QUERIES
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+from tools.update_golden_plans import GOLDEN_DIR, golden_name, render
+
+COMBOS = [
+    (query_name, toggle)
+    for query_name in ALL_QUERIES
+    for toggle in TOGGLE_CONFIGS
+]
+
+
+def test_every_combo_has_a_golden_file():
+    expected = {golden_name(q, t) for q, t in COMBOS}
+    actual = {p.name for p in GOLDEN_DIR.glob("*.txt")}
+    assert actual == expected
+
+
+@pytest.mark.parametrize(
+    "query_name, toggle", COMBOS, ids=[f"{q}-{t}" for q, t in COMBOS]
+)
+def test_plan_matches_golden(query_name, toggle):
+    golden = (GOLDEN_DIR / golden_name(query_name, toggle)).read_text()
+    assert render(query_name, toggle) == golden, (
+        f"plan for {query_name} under toggle {toggle!r} changed; if "
+        "intentional, regenerate via tools/update_golden_plans.py"
+    )
+
+
+def test_toggles_change_the_plan():
+    """Sanity: the toggles are not vacuous — for the grouped queries,
+    disabling a family really does alter the rewritten plan."""
+    q1_all = render("Q1", "all")
+    assert render("Q1", "none") != q1_all
+    assert render("Q1", "no-groupby") != q1_all
+    assert render("Q0", "no-path") != render("Q0", "all")

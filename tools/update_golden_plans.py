@@ -1,0 +1,60 @@
+"""Regenerate the golden plan files under ``tests/golden_plans/``.
+
+One file per (paper query, rewrite toggle): the compiler's ``explain()``
+report — naive plan plus rewritten plan — for each of the five paper
+queries under each entry of
+:data:`repro.algebra.rules.TOGGLE_CONFIGS`.  The goldens pin the exact
+plan shape each rule-family toggle produces, so an inadvertent rule
+interaction change shows up as a readable plan diff in
+``tests/test_golden_plans.py`` instead of a silent perf or semantics
+drift.
+
+Usage::
+
+    PYTHONPATH=src python tools/update_golden_plans.py
+
+Review the resulting ``git diff`` before committing — a golden change
+must correspond to an intentional rule change.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.algebra.rules import TOGGLE_CONFIGS
+from repro.bench.queries import ALL_QUERIES
+from repro.compiler.pipeline import compile_query
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent.parent / (
+    "tests/golden_plans"
+)
+
+
+def golden_name(query_name: str, toggle: str) -> str:
+    return f"{query_name}__{toggle}.txt"
+
+
+def render(query_name: str, toggle: str) -> str:
+    query_text = ALL_QUERIES[query_name](
+        collection="/sensors", wrapped=True
+    )
+    compiled = compile_query(query_text, TOGGLE_CONFIGS[toggle])
+    header = (
+        f"# golden plan: {query_name} under toggle '{toggle}'\n"
+        f"# regenerate: PYTHONPATH=src python tools/update_golden_plans.py\n"
+        f"# query: {query_text}\n"
+    )
+    return header + compiled.explain() + "\n"
+
+
+def main() -> None:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    for query_name in ALL_QUERIES:
+        for toggle in TOGGLE_CONFIGS:
+            path = GOLDEN_DIR / golden_name(query_name, toggle)
+            path.write_text(render(query_name, toggle))
+            print(f"wrote {path.relative_to(GOLDEN_DIR.parent.parent)}")
+
+
+if __name__ == "__main__":
+    main()
