@@ -32,13 +32,19 @@ from repro.algebra.rules import RewriteConfig
 from repro.compiler.pipeline import CompiledQuery, compile_query
 from repro.data.catalog import CollectionCatalog, InMemorySource
 from repro.data.generator import SensorDataConfig, write_sensor_collection
-from repro.errors import ReproError
+from repro.errors import (
+    QueryCancelledError,
+    QueryTimeoutError,
+    ReproError,
+    SpillError,
+)
 from repro.hyracks.backends import (
     ProcessBackend,
     SequentialBackend,
     ThreadBackend,
 )
 from repro.hyracks.cluster import ClusterSpec
+from repro.hyracks.limits import CancellationToken, QueryDeadline
 from repro.hyracks.executor import QueryResult
 from repro.observability import (
     OperatorProfile,
@@ -57,6 +63,7 @@ from repro.resilience import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "CancellationToken",
     "ClusterSpec",
     "CollectionCatalog",
     "CompiledQuery",
@@ -67,8 +74,11 @@ __all__ = [
     "OperatorProfile",
     "ProcessBackend",
     "ProfileConfig",
+    "QueryCancelledError",
+    "QueryDeadline",
     "QueryProfile",
     "QueryResult",
+    "QueryTimeoutError",
     "ReproError",
     "ResilienceConfig",
     "RetryPolicy",
@@ -76,6 +86,7 @@ __all__ = [
     "RewriteConfig",
     "SensorDataConfig",
     "SequentialBackend",
+    "SpillError",
     "ThreadBackend",
     "compile_query",
     "write_sensor_collection",

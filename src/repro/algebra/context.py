@@ -64,6 +64,13 @@ class EvaluationContext:
         Optional :class:`repro.observability.profile.ProfileCollector`;
         when present, the physical operators record per-operator
         counters and timing spans on it.
+    spill:
+        Optional :class:`repro.hyracks.spill.SpillManager`; when present,
+        the blocking operators degrade to disk instead of raising when a
+        memory charge is declined.
+    limits:
+        Optional :class:`repro.hyracks.limits.ExecutionLimits` checked at
+        frame boundaries (deadline + cancellation token).
     """
 
     def __init__(
@@ -74,6 +81,8 @@ class EvaluationContext:
         partition: int | None = None,
         stats=None,
         profile=None,
+        spill=None,
+        limits=None,
     ):
         if functions is None:
             from repro.jsoniq.functions import BUILTIN_FUNCTIONS
@@ -85,6 +94,8 @@ class EvaluationContext:
         self.partition = partition
         self.stats = stats
         self.profile = profile
+        self.spill = spill
+        self.limits = limits
 
     def for_partition(
         self, partition: int | None, memory: "MemoryTracker | None" = None
@@ -97,6 +108,8 @@ class EvaluationContext:
             partition=partition,
             stats=self.stats,
             profile=self.profile,
+            spill=self.spill,
+            limits=self.limits,
         )
 
     def charge(self, n_bytes: int) -> None:
@@ -108,6 +121,11 @@ class EvaluationContext:
         """Release *n_bytes* from the memory tracker, if any."""
         if self.memory is not None:
             self.memory.release(n_bytes)
+
+    def checkpoint(self) -> None:
+        """Strided deadline/cancellation check (cheap per-tuple call)."""
+        if self.limits is not None:
+            self.limits.checkpoint()
 
 
 def charge_sequence(ctx: EvaluationContext, items: Iterable[Item]) -> int:

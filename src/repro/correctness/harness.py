@@ -8,6 +8,8 @@ Runs each query through the full matrix of
 - DATASCAN projection on/off (off replaces the projecting scanners
   with :class:`EagerNavigationSource`: parse everything, then
   navigate — the definitional semantics),
+- bounded memory (a :data:`SPILL_BUDGET_BYTES` budget tiny enough to
+  force the blocking operators through their spill-to-disk paths),
 
 and asserts that every cell's result is canonically equal to an
 independent oracle.  The grouped queries' output order is genuinely
@@ -49,6 +51,11 @@ from repro.processor import JsonProcessor
 
 BACKEND_NAMES = ("sequential", "thread", "process")
 PROJECTION_MODES = ("projected", "eager")
+
+#: memory budget for the forced-spill matrix cells — small enough that
+#: the paper datasets overflow every blocking operator, large enough
+#: that non-spillable expression materialization still fits
+SPILL_BUDGET_BYTES = 4096
 
 
 # ---------------------------------------------------------------------------
@@ -139,6 +146,8 @@ class Mismatch:
     projection: str
     kind: str  # "mismatch" | "error"
     detail: str
+    #: True when the cell ran under the forced-spill memory budget
+    spill: bool = False
     #: minimized repro (shrunk partitions + query), when available
     repro_query: str | None = None
     repro_partitions: list | None = None
@@ -149,6 +158,7 @@ class Mismatch:
             "config": self.config,
             "backend": self.backend,
             "projection": self.projection,
+            "spill": self.spill,
             "kind": self.kind,
             "detail": self.detail,
             "repro_query": self.repro_query,
@@ -199,16 +209,22 @@ class _MatrixRunner:
     (the process backend's worker pool is expensive to start)."""
 
     def __init__(self, max_workers: int = 2):
+        import tempfile
+
         self._backends = {
             name: BACKENDS[name](max_workers=max_workers)
             for name in BACKEND_NAMES
         }
+        self._spill_dir = tempfile.mkdtemp(prefix="repro-diffcheck-spill-")
 
     def close(self) -> None:
+        import shutil
+
         for backend in self._backends.values():
             close = getattr(backend, "close", None)
             if close is not None:
                 close()
+        shutil.rmtree(self._spill_dir, ignore_errors=True)
 
     def run(
         self,
@@ -217,6 +233,7 @@ class _MatrixRunner:
         config: RewriteConfig,
         backend_name: str,
         projection: str,
+        memory_budget: int | None = None,
     ) -> list:
         if projection == "eager":
             source = EagerNavigationSource(source)
@@ -224,6 +241,8 @@ class _MatrixRunner:
             source=source,
             rewrite=config,
             backend=self._backends[backend_name],
+            memory_budget_bytes=memory_budget,
+            spill_dir=self._spill_dir,
         )
         return processor.evaluate(query_text)
 
@@ -245,6 +264,7 @@ def _check_cell(
     config_name: str,
     backend_name: str,
     projection: str,
+    memory_budget: int | None = None,
 ) -> Mismatch | None:
     try:
         got = runner.run(
@@ -253,6 +273,7 @@ def _check_cell(
             TOGGLE_CONFIGS[config_name],
             backend_name,
             projection,
+            memory_budget=memory_budget,
         )
     except ReproError as error:
         return Mismatch(
@@ -260,6 +281,7 @@ def _check_cell(
             config=config_name,
             backend=backend_name,
             projection=projection,
+            spill=memory_budget is not None,
             kind="error",
             detail=f"{type(error).__name__}: {error}",
         )
@@ -270,6 +292,7 @@ def _check_cell(
             config=config_name,
             backend=backend_name,
             projection=projection,
+            spill=memory_budget is not None,
             kind="mismatch",
             detail=(
                 f"expected {len(expected)} canonical items, "
@@ -445,10 +468,12 @@ def run_diffcheck(
     """Run the full differential matrix; return a report.
 
     The five paper queries get every (toggle × backend × projection)
-    cell.  Generated pairs check every rewrite toggle on the
-    (sequential, projected) cell, plus one rotating (backend,
-    projection) cell under the all-rules config, so the whole axis
-    stays covered across the case population at a fraction of the cost.
+    cell plus one forced-spill cell per backend (all-rules, projected,
+    a :data:`SPILL_BUDGET_BYTES` budget).  Generated pairs check every
+    rewrite toggle on the (sequential, projected) cell, plus one
+    rotating (backend, projection) cell under the all-rules config, and
+    one rotating forced-spill cell, so the whole axis stays covered
+    across the case population at a fraction of the cost.
     """
     from repro.bench.queries import ALL_QUERIES
 
@@ -481,6 +506,18 @@ def _run_paper_queries(runner, report, seed, data_config, queries, progress):
             report.paper_cells += 1
             if mismatch is not None:
                 report.mismatches.append(mismatch)
+        # Forced-spill cells: the same query, all backends, a budget
+        # small enough that the blocking operators degrade to disk; the
+        # result must still match the oracle bit-for-bit.
+        for backend_name in BACKEND_NAMES:
+            mismatch = _check_cell(
+                runner, report, source, name, query_text, expected,
+                "all", backend_name, "projected",
+                memory_budget=SPILL_BUDGET_BYTES,
+            )
+            report.paper_cells += 1
+            if mismatch is not None:
+                report.mismatches.append(mismatch)
         if progress is not None:
             progress(f"paper query {name}: {report.paper_cells} cells")
 
@@ -499,14 +536,24 @@ def _run_generated_cases(runner, report, seed, case_count, shrink, progress):
         )
         expected = canonical_result(case.expected())
         cells = [
-            (config_name, "sequential", "projected")
+            (config_name, "sequential", "projected", None)
             for config_name in TOGGLE_CONFIGS
         ]
-        cells.append(("all", *rotation[index % len(rotation)]))
-        for cell in cells:
+        cells.append(("all", *rotation[index % len(rotation)], None))
+        # The rotating forced-spill cell (offset so the same case does
+        # not always pair spill with the same backend/projection).
+        cells.append(
+            (
+                "all",
+                *rotation[(index + 3) % len(rotation)],
+                SPILL_BUDGET_BYTES,
+            )
+        )
+        for config_name, backend_name, projection, budget in cells:
             mismatch = _check_cell(
                 runner, report, source, case.name, case.query_text,
-                expected, *cell,
+                expected, config_name, backend_name, projection,
+                memory_budget=budget,
             )
             report.generated_cells += 1
             if mismatch is not None:
@@ -531,6 +578,7 @@ def _shrink_mismatch(runner, case, mismatch: Mismatch) -> Mismatch:
                 config,
                 mismatch.backend,
                 mismatch.projection,
+                memory_budget=SPILL_BUDGET_BYTES if mismatch.spill else None,
             )
         except ReproError:
             return False

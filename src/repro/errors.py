@@ -193,6 +193,59 @@ class TypeCheckError(RuntimeExecutionError):
     """A ``treat`` assertion failed at runtime."""
 
 
+class SpillError(_PickleByInitArgs, RuntimeExecutionError):
+    """A spill run file could not be written or read back.
+
+    Wraps the underlying I/O (or injected) error; retryable, because a
+    fresh partition attempt re-derives every run file from the source
+    data.
+    """
+
+    retryable = True
+
+    def __init__(self, message: str):
+        self._init_args = (message,)
+        super().__init__(message)
+
+
+class QueryTimeoutError(_PickleByInitArgs, RuntimeExecutionError):
+    """A query ran past its deadline.
+
+    Not retryable and never skippable: the deadline is query-global, so
+    the partition policies do not apply — the whole query unwinds, with
+    every spill file and memory tracker released on the way out.
+    """
+
+    retryable = False
+
+    def __init__(self, deadline_seconds: float, elapsed_seconds: float):
+        self._init_args = (deadline_seconds, elapsed_seconds)
+        super().__init__(
+            f"query exceeded its {deadline_seconds:g}s deadline "
+            f"(ran {elapsed_seconds:.3f}s)"
+        )
+        self.deadline_seconds = deadline_seconds
+        self.elapsed_seconds = elapsed_seconds
+
+
+class QueryCancelledError(_PickleByInitArgs, RuntimeExecutionError):
+    """The query's cancellation token was triggered mid-execution.
+
+    Like :class:`QueryTimeoutError`, cancellation is query-global —
+    retry and skip policies do not apply.
+    """
+
+    retryable = False
+
+    def __init__(self, reason: str = ""):
+        self._init_args = (reason,)
+        message = "query cancelled"
+        if reason:
+            message += f": {reason}"
+        super().__init__(message)
+        self.reason = reason
+
+
 class PartitionExecutionError(_PickleByInitArgs, RuntimeExecutionError):
     """A partition of a partitioned job failed.
 

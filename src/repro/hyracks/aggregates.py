@@ -48,17 +48,38 @@ class Accumulator:
 
 
 class SequenceAccumulator(Accumulator):
-    """``sequence(...)`` — concatenates every argument item."""
+    """``sequence(...)`` — concatenates every argument item.
 
-    __slots__ = ("items", "charged_bytes")
+    The materializing aggregate.  Without a spill manager on the context
+    it charges the tracker (raising on budget overflow, the behaviour
+    the naive plans rely on); with one, the items live in a
+    :class:`~repro.hyracks.spill.SpilledSequence` that overflows to run
+    files instead.
+    """
+
+    __slots__ = ("items", "charged_bytes", "_store")
 
     def __init__(self, spec: AggregateSpec):
         super().__init__(spec)
         self.items: list = []
         self.charged_bytes = 0
+        self._store = None
 
     def add(self, tup, ctx):
         values = self.spec.argument.evaluate(tup, ctx)
+        if (
+            self._store is None
+            and ctx.spill is not None
+            and ctx.memory is not None
+            and not self.items
+        ):
+            from repro.hyracks.spill import SpilledSequence
+
+            self._store = SpilledSequence(ctx, label="sequence")
+        if self._store is not None:
+            for value in values:
+                self._store.append(value, sizeof_item(value))
+            return
         self.items.extend(values)
         if ctx.memory is not None:
             n_bytes = sum(sizeof_item(v) for v in values)
@@ -66,12 +87,29 @@ class SequenceAccumulator(Accumulator):
             ctx.charge(n_bytes)
 
     def partial(self):
+        if self._store is not None:
+            return list(self._store)
         return self.items
 
     def absorb(self, partial):
         self.items.extend(partial)
 
+    def release_charges(self, ctx) -> None:
+        """Drop this accumulator's memory charge (its partial was spilled)."""
+        if self._store is not None:
+            self._store.close()
+            self._store = None
+            return
+        if self.charged_bytes:
+            ctx.release(self.charged_bytes)
+            self.charged_bytes = 0
+
     def finish(self, ctx):
+        if self._store is not None:
+            self.items = list(self._store)
+            self._store.close()
+            self._store = None
+            return self.items
         if self.charged_bytes:
             ctx.release(self.charged_bytes)
             self.charged_bytes = 0

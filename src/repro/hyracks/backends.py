@@ -42,12 +42,13 @@ from __future__ import annotations
 import os
 import pickle
 import time
-import zlib
 from dataclasses import dataclass, field
 
 from repro.errors import (
     FileScanError,
     PartitionExecutionError,
+    QueryCancelledError,
+    QueryTimeoutError,
     ReproError,
     RuntimeExecutionError,
 )
@@ -64,6 +65,7 @@ from repro.hyracks.operators import (
     run_chain,
     run_plan,
 )
+from repro.hyracks.spill import stable_bucket
 
 
 class BackendError(RuntimeExecutionError):
@@ -87,29 +89,40 @@ class PipelinedWork:
 
 @dataclass(frozen=True)
 class GroupTableWork:
-    """Partition-local GROUP-BY: fold tuples into an accumulator table."""
+    """Partition-local GROUP-BY: fold tuples into a partials table.
+
+    Returns ``{key: (key_values, [partial, ...])}`` — plain picklable
+    partial states rather than accumulator objects, so the table ships
+    cleanly across process workers even when a spilling
+    ``SequenceAccumulator`` held its items in run files.
+    """
 
     group_by: GroupBy
 
     def __call__(self, ctx: EvaluationContext):
+        from repro.hyracks.spill import GROUP_ENTRY_BYTES, fold_group_table
+
         nested = self.group_by.nested_root
         key_exprs = [expr for _, expr in self.group_by.keys]
-        table: dict = {}
         source = execute(self.group_by.input_op, ctx)
         if ctx.profile is not None:
             source = ctx.profile.count_input(self.group_by, source)
-        for tup in source:
-            key_values = [expr.evaluate(tup, ctx) for expr in key_exprs]
-            key = tuple(canonical_key(v) for v in key_values)
-            state = table.get(key)
-            if state is None:
-                state = (key_values, make_accumulators(nested.specs))
-                table[key] = state
-            for accumulator in state[1]:
-                accumulator.add(tup, ctx)
+        table = fold_group_table(
+            key_exprs, nested.specs, source, ctx, op=self.group_by
+        )
         if ctx.profile is not None:
             ctx.profile.add(self.group_by, "groups", len(table))
-        return table
+        out: dict = {}
+        for key, (key_values, accumulators) in table.items():
+            partials = [acc.partial() for acc in accumulators]
+            for acc in accumulators:
+                release = getattr(acc, "release_charges", None)
+                if release is not None:
+                    release(ctx)
+            out[key] = (key_values, partials)
+        if ctx.memory is not None:
+            ctx.memory.release(GROUP_ENTRY_BYTES * len(table))
+        return out
 
 
 @dataclass(frozen=True)
@@ -130,10 +143,18 @@ class FoldPartialsWork:
 
     def __call__(self, ctx: EvaluationContext):
         accumulators = make_accumulators(self.aggregate.specs)
+        limits = ctx.limits
         for tup in execute(self.aggregate.input_op, ctx):
+            if limits is not None:
+                limits.checkpoint()
             for accumulator in accumulators:
                 accumulator.add(tup, ctx)
-        return [acc.partial() for acc in accumulators]
+        partials = [acc.partial() for acc in accumulators]
+        for acc in accumulators:
+            release = getattr(acc, "release_charges", None)
+            if release is not None:
+                release(ctx)
+        return partials
 
 
 @dataclass(frozen=True)
@@ -152,6 +173,7 @@ class ExchangeWork:
         exchanged_bytes = 0
         from repro.hyracks.tuples import sizeof_tuple
 
+        limits = ctx.limits
         for side, keys, target, counter in (
             (self.join.left, self.left_keys, local_left, "probe_tuples"),
             (self.join.right, self.right_keys, local_right, "build_tuples"),
@@ -160,6 +182,8 @@ class ExchangeWork:
             if ctx.profile is not None:
                 stream = ctx.profile.count_into(self.join, counter, stream)
             for tup in stream:
+                if limits is not None:
+                    limits.checkpoint()
                 # Tuples with an empty key sequence cannot join (x eq ()
                 # is false) — drop them here to match hash_join.
                 key = join_key(tup, list(keys), ctx)
@@ -195,21 +219,25 @@ class JoinBucketWork:
         stream = run_chain(list(self.mid_ops), joined, ctx)
         if self.aggregate is not None:
             accumulators = make_accumulators(self.aggregate.specs)
+            limits = ctx.limits
             for tup in stream:
+                if limits is not None:
+                    limits.checkpoint()
                 for accumulator in accumulators:
                     accumulator.add(tup, ctx)
-            return [acc.partial() for acc in accumulators]
+            partials = [acc.partial() for acc in accumulators]
+            for acc in accumulators:
+                release = getattr(acc, "release_charges", None)
+                if release is not None:
+                    release(ctx)
+            return partials
         return list(stream)
 
 
-def stable_bucket(key: tuple, buckets: int) -> int:
-    """Deterministic bucket index for a canonical join key.
-
-    ``hash()`` is salted per process (``PYTHONHASHSEED``), so it cannot
-    partition an exchange whose sides are hashed in *different* worker
-    processes; CRC32 over the canonical repr is stable everywhere.
-    """
-    return zlib.crc32(repr(key).encode("utf-8")) % buckets
+# ``stable_bucket`` (the process-stable CRC32 bucket hash used by the
+# exchange) now lives in repro.hyracks.spill, shared with the spilling
+# operators' partition-and-recurse logic; imported above and re-exported
+# here for existing callers.
 
 
 # ---------------------------------------------------------------------------
@@ -234,6 +262,12 @@ class WorkUnit:
     #: identity survives the round trip because plan and work pickle
     #: together, so profile indices match the coordinator's.
     profile: object = None
+    #: SpillConfig, or None to keep the raising memory-budget behaviour.
+    #: The worker builds a fresh SpillManager per attempt and closes it
+    #: (removing every run file) no matter how the attempt ended.
+    spill: object = None
+    #: ExecutionLimits (deadline + cancellation token), or None.
+    limits: object = None
 
 
 @dataclass
@@ -241,9 +275,11 @@ class PartitionOutcome:
     """What one partition's worker produced and measured.
 
     ``value`` is the work product (None when skipped or failed);
-    ``error`` carries the wrapped ``fail_fast`` error instead of raising
-    in the worker, so the coordinator can surface failures in
-    deterministic partition order.
+    ``error`` carries the wrapped ``fail_fast`` error — or a raw
+    query-global :class:`~repro.errors.QueryTimeoutError` /
+    :class:`~repro.errors.QueryCancelledError` — instead of raising in
+    the worker, so the coordinator can surface failures in deterministic
+    partition order.
     """
 
     partition: int
@@ -254,7 +290,7 @@ class PartitionOutcome:
     peak_memory_bytes: int = 0
     stats: object = None
     report: object = None
-    error: PartitionExecutionError | None = None
+    error: Exception | None = None
     #: plain-dict ProfileCollector snapshot (None when unprofiled)
     profile: object = None
 
@@ -314,6 +350,7 @@ def execute_work_unit(unit: WorkUnit) -> PartitionOutcome:
     peak = 0
     attempts = 0
     collector = None
+    spill_hook = getattr(source, "check_spill_fault", None)
     try:
         while True:
             attempts += 1
@@ -325,6 +362,17 @@ def execute_work_unit(unit: WorkUnit) -> PartitionOutcome:
                 from repro.observability.profile import ProfileCollector
 
                 collector = ProfileCollector(unit.plan, unit.profile)
+            spill_manager = None
+            if unit.spill is not None:
+                from repro.hyracks.spill import SpillManager
+
+                fault_hook = None
+                if spill_hook is not None:
+                    partition = unit.partition
+                    fault_hook = lambda: spill_hook(partition)  # noqa: E731
+                spill_manager = SpillManager(
+                    unit.spill, partition=unit.partition, fault_hook=fault_hook
+                )
             ctx = EvaluationContext(
                 source=source,
                 functions=unit.functions,
@@ -332,10 +380,39 @@ def execute_work_unit(unit: WorkUnit) -> PartitionOutcome:
                 partition=unit.partition,
                 stats=stats,
                 profile=collector,
+                spill=spill_manager,
+                limits=unit.limits,
             )
             attempt_started = time.perf_counter()
             try:
-                value = unit.work(ctx)
+                try:
+                    if unit.limits is not None:
+                        unit.limits.check()
+                    value = unit.work(ctx)
+                finally:
+                    # Guaranteed spill cleanup: every run file of this
+                    # attempt is removed on success, error, timeout, or
+                    # cancellation before anything else happens.
+                    if spill_manager is not None:
+                        spill_manager.fold_stats(stats)
+                        spill_manager.close()
+            except (QueryTimeoutError, QueryCancelledError) as error:
+                # Query-global limits: never retried, never skipped, and
+                # returned *unwrapped* so the coordinator re-raises the
+                # limit error itself in partition order.
+                measured += time.perf_counter() - attempt_started
+                peak = max(peak, memory.peak)
+                report.record_cancellation(unit.partition, error)
+                return PartitionOutcome(
+                    unit.partition,
+                    measured_seconds=measured,
+                    injected_seconds=injected,
+                    peak_memory_bytes=peak,
+                    stats=stats,
+                    report=report,
+                    error=error,
+                    profile=_snapshot(collector),
+                )
             except (ReproError, OSError) as error:
                 measured += time.perf_counter() - attempt_started
                 peak = max(peak, memory.peak)

@@ -99,6 +99,11 @@ class ExecutionStats:
     scanned_item_bytes: int = 0
     exchange_tuples: int = 0
     exchange_bytes: int = 0
+    #: spill-to-disk counters (bounded-memory execution)
+    spill_events: int = 0
+    spill_run_files: int = 0
+    spill_bytes: int = 0
+    spill_recursion_depth: int = 0
 
     def merge(self, other: "ExecutionStats") -> None:
         """Fold another stats object into this one (coordinator merge)."""
@@ -106,6 +111,11 @@ class ExecutionStats:
         self.scanned_item_bytes += other.scanned_item_bytes
         self.exchange_tuples += other.exchange_tuples
         self.exchange_bytes += other.exchange_bytes
+        self.spill_events += other.spill_events
+        self.spill_run_files += other.spill_run_files
+        self.spill_bytes += other.spill_bytes
+        if other.spill_recursion_depth > self.spill_recursion_depth:
+            self.spill_recursion_depth = other.spill_recursion_depth
 
 
 @dataclass
@@ -126,6 +136,9 @@ class QueryResult:
     #: merged :class:`~repro.observability.profile.QueryProfile`
     #: (None unless the run was profiled)
     profile: object = None
+    #: seconds left on the query deadline when execution finished
+    #: (None when no deadline was set)
+    deadline_slack_seconds: float | None = None
 
     @property
     def is_partial(self) -> bool:
@@ -193,6 +206,18 @@ class PartitionedExecutor:
         ``None`` consults the ``REPRO_BACKEND`` environment variable.
     max_workers:
         Worker cap for the named pooled backends (default: CPU count).
+    spill:
+        With a memory budget set, let blocking operators degrade to
+        disk when the budget is hit (the default) instead of raising
+        :class:`~repro.errors.MemoryBudgetExceededError` (``False``).
+    spill_dir:
+        Root directory for spill run files (default: ``REPRO_SPILL_DIR``
+        or the system temp dir), or a
+        :class:`~repro.hyracks.spill.SpillConfig` for full control.
+    deadline_seconds:
+        Per-query deadline; a query running past it raises a
+        :class:`~repro.errors.QueryTimeoutError`.  ``None`` consults the
+        ``REPRO_DEADLINE`` environment variable.
     """
 
     def __init__(
@@ -204,16 +229,32 @@ class PartitionedExecutor:
         resilience: ResilienceConfig | None = None,
         backend=None,
         max_workers: int | None = None,
+        spill: bool = True,
+        spill_dir: str | None = None,
+        deadline_seconds: float | None = None,
     ):
+        from repro.hyracks.limits import resolve_deadline_seconds
+        from repro.hyracks.spill import resolve_spill_config
+
         self._source = source
         self._functions = functions
         self._two_step = two_step_aggregation
         self._memory_budget = memory_budget_bytes
         self._resilience = resilience if resilience is not None else ResilienceConfig()
         self._backend = resolve_backend(backend, max_workers=max_workers)
+        # Spilling only ever triggers on a declined memory charge, so a
+        # spill config without a budget would be inert — skip it.
+        self._spill_config = (
+            resolve_spill_config(spill_dir)
+            if spill and memory_budget_bytes is not None
+            else None
+        )
+        self._deadline_seconds = resolve_deadline_seconds(deadline_seconds)
         self._parallel_wall = 0.0
         self._profile_config = None
         self._profile = None  # coordinator-side ProfileCollector while running
+        self._limits = None  # ExecutionLimits for the in-flight query
+        self._open_spills = []  # coordinator-side SpillManagers to close
 
     @property
     def backend(self):
@@ -226,7 +267,7 @@ class PartitionedExecutor:
 
     # -- public ---------------------------------------------------------------
 
-    def run(self, plan: LogicalPlan, profile=None) -> QueryResult:
+    def run(self, plan: LogicalPlan, profile=None, cancellation=None) -> QueryResult:
         """Execute *plan* and return items plus measurements.
 
         *profile* enables operator-level profiling: ``True`` (wall
@@ -235,7 +276,16 @@ class PartitionedExecutor:
         default ``None`` consults the ``REPRO_PROFILE`` environment
         variable.  When enabled, ``result.profile`` carries the merged
         :class:`~repro.observability.profile.QueryProfile`.
+
+        *cancellation* is an optional
+        :class:`~repro.hyracks.limits.CancellationToken`; triggering it
+        makes the query raise
+        :class:`~repro.errors.QueryCancelledError` at the next frame
+        boundary, unwinding with every spill file released.
         """
+        from repro.errors import QueryCancelledError, QueryTimeoutError
+        from repro.hyracks.limits import ExecutionLimits, QueryDeadline
+
         started = time.perf_counter()
         stats = ExecutionStats()
         report = DegradationReport()
@@ -246,15 +296,43 @@ class PartitionedExecutor:
             if self._profile_config is not None
             else None
         )
+        deadline = (
+            QueryDeadline.start(self._deadline_seconds)
+            if self._deadline_seconds is not None
+            else None
+        )
+        self._limits = (
+            ExecutionLimits(deadline, cancellation)
+            if deadline is not None or cancellation is not None
+            else None
+        )
+        self._open_spills = []
         attach = getattr(self._source, "attach_degradation", None)
         if attach is not None:
             attach(report)
         try:
             result = self._dispatch(plan, stats, report)
+        except (QueryTimeoutError, QueryCancelledError) as error:
+            # Coordinator-side limit hit (worker-side hits arrive with
+            # error.degradation already attached by _map).
+            if getattr(error, "degradation", None) is None:
+                report.record_cancellation(-1, error)
+                error.degradation = report
+            raise
         finally:
+            # Guaranteed cleanup: every coordinator-side spill manager
+            # closes (removing its run files) no matter how we unwound.
+            for manager in self._open_spills:
+                manager.fold_stats(stats)
+                manager.close()
+            self._open_spills = []
+            limits = self._limits
+            self._limits = None
             if attach is not None:
                 attach(None)
         result.degradation = report
+        if limits is not None:
+            result.deadline_slack_seconds = limits.remaining_seconds()
         result.wall_seconds = time.perf_counter() - started
         result.backend = self._backend.name
         result.parallel_wall_seconds = self._parallel_wall
@@ -294,6 +372,20 @@ class PartitionedExecutor:
     def _context(
         self, partition: int | None, memory: MemoryTracker, stats: ExecutionStats
     ) -> EvaluationContext:
+        spill = None
+        if self._spill_config is not None:
+            from repro.hyracks.spill import SpillManager
+
+            fault_hook = None
+            check = getattr(self._source, "check_spill_fault", None)
+            if check is not None:
+                fault_hook = lambda: check(partition)  # noqa: E731
+            spill = SpillManager(
+                self._spill_config, partition=partition, fault_hook=fault_hook
+            )
+            # run() closes every registered manager in its finally block,
+            # so coordinator-side run files never outlive the query.
+            self._open_spills.append(spill)
         return EvaluationContext(
             source=self._source,
             functions=self._functions,
@@ -301,6 +393,8 @@ class PartitionedExecutor:
             partition=partition,
             stats=stats,
             profile=self._profile,
+            spill=spill,
+            limits=self._limits,
         )
 
     def _tracker(self) -> MemoryTracker:
@@ -334,6 +428,8 @@ class PartitionedExecutor:
                 resilience=self._resilience,
                 charge_delay=charge_delay,
                 profile=self._profile_config,
+                spill=self._spill_config,
+                limits=self._limits,
             )
             for partition, work in tasks
         ]
@@ -342,6 +438,12 @@ class PartitionedExecutor:
         try:
             for outcome in self._backend.run_units(units):
                 if outcome.error is not None:
+                    # A query-global limit fired in a worker.  Fold what
+                    # that partition measured, attach the merged report,
+                    # and unwind — run()'s finally releases every spill.
+                    stats.merge(outcome.stats)
+                    report.absorb(outcome.report)
+                    outcome.error.degradation = report
                     raise outcome.error
                 outcomes.append(outcome)
         finally:
@@ -529,13 +631,15 @@ class PartitionedExecutor:
         started = time.perf_counter()
         combined: dict = {}
         for table in local_tables:
-            for key, (key_values, accumulators) in table.items():
+            # Workers ship plain partial values (picklable; spill-backed
+            # accumulator state never crosses the process boundary).
+            for key, (key_values, partials) in table.items():
                 state = combined.get(key)
                 if state is None:
                     state = (key_values, make_accumulators(nested.specs))
                     combined[key] = state
-                for target, local in zip(state[1], accumulators):
-                    target.absorb(local.partial())
+                for target, partial_value in zip(state[1], partials):
+                    target.absorb(partial_value)
         def finalized():
             for key_values, accumulators in combined.values():
                 out = dict(zip(key_vars, key_values))

@@ -74,9 +74,15 @@ class FrameWriter:
         self.big_object_count = 0
         self._current = Frame(frame_bytes)
 
-    def write(self, tup: Tuple) -> None:
-        """Append one tuple, emitting frames through the callback."""
-        n_bytes = sizeof_tuple(tup)
+    def write(self, tup: Tuple, n_bytes: int | None = None) -> None:
+        """Append one tuple, emitting frames through the callback.
+
+        *n_bytes* overrides the item-model size computation — spill run
+        writers pack records that are not JSON items (pickled partial
+        states, sequence-tagged rows) and size them generically.
+        """
+        if n_bytes is None:
+            n_bytes = sizeof_tuple(tup)
         self.tuples_written += 1
         self.bytes_written += n_bytes
         if n_bytes > self.frame_bytes:

@@ -1,0 +1,216 @@
+"""Query deadlines and cooperative cancellation.
+
+A query can carry an :class:`ExecutionLimits`: a :class:`QueryDeadline`
+(resolved to an absolute monotonic instant when the query starts) and/or
+a :class:`CancellationToken`.  The physical operators and the partition
+backends call :meth:`ExecutionLimits.checkpoint` at frame boundaries —
+the check is strided (every :data:`CHECK_STRIDE` tuples) so the hot scan
+loop pays one integer decrement per tuple.
+
+Both limit violations raise picklable errors
+(:class:`~repro.errors.QueryTimeoutError`,
+:class:`~repro.errors.QueryCancelledError`) that are **query-global**:
+the executor never retries or skips them, and the unwind releases every
+spill file and memory tracker on the way out.
+
+Cross-process cancellation: a :class:`CancellationToken` built with a
+``flag_path`` signals through the filesystem, so a token cancelled on
+the coordinator is observed by ``ProcessBackend`` workers that were
+forked before the cancel.  Without a flag path the token still pickles
+(carrying its cancelled-at-pickle-time snapshot), and workers rely on
+the deadline — which needs no IPC because ``time.monotonic`` is
+system-wide on the platforms the process backend supports.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+from repro.errors import QueryCancelledError, QueryTimeoutError
+
+#: environment variable consulted for a default query deadline (seconds)
+DEADLINE_ENV_VAR = "REPRO_DEADLINE"
+
+#: tuples between limit checks — one frame's worth of small tuples
+CHECK_STRIDE = 128
+
+
+def resolve_deadline_seconds(deadline_seconds: float | None) -> float | None:
+    """Normalize a deadline argument, consulting ``REPRO_DEADLINE``.
+
+    ``None`` reads the environment variable (empty/unset/``0`` means no
+    deadline); a non-positive explicit value is rejected.
+    """
+    if deadline_seconds is None:
+        value = os.environ.get(DEADLINE_ENV_VAR, "").strip()
+        if not value or value == "0":
+            return None
+        deadline_seconds = float(value)
+    if deadline_seconds <= 0:
+        raise ValueError(
+            f"deadline_seconds must be positive, got {deadline_seconds!r}"
+        )
+    return deadline_seconds
+
+
+class QueryDeadline:
+    """An absolute deadline for one query execution.
+
+    Built from a relative budget via :meth:`start`, which pins the
+    monotonic expiry instant; picklable, so process-pool work units
+    carry the *same* absolute deadline as the coordinator.
+    """
+
+    __slots__ = ("deadline_seconds", "expires_at", "started_at")
+
+    def __init__(
+        self,
+        deadline_seconds: float,
+        started_at: float | None = None,
+    ):
+        if deadline_seconds <= 0:
+            raise ValueError(
+                f"deadline_seconds must be positive, got {deadline_seconds!r}"
+            )
+        self.deadline_seconds = deadline_seconds
+        self.started_at = (
+            started_at if started_at is not None else time.monotonic()
+        )
+        self.expires_at = self.started_at + deadline_seconds
+
+    @classmethod
+    def start(cls, deadline_seconds: float) -> "QueryDeadline":
+        """A deadline starting now."""
+        return cls(deadline_seconds)
+
+    def remaining(self) -> float:
+        """Seconds left before expiry (negative once past it)."""
+        return self.expires_at - time.monotonic()
+
+    def expired(self) -> bool:
+        return time.monotonic() >= self.expires_at
+
+    def check(self) -> None:
+        """Raise :class:`~repro.errors.QueryTimeoutError` once expired."""
+        now = time.monotonic()
+        if now >= self.expires_at:
+            raise QueryTimeoutError(
+                self.deadline_seconds, now - self.started_at
+            )
+
+    def __reduce__(self):
+        return (
+            QueryDeadline,
+            (self.deadline_seconds, self.started_at),
+        )
+
+
+class CancellationToken:
+    """Cooperative cancellation signal.
+
+    ``cancel()`` may be called from any thread; execution observes it at
+    the next checkpoint.  With a ``flag_path`` the cancel also touches a
+    filesystem flag, which is how process-pool workers (separate
+    processes, separate memory) observe a cancel issued after they were
+    shipped their work.
+    """
+
+    def __init__(self, flag_path: str | None = None, _cancelled: bool = False):
+        self.flag_path = flag_path
+        self._event = threading.Event()
+        if _cancelled:
+            self._event.set()
+        self.reason = ""
+
+    def cancel(self, reason: str = "") -> None:
+        """Trigger the token (idempotent)."""
+        self.reason = reason or self.reason
+        self._event.set()
+        if self.flag_path is not None:
+            try:
+                with open(self.flag_path, "w", encoding="utf-8") as handle:
+                    handle.write(reason or "cancelled")
+            except OSError:  # pragma: no cover - flag dir vanished
+                pass
+
+    @property
+    def cancelled(self) -> bool:
+        if self._event.is_set():
+            return True
+        if self.flag_path is not None and os.path.exists(self.flag_path):
+            self._event.set()
+            return True
+        return False
+
+    def check(self) -> None:
+        """Raise :class:`~repro.errors.QueryCancelledError` once cancelled."""
+        if self.cancelled:
+            raise QueryCancelledError(self.reason)
+
+    def __getstate__(self):
+        return {
+            "flag_path": self.flag_path,
+            "cancelled": self._event.is_set(),
+            "reason": self.reason,
+        }
+
+    def __setstate__(self, state):
+        self.flag_path = state["flag_path"]
+        self._event = threading.Event()
+        if state["cancelled"]:
+            self._event.set()
+        self.reason = state["reason"]
+
+
+class ExecutionLimits:
+    """Deadline plus cancellation token, checked with a stride.
+
+    One instance travels per work unit (picklable); ``checkpoint()`` is
+    the cheap per-tuple call (a counter decrement until the stride
+    elapses), ``check()`` the immediate one used at phase boundaries.
+    """
+
+    __slots__ = ("deadline", "token", "_countdown")
+
+    def __init__(
+        self,
+        deadline: QueryDeadline | None = None,
+        token: CancellationToken | None = None,
+    ):
+        self.deadline = deadline
+        self.token = token
+        self._countdown = CHECK_STRIDE
+
+    @property
+    def active(self) -> bool:
+        return self.deadline is not None or self.token is not None
+
+    def check(self) -> None:
+        """Check both limits immediately."""
+        if self.token is not None:
+            self.token.check()
+        if self.deadline is not None:
+            self.deadline.check()
+
+    def checkpoint(self) -> None:
+        """Strided check: every :data:`CHECK_STRIDE` calls does a real check."""
+        self._countdown -= 1
+        if self._countdown <= 0:
+            self._countdown = CHECK_STRIDE
+            self.check()
+
+    def remaining_seconds(self) -> float | None:
+        """Deadline slack right now (None without a deadline)."""
+        if self.deadline is None:
+            return None
+        return self.deadline.remaining()
+
+    def __getstate__(self):
+        return {"deadline": self.deadline, "token": self.token}
+
+    def __setstate__(self, state):
+        self.deadline = state["deadline"]
+        self.token = state["token"]
+        self._countdown = CHECK_STRIDE

@@ -46,6 +46,11 @@ from repro.algebra.operators import (
 from repro.algebra.plan import LogicalPlan
 from repro.algebra.rules.base import conjuncts, subtree_variables
 from repro.hyracks.aggregates import make_accumulators
+from repro.hyracks.spill import (
+    GROUP_ENTRY_BYTES as _GROUP_ENTRY_BYTES,
+    fold_group_lists,
+    fold_group_table,
+)
 from repro.hyracks.tuples import Tuple, extend_tuple, merge_tuples, sizeof_tuple
 from repro.jsonlib.items import (
     Item,
@@ -184,10 +189,13 @@ def _execute_datascan(op: DataScan, ctx: EvaluationContext) -> Iterator[Tuple]:
 
             counters = ScanCounters()
             attach_counters(counters)
+    limits = ctx.limits
     try:
         for item in ctx.source.scan_collection(
             op.collection, op.project_path, partition=ctx.partition
         ):
+            if limits is not None:
+                limits.checkpoint()
             scanned += 1
             if track:
                 scanned_bytes += sizeof_item(item)
@@ -238,7 +246,10 @@ def _execute_aggregate(
     op: Aggregate, source: Iterable[Tuple], ctx: EvaluationContext
 ) -> Iterator[Tuple]:
     accumulators = make_accumulators(op.specs)
+    limits = ctx.limits
     for tup in source:
+        if limits is not None:
+            limits.checkpoint()
         for accumulator in accumulators:
             accumulator.add(tup, ctx)
     yield {
@@ -298,53 +309,34 @@ def _execute_group_by(
     key_vars = [var for var, _ in op.keys]
 
     if incremental:
-        groups: dict = {}
-        for tup in source:
-            key_values = [expr.evaluate(tup, ctx) for expr in key_exprs]
-            key = tuple(canonical_key(v) for v in key_values)
-            state = groups.get(key)
-            if state is None:
-                state = (key_values, make_accumulators(nested.specs))
-                groups[key] = state
-                if ctx.memory is not None:
-                    ctx.charge(_GROUP_ENTRY_BYTES)
-            for accumulator in state[1]:
-                accumulator.add(tup, ctx)
+        groups = fold_group_table(key_exprs, nested.specs, source, ctx, op=op)
         if ctx.profile is not None:
             ctx.profile.add(op, "groups", len(groups))
-        for key_values, accumulators in groups.values():
-            out = dict(zip(key_vars, key_values))
-            for accumulator in accumulators:
-                out[accumulator.spec.variable] = accumulator.finish(ctx)
-            yield out
-        if ctx.memory is not None:
-            ctx.release(_GROUP_ENTRY_BYTES * len(groups))
+        try:
+            for key_values, accumulators in groups.values():
+                out = dict(zip(key_vars, key_values))
+                for accumulator in accumulators:
+                    out[accumulator.spec.variable] = accumulator.finish(ctx)
+                yield out
+        finally:
+            if ctx.memory is not None:
+                ctx.release(_GROUP_ENTRY_BYTES * len(groups))
         return
 
-    # General nested plans: materialize the group's tuples.
-    grouped: dict = {}
-    charged = 0
-    for tup in source:
-        key_values = [expr.evaluate(tup, ctx) for expr in key_exprs]
-        key = tuple(canonical_key(v) for v in key_values)
-        entry = grouped.setdefault(key, (key_values, []))
-        entry[1].append(tup)
-        if ctx.memory is not None:
-            n_bytes = sizeof_tuple(tup)
-            charged += n_bytes
-            ctx.charge(n_bytes)
-    if ctx.profile is not None:
-        ctx.profile.add(op, "groups", len(grouped))
-    for key_values, tuples in grouped.values():
+    # General nested plans: materialize the group's tuples (spilling the
+    # member lists to run files under budget pressure).
+    def finalize(key_values, tuples):
         bindings = execute_nested_plan(op.nested_root, tuples, ctx)
         out = dict(zip(key_vars, key_values))
         out.update(bindings)
-        yield out
-    if charged:
-        ctx.release(charged)
+        return out
 
-
-_GROUP_ENTRY_BYTES = 96
+    outputs, group_count = fold_group_lists(
+        key_exprs, source, ctx, finalize, op=op
+    )
+    if ctx.profile is not None:
+        ctx.profile.add(op, "groups", group_count)
+    yield from outputs
 
 
 def _execute_sort(
@@ -354,20 +346,30 @@ def _execute_sort(
 
     Descending keys are handled by sorting in passes from the least
     significant key to the most significant (stable sorts compose).
+    With a spill manager on the context the sort runs externally
+    (:func:`~repro.hyracks.spill.external_sort`), producing the exact
+    same order via composite keys with an arrival-sequence tie-break.
     """
+    if ctx.spill is not None and ctx.memory is not None:
+        from repro.hyracks.spill import external_sort
+
+        yield from external_sort(op.specs, source, ctx, op=op)
+        return
     tuples = list(source)
     charged = 0
-    if ctx.memory is not None:
-        charged = sum(sizeof_tuple(t) for t in tuples)
-        ctx.charge(charged)
-    for expression, descending in reversed(op.specs):
-        tuples.sort(
-            key=lambda tup: canonical_key(expression.evaluate(tup, ctx)),
-            reverse=descending,
-        )
-    yield from tuples
-    if charged:
-        ctx.release(charged)
+    try:
+        if ctx.memory is not None:
+            charged = sum(sizeof_tuple(t) for t in tuples)
+            ctx.charge(charged)
+        for expression, descending in reversed(op.specs):
+            tuples.sort(
+                key=lambda tup: canonical_key(expression.evaluate(tup, ctx)),
+                reverse=descending,
+            )
+        yield from tuples
+    finally:
+        if charged:
+            ctx.release(charged)
 
 
 def _execute_distribute(
@@ -432,7 +434,8 @@ def _execute_join(op: Join, ctx: EvaluationContext) -> Iterator[Tuple]:
         right_stream = ctx.profile.count_into(op, "build_tuples", right_stream)
     if left_keys:
         yield from hash_join(
-            left_stream, right_stream, left_keys, right_keys, residual, ctx
+            left_stream, right_stream, left_keys, right_keys, residual, ctx,
+            op=op,
         )
     else:
         yield from _nested_loop_join(left_stream, right_stream, op, ctx)
@@ -457,6 +460,7 @@ def hash_join(
     right_keys: list[Expression],
     residual: list[Expression],
     ctx: EvaluationContext,
+    op: Operator | None = None,
 ) -> Iterator[Tuple]:
     """Hash join: build on the right input, probe with the left.
 
@@ -465,31 +469,70 @@ def hash_join(
     with ``()`` is false), so such tuples are dropped on both sides
     instead of being hashed — two missing keys must not match each
     other.
+
+    When a spill manager is configured and the build side outgrows the
+    memory budget, the join hands off to
+    :func:`~repro.hyracks.spill.grace_join_overflow` (grace hash join),
+    which re-emits results in probe order so the output stays
+    byte-identical.
     """
+    limits = ctx.limits
     table: dict = {}
     charged = 0
-    for tup in right_stream:
-        key = join_key(tup, right_keys, ctx)
-        if key is None:
-            continue
-        table.setdefault(key, []).append(tup)
-        if ctx.memory is not None:
-            n_bytes = sizeof_tuple(tup)
-            charged += n_bytes
-            ctx.charge(n_bytes)
-    for tup in left_stream:
-        key = join_key(tup, left_keys, ctx)
-        if key is None:
-            continue
-        for match in table.get(key, ()):
-            joined = merge_tuples(tup, match)
-            if all(
-                effective_boolean_value(conjunct.evaluate(joined, ctx))
-                for conjunct in residual
-            ):
-                yield joined
-    if charged:
-        ctx.release(charged)
+    try:
+        build_iter = iter(right_stream)
+        for tup in build_iter:
+            if limits is not None:
+                limits.checkpoint()
+            key = join_key(tup, right_keys, ctx)
+            if key is None:
+                continue
+            if ctx.memory is not None:
+                n_bytes = sizeof_tuple(tup)
+                if ctx.spill is not None:
+                    if not ctx.memory.try_allocate(n_bytes):
+                        from repro.hyracks.spill import grace_join_overflow
+
+                        # The overflowing tuple joins the table uncharged;
+                        # the grace path writes the table out and releases
+                        # the accumulated charge itself.
+                        table.setdefault(key, []).append(tup)
+                        overflow = grace_join_overflow(
+                            table,
+                            charged,
+                            build_iter,
+                            right_keys,
+                            left_stream,
+                            left_keys,
+                            residual,
+                            ctx,
+                            op=op,
+                        )
+                        table = {}
+                        charged = 0
+                        yield from overflow
+                        return
+                    charged += n_bytes
+                else:
+                    ctx.charge(n_bytes)
+                    charged += n_bytes
+            table.setdefault(key, []).append(tup)
+        for tup in left_stream:
+            if limits is not None:
+                limits.checkpoint()
+            key = join_key(tup, left_keys, ctx)
+            if key is None:
+                continue
+            for match in table.get(key, ()):
+                joined = merge_tuples(tup, match)
+                if all(
+                    effective_boolean_value(conjunct.evaluate(joined, ctx))
+                    for conjunct in residual
+                ):
+                    yield joined
+    finally:
+        if charged:
+            ctx.release(charged)
 
 
 def _nested_loop_join(
@@ -498,18 +541,44 @@ def _nested_loop_join(
     op: Join,
     ctx: EvaluationContext,
 ) -> Iterator[Tuple]:
+    limits = ctx.limits
+    always_true = _is_always_true(op.condition)
+    if ctx.spill is not None and ctx.memory is not None:
+        from repro.hyracks.spill import SpilledSequence
+
+        right_seq = SpilledSequence(ctx, label="nljoin", op=op)
+        try:
+            for tup in right_stream:
+                if limits is not None:
+                    limits.checkpoint()
+                right_seq.append(tup, sizeof_tuple(tup))
+            for left_tuple in left_stream:
+                if limits is not None:
+                    limits.checkpoint()
+                for right_tuple in right_seq:
+                    joined = merge_tuples(left_tuple, right_tuple)
+                    if always_true or effective_boolean_value(
+                        op.condition.evaluate(joined, ctx)
+                    ):
+                        yield joined
+        finally:
+            right_seq.close()
+        return
     right = list(right_stream)
     charged = 0
-    if ctx.memory is not None:
-        charged = sum(sizeof_tuple(t) for t in right)
-        ctx.charge(charged)
-    always_true = _is_always_true(op.condition)
-    for left_tuple in left_stream:
-        for right_tuple in right:
-            joined = merge_tuples(left_tuple, right_tuple)
-            if always_true or effective_boolean_value(
-                op.condition.evaluate(joined, ctx)
-            ):
-                yield joined
-    if charged:
-        ctx.release(charged)
+    try:
+        if ctx.memory is not None:
+            charged = sum(sizeof_tuple(t) for t in right)
+            ctx.charge(charged)
+        for left_tuple in left_stream:
+            if limits is not None:
+                limits.checkpoint()
+            for right_tuple in right:
+                joined = merge_tuples(left_tuple, right_tuple)
+                if always_true or effective_boolean_value(
+                    op.condition.evaluate(joined, ctx)
+                ):
+                    yield joined
+    finally:
+        if charged:
+            ctx.release(charged)

@@ -43,7 +43,9 @@ class JsonProcessor:
     rewrite:
         Which rewrite-rule families to apply (default: all).
     memory_budget_bytes:
-        Optional per-plan-instance memory budget; exceeding it raises
+        Optional per-plan-instance memory budget.  With spilling on (the
+        default), blocking operators degrade to disk when the budget is
+        hit; with ``spill=False``, exceeding it raises
         :class:`~repro.errors.MemoryBudgetExceededError`.
     functions:
         Override the builtin scalar-function library.
@@ -64,6 +66,18 @@ class JsonProcessor:
         ``process`` runs partitions on real cores.
     max_workers:
         Worker cap for the named pooled backends (default: CPU count).
+    spill:
+        With a memory budget set, let blocking operators (GROUP-BY,
+        JOIN, ORDER-BY, sequence aggregates) spill to disk when the
+        budget is hit (the default) instead of raising.
+    spill_dir:
+        Root directory for spill run files (default: ``REPRO_SPILL_DIR``
+        or the system temp dir).
+    deadline_seconds:
+        Per-query deadline; a query running past it raises a
+        :class:`~repro.errors.QueryTimeoutError` and releases every
+        spill file on the way out.  ``None`` consults the
+        ``REPRO_DEADLINE`` environment variable.
     """
 
     def __init__(
@@ -76,6 +90,9 @@ class JsonProcessor:
         fault_plan: FaultPlan | None = None,
         backend=None,
         max_workers: int | None = None,
+        spill: bool = True,
+        spill_dir: str | None = None,
+        deadline_seconds: float | None = None,
     ):
         if fault_plan is not None:
             source = fault_plan.wrap(source)
@@ -89,6 +106,9 @@ class JsonProcessor:
             resilience=resilience,
             backend=backend,
             max_workers=max_workers,
+            spill=spill,
+            spill_dir=spill_dir,
+            deadline_seconds=deadline_seconds,
         )
 
     # -- constructors -----------------------------------------------------------
@@ -123,7 +143,7 @@ class JsonProcessor:
         """Compile *query* under this processor's rewrite configuration."""
         return compile_query(query, self.rewrite)
 
-    def execute(self, query: str, profile=None) -> QueryResult:
+    def execute(self, query: str, profile=None, cancellation=None) -> QueryResult:
         """Compile and run *query*; returns items plus measurements.
 
         *profile* enables operator-level profiling: ``True`` (wall
@@ -135,9 +155,18 @@ class JsonProcessor:
         :class:`~repro.observability.profile.QueryProfile` with the
         per-operator counters, timing spans, and the rewrite audit of
         this query's compilation.
+
+        *cancellation* is an optional
+        :class:`~repro.hyracks.limits.CancellationToken`; cancelling it
+        (from another thread, or through its filesystem flag) makes the
+        running query raise
+        :class:`~repro.errors.QueryCancelledError` at the next frame
+        boundary with all spill files and memory charges released.
         """
         compiled = self.compile(query)
-        result = self._executor.run(compiled.plan, profile=profile)
+        result = self._executor.run(
+            compiled.plan, profile=profile, cancellation=cancellation
+        )
         if result.profile is not None:
             result.profile.rewrite = compiled.audit
         return result

@@ -82,6 +82,16 @@ class CorruptionFault:
         return self.collection is None or self.collection == collection
 
 
+@dataclass
+class SpillFault:
+    """One partition's spill writes fail (transiently or permanently)."""
+
+    partition: int
+    permanent: bool
+    failures: int  # spill writes that fail (ignored when permanent)
+    message: str
+
+
 class FaultPlan:
     """A seeded schedule of faults to inject into a data source."""
 
@@ -89,6 +99,7 @@ class FaultPlan:
         self.seed = seed
         self._failures: list[PartitionFault] = []
         self._corruptions: list[CorruptionFault] = []
+        self._spill_faults: list[SpillFault] = []
         self._delays: dict[int, float] = {}
         self._attempts: dict[tuple[str, int], int] = {}
 
@@ -114,6 +125,28 @@ class FaultPlan:
                 times,
                 message,
             )
+        )
+        return self
+
+    def fail_spill(
+        self,
+        partition: int,
+        times: int = 1,
+        permanent: bool = False,
+        message: str | None = None,
+    ) -> "FaultPlan":
+        """Make *partition*'s first *times* spill writes raise (or all).
+
+        The error surfaces from the spilling operator's run-file write,
+        so a retrying resilience policy re-derives every run from the
+        source data on the next attempt — which is why spill runs are
+        safe to drop wholesale on failure.
+        """
+        if message is None:
+            kind = "permanent" if permanent else "transient"
+            message = f"injected {kind} spill-write fault on partition {partition}"
+        self._spill_faults.append(
+            SpillFault(partition, permanent, times, message)
         )
         return self
 
@@ -185,6 +218,23 @@ class FaultPlan:
                 return True
         return False
 
+    def spill_write_attempt(self, partition: int | None) -> None:
+        """Count one spill write on *partition*; raise if a fault is due."""
+        if partition is None or not self._spill_faults:
+            return
+        key = ("__spill__", partition)
+        attempt = self._attempts.get(key, 0) + 1
+        self._attempts[key] = attempt
+        for fault in self._spill_faults:
+            if fault.partition != partition:
+                continue
+            if fault.permanent:
+                raise PermanentFaultError(fault.message)
+            if attempt <= fault.failures:
+                raise TransientFaultError(
+                    f"{fault.message} (spill write {attempt} of {fault.failures})"
+                )
+
     def injected_delay(self, partition: int | None) -> float:
         """Straggler seconds charged to *partition* per attempt."""
         if partition is None:
@@ -242,6 +292,10 @@ class FaultInjectingSource:
 
     def injected_delay(self, partition: int | None) -> float:
         return self.plan.injected_delay(partition)
+
+    def check_spill_fault(self, partition: int | None) -> None:
+        """Spill-write hook: raise if the plan schedules a spill fault."""
+        self.plan.spill_write_attempt(partition)
 
     # -- DataSource protocol ----------------------------------------------------
 

@@ -55,6 +55,15 @@ class RetryEvent:
     message: str
 
 
+@dataclass(frozen=True)
+class CancellationEvent:
+    """A query-global limit (deadline or cancel) observed by a partition."""
+
+    partition: int
+    kind: str  # "timeout" | "cancelled"
+    message: str
+
+
 @dataclass
 class DegradationReport:
     """What a query execution skipped, retried, and survived."""
@@ -63,6 +72,7 @@ class DegradationReport:
     skipped_records: list[SkippedRecord] = field(default_factory=list)
     skipped_files: list[SkippedFile] = field(default_factory=list)
     retries: list[RetryEvent] = field(default_factory=list)
+    cancellations: list[CancellationEvent] = field(default_factory=list)
 
     def __post_init__(self):
         # Dedup keys: a retried partition attempt may re-skip the same
@@ -109,6 +119,20 @@ class DegradationReport:
         """Callback-shaped alias used by the jsonlib scanners."""
         self.record_skipped_record(source, offset, message)
 
+    def record_cancellation(self, partition: int, cause: Exception) -> None:
+        """Record a deadline/cancel observed while executing *partition*.
+
+        The query unwinds with an error rather than a result, but the
+        report (attached to the raised error as ``error.degradation``)
+        still says which partition hit the limit first.
+        """
+        from repro.errors import QueryTimeoutError
+
+        kind = "timeout" if isinstance(cause, QueryTimeoutError) else "cancelled"
+        self.cancellations.append(
+            CancellationEvent(partition, kind, str(cause))
+        )
+
     def absorb(self, other: "DegradationReport") -> None:
         """Merge *other*'s events into this report (coordinator-side).
 
@@ -128,6 +152,7 @@ class DegradationReport:
                 self._seen_files.add(skipped_file.file_path)
                 self.skipped_files.append(skipped_file)
         self.retries.extend(other.retries)
+        self.cancellations.extend(other.cancellations)
 
     # -- inspection -----------------------------------------------------------
 
@@ -169,6 +194,11 @@ class DegradationReport:
                 f"retried partition {retry.partition} (attempt {retry.attempt}, "
                 f"backoff {retry.backoff_seconds:.6f}s): {retry.message}"
             )
+        for cancel in self.cancellations:
+            lines.append(
+                f"partition {cancel.partition} hit a query limit "
+                f"({cancel.kind}): {cancel.message}"
+            )
         return lines
 
     def to_dict(self) -> dict:
@@ -179,4 +209,5 @@ class DegradationReport:
             "skipped_records": [asdict(s) for s in self.skipped_records],
             "skipped_files": [asdict(s) for s in self.skipped_files],
             "retries": [asdict(r) for r in self.retries],
+            "cancellations": [asdict(c) for c in self.cancellations],
         }

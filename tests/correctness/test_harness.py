@@ -154,6 +154,9 @@ class TestSmallMatrix:
     def test_runs_clean(self, tmp_path):
         report = run_diffcheck(seed=0, budget="small")
         assert report.ok, [m.to_dict() for m in report.mismatches]
-        assert report.paper_cells == 180  # 5 queries x 6 x 3 x 2
+        # 5 queries x (6 toggles x 3 backends x 2 projections + 3
+        # forced-spill cells)
+        assert report.paper_cells == 195
         assert report.generated_cases == BUDGETS["small"][0]
-        assert report.generated_cells == report.generated_cases * 7
+        # 6 toggles + 1 rotating cell + 1 rotating forced-spill cell
+        assert report.generated_cells == report.generated_cases * 8

@@ -1,0 +1,320 @@
+"""Spill-to-disk execution: run files, spilling operators, byte-identity.
+
+Every test that spills runs inside the ``spill_root`` fixture, which
+fails the test if any temp file survives — the leak check the issue's
+cancellation-safety contract demands.
+"""
+
+import json
+import os
+import pickle
+
+import pytest
+
+from repro.errors import MemoryBudgetExceededError
+from repro.algebra.context import EvaluationContext
+from repro.algebra.rules import RewriteConfig
+from repro.compiler.pipeline import compile_query
+from repro.data.catalog import InMemorySource
+from repro.hyracks.executor import ExecutionStats, PartitionedExecutor
+from repro.hyracks.memory import MemoryTracker
+from repro.hyracks.spill import (
+    SpillConfig,
+    SpilledSequence,
+    SpillManager,
+    estimate_record_bytes,
+    external_sort,
+    resolve_spill_config,
+    stable_bucket,
+)
+
+
+def make_source(records_per_partition: int = 120, partitions: int = 2):
+    """An InMemorySource with enough rows to overflow small budgets."""
+    texts = []
+    for p in range(partitions):
+        rows = [
+            {
+                "date": f"d{(p * records_per_partition + i) % 17}",
+                "dataType": "TMIN" if i % 2 == 0 else "TMAX",
+                "station": f"S{i % 5}",
+                "value": (i * 13 + p * 7) % 101,
+            }
+            for i in range(records_per_partition)
+        ]
+        texts.append(json.dumps({"root": [{"results": rows}]}))
+    return InMemorySource(collections={"/s": [[t] for t in texts]})
+
+
+GROUP_QUERY = (
+    'for $r in collection("/s")("root")()("results")() '
+    'group by $d := $r("date") return count($r("station"))'
+)
+GROUP_GENERAL_QUERY = (
+    'for $r in collection("/s")("root")()("results")() '
+    'group by $d := $r("date") '
+    'return sum(for $i in $r return $i("value")) + count($r)'
+)
+SORT_QUERY = (
+    'for $r in collection("/s")("root")()("results")() '
+    'order by $r("value") descending, $r("station") return $r("value")'
+)
+JOIN_QUERY = (
+    "avg( "
+    'for $a in collection("/s")("root")()("results")() '
+    'for $b in collection("/s")("root")()("results")() '
+    'where $a("station") eq $b("station") and $a("date") eq $b("date") '
+    'and $a("dataType") eq "TMIN" and $b("dataType") eq "TMAX" '
+    'return $b("value") - $a("value") )'
+)
+
+
+@pytest.fixture
+def spill_root(tmp_path):
+    """Spill directory that must be empty once the test finishes."""
+    root = tmp_path / "spill"
+    root.mkdir()
+    yield str(root)
+    assert os.listdir(str(root)) == [], "spill run files leaked"
+
+
+def run(source, query, spill_root=None, **kwargs):
+    config = RewriteConfig.all()
+    executor = PartitionedExecutor(
+        source, spill_dir=spill_root, **kwargs
+    )
+    return executor.run(compile_query(query, config).plan)
+
+
+class TestStableBucket:
+    def test_deterministic(self):
+        assert stable_bucket(("a", 1), 8) == stable_bucket(("a", 1), 8)
+
+    def test_salt_decorrelates(self):
+        keys = [(f"k{i}",) for i in range(64)]
+        plain = [stable_bucket(k, 8) for k in keys]
+        salted = [stable_bucket(k, 8, salt=3) for k in keys]
+        assert plain != salted
+
+    def test_within_range(self):
+        for i in range(100):
+            assert 0 <= stable_bucket((i,), 7) < 7
+
+
+class TestEstimateRecordBytes:
+    def test_scales_with_content(self):
+        small = estimate_record_bytes(("k", [1, 2]))
+        large = estimate_record_bytes(("k" * 100, list(range(50))))
+        assert large > small > 0
+
+    def test_handles_non_items(self):
+        class Opaque:
+            pass
+
+        assert estimate_record_bytes({"x": Opaque()}) > 0
+
+
+class TestRunFiles:
+    def test_roundtrip_preserves_order_and_values(self, spill_root):
+        manager = SpillManager(SpillConfig(directory=spill_root))
+        records = [("key", i, {"v": [i]}) for i in range(500)]
+        writer = manager.new_run("test")
+        for record in records:
+            writer.write(record)
+        handle = writer.finish()
+        assert list(handle) == records
+        assert handle.records == len(records)
+        assert handle.byte_size > 0
+        manager.close()
+
+    def test_deterministic_run_names(self, spill_root):
+        manager = SpillManager(SpillConfig(directory=spill_root), partition=3)
+        w1 = manager.new_run("sort")
+        w2 = manager.new_run("group-b0")
+        assert os.path.basename(w1._path) == "run-000001-sort.frames"
+        assert os.path.basename(w2._path) == "run-000002-group-b0.frames"
+        assert "repro-spill-p3-" in manager.directory
+        manager.close()
+
+    def test_close_removes_everything_even_unfinished(self, spill_root):
+        manager = SpillManager(SpillConfig(directory=spill_root))
+        writer = manager.new_run()
+        writer.write(("unfinished", 1))
+        assert manager.directory is not None
+        manager.close()
+        assert manager.directory is None
+        # close is idempotent
+        manager.close()
+
+    def test_fold_stats(self, spill_root):
+        manager = SpillManager(SpillConfig(directory=spill_root))
+        manager.note_event()
+        manager.note_recursion(4)
+        writer = manager.new_run()
+        writer.write((1,))
+        writer.finish()
+        stats = ExecutionStats()
+        manager.fold_stats(stats)
+        assert stats.spill_events == 1
+        assert stats.spill_run_files == 1
+        assert stats.spill_bytes > 0
+        assert stats.spill_recursion_depth == 4
+        manager.close()
+
+
+class TestSpilledSequence:
+    def test_iteration_is_append_order(self, spill_root):
+        tracker = MemoryTracker(budget=256)
+        with SpillManager(SpillConfig(directory=spill_root)) as manager:
+            ctx = EvaluationContext(memory=tracker, spill=manager)
+            seq = SpilledSequence(ctx, label="t")
+            for i in range(100):
+                seq.append(i, 64)
+            assert seq.spilled
+            assert list(seq) == list(range(100))
+            assert list(seq) == list(range(100))  # re-iterable
+            seq.close()
+            assert tracker.used == 0
+
+    def test_without_spill_manager_raises(self):
+        tracker = MemoryTracker(budget=256)
+        ctx = EvaluationContext(memory=tracker)
+        seq = SpilledSequence(ctx, label="t")
+        with pytest.raises(MemoryBudgetExceededError):
+            for i in range(100):
+                seq.append(i, 64)
+
+
+class TestExternalSort:
+    def test_matches_in_memory_sort(self, spill_root):
+        tuples = [
+            {"v": [(i * 37) % 50], "s": [f"s{i % 3}"]} for i in range(200)
+        ]
+
+        class Expr:
+            def __init__(self, var):
+                self.var = var
+
+            def evaluate(self, tup, ctx):
+                return tup[self.var]
+
+        specs = [(Expr("v"), True), (Expr("s"), False)]
+        plain_ctx = EvaluationContext()
+        expected = list(external_sort(specs, iter(tuples), plain_ctx))
+        tracker = MemoryTracker(budget=512)
+        with SpillManager(SpillConfig(directory=spill_root)) as manager:
+            ctx = EvaluationContext(memory=tracker, spill=manager)
+            got = list(external_sort(specs, iter(tuples), ctx))
+            assert manager.events > 0
+        assert got == expected
+        assert tracker.used == 0
+
+
+class TestQueryLevelByteIdentity:
+    """Tiny budgets force spilling; results must match unlimited runs."""
+
+    @pytest.mark.parametrize(
+        "query",
+        [GROUP_QUERY, GROUP_GENERAL_QUERY, SORT_QUERY, JOIN_QUERY],
+        ids=["group-incremental", "group-general", "order-by", "join"],
+    )
+    def test_spilled_equals_unlimited(self, spill_root, query):
+        source = make_source()
+        unlimited = run(source, query)
+        spilled = run(
+            source, query, spill_root=spill_root, memory_budget_bytes=512
+        )
+        assert spilled.items == unlimited.items
+        assert spilled.stats.spill_events > 0
+        assert spilled.stats.spill_run_files > 0
+        assert spilled.stats.spill_bytes > 0
+
+    def test_spill_disabled_keeps_raising(self, spill_root):
+        from repro.errors import PartitionExecutionError
+
+        source = make_source()
+        # fail_fast wraps the partition's budget overflow, naming it.
+        with pytest.raises(PartitionExecutionError) as exc_info:
+            run(
+                source,
+                GROUP_QUERY,
+                spill_root=spill_root,
+                memory_budget_bytes=512,
+                spill=False,
+            )
+        assert isinstance(exc_info.value.__cause__, MemoryBudgetExceededError)
+
+    def test_budget_without_spill_need_never_spills(self, spill_root):
+        source = make_source(records_per_partition=10)
+        result = run(
+            source,
+            GROUP_QUERY,
+            spill_root=spill_root,
+            memory_budget_bytes=10_000_000,
+        )
+        assert result.stats.spill_events == 0
+        assert result.stats.spill_run_files == 0
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_parallel_backends_match(self, spill_root, backend):
+        source = make_source()
+        unlimited = run(source, GROUP_QUERY)
+        executor = PartitionedExecutor(
+            source,
+            memory_budget_bytes=512,
+            spill_dir=spill_root,
+            backend=backend,
+            max_workers=2,
+        )
+        try:
+            spilled = executor.run(
+                compile_query(GROUP_QUERY, RewriteConfig.all()).plan
+            )
+        finally:
+            executor.close()
+        assert spilled.items == unlimited.items
+        assert spilled.stats.spill_events > 0
+
+
+class TestSpillConfig:
+    def test_resolve_passthrough(self):
+        config = SpillConfig(directory="/x", fanout=4)
+        assert resolve_spill_config(config) is config
+        assert resolve_spill_config("/y").directory == "/y"
+
+    def test_env_var_default(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_SPILL_DIR", str(tmp_path))
+        assert SpillConfig().root_directory() == str(tmp_path)
+        monkeypatch.delenv("REPRO_SPILL_DIR")
+        assert SpillConfig().root_directory()  # system tmp
+
+    def test_config_is_picklable(self):
+        config = SpillConfig(directory="/x", fanout=4, max_recursion=3)
+        assert pickle.loads(pickle.dumps(config)) == config
+
+
+class TestTrackerDisciplines:
+    def test_try_allocate_declines_without_charging(self):
+        tracker = MemoryTracker(budget=100)
+        assert tracker.try_allocate(60)
+        assert not tracker.try_allocate(60)
+        assert tracker.used == 60
+
+    def test_force_allocate_records_overdraft(self):
+        tracker = MemoryTracker(budget=100)
+        tracker.force_allocate(150)
+        assert tracker.used == 150
+        assert tracker.overdraft_bytes == 50
+
+    def test_release_flags_underflow(self):
+        tracker = MemoryTracker()
+        tracker.allocate(10)
+        tracker.release(25)
+        assert tracker.used == 0
+        assert tracker.has_underflow
+        assert tracker.underflow_bytes == 15
+
+    def test_unbudgeted_try_allocate_always_succeeds(self):
+        tracker = MemoryTracker()
+        assert tracker.try_allocate(10**9)
+        assert tracker.overdraft_bytes == 0

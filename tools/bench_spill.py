@@ -1,0 +1,152 @@
+#!/usr/bin/env python
+"""Benchmark bounded-memory (spill-to-disk) execution on the paper's queries.
+
+Generates a synthetic partitioned sensor collection, runs every paper
+query unlimited to measure its peak memory, then re-runs it under a
+memory budget that is a fraction of that peak, forcing the blocking
+operators (GROUP-BY, JOIN, ORDER-BY) through their spill paths.  Every
+bounded run's items are checked identical to the unlimited run's before
+anything is reported — spilling must never change an answer.  Writes
+``BENCH_spill.json``: per query and backend, the unlimited peak, the
+budget, the bounded peak/overhead, and the spill counters (events, run
+files, bytes, recursion depth).
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_spill.py \
+        [--out BENCH_spill.json] [--partitions 4] [--mib-per-partition 2] \
+        [--budget-fraction 0.125] [--backends sequential,process]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+
+from repro import JsonProcessor, SensorDataConfig, write_sensor_collection
+from repro.bench.queries import ALL_QUERIES
+
+#: floor below which a fractional budget would sit under the irreducible
+#: per-operator state (one group entry, one tuple) on tiny datasets
+MIN_BUDGET_BYTES = 4096
+
+
+def bench_query(
+    base_dir: str,
+    spill_dir: str,
+    query: str,
+    backends: list[str],
+    budget_fraction: float,
+) -> dict:
+    """Unlimited vs bounded runs of one query across *backends*."""
+    with JsonProcessor.from_directory(base_dir) as processor:
+        unlimited = processor.execute(query)
+    budget = max(
+        MIN_BUDGET_BYTES, int(unlimited.peak_memory_bytes * budget_fraction)
+    )
+    entry: dict = {
+        "unlimited_peak_bytes": unlimited.peak_memory_bytes,
+        "budget_bytes": budget,
+        "strategy": unlimited.strategy,
+        "backends": {},
+    }
+    for backend in backends:
+        with JsonProcessor.from_directory(
+            base_dir,
+            backend=backend,
+            memory_budget_bytes=budget,
+            spill_dir=spill_dir,
+        ) as processor:
+            bounded = processor.execute(query)
+        if bounded.items != unlimited.items:
+            raise SystemExit(
+                f"bounded run ({backend}) items differ from unlimited"
+            )
+        leftovers = os.listdir(spill_dir)
+        if leftovers:
+            raise SystemExit(
+                f"bounded run ({backend}) leaked spill files: {leftovers}"
+            )
+        entry["backends"][backend] = {
+            "identical_items": True,
+            "bounded_peak_bytes": bounded.peak_memory_bytes,
+            "wall_seconds": bounded.wall_seconds,
+            "spill_events": bounded.stats.spill_events,
+            "spill_run_files": bounded.stats.spill_run_files,
+            "spill_bytes": bounded.stats.spill_bytes,
+            "spill_recursion_depth": bounded.stats.spill_recursion_depth,
+        }
+    return entry
+
+
+def run(args: argparse.Namespace) -> dict:
+    report: dict = {
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "config": {
+            "partitions": args.partitions,
+            "bytes_per_partition": args.mib_per_partition << 20,
+            "budget_fraction": args.budget_fraction,
+            "backends": args.backends,
+        },
+        "queries": {},
+    }
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as base_dir, \
+            tempfile.TemporaryDirectory(prefix="repro-spill-") as spill_dir:
+        write_sensor_collection(
+            base_dir,
+            "sensors",
+            partitions=args.partitions,
+            bytes_per_partition=args.mib_per_partition << 20,
+            config=SensorDataConfig(seed=args.seed),
+        )
+        for name, make_query in ALL_QUERIES.items():
+            query = make_query("/sensors")
+            entry = bench_query(
+                base_dir, spill_dir, query, args.backends,
+                args.budget_fraction,
+            )
+            report["queries"][name] = entry
+            counters = entry["backends"][args.backends[0]]
+            print(
+                f"{name}: unlimited peak {entry['unlimited_peak_bytes']}B, "
+                f"budget {entry['budget_bytes']}B -> "
+                f"bounded peak {counters['bounded_peak_bytes']}B, "
+                f"{counters['spill_events']} spill events, "
+                f"{counters['spill_run_files']} runs, "
+                f"{counters['spill_bytes']}B spilled"
+            )
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[1])
+    parser.add_argument("--out", default="BENCH_spill.json")
+    parser.add_argument("--partitions", type=int, default=4)
+    parser.add_argument("--mib-per-partition", type=int, default=2)
+    parser.add_argument("--budget-fraction", type=float, default=0.125)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--backends",
+        default="sequential,process",
+        help="comma-separated backends to run bounded",
+    )
+    args = parser.parse_args(argv)
+    args.backends = [b.strip() for b in args.backends.split(",") if b.strip()]
+    report = run(args)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
