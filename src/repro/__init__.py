@@ -33,10 +33,13 @@ from repro.compiler.pipeline import CompiledQuery, compile_query
 from repro.data.catalog import CollectionCatalog, InMemorySource
 from repro.data.generator import SensorDataConfig, write_sensor_collection
 from repro.errors import (
+    BackendError,
     QueryCancelledError,
     QueryTimeoutError,
+    RecoveryExhaustedError,
     ReproError,
     SpillError,
+    WorkerCrashError,
 )
 from repro.hyracks.backends import (
     ProcessBackend,
@@ -56,6 +59,7 @@ from repro.processor import JsonProcessor
 from repro.resilience import (
     DegradationReport,
     FaultPlan,
+    RecoveryPolicy,
     ResilienceConfig,
     RetryPolicy,
 )
@@ -63,6 +67,7 @@ from repro.resilience import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "BackendError",
     "CancellationToken",
     "ClusterSpec",
     "CollectionCatalog",
@@ -79,6 +84,8 @@ __all__ = [
     "QueryProfile",
     "QueryResult",
     "QueryTimeoutError",
+    "RecoveryExhaustedError",
+    "RecoveryPolicy",
     "ReproError",
     "ResilienceConfig",
     "RetryPolicy",
@@ -88,6 +95,7 @@ __all__ = [
     "SequentialBackend",
     "SpillError",
     "ThreadBackend",
+    "WorkerCrashError",
     "compile_query",
     "write_sensor_collection",
     "__version__",

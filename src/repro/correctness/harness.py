@@ -10,6 +10,9 @@ Runs each query through the full matrix of
   navigate — the definitional semantics),
 - bounded memory (a :data:`SPILL_BUDGET_BYTES` budget tiny enough to
   force the blocking operators through their spill-to-disk paths),
+- injected worker crashes (a :class:`~repro.resilience.faults.FaultPlan`
+  kill schedule that forces the worker-loss recovery path, paper
+  queries only),
 
 and asserts that every cell's result is canonically equal to an
 independent oracle.  The grouped queries' output order is genuinely
@@ -48,6 +51,7 @@ from repro.jsonlib.items import canonical_item
 from repro.jsonlib.parser import parse_many
 from repro.jsonlib.path import navigate_sequence
 from repro.processor import JsonProcessor
+from repro.resilience.faults import FaultPlan
 
 BACKEND_NAMES = ("sequential", "thread", "process")
 PROJECTION_MODES = ("projected", "eager")
@@ -148,6 +152,8 @@ class Mismatch:
     detail: str
     #: True when the cell ran under the forced-spill memory budget
     spill: bool = False
+    #: True when the cell ran with an injected worker crash
+    crash: bool = False
     #: minimized repro (shrunk partitions + query), when available
     repro_query: str | None = None
     repro_partitions: list | None = None
@@ -159,6 +165,7 @@ class Mismatch:
             "backend": self.backend,
             "projection": self.projection,
             "spill": self.spill,
+            "crash": self.crash,
             "kind": self.kind,
             "detail": self.detail,
             "repro_query": self.repro_query,
@@ -234,6 +241,7 @@ class _MatrixRunner:
         backend_name: str,
         projection: str,
         memory_budget: int | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> list:
         if projection == "eager":
             source = EagerNavigationSource(source)
@@ -243,6 +251,7 @@ class _MatrixRunner:
             backend=self._backends[backend_name],
             memory_budget_bytes=memory_budget,
             spill_dir=self._spill_dir,
+            fault_plan=fault_plan,
         )
         return processor.evaluate(query_text)
 
@@ -265,6 +274,7 @@ def _check_cell(
     backend_name: str,
     projection: str,
     memory_budget: int | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> Mismatch | None:
     try:
         got = runner.run(
@@ -274,6 +284,7 @@ def _check_cell(
             backend_name,
             projection,
             memory_budget=memory_budget,
+            fault_plan=fault_plan,
         )
     except ReproError as error:
         return Mismatch(
@@ -282,6 +293,7 @@ def _check_cell(
             backend=backend_name,
             projection=projection,
             spill=memory_budget is not None,
+            crash=fault_plan is not None,
             kind="error",
             detail=f"{type(error).__name__}: {error}",
         )
@@ -293,6 +305,7 @@ def _check_cell(
             backend=backend_name,
             projection=projection,
             spill=memory_budget is not None,
+            crash=fault_plan is not None,
             kind="mismatch",
             detail=(
                 f"expected {len(expected)} canonical items, "
@@ -469,7 +482,10 @@ def run_diffcheck(
 
     The five paper queries get every (toggle × backend × projection)
     cell plus one forced-spill cell per backend (all-rules, projected,
-    a :data:`SPILL_BUDGET_BYTES` budget).  Generated pairs check every
+    a :data:`SPILL_BUDGET_BYTES` budget) plus one crash-injected cell
+    per backend (all-rules, projected, the first partition's worker
+    killed on attempt 1 — recovery must still match the oracle
+    bit-for-bit).  Generated pairs check every
     rewrite toggle on the (sequential, projected) cell, plus one
     rotating (backend, projection) cell under the all-rules config, and
     one rotating forced-spill cell, so the whole axis stays covered
@@ -514,6 +530,21 @@ def _run_paper_queries(runner, report, seed, data_config, queries, progress):
                 runner, report, source, name, query_text, expected,
                 "all", backend_name, "projected",
                 memory_budget=SPILL_BUDGET_BYTES,
+            )
+            report.paper_cells += 1
+            if mismatch is not None:
+                report.mismatches.append(mismatch)
+        # Crash-injected cells: the same query with the first
+        # partition's worker killed on its first attempt.  Recovery
+        # must reschedule the unit and produce the oracle result
+        # bit-for-bit on every backend (a real ``os._exit`` under the
+        # process backend, simulated crashes elsewhere).
+        crash_plan = FaultPlan().kill_worker(0, attempt=1)
+        for backend_name in BACKEND_NAMES:
+            mismatch = _check_cell(
+                runner, report, source, name, query_text, expected,
+                "all", backend_name, "projected",
+                fault_plan=crash_plan,
             )
             report.paper_cells += 1
             if mismatch is not None:

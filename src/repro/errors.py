@@ -283,6 +283,87 @@ class PartitionExecutionError(_PickleByInitArgs, RuntimeExecutionError):
         self.__cause__ = cause
 
 
+class BackendError(_PickleByInitArgs, RuntimeExecutionError):
+    """A backend could not execute (or ship) a partition work unit.
+
+    Carries the partition ids that failed and how many attempts each
+    consumed (empty when the failure happened before any partition ran,
+    e.g. an unpicklable work unit).  ``cause`` is restored as
+    ``__cause__`` inside ``__init__`` so the chain survives the
+    ``_PickleByInitArgs`` round-trip through a process-pool worker.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        partitions: tuple[int, ...] = (),
+        attempts: tuple[int, ...] = (),
+        cause: Exception | None = None,
+    ):
+        self._init_args = (message, tuple(partitions), tuple(attempts), cause)
+        super().__init__(message)
+        self.partitions = tuple(partitions)
+        self.attempts = tuple(attempts)
+        if cause is not None:
+            self.__cause__ = cause
+
+
+class WorkerCrashError(_PickleByInitArgs, RuntimeExecutionError):
+    """A worker died (for real or by injection) while executing a partition.
+
+    Under the process backend an injected kill calls ``os._exit`` and
+    the coordinator observes ``BrokenProcessPool``; under the thread and
+    sequential backends the same fault raises this error instead, so the
+    recovery layer sees an identical signal on every backend.  Not
+    retryable by the *partition* policies — worker loss is handled by
+    the recovery layer, not by the in-worker retry loop.
+    """
+
+    retryable = False
+
+    def __init__(self, partition: int, attempt: int, message: str = ""):
+        self._init_args = (partition, attempt, message)
+        text = f"worker executing partition {partition} died (attempt {attempt})"
+        if message:
+            text += f": {message}"
+        super().__init__(text)
+        self.partition = partition
+        self.attempt = attempt
+        self.detail = message
+
+
+class RecoveryExhaustedError(BackendError):
+    """A partition kept killing its worker until the attempt budget ran out.
+
+    The recovery layer reschedules a crashed partition up to
+    ``RecoveryPolicy.max_unit_attempts`` times; a deterministically
+    crashing partition escalates here instead of looping forever.
+    """
+
+    def __init__(
+        self,
+        partitions: tuple[int, ...],
+        attempts: tuple[int, ...],
+        backend: str = "",
+        cause: Exception | None = None,
+    ):
+        partitions = tuple(partitions)
+        attempts = tuple(attempts)
+        where = f" on the {backend} backend" if backend else ""
+        detail = ", ".join(
+            f"partition {p} ({a} attempt(s))"
+            for p, a in zip(partitions, attempts)
+        )
+        super().__init__(
+            f"worker recovery exhausted{where}: {detail or 'no partitions'}",
+            partitions=partitions,
+            attempts=attempts,
+            cause=cause,
+        )
+        self._init_args = (partitions, attempts, backend, cause)
+        self.backend = backend
+
+
 # ---------------------------------------------------------------------------
 # Baseline engines
 # ---------------------------------------------------------------------------

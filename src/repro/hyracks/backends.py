@@ -24,6 +24,17 @@ comes back as a :class:`PartitionOutcome` carrying that partition's own
 byte-identical across all three backends — including under injected
 faults, retries, and ``skip_partition`` degradation.
 
+Worker *loss* is handled one layer up, in
+:mod:`~repro.hyracks.recovery`: when a
+:class:`~repro.resilience.policies.RecoveryPolicy` is enabled (the
+default), a dead process-pool worker no longer aborts the query — the
+pool is rebuilt, only unfinished units are rescheduled (with a bounded
+attempt budget), repeated loss steps the backend down the
+process→thread→sequential ladder, and a watchdog launches speculative
+duplicates for stragglers.  With recovery disabled, the pre-recovery
+behaviour returns: ``BrokenProcessPool`` becomes a terminal
+:class:`~repro.errors.BackendError`.
+
 Two behavioural fine points:
 
 - ``fail_fast`` errors are *returned* in the outcome rather than raised
@@ -45,12 +56,13 @@ import time
 from dataclasses import dataclass, field
 
 from repro.errors import (
+    BackendError,
     FileScanError,
     PartitionExecutionError,
     QueryCancelledError,
     QueryTimeoutError,
     ReproError,
-    RuntimeExecutionError,
+    WorkerCrashError,
 )
 from repro.algebra.context import EvaluationContext
 from repro.algebra.operators import Aggregate, DataScan, GroupBy, Join, Operator
@@ -65,11 +77,18 @@ from repro.hyracks.operators import (
     run_chain,
     run_plan,
 )
+from repro.hyracks.recovery import (
+    mark_pool_worker,
+    recovery_policy_for,
+    run_unit_with_crash_retry,
+    run_units_with_recovery,
+    simulate_worker_kill,
+)
 from repro.hyracks.spill import stable_bucket
 
-
-class BackendError(RuntimeExecutionError):
-    """A backend could not execute (or ship) a partition work unit."""
+# BackendError and WorkerCrashError live in repro.errors with the rest of
+# the hierarchy; imported (not just used) here because this module is
+# their historical home and callers import them from it.
 
 
 # ---------------------------------------------------------------------------
@@ -268,6 +287,15 @@ class WorkUnit:
     spill: object = None
     #: ExecutionLimits (deadline + cancellation token), or None.
     limits: object = None
+    #: Unit-level attempts already consumed by crashed workers.  The
+    #: recovery layer bumps this when it reschedules a crashed unit, so
+    #: kill/stall faults keyed on the global attempt number
+    #: (offset + in-worker attempt) fire exactly once even though a
+    #: fresh worker process holds fresh copies of everything.
+    attempt_offset: int = 0
+    #: Directory where a worker dying to an injected kill drops its
+    #: crash sentinel (set by the recovery layer, None otherwise).
+    crash_log_dir: str | None = None
 
 
 @dataclass
@@ -351,9 +379,24 @@ def execute_work_unit(unit: WorkUnit) -> PartitionOutcome:
     attempts = 0
     collector = None
     spill_hook = getattr(source, "check_spill_fault", None)
+    kill_hook = getattr(source, "check_worker_kill", None)
+    stall_hook = getattr(source, "injected_stall", None)
     try:
         while True:
             attempts += 1
+            # Crash/stall faults key on the unit-level attempt (offset +
+            # in-worker attempt) and run *outside* the try below: an
+            # injected worker death must reach the recovery layer, not
+            # the partition retry policy.
+            unit_attempt = unit.attempt_offset + attempts
+            if kill_hook is not None:
+                kill_message = kill_hook(unit.partition, unit_attempt)
+                if kill_message is not None:
+                    simulate_worker_kill(unit, unit_attempt, kill_message)
+            if stall_hook is not None:
+                stall = stall_hook(unit.partition, unit_attempt)
+                if stall > 0:
+                    time.sleep(stall)
             memory = MemoryTracker(unit.memory_budget, context="query execution")
             if unit.profile is not None:
                 # A fresh collector per attempt (like the fresh memory
@@ -498,6 +541,7 @@ def _snapshot(collector) -> dict | None:
 
 def _run_pickled_unit(blob: bytes) -> PartitionOutcome:
     """Process-pool entry point: unpickle and execute a work unit."""
+    mark_pool_worker()
     return execute_work_unit(pickle.loads(blob))
 
 
@@ -506,13 +550,34 @@ def _run_pickled_unit(blob: bytes) -> PartitionOutcome:
 # ---------------------------------------------------------------------------
 
 
+def _await_settled(futures) -> None:
+    """Block until every non-cancelled future in *futures* has finished."""
+    from concurrent.futures import wait as _wait
+
+    pending = [future for future in futures if not future.cancelled()]
+    if pending:
+        _wait(pending)
+
+
 class ExecutionBackend:
     """Interface: execute work units, yield outcomes in submission order."""
 
     name = "abstract"
 
+    def __init__(self):
+        #: RecoveryEvents accumulated by the crash-recovery layer while
+        #: running units; the executor drains them into the query's
+        #: stats and degradation report after each map phase.
+        self._recovery_events: list = []
+
     def run_units(self, units: list[WorkUnit]):
         raise NotImplementedError
+
+    def drain_recovery_events(self) -> list:
+        """Return and clear the recovery events of the last run."""
+        events = list(self._recovery_events)
+        self._recovery_events.clear()
+        return events
 
     def close(self) -> None:
         """Release pooled workers (no-op for poolless backends)."""
@@ -530,17 +595,23 @@ class SequentialBackend(ExecutionBackend):
 
     Lazily yields outcomes, so a ``fail_fast`` error on partition *i*
     means partitions *i+1..n* never execute — exactly the pre-backend
-    behaviour.
+    behaviour.  Injected worker kills are absorbed by the same
+    crash-retry loop the pooled backends use, so recovery semantics
+    (attempt budget, worker-loss events) match across backends.
     """
 
     name = "sequential"
 
     def __init__(self, max_workers: int | None = None):
+        super().__init__()
         del max_workers  # accepted for interface symmetry
 
     def run_units(self, units: list[WorkUnit]):
         for unit in units:
-            yield execute_work_unit(unit)
+            policy = getattr(unit.resilience, "recovery", None)
+            yield run_unit_with_crash_retry(
+                unit, policy, self._recovery_events
+            )
 
 
 class ThreadBackend(ExecutionBackend):
@@ -554,7 +625,11 @@ class ThreadBackend(ExecutionBackend):
 
     name = "thread"
 
+    #: ladder the recovery engine walks after repeated worker loss
+    recovery_tiers = ("thread", "sequential")
+
     def __init__(self, max_workers: int | None = None):
+        super().__init__()
         self._max_workers = max_workers or os.cpu_count() or 1
         self._pool = None
 
@@ -572,7 +647,20 @@ class ThreadBackend(ExecutionBackend):
         units = list(units)
         if len(units) <= 1 or self._max_workers <= 1:
             for unit in units:
-                yield execute_work_unit(unit)
+                policy = getattr(unit.resilience, "recovery", None)
+                yield run_unit_with_crash_retry(
+                    unit, policy, self._recovery_events
+                )
+            return
+        policy = recovery_policy_for(units)
+        if policy is not None and policy.enabled:
+            yield from run_units_with_recovery(
+                units,
+                host=self,
+                tiers=self.recovery_tiers,
+                max_workers=self._max_workers,
+                events=self._recovery_events,
+            )
             return
         pool = self._ensure_pool()
         futures = [pool.submit(execute_work_unit, unit) for unit in units]
@@ -580,8 +668,12 @@ class ThreadBackend(ExecutionBackend):
             for future in futures:
                 yield future.result()
         finally:
+            # Deterministic cleanup: cancel what never started, then
+            # wait out what did, so no orphaned partition work (or its
+            # thread-local report attachment) outlives the query.
             for future in futures:
                 future.cancel()
+            _await_settled(futures)
 
     def close(self) -> None:
         if self._pool is not None:
@@ -600,7 +692,11 @@ class ProcessBackend(ExecutionBackend):
 
     name = "process"
 
+    #: ladder the recovery engine walks after repeated pool loss
+    recovery_tiers = ("process", "thread", "sequential")
+
     def __init__(self, max_workers: int | None = None):
+        super().__init__()
         self._max_workers = max_workers or os.cpu_count() or 1
         self._pool = None
 
@@ -620,6 +716,16 @@ class ProcessBackend(ExecutionBackend):
 
     def run_units(self, units: list[WorkUnit]):
         units = list(units)
+        policy = recovery_policy_for(units)
+        if policy is not None and policy.enabled:
+            yield from run_units_with_recovery(
+                units,
+                host=self,
+                tiers=self.recovery_tiers,
+                max_workers=self._max_workers,
+                events=self._recovery_events,
+            )
+            return
         blobs = []
         for unit in units:
             try:
@@ -629,7 +735,8 @@ class ProcessBackend(ExecutionBackend):
                     f"work unit for partition {unit.partition} is not "
                     f"picklable under the process backend ({error}); use "
                     "backend='thread' or 'sequential', or make the data "
-                    "source and function library picklable"
+                    "source and function library picklable",
+                    cause=error,
                 ) from error
         pool = self._ensure_pool()
         from concurrent.futures.process import BrokenProcessPool
@@ -643,11 +750,16 @@ class ProcessBackend(ExecutionBackend):
                     self.close()
                     raise BackendError(
                         "process pool worker died while executing a "
-                        "partition; results are incomplete"
+                        "partition; results are incomplete",
+                        cause=error,
                     ) from error
         finally:
+            # Deterministic cleanup: cancel what never started, then
+            # wait out what did, so no orphaned partition work survives
+            # an early exit from this generator.
             for future in futures:
                 future.cancel()
+            _await_settled(futures)
 
     def close(self) -> None:
         if self._pool is not None:

@@ -104,6 +104,17 @@ class ExecutionStats:
     spill_run_files: int = 0
     spill_bytes: int = 0
     spill_recursion_depth: int = 0
+    #: crash-recovery counters (worker loss, ladder, speculation).
+    #: ``worker_crashes`` and ``ladder_steps`` are deterministic under a
+    #: seeded kill schedule; pool rebuilds and the speculative counters
+    #: are timing-dependent and deliberately kept out of the
+    #: degradation report.
+    worker_crashes: int = 0
+    pool_rebuilds: int = 0
+    ladder_steps: int = 0
+    speculative_launched: int = 0
+    speculative_wins: int = 0
+    speculative_losses: int = 0
 
     def merge(self, other: "ExecutionStats") -> None:
         """Fold another stats object into this one (coordinator merge)."""
@@ -116,6 +127,12 @@ class ExecutionStats:
         self.spill_bytes += other.spill_bytes
         if other.spill_recursion_depth > self.spill_recursion_depth:
             self.spill_recursion_depth = other.spill_recursion_depth
+        self.worker_crashes += other.worker_crashes
+        self.pool_rebuilds += other.pool_rebuilds
+        self.ladder_steps += other.ladder_steps
+        self.speculative_launched += other.speculative_launched
+        self.speculative_wins += other.speculative_wins
+        self.speculative_losses += other.speculative_losses
 
 
 @dataclass
@@ -448,6 +465,13 @@ class PartitionedExecutor:
                 outcomes.append(outcome)
         finally:
             self._parallel_wall += time.perf_counter() - started
+            # Fold whatever the crash-recovery layer logged (worker
+            # losses, ladder steps, speculation) into the query's stats
+            # and degradation report — on success and on unwind alike.
+            drain = getattr(self._backend, "drain_recovery_events", None)
+            if drain is not None:
+                for event in drain():
+                    _fold_recovery_event(event, stats, report)
             # Work units attach their own per-partition reports to the
             # (thread-local) source slot; restore the query-level report
             # for any coordinator-side scanning that follows.
@@ -936,6 +960,33 @@ class PartitionedExecutor:
 
 
 _PARTIAL_TUPLE_BYTES = 128
+
+
+def _fold_recovery_event(
+    event, stats: ExecutionStats, report: DegradationReport
+) -> None:
+    """Route one recovery-layer event into stats and/or the report.
+
+    Worker losses and ladder steps are deterministic under a seeded kill
+    schedule and belong in the degradation report; pool rebuilds and the
+    speculation counters are timing-dependent and stay stats-only so the
+    report keeps its byte-identical-across-runs guarantee.
+    """
+    kind = event.kind
+    if kind == "worker_loss":
+        stats.worker_crashes += 1
+        report.record_worker_loss(event.partition, event.attempt, event.message)
+    elif kind == "ladder_step":
+        stats.ladder_steps += 1
+        report.record_ladder_step(event.tier, event.to_tier, event.message)
+    elif kind == "pool_rebuild":
+        stats.pool_rebuilds += 1
+    elif kind == "speculative_launch":
+        stats.speculative_launched += 1
+    elif kind == "speculative_win":
+        stats.speculative_wins += 1
+    elif kind == "speculative_loss":
+        stats.speculative_losses += 1
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,644 @@
+"""Crash recovery, the degradation ladder, and speculative execution.
+
+The paper's engine inherits Hyracks' cluster execution model, where
+worker loss and stragglers are absorbed by the runtime rather than
+surfaced to the query author.  This module gives the process/thread
+backends the same posture:
+
+- **worker-loss recovery** — when a pool worker dies
+  (``BrokenProcessPool`` under the process backend,
+  :class:`~repro.errors.WorkerCrashError` under thread/sequential), the
+  coordinator keeps every finished partition's result, rebuilds the
+  pool, and reschedules only the unfinished work units.  Each unit has
+  a bounded attempt budget (:class:`~repro.resilience.policies.RecoveryPolicy`
+  ``max_unit_attempts``), so a deterministically crashing partition
+  escalates with :class:`~repro.errors.RecoveryExhaustedError` instead
+  of looping;
+- **degradation ladder** — after repeated worker loss on one tier the
+  remaining units step down process→thread→sequential, each step
+  recorded in the :class:`~repro.resilience.report.DegradationReport`;
+- **speculative stragglers** — a watchdog (reading a clock from the
+  :data:`repro.observability.clock.CLOCKS` registry) flags units running
+  longer than a multiple of the median completion time and launches a
+  duplicate.  First result wins, and completed futures are processed in
+  (unit index, primary-before-speculative) order, so the winning result
+  is selected deterministically and output stays byte-identical: both
+  attempts run the same deterministic work.
+
+Determinism under injected crashes hinges on one bookkeeping rule: the
+kill/stall faults are keyed on the **unit-level attempt number**
+(``WorkUnit.attempt_offset`` + the in-worker attempt counter), a pure
+function of the fault schedule with no stateful counters.  A fresh
+worker process re-running a crashed partition therefore sees attempt 2,
+not attempt 1, and a kill scheduled for attempt 1 fires exactly once.
+The coordinator learns *which* partition crashed from a sentinel file
+the dying worker drops just before ``os._exit`` — only that unit's
+attempt offset advances; collateral units (healthy work killed when the
+pool tore down) resubmit with unchanged offsets so their own scheduled
+faults still fire on schedule.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import shutil
+import tempfile
+from concurrent.futures import FIRST_COMPLETED, CancelledError, wait
+from dataclasses import dataclass, replace
+
+from repro.errors import (
+    BackendError,
+    RecoveryExhaustedError,
+    WorkerCrashError,
+)
+from repro.observability.clock import make_clock
+
+#: exit status an injected kill dies with (distinguishable in core dumps
+#: and CI logs from a real interpreter fault)
+KILL_EXIT_CODE = 87
+
+_SENTINEL_PREFIX = "crash-"
+
+# Set (per process) by the pool-worker entry point so an injected kill
+# knows whether it may really call os._exit or must raise
+# WorkerCrashError instead (killing the interpreter would take the
+# whole test run down under the thread/sequential backends).
+_IN_POOL_WORKER = False
+
+
+def mark_pool_worker() -> None:
+    """Flag this process as a pool worker (called by the worker entry)."""
+    global _IN_POOL_WORKER
+    _IN_POOL_WORKER = True
+
+
+def in_pool_worker() -> bool:
+    return _IN_POOL_WORKER
+
+
+def simulate_worker_kill(unit, attempt: int, message: str) -> None:
+    """Die the way the fault plan scheduled.
+
+    In a process-pool worker: drop a crash sentinel naming the partition
+    and attempt, then ``os._exit`` — an abrupt death the coordinator
+    observes as ``BrokenProcessPool``.  Anywhere else: raise
+    :class:`~repro.errors.WorkerCrashError`, the same signal without
+    taking the interpreter down.
+    """
+    if _IN_POOL_WORKER:
+        write_crash_sentinel(
+            getattr(unit, "crash_log_dir", None),
+            unit.partition,
+            attempt,
+            message,
+        )
+        os._exit(KILL_EXIT_CODE)
+    raise WorkerCrashError(unit.partition, attempt, message)
+
+
+def write_crash_sentinel(
+    directory: str | None, partition: int, attempt: int, message: str
+) -> None:
+    """Record (partition, attempt, message) for the coordinator to find.
+
+    Best effort: a sentinel that cannot be written degrades recovery to
+    the unattributed-crash path, it never blocks the (dying) worker.
+    """
+    if not directory:
+        return
+    path = os.path.join(directory, f"{_SENTINEL_PREFIX}p{partition}-a{attempt}")
+    try:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(message)
+    except OSError:  # pragma: no cover - sentinel loss is survivable
+        pass
+
+
+def read_crash_sentinels(directory: str) -> list[tuple[int, int, str]]:
+    """Collect and remove crash sentinels, sorted by (partition, attempt)."""
+    entries: list[tuple[int, int, str]] = []
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return entries
+    for name in names:
+        if not name.startswith(_SENTINEL_PREFIX):
+            continue
+        try:
+            part_token, attempt_token = name[len(_SENTINEL_PREFIX):].split("-")
+            partition = int(part_token[1:])
+            attempt = int(attempt_token[1:])
+        except (ValueError, IndexError):
+            continue
+        path = os.path.join(directory, name)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                message = handle.read()
+        except OSError:
+            message = ""
+        try:
+            os.remove(path)
+        except OSError:  # pragma: no cover
+            pass
+        entries.append((partition, attempt, message))
+    entries.sort()
+    return entries
+
+
+# ---------------------------------------------------------------------------
+# Recovery events (folded into stats/report by the coordinator)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """One recovery-layer happening, drained by the executor after a run.
+
+    ``worker_loss`` and ``ladder_step`` are deterministic under a seeded
+    kill schedule and land in the degradation report;
+    ``pool_rebuild``/``speculative_*`` are timing-dependent and only
+    feed the execution-stats counters.
+    """
+
+    kind: str  # worker_loss | ladder_step | pool_rebuild | speculative_*
+    partition: int = -1
+    attempt: int = 0
+    tier: str = ""
+    to_tier: str = ""
+    message: str = ""
+
+
+def recovery_policy_for(units) -> object | None:
+    """The :class:`RecoveryPolicy` shared by *units* (None when absent)."""
+    for unit in units:
+        policy = getattr(unit.resilience, "recovery", None)
+        if policy is not None:
+            return policy
+    return None
+
+
+def run_unit_with_crash_retry(unit, policy, events: list) -> object:
+    """Execute one unit inline, absorbing injected worker kills.
+
+    The sequential tier of the recovery engine, also used directly by
+    the sequential backend (and the thread backend's single-worker fast
+    path) so injected kills behave identically on every backend.
+    """
+    from repro.hyracks.backends import execute_work_unit
+
+    base = unit.attempt_offset
+    crashes = base
+    while True:
+        try:
+            return execute_work_unit(_with_offset(unit, crashes))
+        except WorkerCrashError as crash:
+            if policy is None or not policy.enabled:
+                raise
+            crashes += 1
+            events.append(
+                RecoveryEvent(
+                    "worker_loss",
+                    partition=unit.partition,
+                    attempt=crashes,
+                    message=crash.detail or str(crash),
+                )
+            )
+            if crashes >= policy.max_unit_attempts:
+                raise RecoveryExhaustedError(
+                    (unit.partition,),
+                    (crashes,),
+                    backend="sequential",
+                    cause=crash,
+                ) from crash
+
+
+# ---------------------------------------------------------------------------
+# The recovery engine
+# ---------------------------------------------------------------------------
+
+
+class _PoolLost(Exception):
+    """Internal: the current tier's process pool broke."""
+
+    def __init__(self, cause: Exception):
+        super().__init__(str(cause))
+        self.cause = cause
+
+
+class _StepDown(Exception):
+    """Internal: too many worker losses on this tier; take the ladder."""
+
+    def __init__(self, cause: Exception):
+        super().__init__(str(cause))
+        self.cause = cause
+
+
+class _UnitState:
+    """Coordinator-side bookkeeping for one work unit."""
+
+    __slots__ = ("unit", "index", "crashes", "speculated", "blob0")
+
+    def __init__(self, unit, index: int):
+        self.unit = unit
+        self.index = index
+        self.crashes = 0  # crashes attributed to this unit == attempt offset
+        self.speculated = False
+        self.blob0 = None  # cached pickle of the offset-0 unit
+
+
+class _Flight:
+    """One in-flight execution attempt of a unit."""
+
+    __slots__ = ("state", "offset", "speculative", "started_at")
+
+    def __init__(self, state, offset, speculative, started_at):
+        self.state = state
+        self.offset = offset
+        self.speculative = speculative
+        self.started_at = started_at
+
+
+def _with_offset(unit, offset: int):
+    if offset == unit.attempt_offset:
+        return unit
+    return replace(unit, attempt_offset=offset)
+
+
+class _TierPools:
+    """Pools per ladder tier: the host backend's own, plus ephemerals."""
+
+    def __init__(self, host, max_workers: int):
+        self._host = host
+        self._max_workers = max_workers
+        self._ephemeral: dict[str, object] = {}
+
+    def get(self, tier: str):
+        if tier == self._host.name:
+            return self._host._ensure_pool()
+        if tier == "thread":
+            pool = self._ephemeral.get(tier)
+            if pool is None:
+                from concurrent.futures import ThreadPoolExecutor
+
+                pool = ThreadPoolExecutor(
+                    max_workers=self._max_workers,
+                    thread_name_prefix="repro-ladder",
+                )
+                self._ephemeral[tier] = pool
+            return pool
+        raise AssertionError(f"no pool for tier {tier!r}")
+
+    def discard(self, tier: str) -> None:
+        """Drop *tier*'s pool (it broke); the next ``get`` rebuilds it."""
+        if tier == self._host.name:
+            self._host.close()
+        else:
+            pool = self._ephemeral.pop(tier, None)
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+
+    def close(self) -> None:
+        for pool in self._ephemeral.values():
+            pool.shutdown(wait=False, cancel_futures=True)
+        self._ephemeral.clear()
+
+
+def _submit(tier: str, pool, state: _UnitState, offset: int):
+    """Hand one attempt of a unit to *tier*'s pool."""
+    if tier == "process":
+        from repro.hyracks.backends import _run_pickled_unit
+
+        if offset == 0 and state.blob0 is not None:
+            blob = state.blob0
+        else:
+            blob = pickle.dumps(_with_offset(state.unit, offset))
+        return pool.submit(_run_pickled_unit, blob)
+    from repro.hyracks.backends import execute_work_unit
+
+    return pool.submit(execute_work_unit, _with_offset(state.unit, offset))
+
+
+def run_units_with_recovery(
+    units: list, host, tiers: tuple[str, ...], max_workers: int, events: list
+) -> list:
+    """Run *units* on a ladder of execution tiers, surviving worker loss.
+
+    Returns outcomes in submission order.  *host* is the backend that
+    owns tier 0's pool; *events* receives :class:`RecoveryEvent`s for
+    the executor to fold into stats and the degradation report.
+    """
+    units = list(units)
+    if not units:
+        return []
+    policy = recovery_policy_for(units)
+    crash_dir = tempfile.mkdtemp(prefix="repro-crash-")
+    states = []
+    by_partition: dict[int, _UnitState] = {}
+    for index, unit in enumerate(units):
+        unit.crash_log_dir = crash_dir
+        state = _UnitState(unit, index)
+        states.append(state)
+        by_partition[unit.partition] = state
+    if tiers[0] == "process":
+        # Pickle up front: one clear BackendError instead of an opaque
+        # pool crash when a source or function library is unpicklable,
+        # raised before any worker starts.
+        for state in states:
+            try:
+                state.blob0 = pickle.dumps(state.unit)
+            except Exception as error:
+                raise BackendError(
+                    f"work unit for partition {state.unit.partition} is not "
+                    f"picklable under the process backend ({error}); use "
+                    "backend='thread' or 'sequential', or make the data "
+                    "source and function library picklable",
+                    cause=error,
+                ) from error
+    results: dict[int, object] = {}
+    durations: list[float] = []
+    clock = make_clock(policy.clock)
+    pools = _TierPools(host, max_workers)
+    tier_index = 0
+    losses = 0  # worker losses on the current tier
+    try:
+        while len(results) < len(states):
+            tier = tiers[tier_index]
+            pending = [s for s in states if s.index not in results]
+            if tier == "sequential":
+                for state in pending:
+                    results[state.index] = run_unit_with_crash_retry(
+                        _with_offset(state.unit, state.crashes), policy, events
+                    )
+                break
+            lower_exists = tier_index + 1 < len(tiers)
+            try:
+                _run_pooled_tier(
+                    tier,
+                    pools.get(tier),
+                    pending,
+                    results,
+                    policy,
+                    events,
+                    clock,
+                    durations,
+                    lower_exists,
+                    losses,
+                )
+            except _StepDown as step:
+                # Thread-tier losses piled up; leave the (healthy) pool
+                # alone and route the remaining units down the ladder.
+                events.append(
+                    RecoveryEvent(
+                        "ladder_step",
+                        tier=tier,
+                        to_tier=tiers[tier_index + 1],
+                        message=str(step.cause),
+                    )
+                )
+                tier_index += 1
+                losses = 0
+                continue
+            except _PoolLost as loss:
+                losses += 1
+                _account_pool_loss(
+                    loss, crash_dir, by_partition, results, policy, events, tier
+                )
+                pools.discard(tier)
+                if losses > policy.max_losses_per_tier and lower_exists:
+                    events.append(
+                        RecoveryEvent(
+                            "ladder_step",
+                            tier=tier,
+                            to_tier=tiers[tier_index + 1],
+                            message=(
+                                f"{losses} pool loss(es) on the {tier} backend"
+                            ),
+                        )
+                    )
+                    tier_index += 1
+                    losses = 0
+                else:
+                    events.append(RecoveryEvent("pool_rebuild", tier=tier))
+                continue
+            else:
+                break  # tier drained every pending unit
+    finally:
+        pools.close()
+        shutil.rmtree(crash_dir, ignore_errors=True)
+    return [results[index] for index in range(len(states))]
+
+
+def _account_pool_loss(
+    loss: _PoolLost,
+    crash_dir: str,
+    by_partition: dict[int, _UnitState],
+    results: dict[int, object],
+    policy,
+    events: list,
+    tier: str,
+) -> None:
+    """Attribute a pool breakage to the units that caused it.
+
+    Sentinel files name the injected kills precisely; a breakage with no
+    sentinel (a real, un-injected crash) is attributed to every
+    unresolved unit so a genuinely crashing partition still exhausts its
+    budget instead of looping.
+    """
+    sentinels = read_crash_sentinels(crash_dir)
+    crashed: list[_UnitState] = []
+    if sentinels:
+        for partition, _attempt, message in sentinels:
+            state = by_partition.get(partition)
+            if state is None or state.index in results:
+                continue
+            crashed.append(state)
+            _note_crash(state, message, events)
+    else:
+        for state in sorted(by_partition.values(), key=lambda s: s.index):
+            if state.index in results:
+                continue
+            crashed.append(state)
+            _note_crash(state, str(loss.cause), events)
+    exhausted = [
+        state for state in crashed if state.crashes >= policy.max_unit_attempts
+    ]
+    if exhausted:
+        raise RecoveryExhaustedError(
+            tuple(state.unit.partition for state in exhausted),
+            tuple(state.crashes for state in exhausted),
+            backend=tier,
+            cause=loss.cause,
+        ) from loss.cause
+
+
+def _note_crash(state: _UnitState, message: str, events: list) -> None:
+    state.crashes += 1
+    events.append(
+        RecoveryEvent(
+            "worker_loss",
+            partition=state.unit.partition,
+            attempt=state.crashes,
+            message=message,
+        )
+    )
+
+
+def _run_pooled_tier(
+    tier: str,
+    pool,
+    pending: list[_UnitState],
+    results: dict[int, object],
+    policy,
+    events: list,
+    clock,
+    durations: list[float],
+    lower_exists: bool,
+    losses_so_far: int,
+) -> None:
+    """Drive one pooled tier until every pending unit resolves.
+
+    Raises :class:`_PoolLost` when the process pool breaks and
+    :class:`_StepDown` when thread-tier worker losses exceed the ladder
+    budget; both leave ``results`` holding everything that finished.
+    """
+    from concurrent.futures.process import BrokenProcessPool
+
+    losses = losses_so_far
+    flights: dict[object, _Flight] = {}
+
+    def launch(state: _UnitState, offset: int, speculative: bool) -> None:
+        try:
+            future = _submit(tier, pool, state, offset)
+        except BrokenProcessPool as broken:
+            _harvest(flights, results)
+            raise _PoolLost(broken) from broken
+        flights[future] = _Flight(state, offset, speculative, clock())
+
+    for state in pending:
+        state.speculated = False
+        launch(state, state.crashes, False)
+    while flights:
+        timeout = policy.watchdog_interval_seconds if policy.speculate else None
+        done, _ = wait(set(flights), timeout=timeout, return_when=FIRST_COMPLETED)
+        # Deterministic first-result-wins: within one wakeup, process
+        # completions by unit index with the primary ahead of its
+        # speculative twin, so the selected result never depends on
+        # which future the OS happened to finish first.
+        for future in sorted(
+            done, key=lambda f: (flights[f].state.index, flights[f].speculative)
+        ):
+            flight = flights.pop(future)
+            state = flight.state
+            if state.index in results:
+                if flight.speculative:
+                    events.append(
+                        RecoveryEvent(
+                            "speculative_loss",
+                            partition=state.unit.partition,
+                            tier=tier,
+                        )
+                    )
+                continue
+            try:
+                outcome = future.result()
+            except CancelledError:  # pragma: no cover - defensive
+                continue
+            except BrokenProcessPool as broken:
+                _harvest(flights, results)
+                raise _PoolLost(broken) from broken
+            except WorkerCrashError as crash:
+                # Thread-tier injected kill: the pool survives, only the
+                # unit's attempt is lost.
+                _note_crash(state, crash.detail or str(crash), events)
+                if state.crashes >= policy.max_unit_attempts:
+                    raise RecoveryExhaustedError(
+                        (state.unit.partition,),
+                        (state.crashes,),
+                        backend=tier,
+                        cause=crash,
+                    ) from crash
+                losses += 1
+                if losses > policy.max_losses_per_tier and lower_exists:
+                    raise _StepDown(crash) from crash
+                launch(state, state.crashes, False)
+                continue
+            results[state.index] = outcome
+            durations.append(max(clock() - flight.started_at, 0.0))
+            if flight.speculative:
+                events.append(
+                    RecoveryEvent(
+                        "speculative_win",
+                        partition=state.unit.partition,
+                        tier=tier,
+                    )
+                )
+            for other, twin in list(flights.items()):
+                if twin.state.index == state.index and other.cancel():
+                    flights.pop(other)
+                    if twin.speculative:
+                        events.append(
+                            RecoveryEvent(
+                                "speculative_loss",
+                                partition=state.unit.partition,
+                                tier=tier,
+                            )
+                        )
+        if policy.speculate and flights:
+            _maybe_speculate(
+                tier, flights, results, policy, events, clock, durations, launch
+            )
+
+
+def _maybe_speculate(
+    tier: str,
+    flights: dict,
+    results: dict[int, object],
+    policy,
+    events: list,
+    clock,
+    durations: list[float],
+    launch,
+) -> None:
+    """Launch duplicates for units running far past the median."""
+    if len(durations) < policy.min_speculation_samples:
+        return
+    median = sorted(durations)[len(durations) // 2]
+    threshold = max(
+        policy.speculative_multiplier * median,
+        policy.speculative_floor_seconds,
+    )
+    now = clock()
+    for flight in list(flights.values()):
+        state = flight.state
+        if (
+            flight.speculative
+            or state.speculated
+            or state.index in results
+            or now - flight.started_at < threshold
+        ):
+            continue
+        state.speculated = True
+        events.append(
+            RecoveryEvent(
+                "speculative_launch",
+                partition=state.unit.partition,
+                tier=tier,
+            )
+        )
+        # The duplicate runs as the next unit-level attempt, so an
+        # attempt-1 stall (or kill) does not refire on it.
+        launch(state, state.crashes + 1, True)
+
+
+def _harvest(flights: dict, results: dict[int, object]) -> None:
+    """Keep every finished result a breaking pool already produced."""
+    for future, flight in flights.items():
+        if not future.done() or future.cancelled():
+            continue
+        try:
+            outcome = future.result()
+        except Exception:
+            continue
+        if flight.state.index not in results:
+            results[flight.state.index] = outcome

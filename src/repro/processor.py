@@ -52,11 +52,21 @@ class JsonProcessor:
     resilience:
         Per-partition error handling
         (:class:`~repro.resilience.policies.ResilienceConfig`):
-        ``fail_fast`` (default), ``retry``, or ``skip_partition``.
+        ``fail_fast`` (default), ``retry``, or ``skip_partition``.  Its
+        ``recovery`` field
+        (:class:`~repro.resilience.policies.RecoveryPolicy`) governs
+        worker-loss recovery on the pooled backends: crashed work units
+        are rescheduled up to ``max_unit_attempts`` times, repeated pool
+        loss steps the backend down the process→thread→sequential
+        ladder, and straggling units earn speculative duplicates.  All
+        recovery is recorded on the result's ``degradation`` report and
+        ``stats``.
     fault_plan:
         Optional :class:`~repro.resilience.faults.FaultPlan`; when
         given, *source* is wrapped so the plan's faults are injected
-        (testing and chaos experiments).
+        (testing and chaos experiments).  Besides data faults, the plan
+        can kill workers (``kill_worker``) and stall partitions
+        (``stall_partition``) to exercise the recovery path.
     backend:
         Execution backend for partition work: ``"sequential"``
         (default), ``"thread"``, ``"process"``, or an

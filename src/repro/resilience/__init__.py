@@ -37,15 +37,18 @@ from repro.resilience.faults import (
 from repro.resilience.policies import (
     ON_MALFORMED_POLICIES,
     PARTITION_POLICIES,
+    RecoveryPolicy,
     ResilienceConfig,
     validate_on_malformed,
 )
 from repro.resilience.report import (
     DegradationReport,
+    LadderStep,
     RetryEvent,
     SkippedFile,
     SkippedPartition,
     SkippedRecord,
+    WorkerLossEvent,
 )
 from repro.resilience.retry import RetryPolicy, stable_seed
 
@@ -55,9 +58,11 @@ __all__ = [
     "FaultInjectingSource",
     "FaultPlan",
     "InjectedFaultError",
+    "LadderStep",
     "ON_MALFORMED_POLICIES",
     "PARTITION_POLICIES",
     "PermanentFaultError",
+    "RecoveryPolicy",
     "ResilienceConfig",
     "RetryEvent",
     "RetryPolicy",
@@ -65,6 +70,7 @@ __all__ = [
     "SkippedPartition",
     "SkippedRecord",
     "TransientFaultError",
+    "WorkerLossEvent",
     "stable_seed",
     "validate_on_malformed",
 ]

@@ -92,6 +92,40 @@ class SpillFault:
     message: str
 
 
+@dataclass
+class KillFault:
+    """One partition's worker dies abruptly on a specific attempt.
+
+    ``attempt`` counts unit-level executions across worker restarts
+    (the recovery layer's global attempt number, 1-based), so a kill
+    scheduled for attempt 1 fires exactly once even though the fresh
+    worker process that re-runs the partition holds a fresh copy of the
+    plan: the decision is a pure function of (partition, attempt), with
+    no stateful counters to lose in the crash.
+    """
+
+    partition: int
+    attempt: int
+    message: str
+
+
+@dataclass
+class StallFault:
+    """One partition's worker stalls (really sleeps) before executing.
+
+    Unlike :meth:`FaultPlan.delay_partition` — which charges a
+    *simulated* straggler delay — a stall burns wall-clock time, which
+    is what the speculative-execution watchdog reacts to.  ``attempt``
+    of ``None`` stalls every attempt; an integer stalls only that
+    unit-level attempt (so a speculative duplicate, running as the next
+    attempt, escapes the stall).
+    """
+
+    partition: int
+    attempt: int | None
+    seconds: float
+
+
 class FaultPlan:
     """A seeded schedule of faults to inject into a data source."""
 
@@ -100,6 +134,8 @@ class FaultPlan:
         self._failures: list[PartitionFault] = []
         self._corruptions: list[CorruptionFault] = []
         self._spill_faults: list[SpillFault] = []
+        self._kills: list[KillFault] = []
+        self._stalls: list[StallFault] = []
         self._delays: dict[int, float] = {}
         self._attempts: dict[tuple[str, int], int] = {}
 
@@ -148,6 +184,44 @@ class FaultPlan:
         self._spill_faults.append(
             SpillFault(partition, permanent, times, message)
         )
+        return self
+
+    def kill_worker(
+        self, partition: int, attempt: int = 1, message: str | None = None
+    ) -> "FaultPlan":
+        """Make *partition*'s worker die abruptly on unit attempt *attempt*.
+
+        Under the process backend the worker calls ``os._exit`` (a real
+        abrupt death that breaks the pool); under the thread and
+        sequential backends the same schedule raises
+        :class:`~repro.errors.WorkerCrashError` so recovery behaves
+        identically across backends.  Attempts are 1-based and count
+        unit executions across worker restarts.
+        """
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt!r}")
+        if message is None:
+            message = (
+                f"injected worker kill on partition {partition} "
+                f"(attempt {attempt})"
+            )
+        self._kills.append(KillFault(partition, attempt, message))
+        return self
+
+    def stall_partition(
+        self, partition: int, seconds: float, attempt: int | None = 1
+    ) -> "FaultPlan":
+        """Make *partition*'s worker sleep *seconds* of real wall time.
+
+        This is the straggler the speculative-execution watchdog is
+        built for.  The default ``attempt=1`` stalls only the first
+        unit attempt, so a speculative duplicate (running as the next
+        attempt) escapes the stall and wins; ``attempt=None`` stalls
+        every attempt.
+        """
+        if seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {seconds!r}")
+        self._stalls.append(StallFault(partition, attempt, seconds))
         return self
 
     def delay_partition(self, partition: int, seconds: float) -> "FaultPlan":
@@ -241,6 +315,32 @@ class FaultPlan:
             return 0.0
         return self._delays.get(partition, 0.0)
 
+    def worker_kill_message(
+        self, partition: int | None, attempt: int
+    ) -> str | None:
+        """The kill message due for (partition, unit attempt), or None.
+
+        Pure function of the schedule — no counters — so the decision
+        is identical in a fresh worker process after a crash.
+        """
+        if partition is None:
+            return None
+        for fault in self._kills:
+            if fault.partition == partition and fault.attempt == attempt:
+                return fault.message
+        return None
+
+    def stall_seconds(self, partition: int | None, attempt: int) -> float:
+        """Wall-clock stall seconds due for (partition, unit attempt)."""
+        if partition is None:
+            return 0.0
+        return sum(
+            fault.seconds
+            for fault in self._stalls
+            if fault.partition == partition
+            and (fault.attempt is None or fault.attempt == attempt)
+        )
+
     def wrap(self, source) -> "FaultInjectingSource":
         """A :class:`FaultInjectingSource` injecting this plan into *source*."""
         return FaultInjectingSource(self, source)
@@ -296,6 +396,16 @@ class FaultInjectingSource:
     def check_spill_fault(self, partition: int | None) -> None:
         """Spill-write hook: raise if the plan schedules a spill fault."""
         self.plan.spill_write_attempt(partition)
+
+    def check_worker_kill(
+        self, partition: int | None, attempt: int
+    ) -> str | None:
+        """Kill hook: the scheduled kill message for this attempt, or None."""
+        return self.plan.worker_kill_message(partition, attempt)
+
+    def injected_stall(self, partition: int | None, attempt: int) -> float:
+        """Stall hook: real wall-clock seconds to sleep before this attempt."""
+        return self.plan.stall_seconds(partition, attempt)
 
     # -- DataSource protocol ----------------------------------------------------
 

@@ -1,6 +1,6 @@
 """Error-handling policies for partitioned execution and raw scans.
 
-Two independent knobs:
+Three independent knobs:
 
 - the **partition policy** (:class:`ResilienceConfig`) decides what the
   executor does when a whole partition's work raises — fail the query
@@ -11,7 +11,12 @@ Two independent knobs:
 - the **on-malformed policy** (a string on the data source) decides what
   a raw scan does with malformed JSON — raise (``fail``), resync past
   the broken record (``skip_record``), or drop the whole file
-  (``skip_file``).
+  (``skip_file``);
+- the **recovery policy** (:class:`RecoveryPolicy`) decides what the
+  execution backend does when a *worker* dies or straggles: how many
+  times a crashed work unit may be rescheduled, when repeated pool loss
+  steps the backend down the process→thread→sequential degradation
+  ladder, and when a slow unit earns a speculative duplicate.
 """
 
 from __future__ import annotations
@@ -35,6 +40,74 @@ def validate_on_malformed(value: str) -> str:
 
 
 @dataclass(frozen=True)
+class RecoveryPolicy:
+    """Worker-loss recovery and straggler mitigation for the backends.
+
+    Parameters
+    ----------
+    enabled:
+        Master switch.  When False the backends keep the pre-recovery
+        behaviour: a dead process-pool worker aborts the whole query
+        with a :class:`~repro.errors.BackendError`.
+    max_unit_attempts:
+        How many times one work unit may *start* (first run plus
+        crash reschedules).  A unit that kills its worker this many
+        times raises :class:`~repro.errors.RecoveryExhaustedError`
+        instead of looping.
+    max_losses_per_tier:
+        Worker losses tolerated on one ladder tier before the backend
+        steps down (process→thread→sequential) for the remaining units.
+    speculate:
+        Launch a speculative duplicate for straggling units
+        (first-result-wins; the result stays byte-identical because the
+        duplicate runs the same deterministic work).
+    speculative_multiplier / speculative_floor_seconds:
+        A unit speculates once it has run longer than
+        ``max(multiplier * median_completed_seconds, floor_seconds)``.
+    min_speculation_samples:
+        Completed units required before the median is trusted.
+    watchdog_interval_seconds:
+        How often the coordinator's wait loop wakes to check stragglers.
+    clock:
+        Name in the :data:`repro.observability.clock.CLOCKS` registry
+        the watchdog reads (``wall`` by default; tests can register and
+        name an injectable clock).
+    """
+
+    enabled: bool = True
+    max_unit_attempts: int = 3
+    max_losses_per_tier: int = 2
+    speculate: bool = True
+    speculative_multiplier: float = 4.0
+    speculative_floor_seconds: float = 0.5
+    min_speculation_samples: int = 2
+    watchdog_interval_seconds: float = 0.05
+    clock: str = "wall"
+
+    def __post_init__(self):
+        from repro.observability.clock import CLOCKS
+
+        if self.max_unit_attempts < 1:
+            raise ValueError(
+                f"max_unit_attempts must be >= 1, got {self.max_unit_attempts!r}"
+            )
+        if self.max_losses_per_tier < 0:
+            raise ValueError(
+                f"max_losses_per_tier must be >= 0, "
+                f"got {self.max_losses_per_tier!r}"
+            )
+        if self.watchdog_interval_seconds <= 0:
+            raise ValueError(
+                f"watchdog_interval_seconds must be > 0, "
+                f"got {self.watchdog_interval_seconds!r}"
+            )
+        if self.clock not in CLOCKS:
+            raise ValueError(
+                f"clock must be one of {sorted(CLOCKS)}, got {self.clock!r}"
+            )
+
+
+@dataclass(frozen=True)
 class ResilienceConfig:
     """Per-partition error handling for the partitioned executor.
 
@@ -48,11 +121,15 @@ class ResilienceConfig:
         What ``retry`` does once attempts run out (or the error is not
         retryable): ``fail`` raises, ``skip`` degrades to skipping the
         partition.
+    recovery:
+        The :class:`RecoveryPolicy` governing worker-loss recovery,
+        the degradation ladder, and speculative execution.
     """
 
     partition_policy: str = "fail_fast"
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     on_exhausted: str = "fail"
+    recovery: RecoveryPolicy = field(default_factory=RecoveryPolicy)
 
     def __post_init__(self):
         if self.partition_policy not in PARTITION_POLICIES:

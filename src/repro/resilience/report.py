@@ -64,6 +64,33 @@ class CancellationEvent:
     message: str
 
 
+@dataclass(frozen=True)
+class WorkerLossEvent:
+    """A worker died mid-partition and the unit was rescheduled.
+
+    Deterministic under a seeded :class:`~repro.resilience.faults.FaultPlan`
+    kill schedule: the attempt number counts unit executions across
+    worker restarts, and the recovery layer records losses in partition
+    order within each pool breakage.  Deliberately backend-neutral
+    (``os._exit`` under the process backend and the simulated crash
+    under thread/sequential record the same event), so crash-injected
+    reports stay byte-identical across backends.
+    """
+
+    partition: int
+    attempt: int
+    message: str
+
+
+@dataclass(frozen=True)
+class LadderStep:
+    """One step down the backend degradation ladder after repeated loss."""
+
+    from_backend: str
+    to_backend: str
+    message: str
+
+
 @dataclass
 class DegradationReport:
     """What a query execution skipped, retried, and survived."""
@@ -73,6 +100,8 @@ class DegradationReport:
     skipped_files: list[SkippedFile] = field(default_factory=list)
     retries: list[RetryEvent] = field(default_factory=list)
     cancellations: list[CancellationEvent] = field(default_factory=list)
+    worker_losses: list[WorkerLossEvent] = field(default_factory=list)
+    ladder_steps: list[LadderStep] = field(default_factory=list)
 
     def __post_init__(self):
         # Dedup keys: a retried partition attempt may re-skip the same
@@ -133,6 +162,18 @@ class DegradationReport:
             CancellationEvent(partition, kind, str(cause))
         )
 
+    def record_worker_loss(
+        self, partition: int, attempt: int, message: str
+    ) -> None:
+        """Record a dead worker whose unit the recovery layer rescheduled."""
+        self.worker_losses.append(WorkerLossEvent(partition, attempt, message))
+
+    def record_ladder_step(
+        self, from_backend: str, to_backend: str, message: str
+    ) -> None:
+        """Record one step down the backend degradation ladder."""
+        self.ladder_steps.append(LadderStep(from_backend, to_backend, message))
+
     def absorb(self, other: "DegradationReport") -> None:
         """Merge *other*'s events into this report (coordinator-side).
 
@@ -153,6 +194,8 @@ class DegradationReport:
                 self.skipped_files.append(skipped_file)
         self.retries.extend(other.retries)
         self.cancellations.extend(other.cancellations)
+        self.worker_losses.extend(other.worker_losses)
+        self.ladder_steps.extend(other.ladder_steps)
 
     # -- inspection -----------------------------------------------------------
 
@@ -165,8 +208,10 @@ class DegradationReport:
 
     @property
     def is_degraded(self) -> bool:
-        """True when anything at all was skipped or retried."""
-        return self.is_partial or bool(self.retries)
+        """True when anything at all was skipped, retried, or recovered."""
+        return self.is_partial or bool(
+            self.retries or self.worker_losses or self.ladder_steps
+        )
 
     @property
     def retry_count(self) -> int:
@@ -199,6 +244,16 @@ class DegradationReport:
                 f"partition {cancel.partition} hit a query limit "
                 f"({cancel.kind}): {cancel.message}"
             )
+        for loss in self.worker_losses:
+            lines.append(
+                f"worker for partition {loss.partition} died "
+                f"(attempt {loss.attempt}), rescheduled: {loss.message}"
+            )
+        for step in self.ladder_steps:
+            lines.append(
+                f"degraded backend {step.from_backend} -> {step.to_backend} "
+                f"after repeated worker loss: {step.message}"
+            )
         return lines
 
     def to_dict(self) -> dict:
@@ -210,4 +265,6 @@ class DegradationReport:
             "skipped_files": [asdict(s) for s in self.skipped_files],
             "retries": [asdict(r) for r in self.retries],
             "cancellations": [asdict(c) for c in self.cancellations],
+            "worker_losses": [asdict(w) for w in self.worker_losses],
+            "ladder_steps": [asdict(s) for s in self.ladder_steps],
         }

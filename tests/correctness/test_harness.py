@@ -155,8 +155,8 @@ class TestSmallMatrix:
         report = run_diffcheck(seed=0, budget="small")
         assert report.ok, [m.to_dict() for m in report.mismatches]
         # 5 queries x (6 toggles x 3 backends x 2 projections + 3
-        # forced-spill cells)
-        assert report.paper_cells == 195
+        # forced-spill cells + 3 crash-injected cells)
+        assert report.paper_cells == 210
         assert report.generated_cases == BUDGETS["small"][0]
         # 6 toggles + 1 rotating cell + 1 rotating forced-spill cell
         assert report.generated_cells == report.generated_cases * 8

@@ -147,9 +147,33 @@ class TestFaultParity:
         config = ResilienceConfig(partition_policy="fail_fast")
         return plan, config
 
+    def scenario_retries_and_worker_loss(self):
+        # The parity gap satellite: retries on two partitions, a seeded
+        # delay, and a worker kill in one run — the merged report
+        # (retry ordering AND the backend-neutral worker-loss event)
+        # must come out identical on every backend.
+        plan = (
+            FaultPlan(seed=17)
+            .fail_partition(1, times=2)
+            .fail_partition(3, times=1)
+            .delay_partition(0, 0.25)
+            .kill_worker(2, attempt=1)
+        )
+        config = ResilienceConfig(
+            partition_policy="retry",
+            retry=RetryPolicy(max_attempts=3, base_backoff_seconds=0.01, seed=17),
+        )
+        return plan, config
+
     @pytest.mark.parametrize(
         "scenario",
-        ["retry", "skip_partition", "retry_then_skip", "corruption"],
+        [
+            "retry",
+            "skip_partition",
+            "retry_then_skip",
+            "corruption",
+            "retries_and_worker_loss",
+        ],
     )
     @pytest.mark.parametrize("query", [QUERY, GROUP_QUERY])
     def test_degradation_identical_across_backends(self, scenario, query):

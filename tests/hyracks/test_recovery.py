@@ -1,0 +1,290 @@
+"""Worker-loss recovery: crash rescheduling, the degradation ladder,
+straggler speculation, and error plumbing."""
+
+import json
+import pickle
+
+import pytest
+
+from repro import (
+    BackendError,
+    FaultPlan,
+    InMemorySource,
+    JsonProcessor,
+    ProcessBackend,
+    RecoveryExhaustedError,
+    RecoveryPolicy,
+    ResilienceConfig,
+    WorkerCrashError,
+)
+from repro.hyracks.backends import PipelinedWork, WorkUnit
+
+BACKEND_NAMES = ["sequential", "thread", "process"]
+
+QUERY = 'for $r in collection("/events") return $r("v")'
+GROUP_QUERY = (
+    'for $r in collection("/events") '
+    'group by $g := $r("g") return count($r("v"))'
+)
+
+PARTITIONS = 4
+
+
+def make_source(partitions=PARTITIONS, per_partition=6):
+    collections = {
+        "/events": [
+            [
+                "\n".join(
+                    json.dumps({"v": p * 100 + i, "g": i % 3})
+                    for i in range(per_partition)
+                )
+            ]
+            for p in range(partitions)
+        ]
+    }
+    return InMemorySource(collections)
+
+
+def run_backend(backend, query=QUERY, plan=None, config=None, **kwargs):
+    processor = JsonProcessor(
+        source=make_source(),
+        fault_plan=plan,
+        resilience=config,
+        backend=backend,
+        **kwargs,
+    )
+    with processor:
+        return processor.execute(query)
+
+
+def speculation_policy(**overrides) -> RecoveryPolicy:
+    defaults = dict(
+        speculative_floor_seconds=0.1,
+        speculative_multiplier=2.0,
+        min_speculation_samples=2,
+        watchdog_interval_seconds=0.02,
+    )
+    defaults.update(overrides)
+    return RecoveryPolicy(**defaults)
+
+
+class TestCrashRecovery:
+    @pytest.mark.parametrize("query", [QUERY, GROUP_QUERY])
+    def test_kill_recovers_byte_identical_across_backends(self, query):
+        """The acceptance scenario: >= 4 partitions, a worker killed
+        mid-partition, result byte-identical to an undisturbed
+        sequential run, recovery on the report — every backend."""
+        baseline = run_backend("sequential", query)
+        for name in BACKEND_NAMES:
+            plan = FaultPlan().kill_worker(1, attempt=1)
+            result = run_backend(name, query, plan=plan)
+            assert result.items == baseline.items
+            assert result.strategy == baseline.strategy
+            assert result.stats.worker_crashes == 1
+            report = result.degradation
+            assert [
+                (loss.partition, loss.attempt) for loss in report.worker_losses
+            ] == [(1, 1)]
+            assert report.is_degraded and not report.is_partial
+            assert any("died" in line for line in report.warnings)
+
+    def test_crash_reports_identical_across_backends(self):
+        """The WorkerLossEvent is backend-neutral, so the whole
+        serialized report matches across backends (max_workers=1 keeps
+        pooled crash batches deterministic)."""
+        dicts = {}
+        for name in BACKEND_NAMES:
+            plan = FaultPlan().kill_worker(2, attempt=1)
+            result = run_backend(name, plan=plan, max_workers=1)
+            dicts[name] = result.degradation.to_dict()
+        assert dicts["thread"] == dicts["sequential"]
+        assert dicts["process"] == dicts["sequential"]
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_kill_twice_then_succeed(self, name):
+        plan = FaultPlan().kill_worker(1, attempt=1).kill_worker(1, attempt=2)
+        baseline = run_backend("sequential")
+        result = run_backend(name, plan=plan, max_workers=1)
+        assert result.items == baseline.items
+        assert [
+            (loss.partition, loss.attempt)
+            for loss in result.degradation.worker_losses
+        ] == [(1, 1), (1, 2)]
+
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_deterministic_crasher_exhausts_instead_of_looping(self, name):
+        plan = (
+            FaultPlan()
+            .kill_worker(2, attempt=1)
+            .kill_worker(2, attempt=2)
+            .kill_worker(2, attempt=3)
+        )
+        # max_workers=1 would take ThreadBackend's inline fast path,
+        # which attributes exhaustion to the sequential tier.
+        workers = 2 if name == "thread" else 1
+        with pytest.raises(RecoveryExhaustedError) as excinfo:
+            run_backend(name, plan=plan, max_workers=workers)
+        error = excinfo.value
+        assert error.partitions == (2,)
+        assert error.attempts == (3,)
+        assert error.backend == name
+        assert "recovery exhausted" in str(error)
+
+    def test_exhausted_error_survives_pickle(self):
+        plan = (
+            FaultPlan()
+            .kill_worker(2, attempt=1)
+            .kill_worker(2, attempt=2)
+            .kill_worker(2, attempt=3)
+        )
+        with pytest.raises(RecoveryExhaustedError) as excinfo:
+            run_backend("sequential", plan=plan)
+        clone = pickle.loads(pickle.dumps(excinfo.value))
+        assert clone.partitions == (2,)
+        assert clone.attempts == (3,)
+        assert clone.backend == "sequential"
+        assert str(clone) == str(excinfo.value)
+        assert isinstance(clone.__cause__, WorkerCrashError)
+        assert clone.__cause__.partition == 2
+
+
+class TestDegradationLadder:
+    @pytest.mark.parametrize(
+        "name,workers,expected_step",
+        [
+            # thread needs >= 2 workers to route through the recovery
+            # engine (1 worker takes the inline fast path, no ladder)
+            ("thread", 2, ("thread", "sequential")),
+            ("process", 1, ("process", "thread")),
+        ],
+    )
+    def test_repeated_loss_steps_down_the_ladder(
+        self, name, workers, expected_step
+    ):
+        plan = (
+            FaultPlan()
+            .kill_worker(0, attempt=1)
+            .kill_worker(1, attempt=1)
+            .kill_worker(2, attempt=1)
+        )
+        config = ResilienceConfig(
+            recovery=RecoveryPolicy(max_losses_per_tier=1, speculate=False)
+        )
+        baseline = run_backend("sequential")
+        result = run_backend(name, plan=plan, config=config, max_workers=workers)
+        assert result.items == baseline.items
+        report = result.degradation
+        assert len(report.worker_losses) == 3
+        assert [
+            (step.from_backend, step.to_backend)
+            for step in report.ladder_steps
+        ] == [expected_step]
+        assert result.stats.ladder_steps == 1
+        assert any("degraded backend" in line for line in report.warnings)
+
+    def test_sequential_has_no_ladder(self):
+        plan = FaultPlan().kill_worker(0, attempt=1).kill_worker(1, attempt=1)
+        config = ResilienceConfig(
+            recovery=RecoveryPolicy(max_losses_per_tier=0, speculate=False)
+        )
+        result = run_backend("sequential", plan=plan, config=config)
+        assert result.degradation.ladder_steps == []
+        assert len(result.degradation.worker_losses) == 2
+
+
+class TestSpeculation:
+    def test_straggler_earns_a_speculative_twin(self):
+        plan = FaultPlan().stall_partition(3, seconds=1.0)
+        config = ResilienceConfig(recovery=speculation_policy())
+        baseline = run_backend("sequential")
+        result = run_backend("thread", plan=plan, config=config, max_workers=2)
+        assert result.items == baseline.items
+        assert result.stats.speculative_launched >= 1
+        # Speculation never shows up on the degradation report: it is
+        # timing-dependent, and the report must stay byte-identical.
+        assert not result.degradation.is_degraded
+
+    def test_speculate_disabled(self):
+        plan = FaultPlan().stall_partition(3, seconds=0.3)
+        config = ResilienceConfig(
+            recovery=speculation_policy(speculate=False)
+        )
+        baseline = run_backend("sequential")
+        result = run_backend("thread", plan=plan, config=config, max_workers=2)
+        assert result.items == baseline.items
+        assert result.stats.speculative_launched == 0
+
+    def test_policy_rejects_unknown_clock(self):
+        with pytest.raises(ValueError, match="clock"):
+            RecoveryPolicy(clock="sundial")
+
+
+class TestRecoveryDisabled:
+    def test_process_kill_is_terminal_when_disabled(self):
+        plan = FaultPlan().kill_worker(1, attempt=1)
+        config = ResilienceConfig(recovery=RecoveryPolicy(enabled=False))
+        with pytest.raises(BackendError):
+            run_backend("process", plan=plan, config=config, max_workers=2)
+
+    def test_thread_kill_is_terminal_when_disabled(self):
+        plan = FaultPlan().kill_worker(1, attempt=1)
+        config = ResilienceConfig(recovery=RecoveryPolicy(enabled=False))
+        with pytest.raises(WorkerCrashError):
+            run_backend("thread", plan=plan, config=config, max_workers=2)
+
+
+class TestErrorPlumbing:
+    def test_backend_error_carries_partitions_and_cause_through_pickle(self):
+        cause = ValueError("pool fell over")
+        error = BackendError(
+            "process pool broke", partitions=(1, 3), attempts=(2, 1),
+            cause=cause,
+        )
+        clone = pickle.loads(pickle.dumps(error))
+        assert clone.partitions == (1, 3)
+        assert clone.attempts == (2, 1)
+        assert str(clone) == str(error)
+        assert isinstance(clone.__cause__, ValueError)
+        assert str(clone.__cause__) == "pool fell over"
+
+    def test_worker_crash_error_round_trip(self):
+        error = WorkerCrashError(3, 2, "injected")
+        clone = pickle.loads(pickle.dumps(error))
+        assert clone.partition == 3
+        assert clone.attempt == 2
+        assert clone.retryable is False
+        assert "partition 3" in str(clone)
+
+
+class TestLegacyPathDrain:
+    def test_abandoned_generator_leaves_pool_reusable(self):
+        """Closing a legacy-path run_units generator mid-iteration must
+        drain in-flight futures so the pool survives for the next query
+        (regression: the old finally only cancelled)."""
+        config = ResilienceConfig(recovery=RecoveryPolicy(enabled=False))
+        source = make_source()
+        backend = ProcessBackend(max_workers=2)
+        try:
+            processor = JsonProcessor(
+                source=source, resilience=config, backend=backend
+            )
+            plan = processor.compile(QUERY).plan
+            units = [
+                WorkUnit(
+                    plan=plan,
+                    partition=p,
+                    work=PipelinedWork(plan),
+                    source=source,
+                    functions=None,
+                    memory_budget=None,
+                    resilience=config,
+                )
+                for p in range(PARTITIONS)
+            ]
+            gen = backend.run_units(units)
+            next(gen)
+            gen.close()  # abandon with futures still in flight
+            result = processor.execute(QUERY)
+            assert result.items == run_backend("sequential").items
+        finally:
+            backend.close()

@@ -5,13 +5,21 @@ Runs a battery of fault-injection scenarios twice each and diffs the
 serialized degradation reports (and result items): under a fixed seed,
 both runs must be byte-identical.  Exits non-zero on any mismatch.
 
+``--chaos`` switches to the worker-crash battery: seeded kill/stall
+schedules replayed twice with ``max_workers=1`` (serialized pool
+execution makes crash batches — and therefore worker-loss event order —
+deterministic), diffing items, the degradation report, and the
+deterministic recovery counters.  Timing-dependent counters
+(speculation, pool rebuilds) are excluded from the payload.
+
 Usage::
 
-    PYTHONPATH=src python tools/check_determinism.py
+    PYTHONPATH=src python tools/check_determinism.py [--chaos]
 """
 
 from __future__ import annotations
 
+import argparse
 import difflib
 import json
 import sys
@@ -20,6 +28,7 @@ from repro import (
     FaultPlan,
     InMemorySource,
     JsonProcessor,
+    RecoveryPolicy,
     ResilienceConfig,
     RetryPolicy,
 )
@@ -76,24 +85,90 @@ SCENARIOS = {
 }
 
 
-def run_once(factory, seed: int) -> str:
+# ---------------------------------------------------------------------------
+# Chaos scenarios (--chaos): worker kills and stalls.
+#
+# Kill/stall faults key on (partition, unit-level attempt) — pure
+# functions of the schedule — and with max_workers=1 the pool runs one
+# unit at a time, so crash attribution and worker-loss event order are
+# fully deterministic even under the process backend's real os._exit.
+# ---------------------------------------------------------------------------
+
+
+def chaos_kill(seed: int):
+    plan = FaultPlan(seed=seed)
+    plan.kill_worker(0, attempt=1)
+    plan.kill_worker(2, attempt=1).kill_worker(2, attempt=2)
+    return make_source("fail"), plan, ResilienceConfig(), QUERY
+
+
+def chaos_kill_and_stall(seed: int):
+    plan = FaultPlan(seed=seed)
+    plan.kill_worker(1, attempt=1)
+    plan.stall_partition(3, seconds=0.2)
+    config = ResilienceConfig(
+        recovery=RecoveryPolicy(
+            speculative_floor_seconds=0.05,
+            speculative_multiplier=2.0,
+            watchdog_interval_seconds=0.02,
+        )
+    )
+    return make_source("fail"), plan, config, COUNT_QUERY
+
+
+def chaos_kill_ladder(seed: int):
+    plan = FaultPlan(seed=seed)
+    for partition in (0, 1, 2):
+        plan.kill_worker(partition, attempt=1)
+    config = ResilienceConfig(
+        recovery=RecoveryPolicy(max_losses_per_tier=1, speculate=False)
+    )
+    return make_source("fail"), plan, config, QUERY
+
+
+CHAOS_SCENARIOS = {
+    "kill-schedule": chaos_kill,
+    "kill+stall": chaos_kill_and_stall,
+    "kill-ladder": chaos_kill_ladder,
+}
+
+
+def run_once(factory, seed: int, chaos: bool = False) -> str:
     source, plan, config, query = factory(seed)
-    processor = JsonProcessor(source=source, fault_plan=plan, resilience=config)
-    result = processor.execute(query)
+    kwargs = {"max_workers": 1} if chaos else {}
+    processor = JsonProcessor(
+        source=source, fault_plan=plan, resilience=config, **kwargs
+    )
+    with processor:
+        result = processor.execute(query)
     payload = {
         "items": result.items,
         "strategy": result.strategy,
         "injected_seconds": result.injected_seconds,
         "degradation": result.degradation.to_dict(),
     }
+    if chaos:
+        # Speculation and pool-rebuild counters are timing-dependent;
+        # only the serialized-execution-deterministic counters go in.
+        payload["worker_crashes"] = result.stats.worker_crashes
+        payload["ladder_steps"] = result.stats.ladder_steps
     return json.dumps(payload, sort_keys=True, indent=2)
 
 
-def main() -> int:
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[1])
+    parser.add_argument(
+        "--chaos", action="store_true",
+        help="replay seeded worker kill/stall schedules instead of the "
+             "data-fault battery",
+    )
+    args = parser.parse_args(argv)
+    scenarios = CHAOS_SCENARIOS if args.chaos else SCENARIOS
+
     failures = 0
-    for name, factory in SCENARIOS.items():
-        first = run_once(factory, seed=7)
-        second = run_once(factory, seed=7)
+    for name, factory in scenarios.items():
+        first = run_once(factory, seed=7, chaos=args.chaos)
+        second = run_once(factory, seed=7, chaos=args.chaos)
         if first == second:
             print(f"OK   {name}: degradation report byte-identical")
             continue
