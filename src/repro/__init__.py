@@ -29,6 +29,7 @@ Quickstart::
 """
 
 from repro.algebra.rules import RewriteConfig
+from repro.cache import SCAN_MODES, SegmentCache, resolve_scan_mode
 from repro.compiler.pipeline import CompiledQuery, compile_query
 from repro.data.catalog import CollectionCatalog, InMemorySource
 from repro.data.generator import SensorDataConfig, write_sensor_collection
@@ -91,9 +92,12 @@ __all__ = [
     "RetryPolicy",
     "RewriteAudit",
     "RewriteConfig",
+    "SCAN_MODES",
+    "SegmentCache",
     "SensorDataConfig",
     "SequentialBackend",
     "SpillError",
+    "resolve_scan_mode",
     "ThreadBackend",
     "WorkerCrashError",
     "compile_query",

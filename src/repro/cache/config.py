@@ -1,0 +1,69 @@
+"""Scan-mode and segment-cache resolution (explicit > env > default).
+
+Scan modes select the per-record projector used by every DATASCAN:
+
+- ``ondemand`` (default) — the structural-index scanner
+  (:mod:`repro.jsonlib.tape`): one tokenizing pass builds a tape, the
+  projection navigates it lazily, non-projected subtrees are jumped by
+  offset arithmetic.
+- ``text`` — the raw-text skipper (:mod:`repro.jsonlib.textscan`),
+  the canonical reference implementation.
+- ``eager`` — parse every record fully, then navigate the materialized
+  item (the pre-PR-7 naive baseline; kept for benchmarking and for the
+  differential harness's scan-mode axis).
+
+All three produce byte-identical items, errors, and degradation
+records; they differ only in speed and in which diagnostic counters
+they populate.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import ReproError
+
+SCAN_MODES = ("ondemand", "text", "eager")
+
+#: Environment default for :func:`resolve_scan_mode`.
+SCAN_MODE_ENV = "REPRO_SCAN_MODE"
+
+#: Environment default for :func:`resolve_segment_cache` (a directory
+#: path; empty/unset disables the cache).
+SEGMENT_CACHE_ENV = "REPRO_SEGMENT_CACHE"
+
+
+def validate_scan_mode(mode: str) -> str:
+    if mode not in SCAN_MODES:
+        raise ReproError(
+            f"unknown scan mode {mode!r}; expected one of {', '.join(SCAN_MODES)}"
+        )
+    return mode
+
+
+def resolve_scan_mode(mode: str | None = None) -> str:
+    """Resolve a scan mode: explicit argument > $REPRO_SCAN_MODE > ondemand."""
+    if mode is not None:
+        return validate_scan_mode(mode)
+    env = os.environ.get(SCAN_MODE_ENV, "").strip()
+    if env:
+        return validate_scan_mode(env)
+    return "ondemand"
+
+
+def resolve_segment_cache(cache_dir: str | None = None):
+    """Resolve a segment cache: explicit directory > $REPRO_SEGMENT_CACHE > off.
+
+    Returns a :class:`~repro.cache.segments.SegmentCache` or ``None``
+    (cache disabled).
+    """
+    from repro.cache.segments import SegmentCache
+
+    if cache_dir is None:
+        cache_dir = os.environ.get(SEGMENT_CACHE_ENV, "").strip()
+    if not cache_dir:
+        # An explicit empty string disables the cache even when the
+        # environment sets a directory — same contract as
+        # ``configure_scan(segment_cache_dir="")``.
+        return None
+    return SegmentCache(cache_dir)

@@ -1,0 +1,248 @@
+"""Binary columnar segment files for projected scan results.
+
+A *segment* is the full projected output of scanning one source (a file
+on disk or one in-memory text) under one projection path and one
+malformed-input policy, together with everything needed to replay the
+scan's observable side effects: the projection hit/skip counter deltas
+and the skipped-record events a degradation report would have seen.
+
+Layout on disk (one file per segment, named by the SHA-256 of the
+cache key)::
+
+    RSEG1\\n <pickled header dict> <per-column payload>
+
+Uniform lists of flat dicts — the shape every paper query projects —
+are shredded column-wise: each key's values become one column, and
+all-float / all-int columns are packed as raw ``array('d')`` /
+``array('q')`` bytes (true binary columnar storage; strings and mixed
+columns fall back to a pickled list).  Non-uniform results are stored
+as pickled rows.  Warm loads therefore deserialize at C speed and
+never touch JSON.
+
+Concurrency: writes go to a unique temp file in the cache directory
+and are published with :func:`os.replace`, so concurrent partition
+workers (threads or processes) are lock-free — readers only ever see
+complete segments, and double-writes of the same key are idempotent
+last-writer-wins.  A :class:`SegmentCache` holds only its directory
+path, so it pickles into process-backend work units for free.  Every
+store is best-effort: I/O errors disable nothing but that one write.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from array import array
+from dataclasses import dataclass
+
+from repro.jsonlib.path import KeysOrMembers, Path, ValueByIndex, ValueByKey
+
+_MAGIC = b"RSEG1\n"
+
+
+def canonical_projection(path: Path) -> str:
+    """Stable textual key for a projection path."""
+    parts = []
+    for step in path:
+        if isinstance(step, ValueByKey):
+            parts.append("k=" + step.key)
+        elif isinstance(step, ValueByIndex):
+            parts.append("i=" + str(step.index))
+        elif isinstance(step, KeysOrMembers):
+            parts.append("*")
+        else:  # future step kinds must not silently alias existing keys
+            parts.append(repr(step))
+    return "/".join(parts)
+
+
+def file_fingerprint(file_path: str) -> tuple:
+    """Content fingerprint of an on-disk source: size + mtime_ns.
+
+    Truncating, appending or touching the file changes the fingerprint,
+    which changes the cache key — stale segments are simply never
+    matched again (no explicit invalidation pass is needed).
+    """
+    stat = os.stat(file_path)
+    return ("stat", stat.st_size, stat.st_mtime_ns)
+
+
+def text_fingerprint(text: str) -> tuple:
+    """Content fingerprint of an in-memory source: content hash."""
+    return ("sha256", hashlib.sha256(text.encode("utf-8")).hexdigest())
+
+
+@dataclass
+class CachedSegment:
+    """A loaded segment: items plus the scan's replayable side effects."""
+
+    items: list
+    #: ``ScanCounters.as_dict()`` of the producing scan; a hit replays
+    #: only the ``matched``/``skipped`` fields (see ``ScanCounters.absorb``)
+    #: so projection accounting is byte-identical with a cold scan.
+    counters: dict
+    #: ``(offset, message)`` pairs for records the producing scan
+    #: skipped under ``on_malformed="skip_record"``.
+    skip_events: list
+
+
+def _shred(items: list):
+    """Split uniform flat-dict rows into columns; None if not uniform."""
+    if not items:
+        return None
+    first = items[0]
+    if type(first) is not dict or not first:
+        return None
+    keys = tuple(first)
+    columns: list[list] = [[] for _ in keys]
+    for item in items:
+        if type(item) is not dict or len(item) != len(keys):
+            return None
+        for column, key in zip(columns, keys):
+            try:
+                column.append(item[key])
+            except KeyError:
+                return None
+    return keys, columns
+
+
+def _pack_column(values: list):
+    """Pack a column: raw f8/i8 bytes when homogeneous, pickle otherwise."""
+    kinds = set(map(type, values))
+    if kinds == {float}:
+        return ("f8", array("d", values).tobytes())
+    if kinds == {int}:
+        try:
+            return ("i8", array("q", values).tobytes())
+        except OverflowError:
+            pass
+    return ("py", values)
+
+
+def _unpack_column(kind: str, payload):
+    if kind == "f8":
+        column = array("d")
+        column.frombytes(payload)
+        return column.tolist()
+    if kind == "i8":
+        column = array("q")
+        column.frombytes(payload)
+        return column.tolist()
+    return payload
+
+
+class SegmentCache:
+    """On-disk segment store keyed by (source, fingerprint, projection).
+
+    The malformed-input policy is part of the key: a segment produced
+    under ``skip_record`` carries skip events that a ``fail`` scan of
+    the same bytes would instead have raised, so segments never cross
+    policies.
+    """
+
+    def __init__(self, cache_dir: str):
+        self.cache_dir = cache_dir
+
+    # -- keys ------------------------------------------------------------------
+
+    def _segment_path(self, source_id, fingerprint, projection, policy) -> str:
+        key = repr((source_id, fingerprint, projection, policy))
+        digest = hashlib.sha256(key.encode("utf-8")).hexdigest()
+        return os.path.join(self.cache_dir, digest + ".seg")
+
+    # -- store / load ----------------------------------------------------------
+
+    def store(
+        self,
+        source_id: str,
+        fingerprint: tuple,
+        projection: str,
+        policy: str,
+        items: list,
+        counters: dict,
+        skip_events: list,
+    ) -> bool:
+        """Write one segment atomically; returns False on I/O failure."""
+        shredded = _shred(items)
+        if shredded is not None:
+            keys, columns = shredded
+            header = {
+                "key": (source_id, fingerprint, projection, policy),
+                "counters": counters,
+                "skip_events": skip_events,
+                "layout": "columnar",
+                "columns": keys,
+                "rows": len(items),
+            }
+            payload = [_pack_column(column) for column in columns]
+        else:
+            header = {
+                "key": (source_id, fingerprint, projection, policy),
+                "counters": counters,
+                "skip_events": skip_events,
+                "layout": "rows",
+            }
+            payload = items
+        try:
+            os.makedirs(self.cache_dir, exist_ok=True)
+            fd, temp_path = tempfile.mkstemp(
+                prefix="seg-", suffix=".tmp", dir=self.cache_dir
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(_MAGIC)
+                    pickle.dump(header, handle, pickle.HIGHEST_PROTOCOL)
+                    pickle.dump(payload, handle, pickle.HIGHEST_PROTOCOL)
+                os.replace(
+                    temp_path,
+                    self._segment_path(source_id, fingerprint, projection, policy),
+                )
+            except BaseException:
+                try:
+                    os.unlink(temp_path)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return False
+        return True
+
+    def load(
+        self,
+        source_id: str,
+        fingerprint: tuple,
+        projection: str,
+        policy: str,
+    ) -> CachedSegment | None:
+        """Load a segment; None on miss, stale fingerprint, or bad file."""
+        segment_path = self._segment_path(
+            source_id, fingerprint, projection, policy
+        )
+        try:
+            with open(segment_path, "rb") as handle:
+                if handle.read(len(_MAGIC)) != _MAGIC:
+                    return None
+                header = pickle.load(handle)
+                if header.get("key") != (
+                    source_id, fingerprint, projection, policy,
+                ):
+                    return None
+                payload = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            return None
+        if header["layout"] == "columnar":
+            keys = header["columns"]
+            columns = [
+                _unpack_column(kind, data) for kind, data in payload
+            ]
+            items = [dict(zip(keys, row)) for row in zip(*columns)]
+            if len(items) != header["rows"]:  # zero-column guard
+                items = [{} for _ in range(header["rows"])]
+        else:
+            items = payload
+        return CachedSegment(
+            items=items,
+            counters=header["counters"],
+            skip_events=header["skip_events"],
+        )

@@ -8,6 +8,11 @@ Runs each query through the full matrix of
 - DATASCAN projection on/off (off replaces the projecting scanners
   with :class:`EagerNavigationSource`: parse everything, then
   navigate — the definitional semantics),
+- scan modes (:data:`SCAN_MODE_AXIS`: ``eager`` parse-then-navigate,
+  ``ondemand`` structural-index tape, ``cached-warm`` on-demand through
+  the segment cache compared on the warm execution) — every projected
+  cell runs all three and the items *and* degradation reports must be
+  byte-identical, not merely canonically equal,
 - bounded memory (a :data:`SPILL_BUDGET_BYTES` budget tiny enough to
   force the blocking operators through their spill-to-disk paths),
 - injected worker crashes (a :class:`~repro.resilience.faults.FaultPlan`
@@ -55,6 +60,12 @@ from repro.resilience.faults import FaultPlan
 
 BACKEND_NAMES = ("sequential", "thread", "process")
 PROJECTION_MODES = ("projected", "eager")
+#: The scan-mode axis: every projected cell runs under all three and
+#: must produce byte-identical items and degradation reports.
+#: ``cached-warm`` = on-demand scan through the segment cache, compared
+#: on the *second* (warm) execution so the result comes from segment
+#: files, not JSON.
+SCAN_MODE_AXIS = ("eager", "ondemand", "cached-warm")
 
 #: memory budget for the forced-spill matrix cells — small enough that
 #: the paper datasets overflow every blocking operator, large enough
@@ -134,6 +145,13 @@ class EagerNavigationSource:
     def attach_scan_counters(self, counters):
         self._inner.attach_scan_counters(counters)
 
+    def configure_scan(self, scan_mode=None, segment_cache_dir=None):
+        configure = getattr(self._inner, "configure_scan", None)
+        if configure is not None:
+            configure(
+                scan_mode=scan_mode, segment_cache_dir=segment_cache_dir
+            )
+
 
 # ---------------------------------------------------------------------------
 # Report structures
@@ -148,8 +166,10 @@ class Mismatch:
     config: str
     backend: str
     projection: str
-    kind: str  # "mismatch" | "error"
+    kind: str  # "mismatch" | "error" | "scan-mode-divergence"
     detail: str
+    #: scan mode of the failing run (see :data:`SCAN_MODE_AXIS`)
+    scan_mode: str = "ondemand"
     #: True when the cell ran under the forced-spill memory budget
     spill: bool = False
     #: True when the cell ran with an injected worker crash
@@ -164,6 +184,7 @@ class Mismatch:
             "config": self.config,
             "backend": self.backend,
             "projection": self.projection,
+            "scan_mode": self.scan_mode,
             "spill": self.spill,
             "crash": self.crash,
             "kind": self.kind,
@@ -223,6 +244,10 @@ class _MatrixRunner:
             for name in BACKEND_NAMES
         }
         self._spill_dir = tempfile.mkdtemp(prefix="repro-diffcheck-spill-")
+        # Shared across cells: keys include content hash + projection +
+        # policy, so reuse across cases is safe (and a pre-warmed key
+        # only makes a "cold" populate pass cheaper).
+        self._cache_dir = tempfile.mkdtemp(prefix="repro-diffcheck-cache-")
 
     def close(self) -> None:
         import shutil
@@ -232,6 +257,7 @@ class _MatrixRunner:
             if close is not None:
                 close()
         shutil.rmtree(self._spill_dir, ignore_errors=True)
+        shutil.rmtree(self._cache_dir, ignore_errors=True)
 
     def run(
         self,
@@ -240,9 +266,24 @@ class _MatrixRunner:
         config: RewriteConfig,
         backend_name: str,
         projection: str,
+        scan_mode: str = "ondemand",
         memory_budget: int | None = None,
         fault_plan: FaultPlan | None = None,
-    ) -> list:
+    ):
+        """Run one cell; returns the full :class:`QueryResult`.
+
+        ``scan_mode="cached-warm"`` executes twice through the shared
+        segment cache and returns the warm result — the one whose items
+        came from segment files.
+        """
+        configure = getattr(source, "configure_scan", None)
+        if configure is not None:
+            if scan_mode == "cached-warm":
+                configure(
+                    scan_mode="ondemand", segment_cache_dir=self._cache_dir
+                )
+            else:
+                configure(scan_mode=scan_mode, segment_cache_dir="")
         if projection == "eager":
             source = EagerNavigationSource(source)
         processor = JsonProcessor(
@@ -253,7 +294,9 @@ class _MatrixRunner:
             spill_dir=self._spill_dir,
             fault_plan=fault_plan,
         )
-        return processor.evaluate(query_text)
+        if scan_mode == "cached-warm":
+            processor.execute(query_text)  # cold pass populates segments
+        return processor.execute(query_text)
 
 
 def _cells(configs, backends, projections):
@@ -275,46 +318,90 @@ def _check_cell(
     projection: str,
     memory_budget: int | None = None,
     fault_plan: FaultPlan | None = None,
-) -> Mismatch | None:
-    try:
-        got = runner.run(
-            source,
-            query_text,
-            TOGGLE_CONFIGS[config_name],
-            backend_name,
-            projection,
-            memory_budget=memory_budget,
-            fault_plan=fault_plan,
-        )
-    except ReproError as error:
-        return Mismatch(
-            case=case_name,
-            config=config_name,
-            backend=backend_name,
-            projection=projection,
-            spill=memory_budget is not None,
-            crash=fault_plan is not None,
-            kind="error",
-            detail=f"{type(error).__name__}: {error}",
-        )
-    actual = canonical_result(got)
-    if actual != expected:
-        return Mismatch(
-            case=case_name,
-            config=config_name,
-            backend=backend_name,
-            projection=projection,
-            spill=memory_budget is not None,
-            crash=fault_plan is not None,
-            kind="mismatch",
-            detail=(
-                f"expected {len(expected)} canonical items, "
-                f"got {len(actual)}; "
-                f"missing={list(set(expected) - set(actual))[:3]!r} "
-                f"unexpected={list(set(actual) - set(expected))[:3]!r}"
-            ),
-        )
-    return None
+) -> tuple[int, Mismatch | None]:
+    """Check one matrix cell; returns ``(runs_executed, mismatch)``.
+
+    Projected cells sweep the full :data:`SCAN_MODE_AXIS`: every scan
+    mode must match the oracle, and beyond canonical equality the
+    items and the degradation report must be *byte-identical*
+    (``repr``-compared) across all three modes — the fast path and the
+    segment cache are not allowed to perturb even the output order or
+    the failure accounting.  Eager-navigation cells bypass the
+    scanners entirely, so they run the default mode only.
+    """
+    scan_modes = (
+        SCAN_MODE_AXIS if projection == "projected" else ("ondemand",)
+    )
+    reference_mode = None
+    reference_bytes = None
+    runs = 0
+    for scan_mode in scan_modes:
+        runs += 1
+        try:
+            result = runner.run(
+                source,
+                query_text,
+                TOGGLE_CONFIGS[config_name],
+                backend_name,
+                projection,
+                scan_mode=scan_mode,
+                memory_budget=memory_budget,
+                fault_plan=fault_plan,
+            )
+        except ReproError as error:
+            return runs, Mismatch(
+                case=case_name,
+                config=config_name,
+                backend=backend_name,
+                projection=projection,
+                scan_mode=scan_mode,
+                spill=memory_budget is not None,
+                crash=fault_plan is not None,
+                kind="error",
+                detail=f"{type(error).__name__}: {error}",
+            )
+        actual = canonical_result(result.items)
+        if actual != expected:
+            return runs, Mismatch(
+                case=case_name,
+                config=config_name,
+                backend=backend_name,
+                projection=projection,
+                scan_mode=scan_mode,
+                spill=memory_budget is not None,
+                crash=fault_plan is not None,
+                kind="mismatch",
+                detail=(
+                    f"expected {len(expected)} canonical items, "
+                    f"got {len(actual)}; "
+                    f"missing={list(set(expected) - set(actual))[:3]!r} "
+                    f"unexpected={list(set(actual) - set(expected))[:3]!r}"
+                ),
+            )
+        cell_bytes = (repr(result.items), repr(result.degradation))
+        if reference_bytes is None:
+            reference_mode, reference_bytes = scan_mode, cell_bytes
+        elif cell_bytes != reference_bytes:
+            diverged = (
+                "items"
+                if cell_bytes[0] != reference_bytes[0]
+                else "degradation report"
+            )
+            return runs, Mismatch(
+                case=case_name,
+                config=config_name,
+                backend=backend_name,
+                projection=projection,
+                scan_mode=scan_mode,
+                spill=memory_budget is not None,
+                crash=fault_plan is not None,
+                kind="scan-mode-divergence",
+                detail=(
+                    f"{diverged} not byte-identical to the "
+                    f"{reference_mode} run of the same cell"
+                ),
+            )
+    return runs, None
 
 
 # ---------------------------------------------------------------------------
@@ -485,7 +572,10 @@ def run_diffcheck(
     a :data:`SPILL_BUDGET_BYTES` budget) plus one crash-injected cell
     per backend (all-rules, projected, the first partition's worker
     killed on attempt 1 — recovery must still match the oracle
-    bit-for-bit).  Generated pairs check every
+    bit-for-bit).  Every projected cell — including the spill and
+    crash cells — additionally sweeps the scan-mode axis
+    (:data:`SCAN_MODE_AXIS`) and byte-compares items and degradation
+    reports across modes.  Generated pairs check every
     rewrite toggle on the (sequential, projected) cell, plus one
     rotating (backend, projection) cell under the all-rules config, and
     one rotating forced-spill cell, so the whole axis stays covered
@@ -516,22 +606,22 @@ def _run_paper_queries(runner, report, seed, data_config, queries, progress):
         query_text = builder(collection="/sensors", wrapped=True)
         expected = canonical_result(oracle_result(name, documents))
         for cell in _cells(TOGGLE_CONFIGS, BACKEND_NAMES, PROJECTION_MODES):
-            mismatch = _check_cell(
+            runs, mismatch = _check_cell(
                 runner, report, source, name, query_text, expected, *cell
             )
-            report.paper_cells += 1
+            report.paper_cells += runs
             if mismatch is not None:
                 report.mismatches.append(mismatch)
         # Forced-spill cells: the same query, all backends, a budget
         # small enough that the blocking operators degrade to disk; the
         # result must still match the oracle bit-for-bit.
         for backend_name in BACKEND_NAMES:
-            mismatch = _check_cell(
+            runs, mismatch = _check_cell(
                 runner, report, source, name, query_text, expected,
                 "all", backend_name, "projected",
                 memory_budget=SPILL_BUDGET_BYTES,
             )
-            report.paper_cells += 1
+            report.paper_cells += runs
             if mismatch is not None:
                 report.mismatches.append(mismatch)
         # Crash-injected cells: the same query with the first
@@ -541,12 +631,12 @@ def _run_paper_queries(runner, report, seed, data_config, queries, progress):
         # process backend, simulated crashes elsewhere).
         crash_plan = FaultPlan().kill_worker(0, attempt=1)
         for backend_name in BACKEND_NAMES:
-            mismatch = _check_cell(
+            runs, mismatch = _check_cell(
                 runner, report, source, name, query_text, expected,
                 "all", backend_name, "projected",
                 fault_plan=crash_plan,
             )
-            report.paper_cells += 1
+            report.paper_cells += runs
             if mismatch is not None:
                 report.mismatches.append(mismatch)
         if progress is not None:
@@ -581,12 +671,12 @@ def _run_generated_cases(runner, report, seed, case_count, shrink, progress):
             )
         )
         for config_name, backend_name, projection, budget in cells:
-            mismatch = _check_cell(
+            runs, mismatch = _check_cell(
                 runner, report, source, case.name, case.query_text,
                 expected, config_name, backend_name, projection,
                 memory_budget=budget,
             )
-            report.generated_cells += 1
+            report.generated_cells += runs
             if mismatch is not None:
                 if shrink and mismatch.kind == "mismatch":
                     mismatch = _shrink_mismatch(runner, case, mismatch)
@@ -609,11 +699,19 @@ def _shrink_mismatch(runner, case, mismatch: Mismatch) -> Mismatch:
                 config,
                 mismatch.backend,
                 mismatch.projection,
+                scan_mode=(
+                    mismatch.scan_mode
+                    if mismatch.scan_mode in SCAN_MODE_AXIS
+                    else "ondemand"
+                ),
                 memory_budget=SPILL_BUDGET_BYTES if mismatch.spill else None,
             )
         except ReproError:
             return False
-        return canonical_result(got) != canonical_result(candidate.expected())
+        return (
+            canonical_result(got.items)
+            != canonical_result(candidate.expected())
+        )
 
     shrunk = shrink_case(case, still_fails)
     mismatch.repro_query = shrunk.query_text

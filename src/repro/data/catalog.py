@@ -25,13 +25,80 @@ import os
 import threading
 from typing import Iterator
 
+from repro.cache.config import (
+    resolve_scan_mode,
+    resolve_segment_cache,
+    validate_scan_mode,
+)
+from repro.cache.segments import (
+    SegmentCache,
+    canonical_projection,
+    file_fingerprint,
+    text_fingerprint,
+)
 from repro.errors import FileScanError, JsonError, ReproError
+from repro.jsonlib import tape
 from repro.jsonlib.items import Item
 from repro.jsonlib.parser import parse, parse_many, parse_many_resilient
-from repro.jsonlib.path import Path
+from repro.jsonlib.path import Path, navigate_sequence
 from repro.jsonlib.projection import project_file
-from repro.jsonlib.textscan import scan_file, scan_text
+from repro.jsonlib.textscan import ScanCounters, scan_file, scan_text
 from repro.resilience.policies import validate_on_malformed
+
+_BOM = "\ufeff"
+
+
+def _eager_scan_text(
+    text: str,
+    path: Path,
+    on_malformed: str = "fail",
+    recorder=None,
+    counters: ScanCounters | None = None,
+) -> list[Item]:
+    """Eager-mode scan: parse every record fully, then navigate.
+
+    The pre-PR-7 baseline, kept as ``scan_mode="eager"``.  A leading
+    BOM is blanked (not stripped) so recorder offsets line up with the
+    skipper's.  Only ``matched`` is counted — eager parsing has no
+    notion of a skipped subtree.
+    """
+    if text.startswith(_BOM):
+        text = " " + text[1:]
+    if on_malformed == "skip_record":
+        records = parse_many_resilient(
+            text, on_malformed="skip_record", recorder=recorder
+        )
+    else:
+        records = parse_many(text)
+    projected = navigate_sequence(records, path)
+    if counters is not None:
+        counters.matched += len(projected)
+    return projected
+
+
+def _eager_scan_file(
+    file_path: str,
+    path: Path,
+    on_malformed: str = "fail",
+    recorder=None,
+    counters: ScanCounters | None = None,
+) -> list[Item]:
+    """File twin of :func:`_eager_scan_text` (``utf-8-sig``, like scan_file)."""
+    with open(file_path, "r", encoding="utf-8-sig") as handle:
+        text = handle.read()
+    return _eager_scan_text(
+        text, path, on_malformed=on_malformed, recorder=recorder,
+        counters=counters,
+    )
+
+
+#: scan mode -> (file scanner, text scanner); all three produce
+#: byte-identical items, errors and skip events.
+_SCANNERS = {
+    "ondemand": (tape.scan_file, tape.scan_text),
+    "text": (scan_file, scan_text),
+    "eager": (_eager_scan_file, _eager_scan_text),
+}
 
 
 class CollectionCatalog:
@@ -42,12 +109,37 @@ class CollectionCatalog:
     ``<base>/<collection>/partition<i>/*.json``.
     """
 
-    def __init__(self, base_dir: str | None = None, on_malformed: str = "fail"):
+    def __init__(
+        self,
+        base_dir: str | None = None,
+        on_malformed: str = "fail",
+        scan_mode: str | None = None,
+        segment_cache_dir: str | None = None,
+    ):
         self._collections: dict[str, list[list[str]]] = {}
         self.on_malformed = validate_on_malformed(on_malformed)
+        self.scan_mode = resolve_scan_mode(scan_mode)
+        self.segment_cache = resolve_segment_cache(segment_cache_dir)
         self._local = threading.local()
         if base_dir is not None:
             self.discover(base_dir)
+
+    def configure_scan(
+        self,
+        scan_mode: str | None = None,
+        segment_cache_dir: str | None = None,
+    ) -> None:
+        """Override the scan mode and/or segment cache after construction.
+
+        ``None`` leaves a setting untouched; an empty
+        ``segment_cache_dir`` string disables the cache.
+        """
+        if scan_mode is not None:
+            self.scan_mode = validate_scan_mode(scan_mode)
+        if segment_cache_dir is not None:
+            self.segment_cache = (
+                SegmentCache(segment_cache_dir) if segment_cache_dir else None
+            )
 
     # -- resilience wiring -------------------------------------------------------
 
@@ -226,9 +318,13 @@ class CollectionCatalog:
             yield from self._scan_one(file_path, path)
 
     def _scan_one(self, file_path: str, path: Path) -> Iterator[Item]:
+        if self.segment_cache is not None:
+            yield from self._scan_one_cached(file_path, path)
+            return
         counters = self._counters
+        scan = _SCANNERS[self.scan_mode][0]
         if self.on_malformed == "skip_record":
-            yield from scan_file(
+            yield from scan(
                 file_path,
                 path,
                 on_malformed="skip_record",
@@ -240,16 +336,86 @@ class CollectionCatalog:
             # whole file, not just its tail (memory stays file-bounded,
             # the same bound scan_file already has).
             try:
-                items = list(scan_file(file_path, path, counters=counters))
+                items = list(scan(file_path, path, counters=counters))
             except JsonError as error:
                 self._record_skipped_file(file_path, error)
                 return
             yield from items
         else:
             try:
-                yield from scan_file(file_path, path, counters=counters)
+                yield from scan(file_path, path, counters=counters)
             except JsonError as error:
                 raise FileScanError(file_path, error) from error
+
+    def _scan_one_cached(self, file_path: str, path: Path) -> list[Item]:
+        """Serve one file from the segment cache, scanning cold on miss.
+
+        The observable behaviour — items, errors, skip events, and the
+        ``matched``/``skipped`` counter deltas — is byte-identical with
+        the uncached scan: a cold scan stages its counters and merges
+        them even when the scan fails mid-file (matching the direct
+        pass-through), a hit replays the stored deltas and skip events.
+        Only complete scans are stored; a failed or skipped file is
+        rescanned next time.
+        """
+        counters = self._counters
+        policy = self.on_malformed
+        projection = canonical_projection(path)
+        try:
+            fingerprint = file_fingerprint(file_path)
+        except OSError:
+            fingerprint = None
+        if fingerprint is not None:
+            segment = self.segment_cache.load(
+                file_path, fingerprint, projection, policy
+            )
+            if segment is not None:
+                if counters is not None:
+                    counters.cache_hits += 1
+                    counters.absorb(segment.counters)
+                for offset, message in segment.skip_events:
+                    self._record_skipped_record(file_path, offset, message)
+                return segment.items
+        if counters is not None:
+            counters.cache_misses += 1
+        attempt = ScanCounters()
+        events: list[tuple[int | None, str]] = []
+        scan = _SCANNERS[self.scan_mode][0]
+        if policy == "skip_record":
+            def recorder(offset: int | None, message: str) -> None:
+                events.append((offset, message))
+                self._record_skipped_record(file_path, offset, message)
+
+            items = list(scan(
+                file_path,
+                path,
+                on_malformed="skip_record",
+                recorder=recorder,
+                counters=attempt,
+            ))
+        elif policy == "skip_file":
+            try:
+                items = list(scan(file_path, path, counters=attempt))
+            except JsonError as error:
+                if counters is not None:
+                    counters.merge(attempt)
+                self._record_skipped_file(file_path, error)
+                return []
+        else:
+            try:
+                items = list(scan(file_path, path, counters=attempt))
+            except JsonError as error:
+                if counters is not None:
+                    counters.merge(attempt)
+                raise FileScanError(file_path, error) from error
+        if counters is not None:
+            counters.merge(attempt)
+        if fingerprint is not None:
+            self.segment_cache.store(
+                file_path, fingerprint, projection, policy,
+                items, attempt.as_dict(), events,
+            )
+        return items
 
     def _recorder(self, file_path: str):
         def record(offset: int | None, message: str) -> None:
@@ -266,10 +432,11 @@ class CollectionCatalog:
         skip policies degrade to truncating the broken file's remainder
         (recorded as a skipped file).
         """
+        counters = self._counters
         for file_path in self.files(name, partition):
             if self.on_malformed == "fail":
                 try:
-                    yield from project_file(file_path, path)
+                    yield from project_file(file_path, path, counters=counters)
                 except JsonError as error:
                     raise FileScanError(file_path, error) from error
             else:
@@ -279,7 +446,8 @@ class CollectionCatalog:
                     truncated.append(f"{message} (rest of file dropped)")
 
                 yield from project_file(
-                    file_path, path, on_malformed=self.on_malformed, recorder=record
+                    file_path, path, on_malformed=self.on_malformed,
+                    recorder=record, counters=counters,
                 )
                 for message in truncated:
                     self._record_skipped_file(file_path, ReproError(message))
@@ -297,6 +465,8 @@ class InMemorySource:
         collections: dict[str, list[list[str]]] | None = None,
         documents: dict[str, str] | None = None,
         on_malformed: str = "fail",
+        scan_mode: str | None = None,
+        segment_cache_dir: str | None = None,
     ):
         self._collections = {
             CollectionCatalog._normalize(name): partitions
@@ -304,7 +474,22 @@ class InMemorySource:
         }
         self._documents = dict(documents or {})
         self.on_malformed = validate_on_malformed(on_malformed)
+        self.scan_mode = resolve_scan_mode(scan_mode)
+        self.segment_cache = resolve_segment_cache(segment_cache_dir)
         self._local = threading.local()
+
+    def configure_scan(
+        self,
+        scan_mode: str | None = None,
+        segment_cache_dir: str | None = None,
+    ) -> None:
+        """Override scan mode / segment cache (None leaves untouched)."""
+        if scan_mode is not None:
+            self.scan_mode = validate_scan_mode(scan_mode)
+        if segment_cache_dir is not None:
+            self.segment_cache = (
+                SegmentCache(segment_cache_dir) if segment_cache_dir else None
+            )
 
     @property
     def _report(self):
@@ -396,9 +581,13 @@ class InMemorySource:
         self, name: str, path: Path, partition: int | None = None
     ) -> Iterator[Item]:
         counters = self._counters
+        scan = _SCANNERS[self.scan_mode][1]
         for label, text in self._texts(name, partition):
+            if self.segment_cache is not None:
+                yield from self._scan_one_cached(label, text, path)
+                continue
             if self.on_malformed == "skip_record":
-                yield from scan_text(
+                yield from scan(
                     text,
                     path,
                     on_malformed="skip_record",
@@ -407,16 +596,79 @@ class InMemorySource:
                 )
             elif self.on_malformed == "skip_file":
                 try:
-                    items = list(scan_text(text, path, counters=counters))
+                    items = list(scan(text, path, counters=counters))
                 except JsonError as error:
                     self._record_skipped_file(label, error)
                     continue
                 yield from items
             else:
                 try:
-                    yield from scan_text(text, path, counters=counters)
+                    yield from scan(text, path, counters=counters)
                 except JsonError as error:
                     raise FileScanError(label, error) from error
+
+    def _scan_one_cached(self, label: str, text: str, path: Path) -> list[Item]:
+        """Cached twin of one ``scan_collection`` step (content-hash keyed).
+
+        Same contract as ``CollectionCatalog._scan_one_cached``; the
+        fingerprint is a content hash, so edited texts simply produce a
+        new key (no staleness window at all).
+        """
+        counters = self._counters
+        policy = self.on_malformed
+        projection = canonical_projection(path)
+        fingerprint = text_fingerprint(text)
+        segment = self.segment_cache.load(label, fingerprint, projection, policy)
+        if segment is not None:
+            if counters is not None:
+                counters.cache_hits += 1
+                counters.absorb(segment.counters)
+            if self._report is not None:
+                for offset, message in segment.skip_events:
+                    self._report.record_skipped_record(label, offset, message)
+            return segment.items
+        if counters is not None:
+            counters.cache_misses += 1
+        attempt = ScanCounters()
+        events: list[tuple[int | None, str]] = []
+        scan = _SCANNERS[self.scan_mode][1]
+        if policy == "skip_record":
+            report = self._report
+
+            def recorder(offset: int | None, message: str) -> None:
+                events.append((offset, message))
+                if report is not None:
+                    report.record_skipped_record(label, offset, message)
+
+            items = list(scan(
+                text,
+                path,
+                on_malformed="skip_record",
+                recorder=recorder,
+                counters=attempt,
+            ))
+        elif policy == "skip_file":
+            try:
+                items = list(scan(text, path, counters=attempt))
+            except JsonError as error:
+                if counters is not None:
+                    counters.merge(attempt)
+                self._record_skipped_file(label, error)
+                return []
+        else:
+            try:
+                items = list(scan(text, path, counters=attempt))
+            except JsonError as error:
+                if counters is not None:
+                    counters.merge(attempt)
+                raise FileScanError(label, error) from error
+        if counters is not None:
+            counters.merge(attempt)
+        self.segment_cache.store(
+            label, fingerprint, projection, policy,
+            items, attempt.as_dict(), events,
+        )
+        return items
 
     def _recorder(self, label: str):
         def record(offset: int | None, message: str) -> None:

@@ -212,6 +212,15 @@ def _execute_datascan(op: DataScan, ctx: EvaluationContext) -> Iterator[Tuple]:
             if counters is not None:
                 profile.add(op, "projection_hits", counters.matched)
                 profile.add(op, "projection_skips", counters.skipped)
+                # Scan fast-path diagnostics (zero when the mode/cache
+                # that produces them is off, keeping profiles stable).
+                if counters.tape_records:
+                    profile.add(op, "tape_records", counters.tape_records)
+                    profile.add(op, "tape_tokens", counters.tape_tokens)
+                if counters.cache_hits:
+                    profile.add(op, "cache_hits", counters.cache_hits)
+                if counters.cache_misses:
+                    profile.add(op, "cache_misses", counters.cache_misses)
 
 
 def _execute_assign(

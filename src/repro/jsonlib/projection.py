@@ -177,19 +177,28 @@ def _project_value(
         raise JsonSyntaxError(f"unknown path step {step!r}")
 
 
-def project_events(events, path: Path) -> Iterator[Item]:
-    """Project *path* over every top-level value of an event stream."""
+def project_events(events, path: Path, counters=None) -> Iterator[Item]:
+    """Project *path* over every top-level value of an event stream.
+
+    *counters* (a :class:`~repro.jsonlib.textscan.ScanCounters`)
+    accumulates ``matched`` per projected item; the event stream has no
+    per-subtree skip notion, so ``skipped`` accounting lives only on
+    the record-level scanners.
+    """
     cursor = _EventCursor(events)
     while True:
         first = cursor.try_next()
         if first is None:
             return
-        yield from _project_value(cursor, first, path, 0)
+        for item in _project_value(cursor, first, path, 0):
+            if counters is not None:
+                counters.matched += 1
+            yield item
 
 
-def project_text(text: str, path: Path) -> Iterator[Item]:
+def project_text(text: str, path: Path, counters=None) -> Iterator[Item]:
     """Project *path* over the JSON value(s) in *text*."""
-    return project_events(iter_events(text), path)
+    return project_events(iter_events(text), path, counters=counters)
 
 
 def project_file(
@@ -198,6 +207,7 @@ def project_file(
     chunk_size: int = 1 << 16,
     on_malformed: str = "fail",
     recorder=None,
+    counters=None,
 ) -> Iterator[Item]:
     """Project *path* over a JSON file, reading it incrementally.
 
@@ -212,14 +222,16 @@ def project_file(
     """
     events = iter_file_events(file_path, chunk_size)
     if on_malformed == "fail":
-        return project_events(events, path)
-    return _project_events_truncating(events, path, recorder)
+        return project_events(events, path, counters=counters)
+    return _project_events_truncating(events, path, recorder, counters)
 
 
-def _project_events_truncating(events, path: Path, recorder) -> Iterator[Item]:
+def _project_events_truncating(
+    events, path: Path, recorder, counters=None
+) -> Iterator[Item]:
     """Yield projected items until the stream breaks; swallow the break."""
     try:
-        yield from project_events(events, path)
+        yield from project_events(events, path, counters=counters)
     except JsonSyntaxError as error:
         if recorder is not None:
             recorder(getattr(error, "offset", None), str(error))

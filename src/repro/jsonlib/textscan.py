@@ -48,21 +48,61 @@ _LITERAL_RE = re.compile(r"true|false|null")
 _LITERAL_VALUES = {"true": True, "false": False, "null": None}
 
 
-class ScanCounters:
-    """Projection-effectiveness counters for one raw-text scan.
+#: Every counter a scan can accumulate, in a stable serialization order.
+_COUNTER_FIELDS = (
+    "matched",
+    "skipped",
+    "tape_records",
+    "tape_tokens",
+    "cache_hits",
+    "cache_misses",
+)
 
-    ``matched`` counts items the projection materialized; ``skipped``
-    counts the values it jumped over at string-search speed (a bulk
-    container skip counts once).  Attached to a scan through the data
-    source's ``attach_scan_counters`` hook and surfaced in query
-    profiles as ``projection_hits`` / ``projection_skips``.
+
+class ScanCounters:
+    """Scan-effectiveness counters for one projected scan.
+
+    Navigation accounting (every scan mode): ``matched`` counts items
+    the projection materialized; ``skipped`` counts the values it
+    jumped over (a bulk container skip counts once).  Tape-build
+    accounting (on-demand mode, :mod:`repro.jsonlib.tape`):
+    ``tape_records`` / ``tape_tokens`` count structural indexes built
+    and their token totals.  Segment-cache accounting
+    (:mod:`repro.cache`): ``cache_hits`` / ``cache_misses`` count
+    per-file cache probes; a hit replays the stored scan's
+    matched/skipped so projection accounting stays byte-identical with
+    the cache off.  Attached to a scan through the data source's
+    ``attach_scan_counters`` hook and surfaced in query profiles as
+    ``projection_hits`` / ``projection_skips`` (plus the tape/cache
+    counters when nonzero).
     """
 
-    __slots__ = ("matched", "skipped")
+    __slots__ = _COUNTER_FIELDS
 
     def __init__(self):
-        self.matched = 0
-        self.skipped = 0
+        for field in _COUNTER_FIELDS:
+            setattr(self, field, 0)
+
+    def merge(self, other: "ScanCounters") -> None:
+        """Accumulate every counter of *other* into this one."""
+        for field in _COUNTER_FIELDS:
+            setattr(self, field, getattr(self, field) + getattr(other, field))
+
+    def as_dict(self) -> dict:
+        """Plain-dict snapshot (stored inside cache segments)."""
+        return {field: getattr(self, field) for field in _COUNTER_FIELDS}
+
+    def absorb(self, data: dict) -> None:
+        """Replay a stored scan's projection accounting (cache hits).
+
+        Only ``matched``/``skipped`` are replayed: a warm partition did
+        that navigation work once, at store time, and replaying it
+        keeps ``projection_hits``/``projection_skips`` byte-identical
+        across cache on/off.  Tape counters are *not* replayed — no
+        structural index was built on the warm path.
+        """
+        self.matched += data.get("matched", 0)
+        self.skipped += data.get("skipped", 0)
 
 
 def _skip_ws(text: str, pos: int) -> int:
@@ -398,12 +438,29 @@ def _resync(text: str, pos: int, error: JsonSyntaxError) -> int:
     return newline + 1
 
 
+def _default_projector(
+    text: str,
+    pos: int,
+    path: Path,
+    out: list,
+    counters: ScanCounters | None,
+) -> int:
+    """Per-record projector of the raw-text skipper.
+
+    ``scan_text``/``scan_file`` delegate each top-level value to a
+    projector with this signature; :mod:`repro.jsonlib.tape` plugs its
+    structural-index projector into the same sliding-buffer machinery.
+    """
+    return _project(text, pos, path, 0, out, counters)
+
+
 def scan_text(
     text: str,
     path: Path,
     on_malformed: str = "fail",
     recorder=None,
     counters: ScanCounters | None = None,
+    projector=_default_projector,
 ) -> Iterator[Item]:
     """Project *path* over every top-level value of *text*.
 
@@ -425,7 +482,7 @@ def scan_text(
     while pos < n:
         out: list = []
         try:
-            pos = _project(text, pos, path, 0, out, counters)
+            pos = projector(text, pos, path, out, counters)
         except JsonSyntaxError as error:
             if on_malformed != "skip_record":
                 raise
@@ -455,6 +512,7 @@ def scan_file(
     recorder=None,
     chunk_size: int = _DEFAULT_CHUNK_SIZE,
     counters: ScanCounters | None = None,
+    projector=_default_projector,
 ) -> Iterator[Item]:
     """Project *path* over a JSON file, reading it in chunks.
 
@@ -512,7 +570,7 @@ def scan_file(
             # value cannot double-count hits or skips.
             attempt = None if counters is None else ScanCounters()
             try:
-                end = _project(buffer, pos, path, 0, out, attempt)
+                end = projector(buffer, pos, path, out, attempt)
             except JsonSyntaxError as error:
                 # Not EOF yet: the error may just be a truncated token
                 # (a string or container cut mid-chunk) — grow and retry.
@@ -531,8 +589,7 @@ def scan_file(
                 if grow():
                     continue
             if counters is not None:
-                counters.matched += attempt.matched
-                counters.skipped += attempt.skipped
+                counters.merge(attempt)
             yield from out
             pos = end
             if pos > chunk_size:

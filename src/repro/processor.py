@@ -23,6 +23,7 @@ from __future__ import annotations
 from repro.algebra.rules import RewriteConfig
 from repro.compiler.pipeline import CompiledQuery, compile_query
 from repro.data.catalog import CollectionCatalog, InMemorySource
+from repro.errors import ReproError
 from repro.hyracks.executor import PartitionedExecutor, QueryResult
 from repro.jsonlib.items import Item
 from repro.resilience.faults import FaultPlan
@@ -88,6 +89,19 @@ class JsonProcessor:
         :class:`~repro.errors.QueryTimeoutError` and releases every
         spill file on the way out.  ``None`` consults the
         ``REPRO_DEADLINE`` environment variable.
+    scan_mode:
+        How DATASCAN projects raw JSON: ``"ondemand"`` (structural-index
+        scanner, the default), ``"text"`` (raw-text skipper), or
+        ``"eager"`` (parse fully, then navigate).  All three are
+        byte-identical in results, errors and degradation reports.
+        ``None`` leaves the source's own setting (which consults the
+        ``REPRO_SCAN_MODE`` environment variable).
+    segment_cache_dir:
+        Directory for the binary columnar segment cache; warm reruns of
+        an unchanged file × projection deserialize segments instead of
+        scanning JSON.  ``None`` leaves the source's own setting
+        (``REPRO_SEGMENT_CACHE`` environment variable); an empty string
+        disables the cache explicitly.
     """
 
     def __init__(
@@ -103,7 +117,21 @@ class JsonProcessor:
         spill: bool = True,
         spill_dir: str | None = None,
         deadline_seconds: float | None = None,
+        scan_mode: str | None = None,
+        segment_cache_dir: str | None = None,
     ):
+        if (
+            scan_mode is not None or segment_cache_dir is not None
+        ) and source is not None:
+            configure = getattr(source, "configure_scan", None)
+            if configure is None:
+                raise ReproError(
+                    "this data source does not support scan_mode/"
+                    "segment_cache_dir configuration"
+                )
+            configure(
+                scan_mode=scan_mode, segment_cache_dir=segment_cache_dir
+            )
         if fault_plan is not None:
             source = fault_plan.wrap(source)
         self.source = source

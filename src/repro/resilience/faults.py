@@ -381,6 +381,14 @@ class FaultInjectingSource:
         if attach is not None:
             attach(report)
 
+    def configure_scan(self, scan_mode=None, segment_cache_dir=None) -> None:
+        """Delegate scan-mode/segment-cache configuration to the inner source."""
+        configure = getattr(self._source, "configure_scan", None)
+        if configure is not None:
+            configure(
+                scan_mode=scan_mode, segment_cache_dir=segment_cache_dir
+            )
+
     def __getstate__(self):
         state = self.__dict__.copy()
         del state["_local"]

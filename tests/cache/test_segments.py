@@ -1,0 +1,166 @@
+"""Binary segment files: shredding, fingerprints, atomic store/load."""
+
+import os
+import pickle
+
+from repro.cache.segments import (
+    _MAGIC,
+    SegmentCache,
+    _pack_column,
+    _shred,
+    canonical_projection,
+    file_fingerprint,
+    text_fingerprint,
+)
+from repro.jsonlib.path import parse_path
+
+KEY = ("src", ("sha256", "abc"), "k=root/*", "fail")
+
+
+def store(cache, items, key=KEY, counters=None, events=None):
+    return cache.store(*key, items, counters or {"matched": len(items)},
+                       events or [])
+
+
+def load(cache, key=KEY):
+    return cache.load(*key)
+
+
+class TestCanonicalProjection:
+    def test_step_kinds(self):
+        path = parse_path('("root")()("results")(3)')
+        assert canonical_projection(path) == "k=root/*/k=results/i=3"
+
+    def test_empty_path(self):
+        assert canonical_projection(parse_path("")) == ""
+
+    def test_key_containing_separator_chars(self):
+        # Keys are embedded verbatim; distinct paths must never alias.
+        a = canonical_projection(parse_path('("x/y")'))
+        b = canonical_projection(parse_path('("x")("y")'))
+        assert a != b
+
+
+class TestFingerprints:
+    def test_file_fingerprint_tracks_truncate_append_mtime(self, tmp_path):
+        target = tmp_path / "d.json"
+        target.write_text("[1, 2, 3]", encoding="utf-8")
+        original = file_fingerprint(str(target))
+        target.write_text("[1, 2]", encoding="utf-8")  # truncate
+        truncated = file_fingerprint(str(target))
+        assert truncated != original
+        with open(target, "a", encoding="utf-8") as handle:  # append
+            handle.write(" [4]")
+        appended = file_fingerprint(str(target))
+        assert appended != truncated
+        stat = os.stat(target)
+        os.utime(target, ns=(stat.st_atime_ns, stat.st_mtime_ns + 1))
+        assert file_fingerprint(str(target)) != appended  # touch
+
+    def test_text_fingerprint_is_content_hash(self):
+        assert text_fingerprint("abc") == text_fingerprint("abc")
+        assert text_fingerprint("abc") != text_fingerprint("abd")
+
+
+class TestShredding:
+    def test_uniform_flat_dicts_shred_columnar(self):
+        items = [{"a": 1.0, "b": 2}, {"a": 3.5, "b": 4}]
+        keys, columns = _shred(items)
+        assert keys == ("a", "b")
+        assert columns == [[1.0, 3.5], [2, 4]]
+
+    def test_non_uniform_rows_refused(self):
+        assert _shred([{"a": 1}, {"b": 2}]) is None
+        assert _shred([{"a": 1}, {"a": 1, "b": 2}]) is None
+        assert _shred([{"a": 1}, 7]) is None
+        assert _shred([]) is None
+        assert _shred([{}]) is None
+
+    def test_pack_float_int_and_mixed_columns(self):
+        assert _pack_column([1.5, 2.5])[0] == "f8"
+        assert _pack_column([1, 2])[0] == "i8"
+        assert _pack_column([1, 2.5])[0] == "py"
+        assert _pack_column(["x"])[0] == "py"
+        assert _pack_column([True, False])[0] == "py"  # bools stay exact
+        assert _pack_column([1 << 80])[0] == "py"  # i8 overflow
+
+
+class TestStoreLoad:
+    def test_columnar_round_trip(self, tmp_path):
+        cache = SegmentCache(str(tmp_path))
+        items = [
+            {"v": 1.5, "n": 2, "s": "x"},
+            {"v": 2.5, "n": 3, "s": "y"},
+        ]
+        assert store(cache, items, counters={"matched": 2, "skipped": 1},
+                     events=[(7, "bad")])
+        segment = load(cache)
+        assert segment.items == items
+        assert all(
+            type(a["n"]) is int and type(a["v"]) is float
+            for a in segment.items
+        )
+        assert segment.counters == {"matched": 2, "skipped": 1}
+        assert segment.skip_events == [(7, "bad")]
+
+    def test_columnar_layout_on_disk(self, tmp_path):
+        cache = SegmentCache(str(tmp_path))
+        store(cache, [{"v": 1.5}, {"v": 2.5}])
+        (segment_file,) = [
+            name for name in os.listdir(tmp_path) if name.endswith(".seg")
+        ]
+        with open(tmp_path / segment_file, "rb") as handle:
+            assert handle.read(len(_MAGIC)) == _MAGIC
+            header = pickle.load(handle)
+            payload = pickle.load(handle)
+        assert header["layout"] == "columnar"
+        assert header["columns"] == ("v",)
+        (column,) = payload
+        assert column[0] == "f8"  # raw array('d') bytes, not pickled objects
+        assert isinstance(column[1], bytes)
+
+    def test_row_round_trip(self, tmp_path):
+        cache = SegmentCache(str(tmp_path))
+        items = [1, "two", {"three": [3]}, None]
+        assert store(cache, items)
+        assert load(cache).items == items
+
+    def test_miss_and_key_isolation(self, tmp_path):
+        cache = SegmentCache(str(tmp_path))
+        assert load(cache) is None
+        store(cache, [1])
+        other_policy = ("src", ("sha256", "abc"), "k=root/*", "skip_record")
+        other_projection = ("src", ("sha256", "abc"), "k=other", "fail")
+        other_fingerprint = ("src", ("sha256", "xyz"), "k=root/*", "fail")
+        assert load(cache, other_policy) is None
+        assert load(cache, other_projection) is None
+        assert load(cache, other_fingerprint) is None
+        assert load(cache).items == [1]
+
+    def test_double_store_last_writer_wins(self, tmp_path):
+        cache = SegmentCache(str(tmp_path))
+        store(cache, [1])
+        store(cache, [2])
+        assert load(cache).items == [2]
+        assert len(os.listdir(tmp_path)) == 1  # no temp litter
+
+    def test_corrupt_file_is_a_miss(self, tmp_path):
+        cache = SegmentCache(str(tmp_path))
+        store(cache, [1])
+        (segment_file,) = os.listdir(tmp_path)
+        (tmp_path / segment_file).write_bytes(b"RSEG1\ngarbage")
+        assert load(cache) is None
+        (tmp_path / segment_file).write_bytes(b"NOPE!\n")
+        assert load(cache) is None
+
+    def test_store_failure_is_swallowed(self, tmp_path):
+        missing = tmp_path / "file-not-dir"
+        missing.write_text("x", encoding="utf-8")
+        cache = SegmentCache(str(missing / "sub"))  # mkdir will fail
+        assert store(cache, [1]) is False
+
+    def test_cache_handle_pickles(self, tmp_path):
+        cache = SegmentCache(str(tmp_path))
+        store(cache, [{"v": 1.5}])
+        clone = pickle.loads(pickle.dumps(cache))
+        assert clone.load(*KEY).items == [{"v": 1.5}]

@@ -155,8 +155,13 @@ class TestSmallMatrix:
         report = run_diffcheck(seed=0, budget="small")
         assert report.ok, [m.to_dict() for m in report.mismatches]
         # 5 queries x (6 toggles x 3 backends x 2 projections + 3
-        # forced-spill cells + 3 crash-injected cells)
-        assert report.paper_cells == 210
+        # forced-spill cells + 3 crash-injected cells), with every
+        # projected cell swept across the 3-mode scan axis:
+        # (18*3 + 18) + 3*3 + 3*3 = 90 runs per query.
+        assert report.paper_cells == 450
         assert report.generated_cases == BUDGETS["small"][0]
-        # 6 toggles + 1 rotating cell + 1 rotating forced-spill cell
-        assert report.generated_cells == report.generated_cases * 8
+        # 6 toggles (projected -> x3 scan modes) + 2 rotating cells; the
+        # rotation offsets differ in parity, so each case gets exactly
+        # one projected (x3) and one eager (x1) rotating cell:
+        # 18 + 3 + 1 = 22 runs per case.
+        assert report.generated_cells == report.generated_cases * 22

@@ -1,0 +1,319 @@
+"""Unit, equivalence and counter-parity tests for the on-demand tape.
+
+The tape scanner's contract is *byte-identity* with the raw-text
+skipper (:mod:`repro.jsonlib.textscan`): same items, same counters,
+same errors (message and offset), same recorder events — on well-formed
+input, hostile Unicode, duplicate keys, BOM-prefixed texts, and records
+split across ``scan_file``'s sliding chunk buffer.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import JsonSyntaxError
+from repro.jsonlib import tape, textscan
+from repro.jsonlib.parser import parse_many
+from repro.jsonlib.path import Path, navigate, parse_path
+from repro.jsonlib.tape import (
+    _ATOM,
+    _OPEN_OBJECT,
+    _STRING,
+    _SUBTREE,
+    build_tape,
+    build_value,
+)
+from repro.jsonlib.textscan import ScanCounters
+
+
+def reference(text, path):
+    out = []
+    for value in parse_many(text):
+        out.extend(navigate(value, path))
+    return out
+
+
+def both_scans(text, path, **kwargs):
+    """(tape items, skipper items) with their counters for one text."""
+    tape_counters, text_counters = ScanCounters(), ScanCounters()
+    tape_items = list(
+        tape.scan_text(text, path, counters=tape_counters, **kwargs)
+    )
+    text_items = list(
+        textscan.scan_text(text, path, counters=text_counters, **kwargs)
+    )
+    return (tape_items, tape_counters), (text_items, text_counters)
+
+
+def assert_parity(text, path_text, expect_tape=True):
+    """Tape == skipper == parse-then-navigate, items and counters."""
+    path = parse_path(path_text)
+    (tape_items, tape_c), (text_items, text_c) = both_scans(text, path)
+    assert tape_items == text_items == reference(text, path)
+    assert tape_c.matched == text_c.matched
+    assert tape_c.skipped == text_c.skipped
+    if expect_tape:
+        assert tape_c.tape_records > 0
+    assert text_c.tape_records == 0
+
+
+class TestBuildTape:
+    def test_tokens_and_close_table(self):
+        text = '{"a": [1, 2]}'
+        record, end = build_tape(text, 0, 99)
+        assert end == len(text)
+        # { "a" : [ 1 , 2 ] }
+        assert len(record) == 9
+        assert record.kinds[0] == _OPEN_OBJECT
+        assert record.kinds[1] == _STRING
+        assert record.kinds[4] == _ATOM
+        # Openers point at their matching closers; everything else -1.
+        assert record.close[0] == 8
+        assert record.close[3] == 7
+        assert record.close[1] == -1
+
+    def test_depth_pruning_records_subtree_spans(self):
+        text = '{"a": {"x": [1, 2, 3]}, "b": [4, {"y": 5}]}'
+        record, _ = build_tape(text, 0, 1)
+        # Both nested containers open at depth 1 == limit: single spans,
+        # interiors untokenized.
+        assert record.kinds.count(_SUBTREE) == 2
+        spans = [
+            text[record.starts[i] : record.ends[i]]
+            for i, kind in enumerate(record.kinds)
+            if kind == _SUBTREE
+        ]
+        assert spans == ['{"x": [1, 2, 3]}', '[4, {"y": 5}]']
+
+    def test_depth_zero_is_one_span(self):
+        text = '{"deep": {"deeper": [1]}}'
+        record, end = build_tape(text, 0, 0)
+        assert end == len(text)
+        assert list(record.kinds) == [_SUBTREE]
+        value, nxt = build_value(text, record, 0)
+        assert value == {"deep": {"deeper": [1]}}
+        assert nxt == 1
+
+    def test_gap_validation_rejects_stray_characters(self):
+        with pytest.raises(JsonSyntaxError) as info:
+            build_tape('{"a": 1 x }', 0, 99)
+        assert "'x'" in str(info.value)
+
+    def test_unbalanced_quote_fails_the_build(self):
+        # An unclosed string would make the tokenizer pair quotes
+        # differently from the skipper — the gap check must catch it.
+        with pytest.raises(JsonSyntaxError):
+            build_tape('{"a": "unclosed}', 0, 99)
+
+    def test_unterminated_container(self):
+        with pytest.raises(JsonSyntaxError) as info:
+            build_tape('{"a": [1, 2]', 0, 99)
+        assert "unterminated" in str(info.value)
+
+    def test_mismatched_brackets(self):
+        with pytest.raises(JsonSyntaxError):
+            build_tape('{"a": 1]', 0, 99)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize(
+        "text, path_text",
+        [
+            ('{"root": [{"results": [{"v": 1}, {"v": 2}]}]}',
+             '("root")()("results")()'),
+            ('{"root": [{"results": [{"v": 1}]}]} '
+             '{"root": [{"results": [{"v": 2}, {"v": 3}]}]}',
+             '("root")()("results")()("v")'),
+            ('[5, {"a": 1}, "s", [2], {"a": 3}]', '()("a")'),
+            ("[10, 20, 30]", "(2)"),
+            ("[10]", "(9)"),
+            ('{"a": 1, "b": 2}', "()"),
+            ('{"skip": {"deep": [1, [2, {"x": 3}]]}, "take": true}',
+             '("take")'),
+            ('{"take": {"n": -1.5e2, "b": false, "s": "x", "nul": null}}',
+             '("take")'),
+            (' { "a" :\n [ 1 ,\t2 ] } ', '("a")()'),
+            ("17", "()"),  # scalar record: skipper path, no tape
+        ],
+    )
+    def test_items_and_counters_match_skipper(self, text, path_text):
+        assert_parity(text, path_text, expect_tape=text.strip() != "17")
+
+    def test_empty_containers(self):
+        assert_parity('{"a": {}, "b": []}', '("b")()')
+        assert_parity("[]", "()")
+        assert_parity("{}", "()")
+
+
+class TestDuplicateKeys:
+    """Last occurrence wins, exactly like dict semantics — and the
+    discarded earlier match must recount as skipped, like the skipper."""
+
+    @pytest.mark.parametrize(
+        "text, path_text",
+        [
+            ('{"a": 1, "a": 2}', '("a")'),
+            ('{"a": {"k": 1}, "b": 9, "a": {"k": 2}}', '("a")("k")'),
+            ('{"a": [1, 2], "a": [3]}', '("a")()'),
+            ('{"a": 1, "b": 2, "a": 3}', "()"),  # keys dedup like dict.keys()
+            ('{"a": {"x": 1, "x": 2}}', '("a")("x")'),
+        ],
+    )
+    def test_last_wins_with_identical_counters(self, text, path_text):
+        assert_parity(text, path_text)
+
+    def test_lazy_navigator_buffers_only_final_occurrence(self):
+        path = parse_path('("a")')
+        items = list(tape.scan_text('{"a": 1, "a": 2, "a": 3}', path))
+        assert items == [3]
+
+
+class TestHostileUnicode:
+    ASTRAL = '{"t": "\U0001f600 é́ ‮ reversed", "p": 1}'
+    ESCAPES = (
+        r'{"skip": "q \" brace } bracket ] \\ 😀",'
+        r' "take": "é"}'
+    )
+
+    def test_astral_and_combining_characters(self):
+        assert_parity(self.ASTRAL, '("t")')
+
+    def test_escaped_quotes_braces_and_surrogate_pairs(self):
+        assert_parity(self.ESCAPES, '("take")')
+
+    def test_bom_prefixed_text(self):
+        text = '{"v": [1, 2]}'
+        path = parse_path('("v")()')
+        assert list(tape.scan_text("\ufeff" + text, path)) == [1, 2]
+        (tape_items, tape_c), (text_items, text_c) = both_scans(
+            "\ufeff" + text, path
+        )
+        assert tape_items == text_items == [1, 2]
+        assert (tape_c.matched, tape_c.skipped) == (
+            text_c.matched, text_c.skipped,
+        )
+
+    def test_bom_file(self, tmp_path):
+        target = tmp_path / "bom.json"
+        target.write_bytes(
+            b"\xef\xbb\xbf" + '{"v": ["é", 2]}'.encode("utf-8")
+        )
+        path = parse_path('("v")()')
+        assert list(tape.scan_file(str(target), path)) == ["é", 2]
+
+    def test_unicode_in_skipped_subtrees(self):
+        text = '{"skip": {"deep": ["\U0001f600", "‮"]}, "take": 1}'
+        assert_parity(text, '("take")')
+
+
+class TestChunkBoundaries:
+    """scan_file slides a bounded buffer; records split across chunk
+    boundaries (mid-string, mid-escape, mid-number) must behave exactly
+    like scan_text — and exactly like the skipper at the same chunk size."""
+
+    TEXT = "\n".join(
+        json.dumps(
+            {"v": {"k": [i, i + 0.5, f's"{i}', True, None]}, "pad": "y" * 23}
+        )
+        for i in range(7)
+    )
+    PATH = parse_path('("v")("k")()')
+
+    @pytest.mark.parametrize("chunk_size", [1, 3, 7, 29, 64, 1 << 16])
+    def test_chunked_equals_text_and_skipper(self, chunk_size, tmp_path):
+        target = tmp_path / "data.json"
+        target.write_text(self.TEXT, encoding="utf-8")
+        tape_c, text_c = ScanCounters(), ScanCounters()
+        tape_items = list(
+            tape.scan_file(
+                str(target), self.PATH, chunk_size=chunk_size,
+                counters=tape_c,
+            )
+        )
+        text_items = list(
+            textscan.scan_file(
+                str(target), self.PATH, chunk_size=chunk_size,
+                counters=text_c,
+            )
+        )
+        assert tape_items == text_items
+        assert tape_items == list(tape.scan_text(self.TEXT, self.PATH))
+        assert (tape_c.matched, tape_c.skipped) == (
+            text_c.matched, text_c.skipped,
+        )
+
+    @pytest.mark.parametrize("chunk_size", [1, 7, 64])
+    def test_skip_record_events_identical_across_scanners(
+        self, chunk_size, tmp_path
+    ):
+        lines = self.TEXT.split("\n")
+        lines.insert(3, '{"v": {"k": [1, ]}}')  # malformed mid-file
+        text = "\n".join(lines)
+        target = tmp_path / "dirty.json"
+        target.write_text(text, encoding="utf-8")
+        results = {}
+        for name, scanner in (("tape", tape), ("text", textscan)):
+            events = []
+            counters = ScanCounters()
+            items = list(
+                scanner.scan_file(
+                    str(target), self.PATH, on_malformed="skip_record",
+                    recorder=lambda o, m: events.append((o, m)),
+                    chunk_size=chunk_size, counters=counters,
+                )
+            )
+            results[name] = (items, events, counters.matched,
+                             counters.skipped)
+        assert results["tape"] == results["text"]
+        assert len(results["tape"][1]) == 1  # exactly the injected record
+
+
+class TestFallbackIdentity:
+    """Malformed records must raise exactly what the skipper raises —
+    message, offset, and the partial counters left behind."""
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "{",
+            "[1,",
+            '{"a" 1}',
+            '{"a": }',
+            '"unterminated',
+            "@",
+            '{"a": [1,]}',
+            '{"a": 01}',
+            '{"v": 1} {"v": ]}',  # second record malformed: partial counts
+        ],
+    )
+    def test_same_error_and_partial_counters(self, text):
+        path = parse_path('("a")')
+        outcomes = {}
+        for name, scanner in (("tape", tape), ("text", textscan)):
+            counters = ScanCounters()
+            try:
+                items = list(
+                    scanner.scan_text(text, path, counters=counters)
+                )
+                outcome = ("ok", items)
+            except JsonSyntaxError as error:
+                outcome = (
+                    "err", str(error), getattr(error, "offset", None)
+                )
+            outcomes[name] = (
+                outcome, counters.matched, counters.skipped,
+            )
+        assert outcomes["tape"] == outcomes["text"]
+
+    def test_skipped_regions_stay_lenient(self):
+        # The skipper never validates skipped regions; the pruned tape
+        # jumps subtrees with the same bracket hop, so "[1 2]" inside a
+        # never-walked subtree passes both (the full parser rejects it,
+        # so no parse-then-navigate reference here).
+        text = '{"skip": [1 2], "a": 3}'
+        path = parse_path('("a")')
+        (tape_items, tape_c), (text_items, text_c) = both_scans(text, path)
+        assert tape_items == text_items == [3]
+        assert (tape_c.matched, tape_c.skipped) == (
+            text_c.matched, text_c.skipped,
+        )

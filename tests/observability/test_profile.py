@@ -55,6 +55,15 @@ Q2 = (
 QUERIES = [Q0, Q1, Q2]
 
 
+@pytest.fixture(autouse=True)
+def _pinned_scan_env(monkeypatch):
+    # Golden profiles pin exact DATASCAN counter lines; the CI leg that
+    # runs the suite under REPRO_SEGMENT_CACHE would add cache_hits /
+    # cache_misses fields to them.
+    monkeypatch.delenv("REPRO_SEGMENT_CACHE", raising=False)
+    monkeypatch.delenv("REPRO_SCAN_MODE", raising=False)
+
+
 def processor(**kwargs):
     return JsonProcessor.in_memory({"/sensors": SENSORS}, **kwargs)
 
@@ -256,7 +265,8 @@ class TestGoldenExplain:
                 "  ASSIGN tuples_in=3 tuples_out=3 span=29",
                 "    SELECT tuples_in=5 tuples_out=3 span=19",
                 "      DATASCAN bytes_scanned=2740 items_scanned=5 "
-                "projection_hits=5 projection_skips=0 tuples_out=5 span=7",
+                "projection_hits=5 projection_skips=0 "
+                "tape_records=2 tape_tokens=32 tuples_out=5 span=7",
                 "",
                 "== rewrite audit ==",
             ]

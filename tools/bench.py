@@ -1,19 +1,33 @@
 #!/usr/bin/env python
-"""Benchmark the execution backends on the paper's queries.
+"""Benchmark the execution backends and the scan fast path.
 
-Generates a synthetic partitioned sensor collection, runs Q0 / Q1 / Q2
-under each backend (``sequential``, ``thread``, ``process``), and writes
-``BENCH_parallel.json``: per query and backend, the measured parallel
-wall seconds of the partition phases, scanned items per second, and the
-speedup relative to the sequential backend on the same query.  Every
-backend's items are checked identical to sequential's before timing is
-reported, so a speedup can never come from computing less.
+Generates a synthetic partitioned sensor collection and writes two
+reports:
+
+``BENCH_parallel.json`` (default) — runs Q0 / Q1 / Q2 under each
+backend (``sequential``, ``thread``, ``process``): measured parallel
+wall seconds of the partition phases, scanned items per second, the
+speedup relative to the sequential backend on the same query, and a
+cold vs warm segment-cache column per backend.  Every backend's items
+are checked identical to sequential's before timing is reported, so a
+speedup can never come from computing less.  Host reporting records
+``os.sched_getaffinity`` (the cores this process may actually use);
+when only one usable core is available, ``speedup_vs_sequential`` is
+refused (``null`` + reason) — a pool of workers time-slicing one core
+cannot measure parallelism.
+
+``BENCH_scan.json`` (``--scan``) — benchmarks the DATASCAN projection
+itself on Q0/Q1/Q2's scan shape under every scan mode (``eager`` /
+``text`` / ``ondemand``), uncached plus segment-cache cold and warm
+passes, with items-per-second and the on-demand-vs-eager and
+warm-vs-cold speedups.
 
 Usage::
 
     PYTHONPATH=src python tools/bench.py \
         [--out BENCH_parallel.json] [--partitions 4] \
         [--mib-per-partition 4] [--repeat 3] [--backends process,thread]
+    PYTHONPATH=src python tools/bench.py --scan [--scan-out BENCH_scan.json]
 """
 
 from __future__ import annotations
@@ -22,13 +36,43 @@ import argparse
 import json
 import os
 import platform
+import shutil
 import sys
 import tempfile
+import time
 
 from repro import JsonProcessor, SensorDataConfig, write_sensor_collection
+from repro.cache.config import SCAN_MODES
+from repro.data.catalog import CollectionCatalog
+from repro.jsonlib.path import parse_path
 from repro.bench.queries import q0, q1, q2
 
 QUERIES = {"Q0": q0, "Q1": q1, "Q2": q2}
+
+#: The projection every bench query's DATASCAN carries (Listing 6 shape).
+SCAN_PROJECTION = '("root")()("results")()'
+
+
+def usable_cores() -> int:
+    """Cores this process may be scheduled on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def host_info() -> dict:
+    return {
+        "cpu_count": os.cpu_count(),
+        "usable_cores": usable_cores(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Backend benchmark (BENCH_parallel.json)
+# ---------------------------------------------------------------------------
 
 
 def bench_one(base_dir: str, backend: str, query: str, repeat: int) -> dict:
@@ -42,6 +86,21 @@ def bench_one(base_dir: str, backend: str, query: str, repeat: int) -> dict:
                 result.parallel_wall_seconds < best.parallel_wall_seconds
             ):
                 best = result
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    try:
+        with JsonProcessor.from_directory(
+            base_dir, backend=backend, segment_cache_dir=cache_dir
+        ) as processor:
+            start = time.perf_counter()
+            cold = processor.execute(query)
+            cold_seconds = time.perf_counter() - start
+            start = time.perf_counter()
+            warm = processor.execute(query)
+            warm_seconds = time.perf_counter() - start
+            if warm.items != best.items or cold.items != best.items:
+                raise SystemExit(f"{backend}: cached items differ from uncached")
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
     return {
         "items": best.items,
         "strategy": best.strategy,
@@ -53,16 +112,15 @@ def bench_one(base_dir: str, backend: str, query: str, repeat: int) -> dict:
             if best.parallel_wall_seconds > 0
             else None
         ),
+        "cache_cold_wall_seconds": cold_seconds,
+        "cache_warm_wall_seconds": warm_seconds,
     }
 
 
 def run(args: argparse.Namespace) -> dict:
+    cores = usable_cores()
     report: dict = {
-        "host": {
-            "cpu_count": os.cpu_count(),
-            "platform": platform.platform(),
-            "python": platform.python_version(),
-        },
+        "host": host_info(),
         "config": {
             "partitions": args.partitions,
             "bytes_per_partition": args.mib_per_partition << 20,
@@ -71,6 +129,12 @@ def run(args: argparse.Namespace) -> dict:
         },
         "queries": {},
     }
+    if cores <= 1:
+        report["speedup_note"] = (
+            "speedup_vs_sequential withheld: only one usable core "
+            "(os.sched_getaffinity) — parallel backends cannot beat "
+            "sequential by running on the same core"
+        )
     with tempfile.TemporaryDirectory(prefix="repro-bench-") as base_dir:
         write_sensor_collection(
             base_dir,
@@ -98,22 +162,130 @@ def run(args: argparse.Namespace) -> dict:
                 entry["speedup_vs_sequential"] = (
                     baseline["parallel_wall_seconds"]
                     / entry["parallel_wall_seconds"]
-                    if entry["parallel_wall_seconds"] > 0
+                    if cores > 1 and entry["parallel_wall_seconds"] > 0
                     else None
                 )
             report["queries"][name] = entries
             summary = ", ".join(
-                f"{backend} {entry['parallel_wall_seconds']:.3f}s "
-                f"({entry['speedup_vs_sequential']:.2f}x)"
+                f"{backend} {entry['parallel_wall_seconds']:.3f}s"
+                + (
+                    f" ({entry['speedup_vs_sequential']:.2f}x)"
+                    if entry["speedup_vs_sequential"] is not None
+                    else ""
+                )
                 for backend, entry in entries.items()
             )
             print(f"{name}: {summary}")
     return report
 
 
+# ---------------------------------------------------------------------------
+# Scan benchmark (BENCH_scan.json)
+# ---------------------------------------------------------------------------
+
+
+def _timed_scan(catalog: CollectionCatalog, path) -> tuple[float, int]:
+    start = time.perf_counter()
+    count = sum(1 for _ in catalog.scan_collection("/sensors", path))
+    return time.perf_counter() - start, count
+
+
+def bench_scan_mode(
+    base_dir: str, mode: str, path, repeat: int
+) -> dict:
+    """Uncached best-of-*repeat* plus cache cold/warm for one scan mode."""
+    catalog = CollectionCatalog(base_dir, scan_mode=mode)
+    _timed_scan(catalog, path)  # warm the OS page cache
+    uncached = None
+    items = None
+    for _ in range(repeat):
+        seconds, count = _timed_scan(catalog, path)
+        items = count
+        uncached = seconds if uncached is None else min(uncached, seconds)
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    try:
+        cached = CollectionCatalog(
+            base_dir, scan_mode=mode, segment_cache_dir=cache_dir
+        )
+        cold_seconds, cold_items = _timed_scan(cached, path)
+        warm_seconds = None
+        for _ in range(repeat):
+            seconds, warm_items = _timed_scan(cached, path)
+            if warm_items != items or cold_items != items:
+                raise SystemExit(f"{mode}: cached scan items differ")
+            warm_seconds = (
+                seconds if warm_seconds is None else min(warm_seconds, seconds)
+            )
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    return {
+        "items": items,
+        "uncached_seconds": uncached,
+        "items_per_second": items / uncached if uncached > 0 else None,
+        "cache_cold_seconds": cold_seconds,
+        "cache_warm_seconds": warm_seconds,
+        "warm_speedup_vs_cold": (
+            cold_seconds / warm_seconds if warm_seconds > 0 else None
+        ),
+    }
+
+
+def run_scan(args: argparse.Namespace) -> dict:
+    report: dict = {
+        "host": host_info(),
+        "config": {
+            "partitions": args.partitions,
+            "bytes_per_partition": args.mib_per_partition << 20,
+            "repeat": args.repeat,
+            "projection": SCAN_PROJECTION,
+        },
+        "queries": {},
+    }
+    path = parse_path(SCAN_PROJECTION)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as base_dir:
+        write_sensor_collection(
+            base_dir,
+            "sensors",
+            partitions=args.partitions,
+            bytes_per_partition=args.mib_per_partition << 20,
+            config=SensorDataConfig(seed=args.seed),
+        )
+        # Q0/Q1/Q2 all scan the same Listing-6 projection; benchmark it
+        # once and record it under each query name for the figure
+        # generators.
+        modes: dict = {}
+        for mode in SCAN_MODES:
+            modes[mode] = bench_scan_mode(base_dir, mode, path, args.repeat)
+            entry = modes[mode]
+            print(
+                f"scan/{mode}: uncached {entry['uncached_seconds']:.3f}s "
+                f"({entry['items_per_second']:.0f} items/s), "
+                f"cold {entry['cache_cold_seconds']:.3f}s, "
+                f"warm {entry['cache_warm_seconds']:.3f}s "
+                f"({entry['warm_speedup_vs_cold']:.1f}x)"
+            )
+        eager = modes["eager"]["items_per_second"]
+        for mode, entry in modes.items():
+            entry["speedup_vs_eager"] = (
+                entry["items_per_second"] / eager if eager else None
+            )
+        for name in QUERIES:
+            report["queries"][name] = {
+                "projection": SCAN_PROJECTION,
+                "modes": modes,
+            }
+    return report
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[1])
     parser.add_argument("--out", default="BENCH_parallel.json")
+    parser.add_argument("--scan-out", default="BENCH_scan.json")
+    parser.add_argument(
+        "--scan",
+        action="store_true",
+        help="benchmark scan modes / segment cache instead of backends",
+    )
     parser.add_argument("--partitions", type=int, default=4)
     parser.add_argument("--mib-per-partition", type=int, default=4)
     parser.add_argument("--repeat", type=int, default=3)
@@ -125,11 +297,16 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
     args.backends = [b.strip() for b in args.backends.split(",") if b.strip()]
-    report = run(args)
-    with open(args.out, "w", encoding="utf-8") as handle:
+    if args.scan:
+        report = run_scan(args)
+        out = args.scan_out
+    else:
+        report = run(args)
+        out = args.out
+    with open(out, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
-    print(f"wrote {args.out}")
+    print(f"wrote {out}")
     return 0
 
 

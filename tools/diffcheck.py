@@ -5,7 +5,11 @@ Runs the five paper queries through every (rewrite-toggle × backend ×
 projection) cell and a population of seeded random (query, data) pairs
 through the toggle axis plus rotating backend/projection coverage, each
 cell compared against an independent plain-Python oracle
-(:mod:`repro.correctness`).  Failing generated cases are minimized by
+(:mod:`repro.correctness`).  Every projected cell additionally sweeps
+the scan-mode axis (``eager`` / ``ondemand`` / ``cached-warm``) and
+byte-compares items and degradation reports across modes, so the tape
+scanner and the segment cache are proven bit-equivalent in the same
+gate.  Failing generated cases are minimized by
 the shrinker before reporting.  Writes ``BENCH_diffcheck.json`` and
 exits nonzero on any mismatch — this is the CI gate that the rewrite
 rules and parallel backends are semantics-preserving.
@@ -66,7 +70,8 @@ def main(argv: list[str] | None = None) -> int:
         for mismatch in report.mismatches:
             print(
                 f"FAIL {mismatch.case} [{mismatch.config}/"
-                f"{mismatch.backend}/{mismatch.projection}] "
+                f"{mismatch.backend}/{mismatch.projection}/"
+                f"{mismatch.scan_mode}] "
                 f"{mismatch.kind}: {mismatch.detail}",
                 file=sys.stderr,
             )
