@@ -58,14 +58,31 @@ def canonical_projection(path: Path) -> str:
 
 
 def file_fingerprint(file_path: str) -> tuple:
-    """Content fingerprint of an on-disk source: size + mtime_ns.
+    """Stat-based fingerprint of an on-disk source.
 
-    Truncating, appending or touching the file changes the fingerprint,
-    which changes the cache key — stale segments are simply never
-    matched again (no explicit invalidation pass is needed).
+    Size, mtime_ns, ctime_ns and inode: truncating, appending or
+    touching the file changes the fingerprint, which changes the cache
+    key — stale segments are simply never matched again (no explicit
+    invalidation pass is needed).  Atomic-replace rewrites change the
+    inode, and in-place rewrites change ctime even when an application
+    back-dates mtime.
+
+    Staleness window: a same-size in-place rewrite that lands within
+    the filesystem's timestamp granularity (coarse-mtime filesystems,
+    or sub-resolution back-to-back writes) is undetectable by ``stat``
+    alone and would serve the old segment.  For correctness-critical
+    runs on such inputs, fingerprint the bytes instead::
+
+        fingerprint = text_fingerprint(open(path, encoding="utf-8").read())
     """
     stat = os.stat(file_path)
-    return ("stat", stat.st_size, stat.st_mtime_ns)
+    return (
+        "stat",
+        stat.st_size,
+        stat.st_mtime_ns,
+        stat.st_ctime_ns,
+        stat.st_ino,
+    )
 
 
 def text_fingerprint(text: str) -> tuple:
@@ -88,7 +105,14 @@ class CachedSegment:
 
 
 def _shred(items: list):
-    """Split uniform flat-dict rows into columns; None if not uniform."""
+    """Split uniform flat-dict rows into columns; None if not uniform.
+
+    Uniform means every row has the *same keys in the same insertion
+    order*: ``load`` rebuilds rows as ``dict(zip(keys, row))``, so a
+    row whose keys merely match as a set would come back reordered and
+    serialize differently warm vs cold.  Such rows fall back to the
+    pickled-rows layout, which preserves each dict verbatim.
+    """
     if not items:
         return None
     first = items[0]
@@ -97,13 +121,10 @@ def _shred(items: list):
     keys = tuple(first)
     columns: list[list] = [[] for _ in keys]
     for item in items:
-        if type(item) is not dict or len(item) != len(keys):
+        if type(item) is not dict or tuple(item) != keys:
             return None
         for column, key in zip(columns, keys):
-            try:
-                column.append(item[key])
-            except KeyError:
-                return None
+            column.append(item[key])
     return keys, columns
 
 
@@ -215,7 +236,17 @@ class SegmentCache:
         projection: str,
         policy: str,
     ) -> CachedSegment | None:
-        """Load a segment; None on miss, stale fingerprint, or bad file."""
+        """Load a segment; None on miss, stale fingerprint, or bad file.
+
+        Any defect in the file — wrong magic, truncation, a header that
+        is not the expected dict, a malformed payload — is a cache miss,
+        never an error: the caller falls back to a cold scan and the
+        next complete store overwrites the bad file.
+
+        Trust note: segments are unpickled, and unpickling executes
+        code chosen by whoever wrote the file.  Point the cache only at
+        directories that are no more writable than the code you run.
+        """
         segment_path = self._segment_path(
             source_id, fingerprint, projection, policy
         )
@@ -224,25 +255,27 @@ class SegmentCache:
                 if handle.read(len(_MAGIC)) != _MAGIC:
                     return None
                 header = pickle.load(handle)
-                if header.get("key") != (
-                    source_id, fingerprint, projection, policy,
+                if (
+                    type(header) is not dict
+                    or header.get("key")
+                    != (source_id, fingerprint, projection, policy)
                 ):
                     return None
                 payload = pickle.load(handle)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            if header["layout"] == "columnar":
+                keys = header["columns"]
+                columns = [
+                    _unpack_column(kind, data) for kind, data in payload
+                ]
+                items = [dict(zip(keys, row)) for row in zip(*columns)]
+                if len(items) != header["rows"]:  # zero-column guard
+                    items = [{} for _ in range(header["rows"])]
+            else:
+                items = payload
+            return CachedSegment(
+                items=items,
+                counters=header["counters"],
+                skip_events=header["skip_events"],
+            )
+        except Exception:
             return None
-        if header["layout"] == "columnar":
-            keys = header["columns"]
-            columns = [
-                _unpack_column(kind, data) for kind, data in payload
-            ]
-            items = [dict(zip(keys, row)) for row in zip(*columns)]
-            if len(items) != header["rows"]:  # zero-column guard
-                items = [{} for _ in range(header["rows"])]
-        else:
-            items = payload
-        return CachedSegment(
-            items=items,
-            counters=header["counters"],
-            skip_events=header["skip_events"],
-        )

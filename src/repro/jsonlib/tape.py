@@ -224,14 +224,28 @@ def _token_string(text: str, tape: RecordTape, i: int) -> str:
     return raw
 
 
+def _reject_constant(token: str):
+    """Refuse ``NaN``/``Infinity``/``-Infinity`` inside bulk decodes.
+
+    The stdlib decoder accepts these extensions by default, but the
+    canonical skipper's ``_build_value`` raises — and Python's own
+    ``json.dumps`` emits ``NaN`` for ``float('nan')``, so such inputs
+    occur in practice.  Raising here fails the tape path and hands the
+    record to the skipper, keeping items, errors, and degradation
+    reports byte-identical across scan modes.
+    """
+    raise ValueError(f"invalid literal {token}")
+
+
 def _materialize_container(text: str, tape: RecordTape, i: int):
     """Decode the whole container at token *i* in one C-speed pass.
 
     The tape already proved the slice token-clean and bracket-balanced,
     and the stdlib decoder's value semantics are identical to
     ``_build_value``'s (int unless ``./e/E``, last duplicate key wins,
-    surrogate-pair combining with lone surrogates kept) — so for a
-    fully projected subtree one ``json.loads`` over the recorded span
+    surrogate-pair combining with lone surrogates kept, non-standard
+    constants rejected via :func:`_reject_constant`) — so for a fully
+    projected subtree one ``json.loads`` over the recorded span
     replaces thousands of per-token Python steps.  Structural errors
     the tokenizer can't see (a missing colon, say) surface as
     :class:`~repro.errors.JsonSyntaxError` so the record falls back to
@@ -247,7 +261,10 @@ def _materialize_container(text: str, tape: RecordTape, i: int):
         end_offset = tape.ends[closer]
         next_token = closer + 1
     try:
-        value = _json.loads(text[tape.starts[i] : end_offset])
+        value = _json.loads(
+            text[tape.starts[i] : end_offset],
+            parse_constant=_reject_constant,
+        )
     except ValueError as error:
         raise JsonSyntaxError(str(error), tape.starts[i]) from None
     return value, next_token

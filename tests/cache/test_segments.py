@@ -57,6 +57,19 @@ class TestFingerprints:
         os.utime(target, ns=(stat.st_atime_ns, stat.st_mtime_ns + 1))
         assert file_fingerprint(str(target)) != appended  # touch
 
+    def test_file_fingerprint_tracks_atomic_replace(self, tmp_path):
+        # Same size and a back-dated mtime: the inode (and ctime) still
+        # change on os.replace, so the rewrite invalidates.
+        target = tmp_path / "d.json"
+        target.write_text("[1, 2, 3]", encoding="utf-8")
+        original = file_fingerprint(str(target))
+        stat = os.stat(target)
+        replacement = tmp_path / "d.json.new"
+        replacement.write_text("[9, 8, 7]", encoding="utf-8")
+        os.replace(replacement, target)
+        os.utime(target, ns=(stat.st_atime_ns, stat.st_mtime_ns))
+        assert file_fingerprint(str(target)) != original
+
     def test_text_fingerprint_is_content_hash(self):
         assert text_fingerprint("abc") == text_fingerprint("abc")
         assert text_fingerprint("abc") != text_fingerprint("abd")
@@ -75,6 +88,11 @@ class TestShredding:
         assert _shred([{"a": 1}, 7]) is None
         assert _shred([]) is None
         assert _shred([{}]) is None
+
+    def test_mismatched_key_order_refused(self):
+        # load rebuilds rows as dict(zip(keys, row)): shredding rows
+        # whose keys match only as a set would reorder them warm.
+        assert _shred([{"a": 1, "b": 2}, {"b": 3, "a": 4}]) is None
 
     def test_pack_float_int_and_mixed_columns(self):
         assert _pack_column([1.5, 2.5])[0] == "f8"
@@ -125,6 +143,16 @@ class TestStoreLoad:
         assert store(cache, items)
         assert load(cache).items == items
 
+    def test_mixed_key_order_round_trips_byte_identical(self, tmp_path):
+        # Same keys, different insertion order: must come back with each
+        # row's own order intact (rows layout), not keyed on row 0.
+        cache = SegmentCache(str(tmp_path))
+        items = [{"a": 1, "b": 2}, {"b": 3, "a": 4}]
+        assert store(cache, items)
+        loaded = load(cache).items
+        assert loaded == items
+        assert [list(row) for row in loaded] == [["a", "b"], ["b", "a"]]
+
     def test_miss_and_key_isolation(self, tmp_path):
         cache = SegmentCache(str(tmp_path))
         assert load(cache) is None
@@ -151,6 +179,38 @@ class TestStoreLoad:
         (tmp_path / segment_file).write_bytes(b"RSEG1\ngarbage")
         assert load(cache) is None
         (tmp_path / segment_file).write_bytes(b"NOPE!\n")
+        assert load(cache) is None
+
+    def test_malformed_header_and_payload_are_misses(self, tmp_path):
+        # Defects beyond unpickling failures — header of the wrong
+        # type, missing header fields, a payload whose shape doesn't
+        # match the layout — must read as misses, never crash the scan.
+        cache = SegmentCache(str(tmp_path))
+        store(cache, [1])
+        (segment_file,) = os.listdir(tmp_path)
+        segment = tmp_path / segment_file
+
+        def write(header, payload):
+            with open(segment, "wb") as handle:
+                handle.write(_MAGIC)
+                pickle.dump(header, handle)
+                pickle.dump(payload, handle)
+
+        write(["not", "a", "dict"], [1])
+        assert load(cache) is None
+        write({"key": KEY}, [1])  # missing layout/counters/skip_events
+        assert load(cache) is None
+        write(
+            {
+                "key": KEY,
+                "layout": "columnar",
+                "columns": ("a",),
+                "rows": 1,
+                "counters": {},
+                "skip_events": [],
+            },
+            ["not-a-(kind, data)-pair"],
+        )
         assert load(cache) is None
 
     def test_store_failure_is_swallowed(self, tmp_path):

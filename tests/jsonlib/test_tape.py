@@ -305,6 +305,40 @@ class TestFallbackIdentity:
             )
         assert outcomes["tape"] == outcomes["text"]
 
+    @pytest.mark.parametrize(
+        "text, path_text",
+        [
+            # The bulk json.loads paths must not quietly accept the
+            # stdlib's NaN/Infinity extensions (json.dumps emits NaN
+            # for float('nan') by default, so these occur in practice):
+            ('{"a": [1, NaN]}', '("a")'),  # _SUBTREE span materialize
+            ('{"a": [[1, -Infinity]]}', '("a")()'),  # trailing * bulk decode
+            ('{"a": Infinity}', '("a")'),  # atom position: tokenizer gap
+            ("[NaN]", "()"),
+        ],
+    )
+    def test_nonstandard_constants_rejected_like_skipper(
+        self, text, path_text
+    ):
+        path = parse_path(path_text)
+        outcomes = {}
+        for name, scanner in (("tape", tape), ("text", textscan)):
+            counters = ScanCounters()
+            try:
+                items = list(
+                    scanner.scan_text(text, path, counters=counters)
+                )
+                outcome = ("ok", items)
+            except JsonSyntaxError as error:
+                outcome = (
+                    "err", str(error), getattr(error, "offset", None)
+                )
+            outcomes[name] = (
+                outcome, counters.matched, counters.skipped,
+            )
+        assert outcomes["tape"] == outcomes["text"]
+        assert outcomes["tape"][0][0] == "err"
+
     def test_skipped_regions_stay_lenient(self):
         # The skipper never validates skipped regions; the pruned tape
         # jumps subtrees with the same bracket hop, so "[1 2]" inside a
