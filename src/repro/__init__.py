@@ -34,7 +34,9 @@ from repro.compiler.pipeline import CompiledQuery, compile_query
 from repro.data.catalog import CollectionCatalog, InMemorySource
 from repro.data.generator import SensorDataConfig, write_sensor_collection
 from repro.errors import (
+    AdmissionError,
     BackendError,
+    ProcessorClosedError,
     QueryCancelledError,
     QueryTimeoutError,
     RecoveryExhaustedError,
@@ -64,10 +66,17 @@ from repro.resilience import (
     ResilienceConfig,
     RetryPolicy,
 )
+from repro.service import (
+    QueryService,
+    QueryTicket,
+    ServiceResponse,
+    TenantQuota,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdmissionError",
     "BackendError",
     "CancellationToken",
     "ClusterSpec",
@@ -79,11 +88,14 @@ __all__ = [
     "JsonProcessor",
     "OperatorProfile",
     "ProcessBackend",
+    "ProcessorClosedError",
     "ProfileConfig",
     "QueryCancelledError",
     "QueryDeadline",
     "QueryProfile",
     "QueryResult",
+    "QueryService",
+    "QueryTicket",
     "QueryTimeoutError",
     "RecoveryExhaustedError",
     "RecoveryPolicy",
@@ -96,7 +108,9 @@ __all__ = [
     "SegmentCache",
     "SensorDataConfig",
     "SequentialBackend",
+    "ServiceResponse",
     "SpillError",
+    "TenantQuota",
     "resolve_scan_mode",
     "ThreadBackend",
     "WorkerCrashError",

@@ -19,8 +19,7 @@ they populate.
 
 from __future__ import annotations
 
-import os
-
+from repro.envutil import env_setting
 from repro.errors import ReproError
 
 SCAN_MODES = ("ondemand", "text", "eager")
@@ -31,6 +30,15 @@ SCAN_MODE_ENV = "REPRO_SCAN_MODE"
 #: Environment default for :func:`resolve_segment_cache` (a directory
 #: path; empty/unset disables the cache).
 SEGMENT_CACHE_ENV = "REPRO_SEGMENT_CACHE"
+
+#: How caches fingerprint on-disk sources: ``stat`` (size, timestamps,
+#: inode — fast, with a same-size in-place rewrite staleness window) or
+#: ``content`` (hash the bytes — no staleness window; the right choice
+#: for a long-lived server).
+FINGERPRINT_MODES = ("stat", "content")
+
+#: Environment default for :func:`resolve_fingerprint_mode`.
+FINGERPRINT_ENV = "REPRO_CACHE_FINGERPRINT"
 
 
 def validate_scan_mode(mode: str) -> str:
@@ -45,25 +53,49 @@ def resolve_scan_mode(mode: str | None = None) -> str:
     """Resolve a scan mode: explicit argument > $REPRO_SCAN_MODE > ondemand."""
     if mode is not None:
         return validate_scan_mode(mode)
-    env = os.environ.get(SCAN_MODE_ENV, "").strip()
+    env = env_setting(SCAN_MODE_ENV, "")
     if env:
         return validate_scan_mode(env)
     return "ondemand"
 
 
-def resolve_segment_cache(cache_dir: str | None = None):
+def validate_fingerprint_mode(mode: str) -> str:
+    if mode not in FINGERPRINT_MODES:
+        raise ReproError(
+            f"unknown cache fingerprint mode {mode!r}; expected one of "
+            f"{', '.join(FINGERPRINT_MODES)}"
+        )
+    return mode
+
+
+def resolve_fingerprint_mode(mode: str | None = None) -> str:
+    """Resolve a fingerprint mode: explicit > $REPRO_CACHE_FINGERPRINT > stat."""
+    if mode is not None:
+        return validate_fingerprint_mode(mode)
+    env = env_setting(FINGERPRINT_ENV, "")
+    if env:
+        return validate_fingerprint_mode(env)
+    return "stat"
+
+
+def resolve_segment_cache(
+    cache_dir: str | None = None, fingerprint_mode: str | None = None
+):
     """Resolve a segment cache: explicit directory > $REPRO_SEGMENT_CACHE > off.
 
     Returns a :class:`~repro.cache.segments.SegmentCache` or ``None``
-    (cache disabled).
+    (cache disabled).  *fingerprint_mode* resolves through
+    :func:`resolve_fingerprint_mode`.
     """
     from repro.cache.segments import SegmentCache
 
     if cache_dir is None:
-        cache_dir = os.environ.get(SEGMENT_CACHE_ENV, "").strip()
+        cache_dir = env_setting(SEGMENT_CACHE_ENV, "")
     if not cache_dir:
         # An explicit empty string disables the cache even when the
         # environment sets a directory — same contract as
         # ``configure_scan(segment_cache_dir="")``.
         return None
-    return SegmentCache(cache_dir)
+    return SegmentCache(
+        cache_dir, fingerprint_mode=resolve_fingerprint_mode(fingerprint_mode)
+    )

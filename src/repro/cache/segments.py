@@ -90,6 +90,28 @@ def text_fingerprint(text: str) -> tuple:
     return ("sha256", hashlib.sha256(text.encode("utf-8")).hexdigest())
 
 
+def content_file_fingerprint(file_path: str) -> tuple:
+    """Content fingerprint of an on-disk source: hash of its bytes.
+
+    Closes :func:`file_fingerprint`'s same-size in-place rewrite
+    staleness window at the cost of reading the file on every lookup —
+    the right trade for a long-lived server, where inputs are rewritten
+    underneath the process.  Because only the bytes matter, touching a
+    file (or copying it to a new inode with identical contents) keeps
+    its segments warm instead of invalidating them.
+    """
+    hasher = hashlib.sha256()
+    size = 0
+    with open(file_path, "rb") as handle:
+        while True:
+            chunk = handle.read(1 << 20)
+            if not chunk:
+                break
+            size += len(chunk)
+            hasher.update(chunk)
+    return ("content", size, hasher.hexdigest())
+
+
 @dataclass
 class CachedSegment:
     """A loaded segment: items plus the scan's replayable side effects."""
@@ -162,8 +184,25 @@ class SegmentCache:
     policies.
     """
 
-    def __init__(self, cache_dir: str):
+    def __init__(self, cache_dir: str, fingerprint_mode: str = "stat"):
+        from repro.cache.config import validate_fingerprint_mode
+
         self.cache_dir = cache_dir
+        self.fingerprint_mode = validate_fingerprint_mode(fingerprint_mode)
+
+    def source_fingerprint(self, file_path: str) -> tuple:
+        """Fingerprint an on-disk source under this cache's mode.
+
+        ``stat`` mode keys by :func:`file_fingerprint` (fast, with the
+        documented same-size in-place rewrite window); ``content`` mode
+        keys by :func:`content_file_fingerprint` (reads the bytes, no
+        staleness window).  The mode is part of the fingerprint tuple
+        itself, so switching modes never serves a segment keyed under
+        the other mode.
+        """
+        if self.fingerprint_mode == "content":
+            return content_file_fingerprint(file_path)
+        return file_fingerprint(file_path)
 
     # -- keys ------------------------------------------------------------------
 

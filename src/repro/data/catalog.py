@@ -26,14 +26,15 @@ import threading
 from typing import Iterator
 
 from repro.cache.config import (
+    resolve_fingerprint_mode,
     resolve_scan_mode,
     resolve_segment_cache,
+    validate_fingerprint_mode,
     validate_scan_mode,
 )
 from repro.cache.segments import (
     SegmentCache,
     canonical_projection,
-    file_fingerprint,
     text_fingerprint,
 )
 from repro.errors import FileScanError, JsonError, ReproError
@@ -115,11 +116,14 @@ class CollectionCatalog:
         on_malformed: str = "fail",
         scan_mode: str | None = None,
         segment_cache_dir: str | None = None,
+        fingerprint_mode: str | None = None,
     ):
         self._collections: dict[str, list[list[str]]] = {}
         self.on_malformed = validate_on_malformed(on_malformed)
         self.scan_mode = resolve_scan_mode(scan_mode)
-        self.segment_cache = resolve_segment_cache(segment_cache_dir)
+        self.segment_cache = resolve_segment_cache(
+            segment_cache_dir, fingerprint_mode
+        )
         self._local = threading.local()
         if base_dir is not None:
             self.discover(base_dir)
@@ -128,17 +132,29 @@ class CollectionCatalog:
         self,
         scan_mode: str | None = None,
         segment_cache_dir: str | None = None,
+        fingerprint_mode: str | None = None,
     ) -> None:
         """Override the scan mode and/or segment cache after construction.
 
         ``None`` leaves a setting untouched; an empty
         ``segment_cache_dir`` string disables the cache.
+        ``fingerprint_mode`` (``"stat"`` | ``"content"``) selects how
+        cached segments detect file changes.
         """
         if scan_mode is not None:
             self.scan_mode = validate_scan_mode(scan_mode)
         if segment_cache_dir is not None:
             self.segment_cache = (
-                SegmentCache(segment_cache_dir) if segment_cache_dir else None
+                SegmentCache(
+                    segment_cache_dir,
+                    fingerprint_mode=resolve_fingerprint_mode(fingerprint_mode),
+                )
+                if segment_cache_dir
+                else None
+            )
+        elif fingerprint_mode is not None and self.segment_cache is not None:
+            self.segment_cache.fingerprint_mode = validate_fingerprint_mode(
+                fingerprint_mode
             )
 
     # -- resilience wiring -------------------------------------------------------
@@ -362,7 +378,7 @@ class CollectionCatalog:
         policy = self.on_malformed
         projection = canonical_projection(path)
         try:
-            fingerprint = file_fingerprint(file_path)
+            fingerprint = self.segment_cache.source_fingerprint(file_path)
         except OSError:
             fingerprint = None
         if fingerprint is not None:
@@ -467,6 +483,7 @@ class InMemorySource:
         on_malformed: str = "fail",
         scan_mode: str | None = None,
         segment_cache_dir: str | None = None,
+        fingerprint_mode: str | None = None,
     ):
         self._collections = {
             CollectionCatalog._normalize(name): partitions
@@ -475,20 +492,37 @@ class InMemorySource:
         self._documents = dict(documents or {})
         self.on_malformed = validate_on_malformed(on_malformed)
         self.scan_mode = resolve_scan_mode(scan_mode)
-        self.segment_cache = resolve_segment_cache(segment_cache_dir)
+        self.segment_cache = resolve_segment_cache(
+            segment_cache_dir, fingerprint_mode
+        )
         self._local = threading.local()
 
     def configure_scan(
         self,
         scan_mode: str | None = None,
         segment_cache_dir: str | None = None,
+        fingerprint_mode: str | None = None,
     ) -> None:
-        """Override scan mode / segment cache (None leaves untouched)."""
+        """Override scan mode / segment cache (None leaves untouched).
+
+        ``fingerprint_mode`` is accepted for interface symmetry with
+        :class:`CollectionCatalog`; in-memory texts are always keyed by
+        content hash, so the mode changes nothing here.
+        """
         if scan_mode is not None:
             self.scan_mode = validate_scan_mode(scan_mode)
         if segment_cache_dir is not None:
             self.segment_cache = (
-                SegmentCache(segment_cache_dir) if segment_cache_dir else None
+                SegmentCache(
+                    segment_cache_dir,
+                    fingerprint_mode=resolve_fingerprint_mode(fingerprint_mode),
+                )
+                if segment_cache_dir
+                else None
+            )
+        elif fingerprint_mode is not None and self.segment_cache is not None:
+            self.segment_cache.fingerprint_mode = validate_fingerprint_mode(
+                fingerprint_mode
             )
 
     @property

@@ -364,6 +364,59 @@ class RecoveryExhaustedError(BackendError):
         self.backend = backend
 
 
+class ProcessorClosedError(RuntimeExecutionError):
+    """A query was issued on a closed processor or executor.
+
+    ``close()`` releases the backend worker pools for good; executing
+    afterwards used to silently re-create them (or die with an opaque
+    pool error mid-flight).  A closed processor now refuses new work
+    with this error instead — build a new :class:`~repro.JsonProcessor`
+    (or keep the old one open) to keep querying.
+    """
+
+    def __init__(self, what: str = "processor"):
+        super().__init__(
+            f"this {what} is closed; close() released its worker pools, "
+            "so it cannot execute further queries — create a new one"
+        )
+
+
+class AdmissionError(_PickleByInitArgs, ReproError):
+    """A query submission was rejected by service admission control.
+
+    Raised synchronously by :meth:`~repro.service.QueryService.submit`
+    — an over-quota submission never enters the queue, so it cannot
+    crash or starve queries that were already admitted.  ``reason`` is
+    machine-readable:
+
+    - ``"closed"`` — the service is shut down;
+    - ``"tenant-quota"`` — the tenant is at its admitted-query limit
+      (``max_concurrent + max_queued`` in flight);
+    - ``"service-queue"`` — the service-wide admission queue is full;
+    - ``"memory-quota"`` — the request asked for more memory than the
+      tenant's budget allows;
+    - ``"deadline-quota"`` — the request asked for a longer deadline
+      than the tenant's ceiling allows.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        tenant: str,
+        message: str,
+        limit=None,
+        requested=None,
+    ):
+        self._init_args = (reason, tenant, message, limit, requested)
+        super().__init__(
+            f"admission rejected for tenant {tenant!r} [{reason}]: {message}"
+        )
+        self.reason = reason
+        self.tenant = tenant
+        self.limit = limit
+        self.requested = requested
+
+
 # ---------------------------------------------------------------------------
 # Baseline engines
 # ---------------------------------------------------------------------------

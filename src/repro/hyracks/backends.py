@@ -52,6 +52,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -632,16 +633,20 @@ class ThreadBackend(ExecutionBackend):
         super().__init__()
         self._max_workers = max_workers or os.cpu_count() or 1
         self._pool = None
+        self._pool_lock = threading.Lock()
 
     def _ensure_pool(self):
-        if self._pool is None:
-            from concurrent.futures import ThreadPoolExecutor
+        # Lazy creation is locked: two service threads racing here would
+        # otherwise each build a pool and leak one of them.
+        with self._pool_lock:
+            if self._pool is None:
+                from concurrent.futures import ThreadPoolExecutor
 
-            self._pool = ThreadPoolExecutor(
-                max_workers=self._max_workers,
-                thread_name_prefix="repro-partition",
-            )
-        return self._pool
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self._max_workers,
+                    thread_name_prefix="repro-partition",
+                )
+            return self._pool
 
     def run_units(self, units: list[WorkUnit]):
         units = list(units)
@@ -699,20 +704,24 @@ class ProcessBackend(ExecutionBackend):
         super().__init__()
         self._max_workers = max_workers or os.cpu_count() or 1
         self._pool = None
+        self._pool_lock = threading.Lock()
 
     def _ensure_pool(self):
-        if self._pool is None:
-            import multiprocessing
-            from concurrent.futures import ProcessPoolExecutor
+        # Locked like ThreadBackend._ensure_pool: racing lazy creation
+        # would leak a whole process pool.
+        with self._pool_lock:
+            if self._pool is None:
+                import multiprocessing
+                from concurrent.futures import ProcessPoolExecutor
 
-            try:
-                mp_context = multiprocessing.get_context("fork")
-            except ValueError:  # pragma: no cover - non-POSIX platforms
-                mp_context = multiprocessing.get_context()
-            self._pool = ProcessPoolExecutor(
-                max_workers=self._max_workers, mp_context=mp_context
-            )
-        return self._pool
+                try:
+                    mp_context = multiprocessing.get_context("fork")
+                except ValueError:  # pragma: no cover - non-POSIX platforms
+                    mp_context = multiprocessing.get_context()
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self._max_workers, mp_context=mp_context
+                )
+            return self._pool
 
     def run_units(self, units: list[WorkUnit]):
         units = list(units)
@@ -780,9 +789,13 @@ def resolve_backend(backend=None, max_workers: int | None = None):
     ``None`` consults the ``REPRO_BACKEND`` environment variable and
     falls back to ``sequential`` — which is how CI runs the whole test
     suite under the process backend without touching any call site.
+    ``REPRO_BACKEND=""`` explicitly selects the default backend (see
+    :mod:`repro.envutil` for the resolution rule).
     """
     if backend is None:
-        backend = os.environ.get("REPRO_BACKEND") or "sequential"
+        from repro.envutil import env_setting
+
+        backend = env_setting("REPRO_BACKEND") or "sequential"
     if isinstance(backend, str):
         if backend not in BACKENDS:
             raise ValueError(

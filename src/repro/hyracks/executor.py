@@ -272,6 +272,8 @@ class PartitionedExecutor:
         self._profile = None  # coordinator-side ProfileCollector while running
         self._limits = None  # ExecutionLimits for the in-flight query
         self._open_spills = []  # coordinator-side SpillManagers to close
+        self._query_spill = None  # per-query scoped SpillConfig while running
+        self._closed = False
 
     @property
     def backend(self):
@@ -279,7 +281,15 @@ class PartitionedExecutor:
         return self._backend
 
     def close(self) -> None:
-        """Release backend worker pools (threads/processes)."""
+        """Release backend worker pools (threads/processes).
+
+        Idempotent; once closed, :meth:`run` raises
+        :class:`~repro.errors.ProcessorClosedError` instead of silently
+        re-creating pools.
+        """
+        if self._closed:
+            return
+        self._closed = True
         self._backend.close()
 
     # -- public ---------------------------------------------------------------
@@ -300,13 +310,27 @@ class PartitionedExecutor:
         :class:`~repro.errors.QueryCancelledError` at the next frame
         boundary, unwinding with every spill file released.
         """
-        from repro.errors import QueryCancelledError, QueryTimeoutError
+        from repro.errors import (
+            ProcessorClosedError,
+            QueryCancelledError,
+            QueryTimeoutError,
+        )
         from repro.hyracks.limits import ExecutionLimits, QueryDeadline
 
+        if self._closed:
+            raise ProcessorClosedError("executor")
         started = time.perf_counter()
         stats = ExecutionStats()
         report = DegradationReport()
         self._parallel_wall = 0.0
+        # Pin this query's spill scope: every attempt directory (on the
+        # coordinator and inside workers) nests under one per-query
+        # root, so concurrent queries can never collide on spill paths.
+        self._query_spill = (
+            self._spill_config.scoped()
+            if self._spill_config is not None
+            else None
+        )
         self._profile_config = resolve_profile_config(profile)
         self._profile = (
             ProfileCollector(plan, self._profile_config)
@@ -343,6 +367,17 @@ class PartitionedExecutor:
                 manager.fold_stats(stats)
                 manager.close()
             self._open_spills = []
+            # The per-query scope directory is ours alone (the scope is
+            # query-unique), so removing the whole tree cannot touch a
+            # concurrent query's run files.
+            query_spill = self._query_spill
+            self._query_spill = None
+            if query_spill is not None:
+                scope_dir = query_spill.scope_directory()
+                if scope_dir is not None:
+                    import shutil
+
+                    shutil.rmtree(scope_dir, ignore_errors=True)
             limits = self._limits
             self._limits = None
             if attach is not None:
@@ -390,7 +425,8 @@ class PartitionedExecutor:
         self, partition: int | None, memory: MemoryTracker, stats: ExecutionStats
     ) -> EvaluationContext:
         spill = None
-        if self._spill_config is not None:
+        spill_config = self._query_spill or self._spill_config
+        if spill_config is not None:
             from repro.hyracks.spill import SpillManager
 
             fault_hook = None
@@ -398,7 +434,7 @@ class PartitionedExecutor:
             if check is not None:
                 fault_hook = lambda: check(partition)  # noqa: E731
             spill = SpillManager(
-                self._spill_config, partition=partition, fault_hook=fault_hook
+                spill_config, partition=partition, fault_hook=fault_hook
             )
             # run() closes every registered manager in its finally block,
             # so coordinator-side run files never outlive the query.
@@ -445,7 +481,7 @@ class PartitionedExecutor:
                 resilience=self._resilience,
                 charge_delay=charge_delay,
                 profile=self._profile_config,
-                spill=self._spill_config,
+                spill=self._query_spill or self._spill_config,
                 limits=self._limits,
             )
             for partition, work in tasks

@@ -41,10 +41,13 @@ def resolve_deadline_seconds(deadline_seconds: float | None) -> float | None:
     """Normalize a deadline argument, consulting ``REPRO_DEADLINE``.
 
     ``None`` reads the environment variable (empty/unset/``0`` means no
-    deadline); a non-positive explicit value is rejected.
+    deadline — the :mod:`repro.envutil` rule); a non-positive explicit
+    value is rejected.
     """
     if deadline_seconds is None:
-        value = os.environ.get(DEADLINE_ENV_VAR, "").strip()
+        from repro.envutil import env_setting
+
+        value = env_setting(DEADLINE_ENV_VAR, "")
         if not value or value == "0":
             return None
         deadline_seconds = float(value)

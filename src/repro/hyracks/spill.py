@@ -38,14 +38,17 @@ layer's :meth:`~repro.resilience.faults.FaultPlan.fail_spill`), so a
 from __future__ import annotations
 
 import heapq
+import itertools
 import os
 import pickle
 import shutil
 import tempfile
+import uuid
 import zlib
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Iterable, Iterator
 
+from repro.envutil import env_setting
 from repro.errors import SpillError
 from repro.hyracks.frames import DEFAULT_FRAME_BYTES, FrameWriter
 from repro.hyracks.tuples import Tuple, merge_tuples, sizeof_tuple
@@ -95,24 +98,70 @@ def stable_bucket(key, buckets: int, salt: int = 0) -> int:
     return zlib.crc32(payload) % buckets
 
 
+#: monotonic per-process counter feeding :func:`new_query_scope`
+_QUERY_SCOPE_SEQ = itertools.count(1)
+
+
+def new_query_scope() -> str:
+    """A spill scope unique to one query execution.
+
+    Combines the coordinator pid, a monotonic per-process counter, and
+    a random salt, so two queries — in the same process, in different
+    processes, or racing across machines onto one shared spill root —
+    can never claim the same scope directory.  Within the query the
+    scope is fixed: it pickles into every work unit, so worker-side
+    managers land under the same per-query root as coordinator-side
+    ones.
+    """
+    return f"{os.getpid():x}-{next(_QUERY_SCOPE_SEQ):x}-{uuid.uuid4().hex[:8]}"
+
+
 @dataclass(frozen=True)
 class SpillConfig:
     """How spilling operators write and recurse.
 
     Picklable (it rides inside process-pool work units).  ``directory``
     is the *root* under which each attempt makes its own temp dir;
-    ``None`` consults ``REPRO_SPILL_DIR`` then the system temp dir.
+    ``None`` consults ``REPRO_SPILL_DIR`` then the system temp dir
+    (``REPRO_SPILL_DIR=""`` explicitly pins the system temp dir — see
+    :mod:`repro.envutil`).
+
+    ``scope`` namespaces every attempt directory under one per-query
+    subdirectory (``repro-spill-q<scope>``).  The executor stamps a
+    fresh :func:`new_query_scope` on each query, so two concurrent
+    queries spilling the same partition index can never collide — and
+    cleanup of one query's directory tree cannot delete the other's run
+    files.  Within a query the scope is deterministic (it is part of
+    the pickled config), while attempt directories inside it stay
+    ``mkdtemp``-unique because straggler speculation can run duplicate
+    attempts of the *same* partition concurrently.
     """
 
     directory: str | None = None
     frame_bytes: int = DEFAULT_FRAME_BYTES
     fanout: int = 8
     max_recursion: int = 6
+    scope: str | None = None
 
     def root_directory(self) -> str:
         if self.directory is not None:
             return self.directory
-        return os.environ.get(SPILL_DIR_ENV_VAR) or tempfile.gettempdir()
+        value = env_setting(SPILL_DIR_ENV_VAR)
+        if value:
+            return value
+        return tempfile.gettempdir()
+
+    def scoped(self) -> "SpillConfig":
+        """This config pinned to a fresh per-query scope (idempotent)."""
+        if self.scope is not None:
+            return self
+        return replace(self, scope=new_query_scope())
+
+    def scope_directory(self) -> str | None:
+        """The per-query directory all attempt dirs nest under (or None)."""
+        if self.scope is None:
+            return None
+        return os.path.join(self.root_directory(), f"repro-spill-q{self.scope}")
 
 
 def resolve_spill_config(spill_dir=None) -> SpillConfig:
@@ -280,7 +329,9 @@ class SpillManager:
         if self.closed:
             raise SpillError("spill manager is closed")
         if self._directory is None:
-            root = self.config.root_directory()
+            root = self.config.scope_directory()
+            if root is None:
+                root = self.config.root_directory()
             os.makedirs(root, exist_ok=True)
             prefix = (
                 f"repro-spill-p{self.partition}-"

@@ -70,7 +70,9 @@ def resolve_profile_config(profile) -> ProfileConfig | None:
     :class:`ProfileConfig`.
     """
     if profile is None:
-        value = os.environ.get(PROFILE_ENV_VAR, "").strip()
+        from repro.envutil import env_setting
+
+        value = env_setting(PROFILE_ENV_VAR, "")
         if not value or value == "0":
             return None
         return ProfileConfig(clock="wall" if value == "1" else value)

@@ -102,6 +102,14 @@ class JsonProcessor:
         scanning JSON.  ``None`` leaves the source's own setting
         (``REPRO_SEGMENT_CACHE`` environment variable); an empty string
         disables the cache explicitly.
+    cache_fingerprint:
+        How cached segments detect file changes: ``"stat"`` (size,
+        timestamps, inode — fast, with a documented same-size in-place
+        rewrite staleness window) or ``"content"`` (hash the bytes —
+        slower per lookup, no staleness window; what a long-lived
+        server should use).  ``None`` leaves the source's own setting
+        (``REPRO_CACHE_FINGERPRINT`` environment variable, default
+        ``stat``).
     """
 
     def __init__(
@@ -119,9 +127,12 @@ class JsonProcessor:
         deadline_seconds: float | None = None,
         scan_mode: str | None = None,
         segment_cache_dir: str | None = None,
+        cache_fingerprint: str | None = None,
     ):
         if (
-            scan_mode is not None or segment_cache_dir is not None
+            scan_mode is not None
+            or segment_cache_dir is not None
+            or cache_fingerprint is not None
         ) and source is not None:
             configure = getattr(source, "configure_scan", None)
             if configure is None:
@@ -130,11 +141,14 @@ class JsonProcessor:
                     "segment_cache_dir configuration"
                 )
             configure(
-                scan_mode=scan_mode, segment_cache_dir=segment_cache_dir
+                scan_mode=scan_mode,
+                segment_cache_dir=segment_cache_dir,
+                fingerprint_mode=cache_fingerprint,
             )
         if fault_plan is not None:
             source = fault_plan.wrap(source)
         self.source = source
+        self._closed = False
         self.rewrite = rewrite if rewrite is not None else RewriteConfig.all()
         self._executor = PartitionedExecutor(
             source,
@@ -201,6 +215,10 @@ class JsonProcessor:
         :class:`~repro.errors.QueryCancelledError` at the next frame
         boundary with all spill files and memory charges released.
         """
+        if self._closed:
+            from repro.errors import ProcessorClosedError
+
+            raise ProcessorClosedError("processor")
         compiled = self.compile(query)
         result = self._executor.run(
             compiled.plan, profile=profile, cancellation=cancellation
@@ -244,9 +262,16 @@ class JsonProcessor:
     def close(self) -> None:
         """Release backend worker pools (threads/processes).
 
-        Idempotent; the sequential backend makes this a no-op, so
-        callers never need to guard it.
+        Idempotent — double-close is a no-op.  After close every
+        ``execute``/``evaluate``/``profile`` raises
+        :class:`~repro.errors.ProcessorClosedError` instead of silently
+        re-creating worker pools.  ``__exit__`` routes through here, so
+        a query that unwinds via an exception inside a ``with`` block
+        still shuts the pools down.
         """
+        if self._closed:
+            return
+        self._closed = True
         self._executor.close()
 
     def __enter__(self) -> "JsonProcessor":

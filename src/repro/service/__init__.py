@@ -1,0 +1,27 @@
+"""Long-lived multi-tenant query service (see :mod:`.service`)."""
+
+from repro.errors import AdmissionError
+from repro.service.plan_cache import PlanCache
+from repro.service.result_cache import (
+    CachedResult,
+    ResultCache,
+    source_fingerprints,
+)
+from repro.service.service import (
+    QueryService,
+    QueryTicket,
+    ServiceResponse,
+    TenantQuota,
+)
+
+__all__ = [
+    "AdmissionError",
+    "CachedResult",
+    "PlanCache",
+    "QueryService",
+    "QueryTicket",
+    "ResultCache",
+    "ServiceResponse",
+    "TenantQuota",
+    "source_fingerprints",
+]

@@ -1,0 +1,79 @@
+"""Thread-safe LRU cache of compiled query plans.
+
+``compile_query(text, config)`` is pure — parse, translate, and the
+rewrite fixpoint depend only on the query text and the toggle config —
+so a long-lived service never needs to compile the same (text, config)
+pair twice.  :class:`RewriteConfig` is a frozen dataclass, so the pair
+is directly hashable and the cache key *is* the compilation input: two
+tenants submitting the same query text under the same service config
+share one compiled plan.
+
+Compiled plans are treated as immutable at execution time (the same
+contract that lets the process backend pickle one plan into many
+workers), so sharing one ``CompiledQuery`` across concurrent service
+queries is safe.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from repro.algebra.rules import RewriteConfig
+from repro.compiler.pipeline import CompiledQuery, compile_query
+
+
+class PlanCache:
+    """LRU over ``(query text, RewriteConfig) -> CompiledQuery``."""
+
+    def __init__(self, capacity: int = 128):
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity!r}")
+        self.capacity = capacity
+        self._entries: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get_or_compile(
+        self, text: str, config: RewriteConfig
+    ) -> tuple[CompiledQuery, bool]:
+        """Return ``(compiled, was_hit)`` for *text* under *config*."""
+        key = (text, config)
+        with self._lock:
+            compiled = self._entries.get(key)
+            if compiled is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return compiled, True
+        # Compile outside the lock: compilation is pure, so two threads
+        # racing the same cold key at worst compile twice and store the
+        # same plan — far better than serializing every compilation.
+        compiled = compile_query(text, config)
+        with self._lock:
+            self.misses += 1
+            if self.capacity and key not in self._entries:
+                self._entries[key] = compiled
+                while len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+                    self.evictions += 1
+        return compiled, False
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

@@ -1,0 +1,698 @@
+"""A long-lived, multi-tenant query service over the partitioned engine.
+
+Everything below this module is one-shot: a
+:class:`~repro.JsonProcessor` compiles and runs a single query and its
+executor carries per-query mutable state.  :class:`QueryService` is the
+long-lived counterpart — the shape of a VXQuery/Hyracks cluster
+controller fielding many concurrent queries:
+
+- **long-lived catalogs**: one shared data source; per-query scan
+  state (degradation reports, scan counters) is thread-local on the
+  catalog, so concurrent query threads never see each other's events;
+- **a shared backend pool**: one
+  :class:`~repro.hyracks.backends.ExecutionBackend` per concurrency
+  slot, owned by that slot's worker thread.  Pools (threads or forked
+  processes) persist across queries, so fork/spawn cost is paid once —
+  but no backend instance is ever shared by two in-flight queries,
+  because backends carry per-run recovery/pool state;
+- **admission control**: a bounded queue with per-tenant
+  :class:`TenantQuota` limits (max concurrent queries, queue depth,
+  memory budget, deadline ceiling).  Over-quota submissions are
+  rejected synchronously with a structured
+  :class:`~repro.errors.AdmissionError` — they never enter the queue,
+  so they cannot crash or starve admitted queries;
+- **scheduling**: admitted requests run FIFO, skipping over tenants
+  that are at their concurrency limit (no head-of-line blocking across
+  tenants).  Each query runs under its own
+  :class:`~repro.hyracks.limits.ExecutionLimits` — the tenant deadline
+  ceiling plus a per-request filesystem-flag
+  :class:`~repro.hyracks.limits.CancellationToken`, so cancellation
+  reaches even process-pool workers forked before the cancel;
+- **plan cache**: an LRU keyed by (query text, toggle config) — see
+  :mod:`repro.service.plan_cache`;
+- **result cache** (optional): keyed by plan fingerprint × source
+  fingerprints with file-change invalidation — see
+  :mod:`repro.service.result_cache`.  The service defaults both the
+  result cache and any segment cache it configures to ``content``
+  fingerprints: a long-lived server must not serve stale bytes through
+  the ``stat`` fingerprint's same-size rewrite window.
+
+Every completed query returns a :class:`ServiceResponse` carrying the
+result items plus the per-request telemetry the observability layers
+already produce: the
+:class:`~repro.observability.profile.QueryProfile` (when profiling)
+and the :class:`~repro.resilience.report.DegradationReport`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import shutil
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.algebra.operators import DataScan
+from repro.algebra.rules import RewriteConfig
+from repro.cache.config import resolve_fingerprint_mode
+from repro.errors import AdmissionError, ProcessorClosedError, QueryCancelledError
+from repro.hyracks.backends import BACKENDS, resolve_backend
+from repro.hyracks.executor import PartitionedExecutor
+from repro.hyracks.limits import CancellationToken
+from repro.observability.profile import resolve_profile_config
+from repro.resilience.policies import ResilienceConfig
+from repro.service.plan_cache import PlanCache
+from repro.service.result_cache import (
+    CachedResult,
+    ResultCache,
+    source_fingerprints,
+)
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Admission limits for one tenant.
+
+    ``max_concurrent`` queries may execute at once and ``max_queued``
+    more may wait; a submission beyond ``max_concurrent + max_queued``
+    in flight is rejected.  ``memory_budget_bytes`` is both the cap on
+    what a request may ask for and the default budget when it asks for
+    nothing; ``deadline_ceiling_seconds`` likewise caps and defaults
+    the per-query deadline.  ``None`` means unlimited.
+    """
+
+    max_concurrent: int = 2
+    max_queued: int = 8
+    memory_budget_bytes: int | None = None
+    deadline_ceiling_seconds: float | None = None
+
+    def __post_init__(self):
+        if self.max_concurrent < 1:
+            raise ValueError(
+                f"max_concurrent must be >= 1, got {self.max_concurrent!r}"
+            )
+        if self.max_queued < 0:
+            raise ValueError(
+                f"max_queued must be >= 0, got {self.max_queued!r}"
+            )
+        if (
+            self.deadline_ceiling_seconds is not None
+            and self.deadline_ceiling_seconds <= 0
+        ):
+            raise ValueError("deadline_ceiling_seconds must be positive")
+
+
+@dataclass
+class ServiceResponse:
+    """One completed query: items plus per-request telemetry."""
+
+    request_id: int
+    tenant: str
+    query: str
+    items: list
+    backend: str
+    strategy: str
+    wall_seconds: float
+    queue_seconds: float
+    plan_cache_hit: bool
+    result_cache_hit: bool
+    #: :class:`~repro.observability.profile.QueryProfile` (None unless profiled)
+    profile: object = None
+    #: :class:`~repro.resilience.report.DegradationReport` of this run
+    degradation: object = None
+    #: :class:`~repro.hyracks.executor.ExecutionStats` of this run
+    stats: object = None
+    deadline_slack_seconds: float | None = None
+    is_partial: bool = False
+    warnings: list = field(default_factory=list)
+
+
+class _Request:
+    """Internal per-submission state shared by ticket and scheduler."""
+
+    __slots__ = (
+        "id",
+        "tenant",
+        "query",
+        "profile",
+        "memory_budget",
+        "deadline",
+        "token",
+        "event",
+        "response",
+        "error",
+        "state",
+        "submitted_at",
+    )
+
+    def __init__(self, request_id, tenant, query, profile, memory, deadline, token):
+        self.id = request_id
+        self.tenant = tenant
+        self.query = query
+        self.profile = profile
+        self.memory_budget = memory
+        self.deadline = deadline
+        self.token = token
+        self.event = threading.Event()
+        self.response = None
+        self.error = None
+        self.state = "queued"
+        self.submitted_at = time.perf_counter()
+
+
+class QueryTicket:
+    """Handle on one admitted submission: await the result or cancel."""
+
+    def __init__(self, service: "QueryService", request: _Request):
+        self._service = service
+        self._request = request
+
+    @property
+    def request_id(self) -> int:
+        return self._request.id
+
+    @property
+    def tenant(self) -> str:
+        return self._request.tenant
+
+    def done(self) -> bool:
+        return self._request.event.is_set()
+
+    def result(self, timeout: float | None = None) -> ServiceResponse:
+        """Block until the query finishes; return or raise its outcome."""
+        if not self._request.event.wait(timeout):
+            raise TimeoutError(
+                f"query {self._request.id} still running after {timeout}s"
+            )
+        if self._request.error is not None:
+            raise self._request.error
+        return self._request.response
+
+    def cancel(self, reason: str = "cancelled by client") -> bool:
+        """Cancel this query; True if the cancel could still take effect.
+
+        A queued query is withdrawn immediately (its :meth:`result`
+        raises :class:`~repro.errors.QueryCancelledError` without ever
+        executing); a running query is signalled through its
+        cancellation token and unwinds at the next frame boundary.
+        """
+        return self._service._cancel(self._request, reason)
+
+
+class QueryService:
+    """Long-lived concurrent query service (see module docstring).
+
+    Parameters
+    ----------
+    source:
+        The shared data source (catalog) all queries run against.
+    rewrite:
+        Rewrite-toggle config applied to every query (default: all
+        rules).  Part of the plan-cache key.
+    backend:
+        Backend *name* (``"sequential"`` | ``"thread"`` | ``"process"``)
+        for partition work; ``None`` consults ``REPRO_BACKEND``.  The
+        service builds one backend instance per concurrency slot, so
+        instances are not accepted here.
+    max_concurrent_queries:
+        Service-wide concurrency: worker threads × backend slots.
+    max_workers:
+        Per-query worker cap inside each backend (default: CPU count).
+    max_queue_depth:
+        Bound on queued-but-not-running requests across all tenants
+        (default: ``4 × max_concurrent_queries``).
+    default_quota / quotas:
+        The :class:`TenantQuota` applied to unknown tenants, and
+        per-tenant overrides by name.
+    plan_cache_size / result_cache_size:
+        LRU capacities; ``result_cache_size=0`` (default) disables
+        result caching.
+    cache_fingerprint:
+        Fingerprint mode for the result cache and any segment cache
+        this service configures; defaults to ``"content"`` (a
+        long-lived server must detect same-size in-place rewrites).
+    segment_cache_dir:
+        When given, (re)configures the source's segment cache under
+        ``cache_fingerprint``.
+    memory_budget_bytes / spill / spill_dir / resilience:
+        Per-query execution defaults, as on
+        :class:`~repro.JsonProcessor`.
+    """
+
+    def __init__(
+        self,
+        source,
+        rewrite: RewriteConfig | None = None,
+        backend: str | None = None,
+        max_concurrent_queries: int = 2,
+        max_workers: int | None = None,
+        max_queue_depth: int | None = None,
+        default_quota: TenantQuota | None = None,
+        quotas: dict[str, TenantQuota] | None = None,
+        plan_cache_size: int = 128,
+        result_cache_size: int = 0,
+        cache_fingerprint: str = "content",
+        segment_cache_dir: str | None = None,
+        memory_budget_bytes: int | None = None,
+        spill: bool = True,
+        spill_dir: str | None = None,
+        resilience: ResilienceConfig | None = None,
+        functions=None,
+    ):
+        if backend is not None and backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be a name from {sorted(BACKENDS)} or None; "
+                f"the service owns its backend instances"
+            )
+        if max_concurrent_queries < 1:
+            raise ValueError(
+                f"max_concurrent_queries must be >= 1, "
+                f"got {max_concurrent_queries!r}"
+            )
+        self._source = source
+        self._rewrite = rewrite if rewrite is not None else RewriteConfig.all()
+        self._functions = functions
+        self._resilience = resilience
+        self._memory_budget = memory_budget_bytes
+        self._spill = spill
+        self._spill_dir = spill_dir
+        self._max_workers = max_workers
+        self._fingerprint_mode = resolve_fingerprint_mode(cache_fingerprint)
+        if segment_cache_dir is not None:
+            configure = getattr(source, "configure_scan", None)
+            if configure is not None:
+                configure(
+                    segment_cache_dir=segment_cache_dir,
+                    fingerprint_mode=self._fingerprint_mode,
+                )
+        self.default_quota = (
+            default_quota if default_quota is not None else TenantQuota()
+        )
+        self.quotas: dict[str, TenantQuota] = dict(quotas or {})
+        self.plan_cache = PlanCache(plan_cache_size)
+        self.result_cache = (
+            ResultCache(result_cache_size) if result_cache_size else None
+        )
+        self._max_queue_depth = (
+            max_queue_depth
+            if max_queue_depth is not None
+            else 4 * max_concurrent_queries
+        )
+        self._lock = threading.Lock()
+        self._work_ready = threading.Condition(self._lock)
+        self._idle = threading.Condition(self._lock)
+        self._queue: list[_Request] = []
+        self._running: dict[str, int] = {}
+        self._queued: dict[str, int] = {}
+        self._running_requests: list[_Request] = []
+        self._closed = False
+        self._request_seq = itertools.count(1)
+        self._counters = {
+            "submitted": 0,
+            "completed": 0,
+            "failed": 0,
+            "cancelled": 0,
+            "rejected": 0,
+        }
+        self._rejected_by_reason: dict[str, int] = {}
+        # Per-request cancel flags live here so a cancel issued after a
+        # process-pool worker forked is still observed via the filesystem.
+        self._flag_dir = tempfile.mkdtemp(prefix="repro-service-")
+        self._backends = [
+            resolve_backend(backend, max_workers=max_workers)
+            for _ in range(max_concurrent_queries)
+        ]
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop,
+                args=(slot,),
+                name=f"repro-service-{slot}",
+                daemon=True,
+            )
+            for slot in range(max_concurrent_queries)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # -- admission -------------------------------------------------------------
+
+    def _quota(self, tenant: str) -> TenantQuota:
+        return self.quotas.get(tenant, self.default_quota)
+
+    def _reject(self, reason, tenant, message, limit=None, requested=None):
+        self._counters["rejected"] += 1
+        self._rejected_by_reason[reason] = (
+            self._rejected_by_reason.get(reason, 0) + 1
+        )
+        raise AdmissionError(reason, tenant, message, limit, requested)
+
+    def submit(
+        self,
+        query: str,
+        tenant: str = "default",
+        profile=None,
+        memory_budget_bytes: int | None = None,
+        deadline_seconds: float | None = None,
+    ) -> QueryTicket:
+        """Admit *query* for *tenant*; returns a ticket, or raises
+        :class:`~repro.errors.AdmissionError` synchronously.
+
+        Admission is deterministic in the submission order: given the
+        same sequence of submits/finishes, the same submission is
+        rejected with the same reason, because every check runs under
+        the service lock against exact queued/running counts.
+        """
+        quota = self._quota(tenant)
+        with self._lock:
+            if self._closed:
+                self._reject("closed", tenant, "service is closed")
+            if (
+                memory_budget_bytes is not None
+                and quota.memory_budget_bytes is not None
+                and memory_budget_bytes > quota.memory_budget_bytes
+            ):
+                self._reject(
+                    "memory-quota",
+                    tenant,
+                    f"requested {memory_budget_bytes} bytes exceeds the "
+                    f"tenant budget of {quota.memory_budget_bytes} bytes",
+                    limit=quota.memory_budget_bytes,
+                    requested=memory_budget_bytes,
+                )
+            if (
+                deadline_seconds is not None
+                and quota.deadline_ceiling_seconds is not None
+                and deadline_seconds > quota.deadline_ceiling_seconds
+            ):
+                self._reject(
+                    "deadline-quota",
+                    tenant,
+                    f"requested {deadline_seconds:g}s deadline exceeds the "
+                    f"tenant ceiling of {quota.deadline_ceiling_seconds:g}s",
+                    limit=quota.deadline_ceiling_seconds,
+                    requested=deadline_seconds,
+                )
+            in_flight = self._running.get(tenant, 0) + self._queued.get(
+                tenant, 0
+            )
+            allowed = quota.max_concurrent + quota.max_queued
+            if in_flight >= allowed:
+                self._reject(
+                    "tenant-quota",
+                    tenant,
+                    f"{in_flight} queries already in flight "
+                    f"(limit {quota.max_concurrent} running "
+                    f"+ {quota.max_queued} queued)",
+                    limit=allowed,
+                    requested=in_flight + 1,
+                )
+            if len(self._queue) >= self._max_queue_depth:
+                self._reject(
+                    "service-queue",
+                    tenant,
+                    f"service admission queue is full "
+                    f"({self._max_queue_depth} waiting)",
+                    limit=self._max_queue_depth,
+                    requested=len(self._queue) + 1,
+                )
+            request_id = next(self._request_seq)
+            token = CancellationToken(
+                flag_path=os.path.join(self._flag_dir, f"cancel-{request_id}")
+            )
+            request = _Request(
+                request_id,
+                tenant,
+                query,
+                profile,
+                memory_budget_bytes
+                if memory_budget_bytes is not None
+                else quota.memory_budget_bytes
+                if quota.memory_budget_bytes is not None
+                else self._memory_budget,
+                deadline_seconds
+                if deadline_seconds is not None
+                else quota.deadline_ceiling_seconds,
+                token,
+            )
+            self._queue.append(request)
+            self._queued[tenant] = self._queued.get(tenant, 0) + 1
+            self._counters["submitted"] += 1
+            self._work_ready.notify()
+        return QueryTicket(self, request)
+
+    def execute(self, query: str, tenant: str = "default", **kwargs):
+        """Submit and block for the response (one-shot convenience)."""
+        return self.submit(query, tenant=tenant, **kwargs).result()
+
+    # -- scheduling ------------------------------------------------------------
+
+    def _next_request(self) -> _Request | None:
+        """Claim the next runnable request (None = service shut down).
+
+        FIFO over the admission queue, skipping requests whose tenant
+        is at its concurrency limit — a backlogged tenant never blocks
+        another tenant's work.
+        """
+        with self._work_ready:
+            while True:
+                for index, request in enumerate(self._queue):
+                    quota = self._quota(request.tenant)
+                    if (
+                        self._running.get(request.tenant, 0)
+                        < quota.max_concurrent
+                    ):
+                        del self._queue[index]
+                        self._queued[request.tenant] -= 1
+                        self._running[request.tenant] = (
+                            self._running.get(request.tenant, 0) + 1
+                        )
+                        self._running_requests.append(request)
+                        request.state = "running"
+                        return request
+                if self._closed:
+                    return None
+                self._work_ready.wait()
+
+    def _worker_loop(self, slot: int) -> None:
+        backend = self._backends[slot]
+        while True:
+            request = self._next_request()
+            if request is None:
+                return
+            try:
+                response = self._execute_request(request, backend)
+            except BaseException as error:  # noqa: BLE001 - routed to ticket
+                self._finish(request, error=error)
+            else:
+                self._finish(request, response=response)
+
+    def _finish(self, request: _Request, response=None, error=None) -> None:
+        request.response = response
+        request.error = error
+        with self._lock:
+            if request.state == "running":
+                self._running[request.tenant] -= 1
+                self._running_requests.remove(request)
+            request.state = "done"
+            if error is None:
+                self._counters["completed"] += 1
+            elif isinstance(error, QueryCancelledError):
+                self._counters["cancelled"] += 1
+            else:
+                self._counters["failed"] += 1
+            # Set the ticket's event inside the critical section: anyone
+            # who observes the post-finish counters (a drain() returning,
+            # a stats() reader) must also observe the ticket as done.
+            request.event.set()
+            self._work_ready.notify_all()
+            self._idle.notify_all()
+        try:
+            os.unlink(request.token.flag_path)
+        except OSError:
+            pass
+
+    def _cancel(self, request: _Request, reason: str) -> bool:
+        with self._lock:
+            if request.state == "queued":
+                self._queue.remove(request)
+                self._queued[request.tenant] -= 1
+                request.state = "done"
+                request.error = QueryCancelledError(reason)
+                self._counters["cancelled"] += 1
+                self._work_ready.notify_all()
+                self._idle.notify_all()
+                request.event.set()
+                return True
+            if request.state == "running":
+                request.token.cancel(reason)
+                return True
+            return False
+
+    # -- execution -------------------------------------------------------------
+
+    def _execute_request(self, request: _Request, backend) -> ServiceResponse:
+        started = time.perf_counter()
+        queue_seconds = started - request.submitted_at
+        compiled, plan_hit = self.plan_cache.get_or_compile(
+            request.query, self._rewrite
+        )
+        request.token.check()  # cancelled between dequeue and start
+        result_key = None
+        # Profiled requests bypass the result cache: a cached response
+        # cannot carry a fresh execution profile.
+        if (
+            self.result_cache is not None
+            and resolve_profile_config(request.profile) is None
+        ):
+            collections = sorted(
+                {
+                    scan.collection
+                    for scan in compiled.plan.operators_of(DataScan)
+                }
+            )
+            fingerprints = source_fingerprints(
+                self._source, collections, self._fingerprint_mode
+            )
+            if fingerprints is not None:
+                result_key = (
+                    request.query,
+                    self._rewrite,
+                    getattr(self._source, "on_malformed", None),
+                    fingerprints,
+                )
+                cached = self.result_cache.get(result_key)
+                if cached is not None:
+                    return ServiceResponse(
+                        request_id=request.id,
+                        tenant=request.tenant,
+                        query=request.query,
+                        items=list(cached.items),
+                        backend=backend.name,
+                        strategy=cached.strategy,
+                        wall_seconds=time.perf_counter() - started,
+                        queue_seconds=queue_seconds,
+                        plan_cache_hit=plan_hit,
+                        result_cache_hit=True,
+                        degradation=cached.degradation,
+                        stats=cached.stats,
+                    )
+        executor = PartitionedExecutor(
+            self._source,
+            functions=self._functions,
+            two_step_aggregation=self._rewrite.two_step_aggregation,
+            memory_budget_bytes=request.memory_budget,
+            resilience=self._resilience,
+            backend=backend,
+            spill=self._spill,
+            spill_dir=self._spill_dir,
+            deadline_seconds=request.deadline,
+        )
+        # The executor borrows this slot's backend; never executor.close().
+        result = executor.run(
+            compiled.plan, profile=request.profile, cancellation=request.token
+        )
+        if result.profile is not None:
+            result.profile.rewrite = compiled.audit
+        if (
+            result_key is not None
+            and result.profile is None
+            and not result.is_partial
+        ):
+            self.result_cache.put(
+                result_key,
+                CachedResult(
+                    items=list(result.items),
+                    stats=result.stats,
+                    degradation=result.degradation,
+                    strategy=result.strategy,
+                ),
+            )
+        return ServiceResponse(
+            request_id=request.id,
+            tenant=request.tenant,
+            query=request.query,
+            items=result.items,
+            backend=result.backend,
+            strategy=result.strategy,
+            wall_seconds=time.perf_counter() - started,
+            queue_seconds=queue_seconds,
+            plan_cache_hit=plan_hit,
+            result_cache_hit=False,
+            profile=result.profile,
+            degradation=result.degradation,
+            stats=result.stats,
+            deadline_slack_seconds=result.deadline_slack_seconds,
+            is_partial=result.is_partial,
+            warnings=result.warnings,
+        )
+
+    # -- introspection ---------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Service counters plus cache stats (deterministic key order)."""
+        with self._lock:
+            counters = dict(self._counters)
+            counters["rejected_by_reason"] = dict(
+                sorted(self._rejected_by_reason.items())
+            )
+            counters["queued"] = len(self._queue)
+            counters["running"] = sum(self._running.values())
+        counters["plan_cache"] = self.plan_cache.stats()
+        counters["result_cache"] = (
+            self.result_cache.stats() if self.result_cache is not None else None
+        )
+        return counters
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Block until no queries are queued or running; True on success."""
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        with self._idle:
+            while self._queue or any(self._running.values()):
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._idle.wait(remaining)
+        return True
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self, cancel_pending: bool = False) -> None:
+        """Shut down: drain (or cancel) pending work, release backends.
+
+        Idempotent.  New submissions are rejected with
+        ``AdmissionError("closed", ...)`` as soon as close begins; with
+        ``cancel_pending`` queued requests are cancelled and running
+        queries are signalled instead of awaited.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            pending = list(self._queue) if cancel_pending else []
+            running = list(self._running_requests) if cancel_pending else []
+            self._work_ready.notify_all()
+        if cancel_pending:
+            for request in pending:
+                self._cancel(request, "service shutting down")
+            for request in running:
+                request.token.cancel("service shutting down")
+        self.drain()
+        with self._lock:
+            self._work_ready.notify_all()
+        for worker in self._workers:
+            worker.join()
+        for backend in self._backends:
+            backend.close()
+        shutil.rmtree(self._flag_dir, ignore_errors=True)
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

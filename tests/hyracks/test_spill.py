@@ -293,6 +293,87 @@ class TestSpillConfig:
         assert pickle.loads(pickle.dumps(config)) == config
 
 
+class TestQueryScopes:
+    """Per-query spill scopes: concurrent queries can never collide."""
+
+    def test_scopes_are_unique(self):
+        from repro.hyracks.spill import new_query_scope
+
+        scopes = {new_query_scope() for _ in range(100)}
+        assert len(scopes) == 100
+
+    def test_scoped_is_idempotent_and_picklable(self, spill_root):
+        config = SpillConfig(directory=spill_root).scoped()
+        assert config.scoped() is config
+        assert pickle.loads(pickle.dumps(config)).scope == config.scope
+
+    def test_same_partition_index_never_collides(self, spill_root):
+        """Two queries spilling partition 3 land in disjoint scope dirs,
+        and closing one query's manager leaves the other's files alone —
+        the regression the per-query scope exists to prevent."""
+        config_a = SpillConfig(directory=spill_root).scoped()
+        config_b = SpillConfig(directory=spill_root).scoped()
+        assert config_a.scope != config_b.scope
+        manager_a = SpillManager(config_a, partition=3)
+        manager_b = SpillManager(config_b, partition=3)
+        writer_a = manager_a.new_run("sort")
+        writer_b = manager_b.new_run("sort")
+        records_a = [("a", i) for i in range(50)]
+        records_b = [("b", i) for i in range(50)]
+        for record in records_a:
+            writer_a.write(record)
+        for record in records_b:
+            writer_b.write(record)
+        handle_a = writer_a.finish()
+        handle_b = writer_b.finish()
+        assert manager_a.directory != manager_b.directory
+        assert manager_a.directory.startswith(config_a.scope_directory())
+        assert manager_b.directory.startswith(config_b.scope_directory())
+        manager_a.close()
+        # B's run file survives A's cleanup intact.
+        assert list(handle_b) == records_b
+        assert not os.path.exists(handle_a.path)  # A's file really is gone
+        manager_b.close()
+        for config in (config_a, config_b):
+            scope_dir = config.scope_directory()
+            if os.path.isdir(scope_dir):
+                os.rmdir(scope_dir)
+
+    def test_executor_removes_scope_directory(self, spill_root):
+        """The executor stamps a scope per run and removes the whole
+        scope tree when the query unwinds (spill_root fixture then
+        asserts nothing leaked)."""
+        source = make_source()
+        executor = PartitionedExecutor(
+            source, memory_budget_bytes=512, spill_dir=spill_root
+        )
+        result = executor.run(compile_query(GROUP_QUERY, RewriteConfig.all()).plan)
+        assert result.stats.spill_events > 0
+        assert os.listdir(spill_root) == []
+        # the per-query scope is not pinned on the executor's base config
+        assert executor._spill_config.scope is None
+
+    def test_concurrent_queries_one_root(self, spill_root):
+        """Many spilling queries through one spill root, concurrently —
+        byte-identical results and an empty root afterwards."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        source = make_source()
+        expected = run(source, GROUP_QUERY).items
+
+        def one_query(_):
+            return run(
+                source,
+                GROUP_QUERY,
+                spill_root=spill_root,
+                memory_budget_bytes=512,
+            ).items
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            for items in pool.map(one_query, range(8)):
+                assert items == expected
+
+
 class TestTrackerDisciplines:
     def test_try_allocate_declines_without_charging(self):
         tracker = MemoryTracker(budget=100)
