@@ -490,6 +490,14 @@ class GroupBy(Operator):
 # ---------------------------------------------------------------------------
 
 
+#: valid build-side annotations (which input a hash join materializes).
+JOIN_BUILD_SIDES = ("right", "left")
+
+#: valid exchange annotations: hash-partition both sides, or replicate
+#: one tiny side to every partition instead.
+JOIN_EXCHANGES = ("hash", "broadcast-left", "broadcast-right")
+
+
 class Join(Operator):
     """Binary join; a condition of literal ``true`` is a cross product.
 
@@ -497,15 +505,39 @@ class Join(Operator):
     a built-in rule folds equality conjuncts from an enclosing SELECT into
     the condition, and the physical layer picks a hash join for
     equi-conditions.
+
+    ``build_side``, ``exchange``, and ``skew_keys`` are physical
+    annotations set by the cost phase (:mod:`repro.stats.cost`) and
+    honored by the executor; the defaults reproduce the un-costed
+    behavior exactly (build on the right, hash-partition both sides, no
+    skew handling).  ``skew_keys`` is a tuple of canonical join-key
+    tuples — hot keys whose exchange buckets are split (probe tuples
+    spread, build tuples replicated).
     """
 
-    __slots__ = ("left", "right", "condition")
+    __slots__ = ("left", "right", "condition", "build_side", "exchange",
+                 "skew_keys")
     name = "JOIN"
 
-    def __init__(self, left: Operator, right: Operator, condition: Expression):
+    def __init__(
+        self,
+        left: Operator,
+        right: Operator,
+        condition: Expression,
+        build_side: str = "right",
+        exchange: str = "hash",
+        skew_keys: tuple = (),
+    ):
+        if build_side not in JOIN_BUILD_SIDES:
+            raise PlanError(f"unknown join build side {build_side!r}")
+        if exchange not in JOIN_EXCHANGES:
+            raise PlanError(f"unknown join exchange {exchange!r}")
         self.left = left
         self.right = right
         self.condition = condition
+        self.build_side = build_side
+        self.exchange = exchange
+        self.skew_keys = tuple(skew_keys)
 
     @property
     def inputs(self):
@@ -513,20 +545,64 @@ class Join(Operator):
 
     def with_inputs(self, inputs):
         left, right = inputs
-        return Join(left, right, self.condition)
+        return Join(
+            left, right, self.condition,
+            self.build_side, self.exchange, self.skew_keys,
+        )
 
     def used_expressions(self):
         return (self.condition,)
 
     def with_expressions(self, expressions):
         (condition,) = expressions
-        return Join(self.left, self.right, condition)
+        return Join(
+            self.left, self.right, condition,
+            self.build_side, self.exchange, self.skew_keys,
+        )
+
+    def with_physical(
+        self,
+        build_side: str | None = None,
+        exchange: str | None = None,
+        skew_keys: tuple | None = None,
+    ) -> "Join":
+        """Rebuild with new physical annotations (None leaves one as-is)."""
+        return Join(
+            self.left,
+            self.right,
+            self.condition,
+            self.build_side if build_side is None else build_side,
+            self.exchange if exchange is None else exchange,
+            self.skew_keys if skew_keys is None else tuple(skew_keys),
+        )
+
+    @property
+    def annotated(self) -> bool:
+        """True when any physical annotation differs from the default."""
+        return (
+            self.build_side != "right"
+            or self.exchange != "hash"
+            or bool(self.skew_keys)
+        )
 
     def signature(self):
-        return f"JOIN( {self.condition.to_string()} )"
+        base = f"JOIN( {self.condition.to_string()} )"
+        if not self.annotated:
+            return base
+        parts = []
+        if self.build_side != "right":
+            parts.append(f"build={self.build_side}")
+        if self.exchange != "hash":
+            parts.append(f"exchange={self.exchange}")
+        if self.skew_keys:
+            parts.append(f"skew={len(self.skew_keys)}")
+        return f"{base} [{' '.join(parts)}]"
 
     def _key(self):
-        return (self.left, self.right, self.condition)
+        return (
+            self.left, self.right, self.condition,
+            self.build_side, self.exchange, self.skew_keys,
+        )
 
 
 class Sort(Operator):

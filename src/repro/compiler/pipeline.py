@@ -30,6 +30,9 @@ class CompiledQuery:
     config: RewriteConfig
     trace: list[tuple[str, LogicalPlan]] = field(default_factory=list)
     audit: RewriteAudit = field(default_factory=RewriteAudit)
+    #: fingerprint of the stats snapshot the cost phase ran against
+    #: (None when compiled without statistics).
+    stats_fingerprint: str | None = None
 
     def explain(self, show_trace: bool = False) -> str:
         """Human-readable compilation report."""
@@ -62,9 +65,16 @@ class CompiledQuery:
 
 
 def compile_query(
-    text: str, config: RewriteConfig | None = None
+    text: str, config: RewriteConfig | None = None, stats=None
 ) -> CompiledQuery:
-    """Compile *text* under *config* (default: all rule families on)."""
+    """Compile *text* under *config* (default: all rule families on).
+
+    When *stats* (a :class:`~repro.stats.sampling.StatsSnapshot`) is
+    given and ``config.cost`` is on, the cost-based planning phase runs
+    after the rewrite fixpoint; its decisions land in the trace and the
+    audit like rule firings, and the snapshot's fingerprint is kept on
+    the result (it is part of the service plan-cache key).
+    """
     if config is None:
         config = RewriteConfig.all()
     ast = parse_query(text)
@@ -72,6 +82,12 @@ def compile_query(
     trace: list[tuple[str, LogicalPlan]] = []
     audit = RewriteAudit()
     plan = rule_pipeline(config).rewrite(naive_plan, trace=trace, audit=audit)
+    stats_fingerprint = None
+    if config.cost and stats is not None and stats:
+        from repro.stats.cost import apply_cost_planning
+
+        plan = apply_cost_planning(plan, stats, audit=audit, trace=trace)
+        stats_fingerprint = stats.fingerprint()
     return CompiledQuery(
         text=text,
         ast=ast,
@@ -80,4 +96,5 @@ def compile_query(
         config=config,
         trace=trace,
         audit=audit,
+        stats_fingerprint=stats_fingerprint,
     )

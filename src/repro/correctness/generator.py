@@ -103,7 +103,13 @@ def _record_pairs(rng: random.Random) -> list[tuple[str, object]]:
         )
         pairs.append(("value", value))
     if rng.random() < 0.15:
-        pairs.append(("attributes", [",", "", rng.choice("abc")]))
+        # Variable length on purpose: a join keyed on
+        # ``("attributes")()`` sees empty sequences (no match),
+        # singletons (a scalar key), and multi-item sequences (a
+        # pinned ItemTypeError — value comparison over a multi-item
+        # sequence), exercising all three join-key shapes.
+        members = [",", "", rng.choice("abc")]
+        pairs.append(("attributes", members[: rng.randint(0, 3)]))
     # Inject duplicate keys: repeat an existing key with a fresh value;
     # the parsed record keeps the *last* occurrence.
     if pairs and rng.random() < 0.25:
@@ -304,6 +310,53 @@ def _template_join(rng, wrapped):
     return f"join-{left_type}-{right_type}", query, oracle
 
 
+def _template_join_seq(rng, wrapped):
+    """Self-join keyed on a *sequence* — ``$a("attributes")()``.
+
+    The engine's pinned semantics for value comparisons over multi-item
+    sequences is an error (:class:`~repro.errors.ItemTypeError`), and
+    the hash/grace/exchange join paths must agree with the naive
+    nested Select exactly: empty key sequences never match, singleton
+    sequences compare as scalars, multi-item sequences raise.  The
+    oracle raises the same error, which the harness matches against
+    the engine's (possibly wrapped) failure.
+    """
+    query = (
+        f'for $a in collection("{COLLECTION}"){_scan_path(wrapped)} '
+        f'for $b in collection("{COLLECTION}"){_scan_path(wrapped)} '
+        f'where $a("attributes")() eq $b("attributes")() '
+        'return $b("station")'
+    )
+
+    def oracle(documents):
+        from repro.errors import ItemTypeError
+        from repro.jsonlib.items import canonical_item
+
+        measurements = _measurements(documents)
+        keys = []
+        for m in measurements:
+            attributes = m.get("attributes", _ABSENT)
+            members = attributes if isinstance(attributes, list) else []
+            if len(members) > 1:
+                raise ItemTypeError(
+                    "value comparison 'eq' over a multi-item sequence"
+                )
+            keys.append(
+                canonical_item(members[0]) if members else _ABSENT
+            )
+        out = []
+        for b, b_key in zip(measurements, keys):
+            if b_key is _ABSENT:
+                continue
+            for a_key in keys:
+                if a_key is not _ABSENT and a_key == b_key:
+                    if "station" in b:
+                        out.append(b["station"])
+        return out
+
+    return "join-seq", query, oracle
+
+
 _ABSENT = ("absent",)
 
 _TEMPLATES = [
@@ -313,6 +366,7 @@ _TEMPLATES = [
     _template_predicate_gt,
     _template_group_count,
     _template_join,
+    _template_join_seq,
 ]
 
 

@@ -18,6 +18,11 @@ Runs each query through the full matrix of
 - injected worker crashes (a :class:`~repro.resilience.faults.FaultPlan`
   kill schedule that forces the worker-loss recovery path, paper
   queries only),
+- cost-based planning on/off (cost planning only re-shapes the
+  physical join — build side, exchange, skew splitting — so the
+  answer must be identical with it disabled; paper queries get
+  explicit cost-off cells on every backend plus spill/crash variants,
+  generated cases a rotating cost-off cell),
 
 and asserts that every cell's result is canonically equal to an
 independent oracle.  The grouped queries' output order is genuinely
@@ -166,7 +171,7 @@ class Mismatch:
     config: str
     backend: str
     projection: str
-    kind: str  # "mismatch" | "error" | "scan-mode-divergence"
+    kind: str  # "mismatch" | "error" | "missing-error" | "scan-mode-divergence"
     detail: str
     #: scan mode of the failing run (see :data:`SCAN_MODE_AXIS`)
     scan_mode: str = "ondemand"
@@ -174,6 +179,8 @@ class Mismatch:
     spill: bool = False
     #: True when the cell ran with an injected worker crash
     crash: bool = False
+    #: True when the cell ran with cost-based planning enabled
+    cost: bool = True
     #: minimized repro (shrunk partitions + query), when available
     repro_query: str | None = None
     repro_partitions: list | None = None
@@ -187,6 +194,7 @@ class Mismatch:
             "scan_mode": self.scan_mode,
             "spill": self.spill,
             "crash": self.crash,
+            "cost": self.cost,
             "kind": self.kind,
             "detail": self.detail,
             "repro_query": self.repro_query,
@@ -269,6 +277,7 @@ class _MatrixRunner:
         scan_mode: str = "ondemand",
         memory_budget: int | None = None,
         fault_plan: FaultPlan | None = None,
+        cost: bool = True,
     ):
         """Run one cell; returns the full :class:`QueryResult`.
 
@@ -293,6 +302,7 @@ class _MatrixRunner:
             memory_budget_bytes=memory_budget,
             spill_dir=self._spill_dir,
             fault_plan=fault_plan,
+            cost=cost,
         )
         if scan_mode == "cached-warm":
             processor.execute(query_text)  # cold pass populates segments
@@ -306,18 +316,46 @@ def _cells(configs, backends, projections):
                 yield config_name, backend_name, projection
 
 
+@dataclass(frozen=True)
+class ExpectedError:
+    """An oracle that *raises*: every cell must fail the same way.
+
+    Used by the generated cases whose semantics are a pinned error —
+    e.g. a join keyed on a multi-item sequence.  The engine's failure
+    may arrive wrapped (partition execution wraps worker errors), so
+    matching walks the cause chain.
+    """
+
+    type_name: str
+    message: str
+
+    def matches(self, error: BaseException) -> bool:
+        seen = set()
+        node: BaseException | None = error
+        while node is not None and id(node) not in seen:
+            seen.add(id(node))
+            if (
+                type(node).__name__ == self.type_name
+                or self.message in str(node)
+            ):
+                return True
+            node = node.__cause__ or node.__context__
+        return False
+
+
 def _check_cell(
     runner: _MatrixRunner,
     report: DiffCheckReport,
     source,
     case_name: str,
     query_text: str,
-    expected: tuple,
+    expected,
     config_name: str,
     backend_name: str,
     projection: str,
     memory_budget: int | None = None,
     fault_plan: FaultPlan | None = None,
+    cost: bool = True,
 ) -> tuple[int, Mismatch | None]:
     """Check one matrix cell; returns ``(runs_executed, mismatch)``.
 
@@ -328,6 +366,10 @@ def _check_cell(
     segment cache are not allowed to perturb even the output order or
     the failure accounting.  Eager-navigation cells bypass the
     scanners entirely, so they run the default mode only.
+
+    *expected* is either a :func:`canonical_result` tuple or an
+    :class:`ExpectedError` — in the latter case every scan mode must
+    raise a failure matching it.
     """
     scan_modes = (
         SCAN_MODE_AXIS if projection == "projected" else ("ondemand",)
@@ -335,6 +377,21 @@ def _check_cell(
     reference_mode = None
     reference_bytes = None
     runs = 0
+
+    def mismatch(kind: str, detail: str, scan_mode: str) -> Mismatch:
+        return Mismatch(
+            case=case_name,
+            config=config_name,
+            backend=backend_name,
+            projection=projection,
+            scan_mode=scan_mode,
+            spill=memory_budget is not None,
+            crash=fault_plan is not None,
+            cost=cost,
+            kind=kind,
+            detail=detail,
+        )
+
     for scan_mode in scan_modes:
         runs += 1
         try:
@@ -347,36 +404,39 @@ def _check_cell(
                 scan_mode=scan_mode,
                 memory_budget=memory_budget,
                 fault_plan=fault_plan,
+                cost=cost,
             )
         except ReproError as error:
-            return runs, Mismatch(
-                case=case_name,
-                config=config_name,
-                backend=backend_name,
-                projection=projection,
-                scan_mode=scan_mode,
-                spill=memory_budget is not None,
-                crash=fault_plan is not None,
-                kind="error",
-                detail=f"{type(error).__name__}: {error}",
+            if isinstance(expected, ExpectedError):
+                if expected.matches(error):
+                    continue
+                return runs, mismatch(
+                    "error",
+                    f"expected {expected.type_name}, "
+                    f"got {type(error).__name__}: {error}",
+                    scan_mode,
+                )
+            return runs, mismatch(
+                "error", f"{type(error).__name__}: {error}", scan_mode
+            )
+        if isinstance(expected, ExpectedError):
+            return runs, mismatch(
+                "missing-error",
+                f"expected {expected.type_name} "
+                f"({expected.message!r}), got {len(result.items)} items",
+                scan_mode,
             )
         actual = canonical_result(result.items)
         if actual != expected:
-            return runs, Mismatch(
-                case=case_name,
-                config=config_name,
-                backend=backend_name,
-                projection=projection,
-                scan_mode=scan_mode,
-                spill=memory_budget is not None,
-                crash=fault_plan is not None,
-                kind="mismatch",
-                detail=(
+            return runs, mismatch(
+                "mismatch",
+                (
                     f"expected {len(expected)} canonical items, "
                     f"got {len(actual)}; "
                     f"missing={list(set(expected) - set(actual))[:3]!r} "
                     f"unexpected={list(set(actual) - set(expected))[:3]!r}"
                 ),
+                scan_mode,
             )
         cell_bytes = (repr(result.items), repr(result.degradation))
         if reference_bytes is None:
@@ -387,19 +447,13 @@ def _check_cell(
                 if cell_bytes[0] != reference_bytes[0]
                 else "degradation report"
             )
-            return runs, Mismatch(
-                case=case_name,
-                config=config_name,
-                backend=backend_name,
-                projection=projection,
-                scan_mode=scan_mode,
-                spill=memory_budget is not None,
-                crash=fault_plan is not None,
-                kind="scan-mode-divergence",
-                detail=(
+            return runs, mismatch(
+                "scan-mode-divergence",
+                (
                     f"{diverged} not byte-identical to the "
                     f"{reference_mode} run of the same cell"
                 ),
+                scan_mode,
             )
     return runs, None
 
@@ -639,6 +693,24 @@ def _run_paper_queries(runner, report, seed, data_config, queries, progress):
             report.paper_cells += runs
             if mismatch is not None:
                 report.mismatches.append(mismatch)
+        # Cost-off cells: the same query compiled without the
+        # cost-based planning phase, on every backend, plus one spill
+        # and one crash variant — cost planning is a physical-plan
+        # decision only, so the oracle answer cannot move.
+        cost_off_cells = [
+            (backend_name, None, None) for backend_name in BACKEND_NAMES
+        ]
+        cost_off_cells.append(("sequential", SPILL_BUDGET_BYTES, None))
+        cost_off_cells.append(("sequential", None, crash_plan))
+        for backend_name, budget, plan in cost_off_cells:
+            runs, mismatch = _check_cell(
+                runner, report, source, name, query_text, expected,
+                "all", backend_name, "projected",
+                memory_budget=budget, fault_plan=plan, cost=False,
+            )
+            report.paper_cells += runs
+            if mismatch is not None:
+                report.mismatches.append(mismatch)
         if progress is not None:
             progress(f"paper query {name}: {report.paper_cells} cells")
 
@@ -655,12 +727,17 @@ def _run_generated_cases(runner, report, seed, case_count, shrink, progress):
         source = InMemorySource(
             collections={COLLECTION: [list(p) for p in case.partitions]}
         )
-        expected = canonical_result(case.expected())
+        try:
+            expected = canonical_result(case.expected())
+        except ReproError as error:
+            # The oracle pins an *error* (e.g. a join keyed on a
+            # multi-item sequence): every cell must fail the same way.
+            expected = ExpectedError(type(error).__name__, str(error))
         cells = [
-            (config_name, "sequential", "projected", None)
+            (config_name, "sequential", "projected", None, True)
             for config_name in TOGGLE_CONFIGS
         ]
-        cells.append(("all", *rotation[index % len(rotation)], None))
+        cells.append(("all", *rotation[index % len(rotation)], None, True))
         # The rotating forced-spill cell (offset so the same case does
         # not always pair spill with the same backend/projection).
         cells.append(
@@ -668,17 +745,27 @@ def _run_generated_cases(runner, report, seed, case_count, shrink, progress):
                 "all",
                 *rotation[(index + 3) % len(rotation)],
                 SPILL_BUDGET_BYTES,
+                True,
             )
         )
-        for config_name, backend_name, projection, budget in cells:
+        # The rotating cost-off cell: the physical plan reverts to the
+        # un-costed default; the answer (or pinned error) must not move.
+        cells.append(
+            ("all", *rotation[(index + 1) % len(rotation)], None, False)
+        )
+        for config_name, backend_name, projection, budget, cost in cells:
             runs, mismatch = _check_cell(
                 runner, report, source, case.name, case.query_text,
                 expected, config_name, backend_name, projection,
-                memory_budget=budget,
+                memory_budget=budget, cost=cost,
             )
             report.generated_cells += runs
             if mismatch is not None:
-                if shrink and mismatch.kind == "mismatch":
+                if (
+                    shrink
+                    and mismatch.kind == "mismatch"
+                    and not isinstance(expected, ExpectedError)
+                ):
                     mismatch = _shrink_mismatch(runner, case, mismatch)
                 report.mismatches.append(mismatch)
         if progress is not None and (index + 1) % 25 == 0:

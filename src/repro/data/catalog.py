@@ -45,6 +45,7 @@ from repro.jsonlib.path import Path, navigate_sequence
 from repro.jsonlib.projection import project_file
 from repro.jsonlib.textscan import ScanCounters, scan_file, scan_text
 from repro.resilience.policies import validate_on_malformed
+from repro.stats.sampling import SourceStatistics
 
 _BOM = "\ufeff"
 
@@ -117,6 +118,7 @@ class CollectionCatalog:
         scan_mode: str | None = None,
         segment_cache_dir: str | None = None,
         fingerprint_mode: str | None = None,
+        stats_sample: int | None = None,
     ):
         self._collections: dict[str, list[list[str]]] = {}
         self.on_malformed = validate_on_malformed(on_malformed)
@@ -124,6 +126,7 @@ class CollectionCatalog:
         self.segment_cache = resolve_segment_cache(
             segment_cache_dir, fingerprint_mode
         )
+        self.stats = SourceStatistics(stats_sample)
         self._local = threading.local()
         if base_dir is not None:
             self.discover(base_dir)
@@ -211,10 +214,15 @@ class CollectionCatalog:
     # -- registration ----------------------------------------------------------
 
     def register(self, name: str, partitions: list[list[str]]) -> None:
-        """Register a collection as an explicit list of partition file lists."""
+        """Register a collection as an explicit list of partition file lists.
+
+        Registration invalidates the collection's sampled statistics;
+        the next stats consumer re-samples the fresh data.
+        """
         self._collections[self._normalize(name)] = [
             list(files) for files in partitions
         ]
+        self.stats.invalidate(self._normalize(name))
 
     def register_directory(self, name: str, directory: str) -> None:
         """Register ``directory`` (with ``partition<i>`` subdirs) as *name*.
@@ -289,6 +297,53 @@ class CollectionCatalog:
     def total_bytes(self, name: str, partition: int | None = None) -> int:
         """On-disk size of a collection (or one partition)."""
         return sum(os.path.getsize(path) for path in self.files(name, partition))
+
+    # -- statistics --------------------------------------------------------------
+
+    def stats_partitions(self, name: str) -> list:
+        """Per-partition ``(texts, total_bytes)`` pairs for the sampler.
+
+        *texts* lazily yields each file's content in registration order;
+        unreadable files are skipped (sampling is advisory) but their
+        on-disk size still counts toward the extrapolation total.
+        """
+
+        def file_texts(files: list[str]):
+            for file_path in files:
+                try:
+                    with open(file_path, "r", encoding="utf-8-sig") as handle:
+                        yield handle.read()
+                except OSError:
+                    continue
+
+        out = []
+        for files in self._partitions(name):
+            total = 0
+            for file_path in files:
+                try:
+                    total += os.path.getsize(file_path)
+                except OSError:
+                    pass
+            out.append((file_texts(files), total))
+        return out
+
+    def collection_stats(self, name: str):
+        """Sampled :class:`~repro.stats.sampling.CollectionStats` (or None)."""
+        return self.stats.collection_stats(self, name)
+
+    def stats_snapshot(self, names=None):
+        """A :class:`~repro.stats.sampling.StatsSnapshot` over *names*.
+
+        Defaults to every registered collection; collections that fail
+        to sample are simply absent from the snapshot.
+        """
+        if names is None:
+            names = sorted(self._collections)
+        return self.stats.snapshot(self, names)
+
+    def refresh_stats(self, name: str | None = None) -> None:
+        """Drop sampled statistics so the next consumer re-samples."""
+        self.stats.invalidate(name)
 
     def read_document(self, uri: str) -> Item:
         """Materialize a single JSON document by file path."""
@@ -484,6 +539,7 @@ class InMemorySource:
         scan_mode: str | None = None,
         segment_cache_dir: str | None = None,
         fingerprint_mode: str | None = None,
+        stats_sample: int | None = None,
     ):
         self._collections = {
             CollectionCatalog._normalize(name): partitions
@@ -495,6 +551,7 @@ class InMemorySource:
         self.segment_cache = resolve_segment_cache(
             segment_cache_dir, fingerprint_mode
         )
+        self.stats = SourceStatistics(stats_sample)
         self._local = threading.local()
 
     def configure_scan(
@@ -555,8 +612,37 @@ class InMemorySource:
         self._documents[uri] = text
 
     def add_collection(self, name: str, partitions: list[list[str]]) -> None:
-        """Register a collection of JSON-text partitions."""
+        """Register a collection of JSON-text partitions.
+
+        Like :meth:`CollectionCatalog.register`, invalidates the
+        collection's sampled statistics.
+        """
         self._collections[CollectionCatalog._normalize(name)] = partitions
+        self.stats.invalidate(CollectionCatalog._normalize(name))
+
+    def stats_partitions(self, name: str) -> list:
+        """Per-partition ``(texts, total_bytes)`` pairs for the sampler."""
+        key = CollectionCatalog._normalize(name)
+        if key not in self._collections:
+            raise ReproError(f"unknown collection {name!r}")
+        return [
+            (list(texts), sum(len(text) for text in texts))
+            for texts in self._collections[key]
+        ]
+
+    def collection_stats(self, name: str):
+        """Sampled :class:`~repro.stats.sampling.CollectionStats` (or None)."""
+        return self.stats.collection_stats(self, name)
+
+    def stats_snapshot(self, names=None):
+        """A :class:`~repro.stats.sampling.StatsSnapshot` over *names*."""
+        if names is None:
+            names = sorted(self._collections)
+        return self.stats.snapshot(self, names)
+
+    def refresh_stats(self, name: str | None = None) -> None:
+        """Drop sampled statistics so the next consumer re-samples."""
+        self.stats.invalidate(name)
 
     def _texts(
         self, name: str, partition: int | None

@@ -19,11 +19,16 @@ ambiguity, so every ``REPRO_*`` variable now resolves through
 Variables resolved through this rule: ``REPRO_BACKEND``,
 ``REPRO_SPILL_DIR``, ``REPRO_DEADLINE``, ``REPRO_PROFILE``,
 ``REPRO_SCAN_MODE``, ``REPRO_SEGMENT_CACHE``,
-``REPRO_CACHE_FINGERPRINT``.  For all of them the built-in default *is*
-the off/neutral setting, so rules 2 and 3 currently coincide for an
-empty string — the contract matters because it pins what a future
-non-neutral default must do, and because callers must distinguish
-"unset" from "set but empty" to honour it.
+``REPRO_CACHE_FINGERPRINT``, ``REPRO_STATS_SAMPLE``, ``REPRO_COST``.
+For most of them the built-in default *is* the off/neutral setting, so
+rules 2 and 3 currently coincide for an empty string — the contract
+matters because it pins what a future non-neutral default must do, and
+because callers must distinguish "unset" from "set but empty" to honour
+it.  ``REPRO_STATS_SAMPLE`` and ``REPRO_COST`` are the first variables
+where the rules *diverge*: both features default **on** (64 sampled
+documents per partition; cost-based planning enabled), so unset means
+on while set-but-empty (or ``0`` / ``off`` / ``false`` / ``no`` for
+``REPRO_COST``) means explicitly off.
 """
 
 from __future__ import annotations

@@ -177,9 +177,25 @@ class FoldPartialsWork:
         return partials
 
 
+def _join_side_counters(join: Join) -> tuple[str, str]:
+    """(left counter, right counter) following the physical build side."""
+    if join.build_side == "left":
+        return "build_tuples", "probe_tuples"
+    return "probe_tuples", "build_tuples"
+
+
 @dataclass(frozen=True)
 class ExchangeWork:
-    """Join phase 1: scan both sides, hash tuples into bucket lists."""
+    """Join phase 1: scan both sides, hash tuples into bucket lists.
+
+    When the join carries ``skew_keys`` (hot keys detected by the cost
+    phase), those keys' buckets are split: hot *build*-side tuples are
+    replicated into every bucket and hot *probe*-side tuples are spread
+    round-robin, so no single bucket worker absorbs the whole hot key.
+    The spread counter is per partition and follows scan order, so the
+    bucket layout — and therefore the merged result — is deterministic
+    on every backend.
+    """
 
     join: Join
     left_keys: tuple
@@ -194,9 +210,15 @@ class ExchangeWork:
         from repro.hyracks.tuples import sizeof_tuple
 
         limits = ctx.limits
-        for side, keys, target, counter in (
-            (self.join.left, self.left_keys, local_left, "probe_tuples"),
-            (self.join.right, self.right_keys, local_right, "build_tuples"),
+        left_counter, right_counter = _join_side_counters(self.join)
+        skew = set(self.join.skew_keys)
+        spread: dict = {}
+        build_is_left = self.join.build_side == "left"
+        for side, keys, target, counter, is_build in (
+            (self.join.left, self.left_keys, local_left, left_counter,
+             build_is_left),
+            (self.join.right, self.right_keys, local_right, right_counter,
+             not build_is_left),
         ):
             stream = execute(side, ctx)
             if ctx.profile is not None:
@@ -206,13 +228,77 @@ class ExchangeWork:
                     limits.checkpoint()
                 # Tuples with an empty key sequence cannot join (x eq ()
                 # is false) — drop them here to match hash_join.
-                key = join_key(tup, list(keys), ctx)
+                key = join_key(tup, list(keys), ctx, op=self.join)
                 if key is None:
+                    continue
+                n_bytes = sizeof_tuple(tup)
+                if skew and key in skew:
+                    if is_build:
+                        for bucket_rows in target:
+                            bucket_rows.append(tup)
+                        exchanged_tuples += self.buckets
+                        exchanged_bytes += n_bytes * self.buckets
+                    else:
+                        turn = spread.get(key, 0)
+                        spread[key] = turn + 1
+                        bucket = (
+                            stable_bucket(key, self.buckets) + turn
+                        ) % self.buckets
+                        target[bucket].append(tup)
+                        exchanged_tuples += 1
+                        exchanged_bytes += n_bytes
                     continue
                 target[stable_bucket(key, self.buckets)].append(tup)
                 exchanged_tuples += 1
-                exchanged_bytes += sizeof_tuple(tup)
+                exchanged_bytes += n_bytes
         return local_left, local_right, exchanged_tuples, exchanged_bytes
+
+
+@dataclass(frozen=True)
+class BroadcastScanWork:
+    """Join phase 1 (broadcast exchange): no hash partitioning at all.
+
+    The partition's tuples of the *local* (big) side stay where they
+    were scanned — bucket index = partition index, zero exchange cost —
+    while the *broadcast* (tiny) side's tuples are returned for the
+    coordinator to replicate into every bucket.  Empty-key tuples are
+    dropped on both sides, exactly like the hash exchange, so results
+    are byte-identical with ``exchange="hash"``.
+    """
+
+    join: Join
+    left_keys: tuple
+    right_keys: tuple
+
+    def __call__(self, ctx: EvaluationContext):
+        from repro.hyracks.tuples import sizeof_tuple
+
+        limits = ctx.limits
+        left_counter, right_counter = _join_side_counters(self.join)
+        broadcast_left = self.join.exchange == "broadcast-left"
+        local_rows: list = []
+        broadcast_rows: list = []
+        broadcast_bytes = 0
+        for side, keys, counter, is_broadcast in (
+            (self.join.left, self.left_keys, left_counter, broadcast_left),
+            (self.join.right, self.right_keys, right_counter,
+             not broadcast_left),
+        ):
+            stream = execute(side, ctx)
+            if ctx.profile is not None:
+                stream = ctx.profile.count_into(self.join, counter, stream)
+            for tup in stream:
+                if limits is not None:
+                    limits.checkpoint()
+                key = join_key(tup, list(keys), ctx, op=self.join)
+                if key is None:
+                    continue
+                if is_broadcast:
+                    broadcast_rows.append(tup)
+                    broadcast_bytes += sizeof_tuple(tup)
+                else:
+                    local_rows.append(tup)
+        return local_rows, broadcast_rows, broadcast_bytes
 
 
 @dataclass(frozen=True)
@@ -226,6 +312,7 @@ class JoinBucketWork:
     residual: object
     mid_ops: tuple
     aggregate: Aggregate | None
+    build_side: str = "right"
 
     def __call__(self, ctx: EvaluationContext):
         joined = hash_join(
@@ -235,6 +322,7 @@ class JoinBucketWork:
             list(self.right_keys),
             self.residual,
             ctx,
+            build_side=self.build_side,
         )
         stream = run_chain(list(self.mid_ops), joined, ctx)
         if self.aggregate is not None:

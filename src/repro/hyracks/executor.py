@@ -65,6 +65,7 @@ from repro.algebra.operators import (
 from repro.algebra.plan import LogicalPlan
 from repro.hyracks.aggregates import make_accumulators
 from repro.hyracks.backends import (
+    BroadcastScanWork,
     ExchangeWork,
     FoldPartialsWork,
     GroupTableWork,
@@ -879,27 +880,70 @@ class PartitionedExecutor:
             # Cross products cannot hash-partition; run globally.
             return self._run_global(plan, stats)
         buckets = partitions
-        exchange = ExchangeWork(
-            join, tuple(left_keys), tuple(right_keys), buckets
-        )
-        outcomes = self._map(
-            plan, [(p, exchange) for p in range(partitions)], stats, report
-        )
-        phase1_seconds, injected_seconds, peak = self._collect_timing(outcomes)
         left_buckets: list[list[Tuple]] = [[] for _ in range(buckets)]
         right_buckets: list[list[Tuple]] = [[] for _ in range(buckets)]
-        for outcome in outcomes:
-            if outcome.skipped:
-                continue
-            local_left, local_right, exchanged_tuples, exchanged_bytes = (
-                outcome.value
+        if join.exchange in ("broadcast-left", "broadcast-right"):
+            # Broadcast exchange: the big side stays in its scan
+            # partition (bucket = partition index, zero shipping) and
+            # the tiny side is replicated into every bucket, in
+            # partition order so the replica is identical everywhere.
+            scan = BroadcastScanWork(
+                join, tuple(left_keys), tuple(right_keys)
             )
+            outcomes = self._map(
+                plan, [(p, scan) for p in range(partitions)], stats, report
+            )
+            phase1_seconds, injected_seconds, peak = self._collect_timing(
+                outcomes
+            )
+            broadcast_left = join.exchange == "broadcast-left"
+            local_buckets = right_buckets if broadcast_left else left_buckets
+            broadcast_all: list[Tuple] = []
+            broadcast_bytes = 0
+            for outcome in outcomes:
+                if outcome.skipped:
+                    continue
+                local_rows, broadcast_rows, n_bytes = outcome.value
+                local_buckets[outcome.partition].extend(local_rows)
+                broadcast_all.extend(broadcast_rows)
+                broadcast_bytes += n_bytes
+            replicated = left_buckets if broadcast_left else right_buckets
             for bucket in range(buckets):
-                left_buckets[bucket].extend(local_left[bucket])
-                right_buckets[bucket].extend(local_right[bucket])
-            stats.exchange_tuples += exchanged_tuples
-            stats.exchange_bytes += exchanged_bytes
+                replicated[bucket].extend(broadcast_all)
+            stats.exchange_tuples += len(broadcast_all) * buckets
+            stats.exchange_bytes += broadcast_bytes * buckets
+        else:
+            exchange = ExchangeWork(
+                join, tuple(left_keys), tuple(right_keys), buckets
+            )
+            outcomes = self._map(
+                plan, [(p, exchange) for p in range(partitions)], stats, report
+            )
+            phase1_seconds, injected_seconds, peak = self._collect_timing(
+                outcomes
+            )
+            for outcome in outcomes:
+                if outcome.skipped:
+                    continue
+                local_left, local_right, exchanged_tuples, exchanged_bytes = (
+                    outcome.value
+                )
+                for bucket in range(buckets):
+                    left_buckets[bucket].extend(local_left[bucket])
+                    right_buckets[bucket].extend(local_right[bucket])
+                stats.exchange_tuples += exchanged_tuples
+                stats.exchange_bytes += exchanged_bytes
         if self._profile is not None:
+            if join.annotated:
+                self._profile.set_detail(
+                    join,
+                    "physical",
+                    {
+                        "build_side": join.build_side,
+                        "exchange": join.exchange,
+                        "skew_keys": len(join.skew_keys),
+                    },
+                )
             self._profile.set_detail(
                 join, "left_buckets", [len(b) for b in left_buckets]
             )
@@ -927,6 +971,7 @@ class PartitionedExecutor:
                     residual,
                     tuple(mid_ops),
                     aggregate if use_two_step else None,
+                    build_side=join.build_side,
                 ),
             )
             for bucket in range(buckets)

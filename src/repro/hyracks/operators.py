@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator
 
-from repro.errors import PlanError, RuntimeExecutionError
+from repro.errors import ItemTypeError, PlanError, RuntimeExecutionError
 from repro.algebra.context import EvaluationContext
 from repro.algebra.expressions import (
     ComparisonExpr,
@@ -438,26 +438,68 @@ def _execute_join(op: Join, ctx: EvaluationContext) -> Iterator[Tuple]:
     left_keys, right_keys, residual = split_join_condition(op)
     left_stream = execute(op.left, ctx)
     right_stream = execute(op.right, ctx)
-    if ctx.profile is not None:
-        left_stream = ctx.profile.count_into(op, "probe_tuples", left_stream)
-        right_stream = ctx.profile.count_into(op, "build_tuples", right_stream)
     if left_keys:
+        # Profile counters follow the *physical* role: whichever input
+        # the (possibly cost-swapped) hash join materializes counts as
+        # build_tuples, the streamed one as probe_tuples.
+        if ctx.profile is not None:
+            build_on_left = op.build_side == "left"
+            left_stream = ctx.profile.count_into(
+                op,
+                "build_tuples" if build_on_left else "probe_tuples",
+                left_stream,
+            )
+            right_stream = ctx.profile.count_into(
+                op,
+                "probe_tuples" if build_on_left else "build_tuples",
+                right_stream,
+            )
         yield from hash_join(
             left_stream, right_stream, left_keys, right_keys, residual, ctx,
-            op=op,
+            op=op, build_side=op.build_side,
         )
     else:
+        # A nested-loop join has no build/probe phases; it streams the
+        # outer (left) input against a materialized inner (right) one.
+        if ctx.profile is not None:
+            left_stream = ctx.profile.count_into(
+                op, "outer_tuples", left_stream
+            )
+            right_stream = ctx.profile.count_into(
+                op, "inner_tuples", right_stream
+            )
         yield from _nested_loop_join(left_stream, right_stream, op, ctx)
 
 
-def join_key(tup: Tuple, keys: list[Expression], ctx: EvaluationContext):
+def join_key(
+    tup: Tuple,
+    keys: list[Expression],
+    ctx: EvaluationContext,
+    op: Operator | None = None,
+):
     """Canonical equi-join key of *tup*, or None when any component is
-    the empty sequence (``x eq ()`` is false, so the tuple cannot join)."""
+    the empty sequence (``x eq ()`` is false, so the tuple cannot join).
+
+    A component evaluating to a *multi-item* sequence raises
+    :class:`~repro.errors.ItemTypeError`, exactly like the ``eq`` value
+    comparison the key was extracted from would — hashing the whole
+    sequence instead would let the hash/grace/exchange paths "match"
+    pairs the scalar comparison rejects as a type error.
+
+    Dropped (empty-key) tuples are counted on *op*'s profile node as
+    ``join_keys_dropped`` when a profile is attached.
+    """
     key = []
     for expr in keys:
         value = expr.evaluate(tup, ctx)
         if not value:
+            if ctx.profile is not None and op is not None:
+                ctx.profile.add(op, "join_keys_dropped", 1)
             return None
+        if len(value) > 1:
+            raise ItemTypeError(
+                "value comparison 'eq' over a multi-item sequence"
+            )
         key.append(canonical_key(value))
     return tuple(key)
 
@@ -470,8 +512,15 @@ def hash_join(
     residual: list[Expression],
     ctx: EvaluationContext,
     op: Operator | None = None,
+    build_side: str = "right",
 ) -> Iterator[Tuple]:
-    """Hash join: build on the right input, probe with the left.
+    """Hash join; *build_side* picks which input is materialized.
+
+    The default builds on the right input and probes with the left (the
+    un-costed orientation); the cost phase may annotate a join to build
+    on the smaller left input instead.  Output tuples are emitted in
+    probe order either way, and the probe/build merge order matches the
+    grace-join spill path so results are byte-identical spill on/off.
 
     A tuple whose key expression evaluates to the empty sequence can
     never satisfy the ``eq`` conjunct it came from (a general comparison
@@ -485,15 +534,21 @@ def hash_join(
     which re-emits results in probe order so the output stays
     byte-identical.
     """
+    if build_side == "left":
+        build_stream, build_keys = left_stream, left_keys
+        probe_stream, probe_keys = right_stream, right_keys
+    else:
+        build_stream, build_keys = right_stream, right_keys
+        probe_stream, probe_keys = left_stream, left_keys
     limits = ctx.limits
     table: dict = {}
     charged = 0
     try:
-        build_iter = iter(right_stream)
+        build_iter = iter(build_stream)
         for tup in build_iter:
             if limits is not None:
                 limits.checkpoint()
-            key = join_key(tup, right_keys, ctx)
+            key = join_key(tup, build_keys, ctx, op=op)
             if key is None:
                 continue
             if ctx.memory is not None:
@@ -510,9 +565,9 @@ def hash_join(
                             table,
                             charged,
                             build_iter,
-                            right_keys,
-                            left_stream,
-                            left_keys,
+                            build_keys,
+                            probe_stream,
+                            probe_keys,
                             residual,
                             ctx,
                             op=op,
@@ -526,10 +581,10 @@ def hash_join(
                     ctx.charge(n_bytes)
                     charged += n_bytes
             table.setdefault(key, []).append(tup)
-        for tup in left_stream:
+        for tup in probe_stream:
             if limits is not None:
                 limits.checkpoint()
-            key = join_key(tup, left_keys, ctx)
+            key = join_key(tup, probe_keys, ctx, op=op)
             if key is None:
                 continue
             for match in table.get(key, ()):
@@ -542,6 +597,12 @@ def hash_join(
     finally:
         if charged:
             ctx.release(charged)
+
+
+#: how often the nested-loop build loop re-checks limits; the build is
+#: pure materialization, so a small stride keeps cancellation prompt
+#: without a per-tuple branch dominating the loop.
+_NLJOIN_CHECK_STRIDE = 64
 
 
 def _nested_loop_join(
@@ -573,7 +634,14 @@ def _nested_loop_join(
         finally:
             right_seq.close()
         return
-    right = list(right_stream)
+    # Materialize the inner side with strided limit checkpoints (like
+    # the spill path above) so a deadline or cancellation can unwind
+    # mid-build instead of only after the whole inner side is in memory.
+    right: list[Tuple] = []
+    for index, tup in enumerate(right_stream):
+        if limits is not None and index % _NLJOIN_CHECK_STRIDE == 0:
+            limits.checkpoint()
+        right.append(tup)
     charged = 0
     try:
         if ctx.memory is not None:

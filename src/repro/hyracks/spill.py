@@ -830,7 +830,7 @@ def grace_join_overflow(
     for tup in build_rest:
         if limits is not None:
             limits.checkpoint()
-        key = join_key(tup, build_keys, ctx)
+        key = join_key(tup, build_keys, ctx, op=op)
         if key is None:
             continue
         build_writers[stable_bucket(key, fanout)].write((key, tup))
@@ -841,7 +841,7 @@ def grace_join_overflow(
     for tup in probe_stream:
         if limits is not None:
             limits.checkpoint()
-        key = join_key(tup, probe_keys, ctx)
+        key = join_key(tup, probe_keys, ctx, op=op)
         if key is None:
             seq += 1
             continue

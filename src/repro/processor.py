@@ -110,6 +110,14 @@ class JsonProcessor:
         server should use).  ``None`` leaves the source's own setting
         (``REPRO_CACHE_FINGERPRINT`` environment variable, default
         ``stat``).
+    cost:
+        Cost-based join planning: when on and the source samples
+        statistics (``stats_snapshot``), compilation runs the cost phase
+        (:func:`repro.stats.cost.apply_cost_planning`) — build-side
+        choice, join ordering, broadcast exchange, skew splitting.
+        ``None`` consults the ``REPRO_COST`` environment variable (unset
+        means on).  Purely a physical-plan decision: results are
+        byte-identical with cost planning on or off.
     """
 
     def __init__(
@@ -128,6 +136,7 @@ class JsonProcessor:
         scan_mode: str | None = None,
         segment_cache_dir: str | None = None,
         cache_fingerprint: str | None = None,
+        cost: bool | None = None,
     ):
         if (
             scan_mode is not None
@@ -150,6 +159,11 @@ class JsonProcessor:
         self.source = source
         self._closed = False
         self.rewrite = rewrite if rewrite is not None else RewriteConfig.all()
+        from repro.stats.cost import resolve_cost_enabled
+
+        self.cost = (
+            resolve_cost_enabled(cost) if self.rewrite.cost else False
+        )
         self._executor = PartitionedExecutor(
             source,
             functions=functions,
@@ -192,8 +206,22 @@ class JsonProcessor:
     # -- query API ---------------------------------------------------------------
 
     def compile(self, query: str) -> CompiledQuery:
-        """Compile *query* under this processor's rewrite configuration."""
-        return compile_query(query, self.rewrite)
+        """Compile *query* under this processor's rewrite configuration.
+
+        When cost-based planning is on (the ``cost`` parameter, else
+        ``REPRO_COST``, else the rewrite config) and the source can
+        sample statistics, the cost phase runs against the source's
+        current stats snapshot.
+        """
+        return compile_query(query, self.rewrite, stats=self._stats_snapshot())
+
+    def _stats_snapshot(self):
+        if not self.cost or self.source is None:
+            return None
+        snapshot = getattr(self.source, "stats_snapshot", None)
+        if snapshot is None:
+            return None
+        return snapshot()
 
     def execute(self, query: str, profile=None, cancellation=None) -> QueryResult:
         """Compile and run *query*; returns items plus measurements.

@@ -1,12 +1,16 @@
 """Thread-safe LRU cache of compiled query plans.
 
-``compile_query(text, config)`` is pure — parse, translate, and the
-rewrite fixpoint depend only on the query text and the toggle config —
-so a long-lived service never needs to compile the same (text, config)
-pair twice.  :class:`RewriteConfig` is a frozen dataclass, so the pair
-is directly hashable and the cache key *is* the compilation input: two
-tenants submitting the same query text under the same service config
-share one compiled plan.
+``compile_query(text, config, stats)`` is pure — parse, translate, the
+rewrite fixpoint, and the cost phase depend only on the query text, the
+toggle config, and the stats snapshot — so a long-lived service never
+needs to compile the same (text, config, snapshot) triple twice.
+:class:`RewriteConfig` is a frozen dataclass and the snapshot
+contributes its fingerprint string, so the triple is directly hashable
+and the cache key *is* the compilation input: two tenants submitting
+the same query text under the same service config share one compiled
+plan, while a re-registered (re-sampled) collection changes the
+fingerprint and can never be served a plan costed against stale
+statistics.
 
 Compiled plans are treated as immutable at execution time (the same
 contract that lets the process backend pickle one plan into many
@@ -37,10 +41,18 @@ class PlanCache:
         self.evictions = 0
 
     def get_or_compile(
-        self, text: str, config: RewriteConfig
+        self, text: str, config: RewriteConfig, stats=None
     ) -> tuple[CompiledQuery, bool]:
-        """Return ``(compiled, was_hit)`` for *text* under *config*."""
-        key = (text, config)
+        """Return ``(compiled, was_hit)`` for *text* under *config*.
+
+        *stats* (a :class:`~repro.stats.sampling.StatsSnapshot`, or
+        None) feeds the cost phase; its fingerprint is part of the
+        cache key so refreshed statistics always recompile.
+        """
+        fingerprint = (
+            stats.fingerprint() if stats is not None and stats else None
+        )
+        key = (text, config, fingerprint)
         with self._lock:
             compiled = self._entries.get(key)
             if compiled is not None:
@@ -50,7 +62,7 @@ class PlanCache:
         # Compile outside the lock: compilation is pure, so two threads
         # racing the same cold key at worst compile twice and store the
         # same plan — far better than serializing every compilation.
-        compiled = compile_query(text, config)
+        compiled = compile_query(text, config, stats=stats)
         with self._lock:
             self.misses += 1
             if self.capacity and key not in self._entries:

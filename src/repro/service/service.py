@@ -260,6 +260,7 @@ class QueryService:
         spill_dir: str | None = None,
         resilience: ResilienceConfig | None = None,
         functions=None,
+        cost: bool | None = None,
     ):
         if backend is not None and backend not in BACKENDS:
             raise ValueError(
@@ -273,6 +274,11 @@ class QueryService:
             )
         self._source = source
         self._rewrite = rewrite if rewrite is not None else RewriteConfig.all()
+        from repro.stats.cost import resolve_cost_enabled
+
+        self._cost = (
+            resolve_cost_enabled(cost) if self._rewrite.cost else False
+        )
         self._functions = functions
         self._resilience = resilience
         self._memory_budget = memory_budget_bytes
@@ -530,13 +536,39 @@ class QueryService:
                 return True
             return False
 
+    # -- statistics ------------------------------------------------------------
+
+    def _stats_snapshot(self):
+        if not self._cost:
+            return None
+        snapshot = getattr(self._source, "stats_snapshot", None)
+        if snapshot is None:
+            return None
+        return snapshot()
+
+    def collection_stats(self, name: str):
+        """The source's sampled stats for one collection (or None)."""
+        stats = getattr(self._source, "collection_stats", None)
+        return stats(name) if stats is not None else None
+
+    def refresh_stats(self, name: str | None = None) -> None:
+        """Drop sampled statistics so the next query re-samples.
+
+        The snapshot fingerprint is part of the plan-cache key, so
+        queries compiled after a refresh never reuse plans costed
+        against the stale statistics.
+        """
+        refresh = getattr(self._source, "refresh_stats", None)
+        if refresh is not None:
+            refresh(name)
+
     # -- execution -------------------------------------------------------------
 
     def _execute_request(self, request: _Request, backend) -> ServiceResponse:
         started = time.perf_counter()
         queue_seconds = started - request.submitted_at
         compiled, plan_hit = self.plan_cache.get_or_compile(
-            request.query, self._rewrite
+            request.query, self._rewrite, stats=self._stats_snapshot()
         )
         request.token.check()  # cancelled between dequeue and start
         result_key = None

@@ -7,6 +7,7 @@ from repro.correctness.generator import (
     generate_case,
     generate_cases,
 )
+from repro.errors import ItemTypeError, ReproError
 
 
 def test_deterministic_for_a_seed():
@@ -24,11 +25,36 @@ def test_seeds_differ():
 
 
 def test_every_partition_text_parses():
+    errors = 0
     for case in generate_cases(0, 60):
         documents = case.documents()
         assert isinstance(documents, list)
-        # The oracle must accept whatever the generator produced.
-        assert isinstance(case.expected(), list)
+        # The oracle must accept whatever the generator produced —
+        # either a value or a pinned semantics error (a join keyed on a
+        # multi-item sequence raises the comparison's ItemTypeError).
+        try:
+            assert isinstance(case.expected(), list)
+        except ReproError as error:
+            assert "multi-item sequence" in str(error)
+            errors += 1
+    # The error oracle is part of the population, not a fluke.
+    assert errors > 0
+
+
+def test_join_seq_template_produces_both_oracles():
+    """Across seeds the join-seq template yields both value cases
+    (singleton/empty attribute sequences) and pinned-error cases."""
+    kinds = set()
+    for seed in range(20):
+        for case in generate_cases(seed, 14):
+            if "join-seq" not in case.name:
+                continue
+            try:
+                case.expected()
+                kinds.add("value")
+            except ItemTypeError:
+                kinds.add("error")
+    assert kinds == {"value", "error"}
 
 
 def test_covers_every_template():

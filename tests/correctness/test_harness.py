@@ -155,13 +155,13 @@ class TestSmallMatrix:
         report = run_diffcheck(seed=0, budget="small")
         assert report.ok, [m.to_dict() for m in report.mismatches]
         # 5 queries x (6 toggles x 3 backends x 2 projections + 3
-        # forced-spill cells + 3 crash-injected cells), with every
-        # projected cell swept across the 3-mode scan axis:
-        # (18*3 + 18) + 3*3 + 3*3 = 90 runs per query.
-        assert report.paper_cells == 450
+        # forced-spill cells + 3 crash-injected cells + 5 cost-off
+        # cells), with every projected cell swept across the 3-mode
+        # scan axis: (18*3 + 18) + 3*3 + 3*3 + 5*3 = 105 runs per query.
+        assert report.paper_cells == 525
         assert report.generated_cases == BUDGETS["small"][0]
-        # 6 toggles (projected -> x3 scan modes) + 2 rotating cells; the
-        # rotation offsets differ in parity, so each case gets exactly
-        # one projected (x3) and one eager (x1) rotating cell:
-        # 18 + 3 + 1 = 22 runs per case.
-        assert report.generated_cells == report.generated_cases * 22
+        # 6 toggles (projected -> x3 scan modes) + 3 rotating cells
+        # (scan-mode, crash, cost-off); consecutive rotation offsets
+        # alternate projected (x3) and eager (x1), so across the even-
+        # sized population each case averages 18 + 3 + 1 + 2 = 24 runs.
+        assert report.generated_cells == report.generated_cases * 24

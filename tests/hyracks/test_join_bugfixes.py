@@ -1,0 +1,220 @@
+"""Regression tests for the join-semantics and limits bugfix sweep.
+
+Three fixes, each with a failing-before/passing-after test:
+
+- the non-spill nested-loop build now checkpoints limits with a stride,
+  so cancellation can unwind while the inner side is still streaming
+  (before: ``list(right_stream)`` consumed the whole input first);
+- a join keyed on a multi-item sequence raises the same
+  ``ItemTypeError`` on every physical path (naive nested loop, hash,
+  exchange across partitions, grace/spill) instead of only on some;
+- ``build_tuples``/``probe_tuples`` profile counters follow the
+  *physical* build side chosen by the cost phase, and dropped
+  empty-key tuples are counted as ``join_keys_dropped``.
+"""
+
+import json
+
+import pytest
+
+from repro import JsonProcessor
+from repro.algebra.context import EvaluationContext
+from repro.algebra.expressions import Literal
+from repro.algebra.operators import EmptyTupleSource, Join
+from repro.algebra.rules import RewriteConfig
+from repro.data.catalog import InMemorySource
+from repro.errors import ItemTypeError, QueryCancelledError, ReproError
+from repro.hyracks.limits import CancellationToken, ExecutionLimits
+from repro.hyracks.operators import _NLJOIN_CHECK_STRIDE, _nested_loop_join
+
+MULTI_SEQ_MESSAGE = "value comparison 'eq' over a multi-item sequence"
+
+
+# ---------------------------------------------------------------------------
+# Fix 1: nested-loop build-side cancellation
+# ---------------------------------------------------------------------------
+
+
+class TestNestedLoopBuildCancellation:
+    def test_cancel_unwinds_mid_build(self):
+        token = CancellationToken()
+        consumed = []
+
+        def right_stream(total=50_000):
+            for index in range(total):
+                if index == 100:
+                    token.cancel("test cancel")
+                consumed.append(index)
+                yield {"r": [index]}
+
+        op = Join(EmptyTupleSource(), EmptyTupleSource(), Literal([True]))
+        ctx = EvaluationContext(limits=ExecutionLimits(token=token))
+        joined = _nested_loop_join(
+            iter([{"l": [0]}]), right_stream(), op, ctx
+        )
+        with pytest.raises(QueryCancelledError):
+            list(joined)
+        # The regression: without the strided checkpoint the build loop
+        # materialized all 50k tuples before anything could raise.
+        assert 100 < len(consumed) < 50_000
+
+    def test_uncancelled_build_joins_everything(self):
+        op = Join(EmptyTupleSource(), EmptyTupleSource(), Literal([True]))
+        ctx = EvaluationContext(
+            limits=ExecutionLimits(token=CancellationToken())
+        )
+        left = [{"l": [i]} for i in range(3)]
+        right = ({"r": [i]} for i in range(2 * _NLJOIN_CHECK_STRIDE + 1))
+        joined = list(_nested_loop_join(iter(left), right, op, ctx))
+        assert len(joined) == 3 * (2 * _NLJOIN_CHECK_STRIDE + 1)
+
+
+# ---------------------------------------------------------------------------
+# Fix 2: multi-item join keys raise the same error on every path
+# ---------------------------------------------------------------------------
+
+
+MEASUREMENTS = [
+    {"station": "a", "attributes": ["x", "y"]},
+    {"station": "b", "attributes": ["x"]},
+    {"station": "c", "attributes": []},
+    {"station": "d", "attributes": ["x"]},
+]
+
+SELF_JOIN = (
+    'for $a in collection("/m")() '
+    'for $b in collection("/m")() '
+    'where $a("attributes")() eq $b("attributes")() '
+    'return $b("station")'
+)
+
+
+def measurements_source(rows, partitions=1):
+    parts = [[] for _ in range(partitions)]
+    for index, row in enumerate(rows):
+        parts[index % partitions].append(row)
+    return InMemorySource(
+        {"/m": [[json.dumps(part)] for part in parts]}, stats_sample=0
+    )
+
+
+def assert_multiseq_error(run):
+    with pytest.raises(ReproError) as info:
+        run()
+    node, seen = info.value, set()
+    while node is not None and id(node) not in seen:
+        if isinstance(node, ItemTypeError) and MULTI_SEQ_MESSAGE in str(node):
+            return
+        seen.add(id(node))
+        node = node.__cause__ or node.__context__
+    pytest.fail(
+        f"expected ItemTypeError({MULTI_SEQ_MESSAGE!r}) in the cause "
+        f"chain, got {info.value!r}"
+    )
+
+
+class TestMultiItemJoinKeys:
+    def test_naive_nested_loop_raises(self):
+        processor = JsonProcessor(
+            source=measurements_source(MEASUREMENTS),
+            rewrite=RewriteConfig.none(),
+        )
+        assert_multiseq_error(lambda: processor.evaluate(SELF_JOIN))
+
+    def test_hash_join_raises(self):
+        processor = JsonProcessor(source=measurements_source(MEASUREMENTS))
+        assert_multiseq_error(lambda: processor.evaluate(SELF_JOIN))
+
+    def test_exchange_path_raises(self):
+        with JsonProcessor(
+            source=measurements_source(MEASUREMENTS, partitions=2),
+            backend="thread",
+            max_workers=2,
+        ) as processor:
+            assert_multiseq_error(lambda: processor.evaluate(SELF_JOIN))
+
+    def test_grace_spill_path_raises(self):
+        processor = JsonProcessor(
+            source=measurements_source(MEASUREMENTS * 20),
+            memory_budget_bytes=2048,
+        )
+        assert_multiseq_error(lambda: processor.evaluate(SELF_JOIN))
+
+    def test_single_item_keys_still_join(self):
+        rows = [row for row in MEASUREMENTS if len(row["attributes"]) <= 1]
+        expected = None
+        for config in (RewriteConfig.none(), RewriteConfig.all()):
+            processor = JsonProcessor(
+                source=measurements_source(rows), rewrite=config
+            )
+            result = sorted(processor.evaluate(SELF_JOIN))
+            if expected is None:
+                # b and d share the "x" attribute; c's empty sequence
+                # never compares equal (and never errors).
+                assert result == ["b", "b", "d", "d"]
+                expected = result
+            assert result == expected
+
+
+# ---------------------------------------------------------------------------
+# Fix 3: profile counters follow the physical build side
+# ---------------------------------------------------------------------------
+
+
+SMALL = [{"k": i % 5, "s": f"s{i}"} for i in range(5)]
+BIG = [{"k": i % 5, "v": i} for i in range(200)] + [
+    {"v": 1000 + i} for i in range(10)  # no key: dropped, not joined
+]
+
+COUNTER_JOIN = (
+    'for $s in collection("/small")() '
+    'for $b in collection("/big")() '
+    'where $s("k") eq $b("k") '
+    'return $b("v")'
+)
+
+
+def counter_source():
+    return InMemorySource(
+        {
+            "/small": [[json.dumps(SMALL)]],
+            "/big": [[json.dumps(BIG)]],
+        },
+        stats_sample=10_000,
+    )
+
+
+def join_counters(processor):
+    profile = processor.profile(COUNTER_JOIN)
+    nodes = profile.find("JOIN")
+    assert nodes, "no JOIN operator in the profile"
+    merged: dict[str, int] = {}
+    for node in nodes:
+        for name, value in node.counters.items():
+            merged[name] = merged.get(name, 0) + value
+    return merged
+
+
+class TestJoinCounters:
+    def test_default_build_side_is_right(self):
+        counters = join_counters(
+            JsonProcessor(source=counter_source(), cost=False)
+        )
+        assert counters["build_tuples"] == len(BIG)
+        assert counters["probe_tuples"] == len(SMALL)
+
+    def test_counters_follow_cost_chosen_build_side(self):
+        # The cost phase builds on the small side; the counters must
+        # report the physical roles, not the syntactic left/right.
+        counters = join_counters(
+            JsonProcessor(source=counter_source(), cost=True)
+        )
+        assert counters["build_tuples"] == len(SMALL)
+        assert counters["probe_tuples"] == len(BIG)
+
+    @pytest.mark.parametrize("cost", [True, False])
+    def test_dropped_keys_are_counted(self, cost):
+        counters = join_counters(
+            JsonProcessor(source=counter_source(), cost=cost)
+        )
+        assert counters["join_keys_dropped"] == 10

@@ -1,0 +1,195 @@
+"""Tests for the sampled statistics catalog.
+
+Covers ``REPRO_STATS_SAMPLE`` resolution, sampling determinism (same
+data, same fingerprint), invalidation on registration, extrapolation
+from a partial prefix, per-key statistics (distinct counts, top values,
+array fanout), tolerance of malformed texts, and pickling (stats travel
+into process-backend work units with their owning source).
+"""
+
+import json
+import pickle
+
+import pytest
+
+from repro.data.catalog import CollectionCatalog, InMemorySource
+from repro.errors import ReproError
+from repro.stats.sampling import (
+    DEFAULT_SAMPLE_LIMIT,
+    SAMPLE_ENV_VAR,
+    resolve_stats_sample,
+)
+
+
+def rows_source(collections, stats_sample=None, partitions=1):
+    """In-memory source storing each partition as one JSON array document."""
+    data = {}
+    for name, rows in collections.items():
+        parts = [[] for _ in range(partitions)]
+        for index, row in enumerate(rows):
+            parts[index % partitions].append(row)
+        data[name] = [[json.dumps(part)] for part in parts]
+    return InMemorySource(data, stats_sample=stats_sample)
+
+
+class TestResolveStatsSample:
+    def test_explicit_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(SAMPLE_ENV_VAR, "5")
+        assert resolve_stats_sample(17) == 17
+
+    def test_explicit_zero_disables(self, monkeypatch):
+        monkeypatch.setenv(SAMPLE_ENV_VAR, "5")
+        assert resolve_stats_sample(0) == 0
+
+    def test_explicit_negative_rejected(self):
+        with pytest.raises(ReproError):
+            resolve_stats_sample(-1)
+
+    def test_unset_env_means_default(self, monkeypatch):
+        monkeypatch.delenv(SAMPLE_ENV_VAR, raising=False)
+        assert resolve_stats_sample() == DEFAULT_SAMPLE_LIMIT
+
+    def test_empty_env_disables(self, monkeypatch):
+        monkeypatch.setenv(SAMPLE_ENV_VAR, "")
+        assert resolve_stats_sample() == 0
+
+    def test_env_integer(self, monkeypatch):
+        monkeypatch.setenv(SAMPLE_ENV_VAR, "12")
+        assert resolve_stats_sample() == 12
+
+    def test_env_garbage_rejected(self, monkeypatch):
+        monkeypatch.setenv(SAMPLE_ENV_VAR, "lots")
+        with pytest.raises(ReproError):
+            resolve_stats_sample()
+
+    def test_env_negative_rejected(self, monkeypatch):
+        monkeypatch.setenv(SAMPLE_ENV_VAR, "-3")
+        with pytest.raises(ReproError):
+            resolve_stats_sample()
+
+
+class TestDeterminism:
+    ROWS = [{"k": i % 7, "name": f"n{i}"} for i in range(50)]
+
+    def test_same_data_same_fingerprint(self):
+        first = rows_source({"/x": self.ROWS}, partitions=2)
+        second = rows_source({"/x": self.ROWS}, partitions=2)
+        assert (
+            first.stats_snapshot().fingerprint()
+            == second.stats_snapshot().fingerprint()
+        )
+
+    def test_resampling_is_memoized(self):
+        source = rows_source({"/x": self.ROWS})
+        assert source.collection_stats("/x") is source.collection_stats("/x")
+
+    def test_different_data_different_fingerprint(self):
+        first = rows_source({"/x": self.ROWS})
+        second = rows_source({"/x": self.ROWS + [{"k": 99, "name": "zz"}]})
+        assert (
+            first.stats_snapshot().fingerprint()
+            != second.stats_snapshot().fingerprint()
+        )
+
+    def test_registration_invalidates(self):
+        source = rows_source({"/x": self.ROWS})
+        before = source.stats_snapshot().fingerprint()
+        source.add_collection("/x", [[json.dumps([{"k": 1}])]])
+        after = source.stats_snapshot().fingerprint()
+        assert before != after
+
+    def test_refresh_stats_resamples(self):
+        source = rows_source({"/x": self.ROWS})
+        first = source.collection_stats("/x")
+        source.refresh_stats()
+        second = source.collection_stats("/x")
+        assert first is not second
+        assert first.fingerprint() == second.fingerprint()
+
+
+class TestSampling:
+    def test_full_sample_counts_exactly(self):
+        rows = [{"k": i % 3, "tags": ["a", "b"]} for i in range(30)]
+        stats = rows_source({"/x": rows}).collection_stats("/x")
+        assert stats.documents == 1  # one array document
+        assert stats.root_fanout == 30.0
+        key = stats.key("k")
+        assert key.count == 30
+        assert key.distinct == 3
+        assert not key.distinct_saturated
+        tags = stats.key("tags")
+        assert tags.arrays == 30
+        assert tags.avg_array_len == 2.0
+
+    def test_top_values_most_common_first(self):
+        rows = [{"s": "HOT"}] * 20 + [{"s": f"c{i}"} for i in range(5)]
+        stats = rows_source({"/x": rows}).collection_stats("/x")
+        top = stats.key("s").top
+        assert top[0] == (("str", "HOT"), 20)
+        assert all(count <= 20 for _, count in top)
+
+    def test_extrapolation_from_prefix(self):
+        texts = [json.dumps({"k": i}) for i in range(100)]
+        source = InMemorySource({"/x": [texts]}, stats_sample=10)
+        stats = source.collection_stats("/x")
+        (part,) = stats.partitions
+        assert part.sampled_documents == 10
+        assert not part.exhausted
+        # 100 equally-sized texts, 10 sampled -> ~10x byte scale.
+        assert 80 <= stats.documents <= 120
+
+    def test_malformed_texts_are_skipped(self):
+        texts = ['{"k": 1}', "{nope", '{"k": 2}']
+        source = InMemorySource(
+            {"/x": [texts]}, on_malformed="skip_record", stats_sample=64
+        )
+        stats = source.collection_stats("/x")
+        assert stats is not None
+        assert stats.key("k").count == 2
+
+    def test_unknown_collection_has_no_stats(self):
+        source = rows_source({"/x": [{"k": 1}]})
+        assert source.collection_stats("/missing") is None
+
+    def test_disabled_sampling(self):
+        source = rows_source({"/x": [{"k": 1}]}, stats_sample=0)
+        assert source.collection_stats("/x") is None
+        assert not source.stats_snapshot()
+
+    def test_snapshot_lists_collections_sorted(self):
+        source = rows_source({"/b": [{"k": 1}], "/a": [{"k": 2}]})
+        assert source.stats_snapshot().collections() == ["/a", "/b"]
+
+
+class TestCatalogSource:
+    def test_directory_catalog_samples(self, tmp_path):
+        part = tmp_path / "x" / "partition0"
+        part.mkdir(parents=True)
+        (part / "a.json").write_text(
+            json.dumps([{"k": i} for i in range(10)]), encoding="utf-8"
+        )
+        catalog = CollectionCatalog(str(tmp_path))
+        catalog.register_directory("/x", str(tmp_path / "x"))
+        stats = catalog.collection_stats("/x")
+        assert stats is not None
+        assert stats.key("k").count == 10
+        assert stats.root_fanout == 10.0
+
+
+class TestPickling:
+    def test_collection_stats_round_trip(self):
+        rows = [{"k": i % 4} for i in range(12)]
+        stats = rows_source({"/x": rows}).collection_stats("/x")
+        clone = pickle.loads(pickle.dumps(stats))
+        # _by_key is rebuilt by __setstate__, not shipped.
+        assert clone.key("k").count == stats.key("k").count
+        assert clone.fingerprint() == stats.fingerprint()
+
+    def test_source_with_stats_round_trips(self):
+        source = rows_source({"/x": [{"k": 1}]})
+        source.collection_stats("/x")  # memoize before pickling
+        clone = pickle.loads(pickle.dumps(source))
+        assert (
+            clone.stats_snapshot().fingerprint()
+            == source.stats_snapshot().fingerprint()
+        )

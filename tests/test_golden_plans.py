@@ -1,10 +1,12 @@
 """Golden plan tests: pin the exact plan each rule toggle produces.
 
 Every (paper query, rewrite toggle) pair has a checked-in ``explain()``
-report under ``tests/golden_plans/``.  A failure here means a rewrite
-rule (or the translator) changed the plan shape — if intentional,
-regenerate with ``PYTHONPATH=src python tools/update_golden_plans.py``
-and review the diff.
+report under ``tests/golden_plans/``, plus a ``cost`` pseudo-toggle
+compiled against the deterministic demo statistics snapshot.  A failure
+here means a rewrite rule, the translator, or the cost model changed
+the plan shape — if intentional, regenerate with
+``PYTHONPATH=src python tools/update_golden_plans.py`` and review the
+diff.
 """
 
 from __future__ import annotations
@@ -14,17 +16,15 @@ import sys
 
 import pytest
 
-from repro.algebra.rules import TOGGLE_CONFIGS
-from repro.bench.queries import ALL_QUERIES
-
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
-from tools.update_golden_plans import GOLDEN_DIR, golden_name, render
+from tools.update_golden_plans import (
+    GOLDEN_DIR,
+    all_combos,
+    golden_name,
+    render,
+)
 
-COMBOS = [
-    (query_name, toggle)
-    for query_name in ALL_QUERIES
-    for toggle in TOGGLE_CONFIGS
-]
+COMBOS = all_combos()
 
 
 def test_every_combo_has_a_golden_file():
@@ -51,3 +51,24 @@ def test_toggles_change_the_plan():
     assert render("Q1", "none") != q1_all
     assert render("Q1", "no-groupby") != q1_all
     assert render("Q0", "no-path") != render("Q0", "all")
+
+
+def test_cost_changes_the_demo_plans():
+    """Sanity: the cost phase is not vacuous — each demo join picks up
+    a different physical annotation from the demo statistics."""
+    assert "exchange=broadcast" in render("QJbroadcast", "cost")
+    assert "skew=" in render("QJskew", "cost")
+    for name in ("QJbroadcast", "QJskew", "QJorder"):
+        assert render(name, "cost") != render(name, "all").replace(
+            "toggle 'all'", "toggle 'cost'"
+        )
+
+
+def test_cost_leaves_symmetric_paper_queries_alone():
+    """The paper queries are self-joins over one collection: stats are
+    present for ``/sensors``, but no decision fires — only the header
+    line may differ from the ``all`` golden."""
+    for query_name in ("Q0", "Q1", "Q2"):
+        costed = render(query_name, "cost")
+        baseline = render(query_name, "all")
+        assert costed.replace("toggle 'cost'", "toggle 'all'") == baseline
