@@ -36,11 +36,13 @@ from repro.data.generator import SensorDataConfig, write_sensor_collection
 from repro.errors import (
     AdmissionError,
     BackendError,
+    CacheIOError,
     ProcessorClosedError,
     QueryCancelledError,
     QueryTimeoutError,
     RecoveryExhaustedError,
     ReproError,
+    SlotFailureError,
     SpillError,
     WorkerCrashError,
 )
@@ -67,9 +69,11 @@ from repro.resilience import (
     RetryPolicy,
 )
 from repro.service import (
+    QueryRetryEvent,
     QueryService,
     QueryTicket,
     ServiceResponse,
+    SlotRestartEvent,
     TenantQuota,
 )
 
@@ -78,6 +82,7 @@ __version__ = "1.0.0"
 __all__ = [
     "AdmissionError",
     "BackendError",
+    "CacheIOError",
     "CancellationToken",
     "ClusterSpec",
     "CollectionCatalog",
@@ -94,6 +99,7 @@ __all__ = [
     "QueryDeadline",
     "QueryProfile",
     "QueryResult",
+    "QueryRetryEvent",
     "QueryService",
     "QueryTicket",
     "QueryTimeoutError",
@@ -109,6 +115,8 @@ __all__ = [
     "SensorDataConfig",
     "SequentialBackend",
     "ServiceResponse",
+    "SlotFailureError",
+    "SlotRestartEvent",
     "SpillError",
     "TenantQuota",
     "resolve_scan_mode",

@@ -24,16 +24,21 @@ and are published with :func:`os.replace`, so concurrent partition
 workers (threads or processes) are lock-free — readers only ever see
 complete segments, and double-writes of the same key are idempotent
 last-writer-wins.  A :class:`SegmentCache` holds only its directory
-path, so it pickles into process-backend work units for free.  Every
-store is best-effort: I/O errors disable nothing but that one write.
+path (plus a picklable fault hook), so it pickles into process-backend
+work units for free.  Every store is best-effort: an I/O error skips
+that one write, and only a *run* of consecutive I/O errors (a full or
+dead disk) turns the cache off — see the :class:`SegmentCache`
+docstring.
 """
 
 from __future__ import annotations
 
 import hashlib
+import io
 import os
 import pickle
 import tempfile
+import zlib
 from array import array
 from dataclasses import dataclass
 
@@ -182,13 +187,54 @@ class SegmentCache:
     under ``skip_record`` carries skip events that a ``fail`` scan of
     the same bytes would instead have raised, so segments never cross
     policies.
+
+    Crash safety: every store pickles the payload to bytes first, puts
+    a CRC32 of those bytes in the header, writes to a unique temp file,
+    fsyncs, and publishes with :func:`os.replace` — a crash can only
+    ever leave behind a temp file, never a half-written ``.seg``, and a
+    torn or bit-flipped segment (filesystem damage) fails the checksum
+    and is classified as *corrupt* (a miss that also deletes the bad
+    file so the next complete store repairs it).
+
+    I/O degradation: a store or load that hits :class:`OSError` (a full
+    disk, a failing device, or an injected ``fault_hook`` fault) is
+    absorbed — the store is skipped, the load is a miss — and counted;
+    after ``max_io_errors`` *consecutive* failures the cache turns
+    itself off for the rest of the process (``disabled_reason`` is
+    set), so a dead cache directory costs one bounded burst of errors
+    rather than one error per scan forever.  ``fault_hook`` must be
+    picklable (e.g. a bound method of a
+    :class:`~repro.resilience.faults.FaultPlan`) for the process
+    backend, where the cache ships inside work units.
     """
+
+    #: consecutive OSErrors tolerated before the cache turns itself off.
+    max_io_errors = 3
 
     def __init__(self, cache_dir: str, fingerprint_mode: str = "stat"):
         from repro.cache.config import validate_fingerprint_mode
 
         self.cache_dir = cache_dir
         self.fingerprint_mode = validate_fingerprint_mode(fingerprint_mode)
+        #: one-arg callable (``"store"`` | ``"load"``) invoked before
+        #: every store/load I/O; raising :class:`OSError` from it
+        #: injects a cache I/O fault (see ``FaultPlan.fail_cache_io``).
+        self.fault_hook = None
+        #: non-None once the cache has turned itself off; every later
+        #: store is skipped and every later load is a miss.
+        self.disabled_reason: str | None = None
+        self._io_errors = 0
+
+    def _io_failed(self, operation: str, error: OSError) -> None:
+        self._io_errors += 1
+        if self._io_errors >= self.max_io_errors and self.disabled_reason is None:
+            self.disabled_reason = (
+                f"segment cache disabled after {self._io_errors} consecutive "
+                f"I/O errors (last: {operation}: {error})"
+            )
+
+    def _io_ok(self) -> None:
+        self._io_errors = 0
 
     def source_fingerprint(self, file_path: str) -> tuple:
         """Fingerprint an on-disk source under this cache's mode.
@@ -223,7 +269,16 @@ class SegmentCache:
         counters: dict,
         skip_events: list,
     ) -> bool:
-        """Write one segment atomically; returns False on I/O failure."""
+        """Write one segment atomically; returns False on I/O failure.
+
+        The payload is serialized up front and its CRC32 recorded in the
+        header, the temp file is fsynced before :func:`os.replace`
+        publishes it, and any :class:`OSError` (including one injected
+        by ``fault_hook``) feeds the consecutive-failure counter that
+        can turn the cache off.
+        """
+        if self.disabled_reason is not None:
+            return False
         shredded = _shred(items)
         if shredded is not None:
             keys, columns = shredded
@@ -244,7 +299,11 @@ class SegmentCache:
                 "layout": "rows",
             }
             payload = items
+        payload_bytes = pickle.dumps(payload, pickle.HIGHEST_PROTOCOL)
+        header["crc32"] = zlib.crc32(payload_bytes)
         try:
+            if self.fault_hook is not None:
+                self.fault_hook("store")
             os.makedirs(self.cache_dir, exist_ok=True)
             fd, temp_path = tempfile.mkstemp(
                 prefix="seg-", suffix=".tmp", dir=self.cache_dir
@@ -253,7 +312,9 @@ class SegmentCache:
                 with os.fdopen(fd, "wb") as handle:
                     handle.write(_MAGIC)
                     pickle.dump(header, handle, pickle.HIGHEST_PROTOCOL)
-                    pickle.dump(payload, handle, pickle.HIGHEST_PROTOCOL)
+                    handle.write(payload_bytes)
+                    handle.flush()
+                    os.fsync(handle.fileno())
                 os.replace(
                     temp_path,
                     self._segment_path(source_id, fingerprint, projection, policy),
@@ -264,8 +325,10 @@ class SegmentCache:
                 except OSError:
                     pass
                 raise
-        except OSError:
+        except OSError as error:
+            self._io_failed("store", error)
             return False
+        self._io_ok()
         return True
 
     def load(
@@ -286,21 +349,75 @@ class SegmentCache:
         code chosen by whoever wrote the file.  Point the cache only at
         directories that are no more writable than the code you run.
         """
+        segment, _status = self.load_classified(
+            source_id, fingerprint, projection, policy
+        )
+        return segment
+
+    def load_classified(
+        self,
+        source_id: str,
+        fingerprint: tuple,
+        projection: str,
+        policy: str,
+    ) -> tuple[CachedSegment | None, str]:
+        """Load a segment and say why it hit or missed.
+
+        Returns ``(segment, status)`` where status is one of:
+
+        - ``"hit"`` — a complete, checksum-verified segment;
+        - ``"miss"`` — no file for this key (or a pre-checksum legacy
+          file, silently superseded), or the cache is disabled;
+        - ``"corrupt"`` — a file existed but was torn, bit-flipped, or
+          otherwise defective; the bad file is deleted (best-effort) so
+          the next complete store repairs it;
+        - ``"io-error"`` — the read itself failed with an
+          :class:`OSError` other than file-not-found (counted toward
+          the cache's consecutive-failure disable budget).
+
+        Every non-hit outcome is a miss to the caller's scan logic; the
+        status only drives counters and degradation events.
+        """
+        if self.disabled_reason is not None:
+            return None, "miss"
         segment_path = self._segment_path(
             source_id, fingerprint, projection, policy
         )
         try:
+            if self.fault_hook is not None:
+                self.fault_hook("load")
             with open(segment_path, "rb") as handle:
-                if handle.read(len(_MAGIC)) != _MAGIC:
-                    return None
-                header = pickle.load(handle)
-                if (
-                    type(header) is not dict
-                    or header.get("key")
-                    != (source_id, fingerprint, projection, policy)
-                ):
-                    return None
-                payload = pickle.load(handle)
+                raw = handle.read()
+        except FileNotFoundError:
+            self._io_ok()
+            return None, "miss"
+        except OSError as error:
+            self._io_failed("load", error)
+            return None, "io-error"
+        self._io_ok()
+        try:
+            if not raw.startswith(_MAGIC):
+                raise ValueError("bad magic")
+            buffer = memoryview(raw)[len(_MAGIC):]
+            stream = io.BytesIO(buffer)
+            header = pickle.load(stream)
+            if (
+                type(header) is not dict
+                or header.get("key")
+                != (source_id, fingerprint, projection, policy)
+            ):
+                # A key mismatch is a SHA-256 collision or hand-edited
+                # file; treat it like any other defect.
+                raise ValueError("header key mismatch")
+            if "crc32" not in header:
+                # Legacy pre-checksum segment: unverifiable, so rescan
+                # (a plain miss, not damage) and let the next store
+                # overwrite it in the new format.
+                return None, "miss"
+            payload_bytes = buffer[stream.tell():]
+            if zlib.crc32(payload_bytes) != header["crc32"]:
+                raise ValueError("payload checksum mismatch")
+            payload = pickle.loads(payload_bytes)
             if header["layout"] == "columnar":
                 keys = header["columns"]
                 columns = [
@@ -311,10 +428,15 @@ class SegmentCache:
                     items = [{} for _ in range(header["rows"])]
             else:
                 items = payload
-            return CachedSegment(
+            segment = CachedSegment(
                 items=items,
                 counters=header["counters"],
                 skip_events=header["skip_events"],
             )
         except Exception:
-            return None
+            try:
+                os.unlink(segment_path)
+            except OSError:
+                pass
+            return None, "corrupt"
+        return segment, "hit"

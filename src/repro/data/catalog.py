@@ -430,14 +430,19 @@ class CollectionCatalog:
         rescanned next time.
         """
         counters = self._counters
+        cache = self.segment_cache
         policy = self.on_malformed
         projection = canonical_projection(path)
-        try:
-            fingerprint = self.segment_cache.source_fingerprint(file_path)
-        except OSError:
+        if cache.disabled_reason is not None:
+            # Cache-off degradation: scan cold, skip probe and store.
             fingerprint = None
+        else:
+            try:
+                fingerprint = cache.source_fingerprint(file_path)
+            except OSError:
+                fingerprint = None
         if fingerprint is not None:
-            segment = self.segment_cache.load(
+            segment, status = cache.load_classified(
                 file_path, fingerprint, projection, policy
             )
             if segment is not None:
@@ -447,6 +452,22 @@ class CollectionCatalog:
                 for offset, message in segment.skip_events:
                     self._record_skipped_record(file_path, offset, message)
                 return segment.items
+            if status == "corrupt":
+                if counters is not None:
+                    counters.cache_corrupt += 1
+                self._record_cache_event(
+                    "corrupt",
+                    file_path,
+                    "segment failed its integrity check; rescanned cold",
+                )
+            elif status == "io-error":
+                self._record_cache_event(
+                    "io-error", file_path, "segment read failed; rescanned cold"
+                )
+                if cache.disabled_reason is not None:
+                    self._record_cache_event(
+                        "disabled", file_path, cache.disabled_reason
+                    )
         if counters is not None:
             counters.cache_misses += 1
         attempt = ScanCounters()
@@ -482,11 +503,19 @@ class CollectionCatalog:
         if counters is not None:
             counters.merge(attempt)
         if fingerprint is not None:
-            self.segment_cache.store(
+            stored = cache.store(
                 file_path, fingerprint, projection, policy,
                 items, attempt.as_dict(), events,
             )
+            if not stored and cache.disabled_reason is not None:
+                self._record_cache_event(
+                    "disabled", file_path, cache.disabled_reason
+                )
         return items
+
+    def _record_cache_event(self, kind: str, source: str, message: str) -> None:
+        if self._report is not None:
+            self._report.record_cache_event(kind, source, message)
 
     def _recorder(self, file_path: str):
         def record(offset: int | None, message: str) -> None:
@@ -735,18 +764,41 @@ class InMemorySource:
         new key (no staleness window at all).
         """
         counters = self._counters
+        cache = self.segment_cache
         policy = self.on_malformed
         projection = canonical_projection(path)
-        fingerprint = text_fingerprint(text)
-        segment = self.segment_cache.load(label, fingerprint, projection, policy)
-        if segment is not None:
-            if counters is not None:
-                counters.cache_hits += 1
-                counters.absorb(segment.counters)
-            if self._report is not None:
-                for offset, message in segment.skip_events:
-                    self._report.record_skipped_record(label, offset, message)
-            return segment.items
+        fingerprint = None
+        if cache.disabled_reason is None:
+            fingerprint = text_fingerprint(text)
+            segment, status = cache.load_classified(
+                label, fingerprint, projection, policy
+            )
+            if segment is not None:
+                if counters is not None:
+                    counters.cache_hits += 1
+                    counters.absorb(segment.counters)
+                if self._report is not None:
+                    for offset, message in segment.skip_events:
+                        self._report.record_skipped_record(
+                            label, offset, message
+                        )
+                return segment.items
+            if status == "corrupt":
+                if counters is not None:
+                    counters.cache_corrupt += 1
+                self._record_cache_event(
+                    "corrupt",
+                    label,
+                    "segment failed its integrity check; rescanned cold",
+                )
+            elif status == "io-error":
+                self._record_cache_event(
+                    "io-error", label, "segment read failed; rescanned cold"
+                )
+                if cache.disabled_reason is not None:
+                    self._record_cache_event(
+                        "disabled", label, cache.disabled_reason
+                    )
         if counters is not None:
             counters.cache_misses += 1
         attempt = ScanCounters()
@@ -784,10 +836,15 @@ class InMemorySource:
                 raise FileScanError(label, error) from error
         if counters is not None:
             counters.merge(attempt)
-        self.segment_cache.store(
-            label, fingerprint, projection, policy,
-            items, attempt.as_dict(), events,
-        )
+        if fingerprint is not None:
+            stored = cache.store(
+                label, fingerprint, projection, policy,
+                items, attempt.as_dict(), events,
+            )
+            if not stored and cache.disabled_reason is not None:
+                self._record_cache_event(
+                    "disabled", label, cache.disabled_reason
+                )
         return items
 
     def _recorder(self, label: str):
@@ -796,6 +853,10 @@ class InMemorySource:
                 self._report.record_skipped_record(label, offset, message)
 
         return record
+
+    def _record_cache_event(self, kind: str, source: str, message: str) -> None:
+        if self._report is not None:
+            self._report.record_cache_event(kind, source, message)
 
     def _record_skipped_file(self, label: str, cause: Exception) -> None:
         if self._report is not None:

@@ -208,6 +208,52 @@ class SpillError(_PickleByInitArgs, RuntimeExecutionError):
         super().__init__(message)
 
 
+class CacheIOError(_PickleByInitArgs, RuntimeExecutionError):
+    """A segment-cache read or write hit an I/O failure (ENOSPC, EIO).
+
+    The cache layer itself degrades on I/O errors (a failed store is
+    skipped, a failed load is a miss, repeated failures turn the cache
+    off for the rest of the process) — this class exists so the *event*
+    travels as a structured, picklable error object in degradation
+    reports and retry classification rather than a raw :class:`OSError`.
+    Retryable: the cache is an accelerator, so a fresh execution that
+    bypasses (or repairs) the cache can succeed.
+    """
+
+    retryable = True
+
+    def __init__(self, operation: str, path: str, detail: str):
+        self._init_args = (operation, path, detail)
+        super().__init__(
+            f"segment cache {operation} failed for {path!r}: {detail}"
+        )
+        self.operation = operation
+        self.path = path
+        self.detail = detail
+
+
+class SlotFailureError(_PickleByInitArgs, RuntimeExecutionError):
+    """A service slot worker died while holding a request.
+
+    Raised internally by :class:`~repro.service.QueryService` when a
+    slot's worker thread crashes (or an injected slot death fires) with
+    a query in flight.  Retryable: queries are read-only, so the request
+    can be re-executed on a fresh slot — and the supervisor replaces the
+    dead slot's backend before anything else runs there.
+    """
+
+    retryable = True
+
+    def __init__(self, slot: int, detail: str = ""):
+        self._init_args = (slot, detail)
+        message = f"service slot {slot} died while executing this query"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+        self.slot = slot
+        self.detail = detail
+
+
 class QueryTimeoutError(_PickleByInitArgs, RuntimeExecutionError):
     """A query ran past its deadline.
 
@@ -396,7 +442,16 @@ class AdmissionError(_PickleByInitArgs, ReproError):
     - ``"memory-quota"`` — the request asked for more memory than the
       tenant's budget allows;
     - ``"deadline-quota"`` — the request asked for a longer deadline
-      than the tenant's ceiling allows.
+      than the tenant's ceiling allows;
+    - ``"predicted-timeout"`` — load shedding: the predicted queue wait
+      (mean recent query duration × backlog ÷ live slots, measured on
+      the service's injectable clock) already exceeds the request's
+      deadline, so admitting it could only produce a timeout;
+    - ``"circuit-open"`` — the tenant's circuit breaker is open after
+      ``circuit_failure_threshold`` consecutive failures and its
+      cooldown has not elapsed (one probe is admitted once it has);
+    - ``"no-slots"`` — every slot worker exhausted its restart budget,
+      so no live slot exists to execute the query.
     """
 
     def __init__(

@@ -364,9 +364,16 @@ class PartitionedExecutor:
         finally:
             # Guaranteed cleanup: every coordinator-side spill manager
             # closes (removing its run files) no matter how we unwound.
+            # Each manager is isolated — a close that itself fails (a
+            # cancelled query racing a spill-write error can leave a
+            # manager whose run files are already gone) must not skip
+            # the remaining managers or the scope-dir removal below.
             for manager in self._open_spills:
-                manager.fold_stats(stats)
-                manager.close()
+                try:
+                    manager.fold_stats(stats)
+                    manager.close()
+                except Exception:
+                    pass
             self._open_spills = []
             # The per-query scope directory is ours alone (the scope is
             # query-unique), so removing the whole tree cannot touch a

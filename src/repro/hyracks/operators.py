@@ -221,6 +221,8 @@ def _execute_datascan(op: DataScan, ctx: EvaluationContext) -> Iterator[Tuple]:
                     profile.add(op, "cache_hits", counters.cache_hits)
                 if counters.cache_misses:
                     profile.add(op, "cache_misses", counters.cache_misses)
+                if counters.cache_corrupt:
+                    profile.add(op, "cache_corrupt", counters.cache_corrupt)
 
 
 def _execute_assign(

@@ -56,6 +56,7 @@ _COUNTER_FIELDS = (
     "tape_tokens",
     "cache_hits",
     "cache_misses",
+    "cache_corrupt",
 )
 
 
@@ -71,7 +72,10 @@ class ScanCounters:
     (:mod:`repro.cache`): ``cache_hits`` / ``cache_misses`` count
     per-file cache probes; a hit replays the stored scan's
     matched/skipped so projection accounting stays byte-identical with
-    the cache off.  Attached to a scan through the data source's
+    the cache off.  ``cache_corrupt`` counts probes that found a
+    segment file but rejected it (bad magic, truncation, checksum
+    mismatch) — each such probe also counts as a miss, because the
+    scan fell back to a cold read.  Attached to a scan through the data source's
     ``attach_scan_counters`` hook and surfaced in query profiles as
     ``projection_hits`` / ``projection_skips`` (plus the tape/cache
     counters when nonzero).

@@ -17,6 +17,7 @@ rewinds them.
 
 from __future__ import annotations
 
+import errno
 import threading
 from dataclasses import dataclass
 from typing import Iterator
@@ -93,6 +94,23 @@ class SpillFault:
 
 
 @dataclass
+class CacheIOFault:
+    """Segment-cache I/O operations fail (transiently or permanently).
+
+    ``operation`` of ``None`` matches both stores and loads; the
+    injected error is a real :class:`OSError` with ``errno.ENOSPC``, so
+    the cache layer exercises exactly the code path a full disk takes
+    (skip the store / miss the load, count the failure, and turn the
+    cache off after its consecutive-error budget).
+    """
+
+    operation: str | None  # "store" | "load" | None = both
+    permanent: bool
+    failures: int  # cache I/O attempts that fail (ignored when permanent)
+    message: str
+
+
+@dataclass
 class KillFault:
     """One partition's worker dies abruptly on a specific attempt.
 
@@ -134,6 +152,7 @@ class FaultPlan:
         self._failures: list[PartitionFault] = []
         self._corruptions: list[CorruptionFault] = []
         self._spill_faults: list[SpillFault] = []
+        self._cache_faults: list[CacheIOFault] = []
         self._kills: list[KillFault] = []
         self._stalls: list[StallFault] = []
         self._delays: dict[int, float] = {}
@@ -183,6 +202,40 @@ class FaultPlan:
             message = f"injected {kind} spill-write fault on partition {partition}"
         self._spill_faults.append(
             SpillFault(partition, permanent, times, message)
+        )
+        return self
+
+    def fail_cache_io(
+        self,
+        times: int = 1,
+        permanent: bool = False,
+        operation: str | None = None,
+        message: str | None = None,
+    ) -> "FaultPlan":
+        """Make the first *times* segment-cache I/O attempts fail (or all).
+
+        Wire the plan into a cache with
+        ``cache.fault_hook = plan.cache_io_attempt`` (``wrap()`` does
+        this automatically when the wrapped source exposes a
+        ``segment_cache``).  The injected :class:`OSError` (ENOSPC)
+        never reaches the query: the cache absorbs it — a failed store
+        is skipped, a failed load is a miss — and ``permanent=True``
+        drives the cache into its disabled (cache-off) state after its
+        consecutive-error budget, which is the full-disk degradation
+        scenario.  Transient counters are process-local: under the
+        process backend each worker counts its own attempts, so use
+        ``permanent=True`` for cross-backend-deterministic schedules.
+        """
+        if operation not in (None, "store", "load"):
+            raise ValueError(
+                f"operation must be 'store', 'load', or None, got {operation!r}"
+            )
+        if message is None:
+            kind = "permanent" if permanent else "transient"
+            what = operation or "i/o"
+            message = f"injected {kind} cache {what} fault"
+        self._cache_faults.append(
+            CacheIOFault(operation, permanent, times, message)
         )
         return self
 
@@ -309,6 +362,28 @@ class FaultPlan:
                     f"{fault.message} (spill write {attempt} of {fault.failures})"
                 )
 
+    def cache_io_attempt(self, operation: str = "store") -> None:
+        """Count one segment-cache I/O; raise ``OSError`` if a fault is due.
+
+        This is the ``SegmentCache.fault_hook`` shape: a bound method,
+        so it pickles with the plan into process-backend work units.
+        """
+        if not self._cache_faults:
+            return
+        key = ("__cache_io__", 0)
+        attempt = self._attempts.get(key, 0) + 1
+        self._attempts[key] = attempt
+        for fault in self._cache_faults:
+            if fault.operation is not None and fault.operation != operation:
+                continue
+            if fault.permanent:
+                raise OSError(errno.ENOSPC, fault.message)
+            if attempt <= fault.failures:
+                raise OSError(
+                    errno.ENOSPC,
+                    f"{fault.message} (cache i/o {attempt} of {fault.failures})",
+                )
+
     def injected_delay(self, partition: int | None) -> float:
         """Straggler seconds charged to *partition* per attempt."""
         if partition is None:
@@ -342,8 +417,14 @@ class FaultPlan:
         )
 
     def wrap(self, source) -> "FaultInjectingSource":
-        """A :class:`FaultInjectingSource` injecting this plan into *source*."""
-        return FaultInjectingSource(self, source)
+        """A :class:`FaultInjectingSource` injecting this plan into *source*.
+
+        When the wrapped source exposes a ``segment_cache``, the plan's
+        cache-I/O schedule is hooked into it too.
+        """
+        wrapped = FaultInjectingSource(self, source)
+        wrapped._hook_segment_cache()
+        return wrapped
 
 
 class FaultInjectingSource:
@@ -381,13 +462,36 @@ class FaultInjectingSource:
         if attach is not None:
             attach(report)
 
-    def configure_scan(self, scan_mode=None, segment_cache_dir=None) -> None:
-        """Delegate scan-mode/segment-cache configuration to the inner source."""
+    def configure_scan(
+        self, scan_mode=None, segment_cache_dir=None, fingerprint_mode=None
+    ) -> None:
+        """Delegate scan-mode/segment-cache configuration to the inner source.
+
+        Any segment cache the inner source ends up with (including one
+        just built here) gets the plan's cache-I/O fault hook.
+        """
         configure = getattr(self._source, "configure_scan", None)
         if configure is not None:
             configure(
-                scan_mode=scan_mode, segment_cache_dir=segment_cache_dir
+                scan_mode=scan_mode,
+                segment_cache_dir=segment_cache_dir,
+                fingerprint_mode=fingerprint_mode,
             )
+        self._hook_segment_cache()
+
+    @property
+    def segment_cache(self):
+        """The inner source's segment cache (None when caching is off)."""
+        return getattr(self._source, "segment_cache", None)
+
+    def _hook_segment_cache(self) -> None:
+        cache = self.segment_cache
+        if cache is not None:
+            cache.fault_hook = self.plan.cache_io_attempt
+
+    def check_cache_io(self, operation: str = "store") -> None:
+        """Cache-I/O hook: raise ``OSError`` if the plan schedules a fault."""
+        self.plan.cache_io_attempt(operation)
 
     def __getstate__(self):
         state = self.__dict__.copy()

@@ -83,6 +83,23 @@ class WorkerLossEvent:
 
 
 @dataclass(frozen=True)
+class CacheEvent:
+    """A segment-cache defect the scan degraded around.
+
+    ``kind`` is ``"corrupt"`` (a torn/bit-flipped segment failed its
+    checksum and the scan fell back to a cold read), ``"io-error"`` (a
+    cache read failed with an OSError and became a miss), or
+    ``"disabled"`` (consecutive I/O failures — e.g. a full disk —
+    turned the cache off for the rest of the process).  Never partial:
+    every cache event means the query did *more* work, not less.
+    """
+
+    kind: str  # "corrupt" | "io-error" | "disabled"
+    source: str
+    message: str
+
+
+@dataclass(frozen=True)
 class LadderStep:
     """One step down the backend degradation ladder after repeated loss."""
 
@@ -102,12 +119,16 @@ class DegradationReport:
     cancellations: list[CancellationEvent] = field(default_factory=list)
     worker_losses: list[WorkerLossEvent] = field(default_factory=list)
     ladder_steps: list[LadderStep] = field(default_factory=list)
+    cache_events: list[CacheEvent] = field(default_factory=list)
 
     def __post_init__(self):
         # Dedup keys: a retried partition attempt may re-skip the same
         # record/file; the degradation it causes is still one skip.
+        # Cache events dedup the same way: one corrupt segment is one
+        # event however many attempts re-probe it.
         self._seen_records: set = set()
         self._seen_files: set = set()
+        self._seen_cache: set = set()
 
     # -- recording ------------------------------------------------------------
 
@@ -174,6 +195,14 @@ class DegradationReport:
         """Record one step down the backend degradation ladder."""
         self.ladder_steps.append(LadderStep(from_backend, to_backend, message))
 
+    def record_cache_event(self, kind: str, source: str, message: str) -> None:
+        """Record a segment-cache defect (corrupt file, I/O error, cache-off)."""
+        key = (kind, source)
+        if key in self._seen_cache:
+            return
+        self._seen_cache.add(key)
+        self.cache_events.append(CacheEvent(kind, source, message))
+
     def absorb(self, other: "DegradationReport") -> None:
         """Merge *other*'s events into this report (coordinator-side).
 
@@ -196,6 +225,11 @@ class DegradationReport:
         self.cancellations.extend(other.cancellations)
         self.worker_losses.extend(other.worker_losses)
         self.ladder_steps.extend(other.ladder_steps)
+        for event in other.cache_events:
+            key = (event.kind, event.source)
+            if key not in self._seen_cache:
+                self._seen_cache.add(key)
+                self.cache_events.append(event)
 
     # -- inspection -----------------------------------------------------------
 
@@ -210,7 +244,10 @@ class DegradationReport:
     def is_degraded(self) -> bool:
         """True when anything at all was skipped, retried, or recovered."""
         return self.is_partial or bool(
-            self.retries or self.worker_losses or self.ladder_steps
+            self.retries
+            or self.worker_losses
+            or self.ladder_steps
+            or self.cache_events
         )
 
     @property
@@ -254,6 +291,10 @@ class DegradationReport:
                 f"degraded backend {step.from_backend} -> {step.to_backend} "
                 f"after repeated worker loss: {step.message}"
             )
+        for event in self.cache_events:
+            lines.append(
+                f"segment cache {event.kind} at {event.source}: {event.message}"
+            )
         return lines
 
     def to_dict(self) -> dict:
@@ -267,4 +308,5 @@ class DegradationReport:
             "cancellations": [asdict(c) for c in self.cancellations],
             "worker_losses": [asdict(w) for w in self.worker_losses],
             "ladder_steps": [asdict(s) for s in self.ladder_steps],
+            "cache_events": [asdict(e) for e in self.cache_events],
         }

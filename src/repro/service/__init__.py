@@ -1,6 +1,7 @@
 """Long-lived multi-tenant query service (see :mod:`.service`)."""
 
-from repro.errors import AdmissionError
+from repro.errors import AdmissionError, CacheIOError, SlotFailureError
+from repro.service.events import QueryRetryEvent, SlotRestartEvent
 from repro.service.plan_cache import PlanCache
 from repro.service.result_cache import (
     CachedResult,
@@ -16,12 +17,16 @@ from repro.service.service import (
 
 __all__ = [
     "AdmissionError",
+    "CacheIOError",
     "CachedResult",
     "PlanCache",
+    "QueryRetryEvent",
     "QueryService",
     "QueryTicket",
     "ResultCache",
     "ServiceResponse",
+    "SlotFailureError",
+    "SlotRestartEvent",
     "TenantQuota",
     "source_fingerprints",
 ]

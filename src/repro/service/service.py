@@ -42,6 +42,39 @@ result items plus the per-request telemetry the observability layers
 already produce: the
 :class:`~repro.observability.profile.QueryProfile` (when profiling)
 and the :class:`~repro.resilience.report.DegradationReport`.
+
+**Self-healing.**  The service supervises itself one layer above the
+per-query resilience machinery:
+
+- **slot supervision**: each slot's worker thread runs under a
+  supervisor; if the thread dies (a crash in the service loop, or an
+  injected death via :meth:`QueryService.inject_slot_failure`), the
+  supervisor replaces both the thread and the slot's backend under a
+  bounded restart budget (``max_slot_restarts``), recording a
+  structured :class:`~repro.service.events.SlotRestartEvent` in
+  ``stats()``.  A slot whose budget is spent is *abandoned*; when every
+  slot is abandoned, queued requests fail cleanly and new submissions
+  are rejected with ``AdmissionError("no-slots", ...)``.  A slot whose
+  backend keeps failing (``backend_failure_threshold`` consecutive
+  backend-level errors) gets a fresh backend in place;
+- **query-level retry**: queries are read-only, so a request that
+  fails with a classified-retryable error — a dead slot
+  (:class:`~repro.errors.SlotFailureError`), exhausted worker recovery
+  (:class:`~repro.errors.RecoveryExhaustedError`), or transient
+  spill/cache I/O (anything in the ``__cause__`` chain with
+  ``retryable = True``, never a timeout or cancellation) — is re-queued
+  at the front, preferring a different slot, up to
+  ``max_query_retries`` times, with whatever remains of its *original*
+  deadline and the same cancellation token.  Retry provenance rides on
+  the response (``retries`` / ``retry_causes``) and in ``stats()``;
+- **overload protection**: a submission whose predicted queue wait
+  (mean recent query duration × backlog ÷ live slots, measured on the
+  injectable clock from the ``CLOCKS`` registry) already exceeds its
+  deadline is shed at admission (``"predicted-timeout"``), and an
+  optional per-tenant circuit breaker (``circuit_failure_threshold``)
+  opens after N consecutive failures, admitting one probe per
+  ``circuit_cooldown_seconds`` until a success closes it
+  (``"circuit-open"`` while open).
 """
 
 from __future__ import annotations
@@ -52,23 +85,59 @@ import shutil
 import tempfile
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.algebra.operators import DataScan
 from repro.algebra.rules import RewriteConfig
 from repro.cache.config import resolve_fingerprint_mode
-from repro.errors import AdmissionError, ProcessorClosedError, QueryCancelledError
+from repro.errors import (
+    AdmissionError,
+    BackendError,
+    ProcessorClosedError,
+    QueryCancelledError,
+    QueryTimeoutError,
+    RecoveryExhaustedError,
+    SlotFailureError,
+)
 from repro.hyracks.backends import BACKENDS, resolve_backend
 from repro.hyracks.executor import PartitionedExecutor
 from repro.hyracks.limits import CancellationToken
+from repro.observability.clock import CLOCKS, make_clock
 from repro.observability.profile import resolve_profile_config
 from repro.resilience.policies import ResilienceConfig
+from repro.service.events import QueryRetryEvent, SlotRestartEvent
 from repro.service.plan_cache import PlanCache
 from repro.service.result_cache import (
     CachedResult,
     ResultCache,
     source_fingerprints,
 )
+
+
+def _is_query_retryable(error: BaseException) -> bool:
+    """Whether a failed request may be re-executed on a fresh slot.
+
+    Walks the ``__cause__`` chain.  Timeouts and cancellations are
+    query-global verdicts (never retried); anything carrying
+    ``retryable = True`` (spill/cache I/O, transient injected faults,
+    slot death) or an exhausted-recovery escalation is retryable,
+    because a read-only query re-derives everything from the source.
+    """
+    seen: set[int] = set()
+    current: BaseException | None = error
+    while current is not None and id(current) not in seen:
+        seen.add(id(current))
+        if isinstance(
+            current, (QueryCancelledError, QueryTimeoutError, AdmissionError)
+        ):
+            return False
+        if isinstance(current, RecoveryExhaustedError):
+            return True
+        if getattr(current, "retryable", False):
+            return True
+        current = current.__cause__
+    return False
 
 
 @dataclass(frozen=True)
@@ -127,6 +196,10 @@ class ServiceResponse:
     deadline_slack_seconds: float | None = None
     is_partial: bool = False
     warnings: list = field(default_factory=list)
+    #: how many times this request was re-executed after a retryable
+    #: failure (0 = first execution succeeded), and why.
+    retries: int = 0
+    retry_causes: list = field(default_factory=list)
 
 
 class _Request:
@@ -145,6 +218,10 @@ class _Request:
         "error",
         "state",
         "submitted_at",
+        "retries",
+        "retry_causes",
+        "first_started_at",
+        "avoid_slot",
     )
 
     def __init__(self, request_id, tenant, query, profile, memory, deadline, token):
@@ -160,6 +237,50 @@ class _Request:
         self.error = None
         self.state = "queued"
         self.submitted_at = time.perf_counter()
+        self.retries = 0
+        self.retry_causes: list[str] = []
+        # perf_counter() of the *first* execution start: retries run
+        # against whatever remains of the original deadline, not a
+        # fresh one.
+        self.first_started_at = None
+        # slot index of the last failure; a retry prefers any other
+        # live slot (honored only while another live slot exists).
+        self.avoid_slot = None
+
+
+class _Slot:
+    """One concurrency slot: a backend owned by a supervised worker thread."""
+
+    __slots__ = (
+        "index",
+        "backend",
+        "thread",
+        "restarts",
+        "backend_failures",
+        "abandoned",
+        "current",
+    )
+
+    def __init__(self, index: int, backend):
+        self.index = index
+        self.backend = backend
+        self.thread = None
+        self.restarts = 0
+        self.backend_failures = 0
+        self.abandoned = False
+        self.current = None  # the _Request in flight (worker thread only)
+
+
+class _Breaker:
+    """Per-tenant circuit-breaker state (all transitions service-side)."""
+
+    __slots__ = ("state", "failures", "opened_at", "probing")
+
+    def __init__(self):
+        self.state = "closed"  # "closed" | "open" | "half-open"
+        self.failures = 0
+        self.opened_at = 0.0
+        self.probing = False
 
 
 class QueryTicket:
@@ -239,6 +360,25 @@ class QueryService:
     memory_budget_bytes / spill / spill_dir / resilience:
         Per-query execution defaults, as on
         :class:`~repro.JsonProcessor`.
+    max_query_retries:
+        Bounded re-executions of a request after a classified-retryable
+        failure (default 1; 0 disables query-level retry).
+    max_slot_restarts:
+        Per-slot supervisor restart budget (default 3); a slot that
+        dies beyond it is abandoned for the life of the service.
+    backend_failure_threshold:
+        Consecutive backend-level failures on one slot before its
+        backend is replaced in place (default 3).
+    clock:
+        Name from the injectable ``CLOCKS`` registry (default
+        ``"wall"``) used for load-shedding duration estimates and
+        circuit-breaker cooldowns — register a scripted clock to make
+        both deterministic in tests.
+    circuit_failure_threshold / circuit_cooldown_seconds:
+        Per-tenant circuit breaker: after *threshold* consecutive
+        failures the tenant's submissions are rejected with
+        ``AdmissionError("circuit-open", ...)`` until the cooldown
+        admits a half-open probe (default ``None`` = breaker off).
     """
 
     def __init__(
@@ -261,6 +401,12 @@ class QueryService:
         resilience: ResilienceConfig | None = None,
         functions=None,
         cost: bool | None = None,
+        max_query_retries: int = 1,
+        max_slot_restarts: int = 3,
+        backend_failure_threshold: int = 3,
+        clock: str = "wall",
+        circuit_failure_threshold: int | None = None,
+        circuit_cooldown_seconds: float = 30.0,
     ):
         if backend is not None and backend not in BACKENDS:
             raise ValueError(
@@ -271,6 +417,37 @@ class QueryService:
             raise ValueError(
                 f"max_concurrent_queries must be >= 1, "
                 f"got {max_concurrent_queries!r}"
+            )
+        if max_query_retries < 0:
+            raise ValueError(
+                f"max_query_retries must be >= 0, got {max_query_retries!r}"
+            )
+        if max_slot_restarts < 0:
+            raise ValueError(
+                f"max_slot_restarts must be >= 0, got {max_slot_restarts!r}"
+            )
+        if backend_failure_threshold < 1:
+            raise ValueError(
+                f"backend_failure_threshold must be >= 1, "
+                f"got {backend_failure_threshold!r}"
+            )
+        if clock not in CLOCKS:
+            raise ValueError(
+                f"unknown service clock {clock!r}; "
+                f"expected one of {sorted(CLOCKS)}"
+            )
+        if (
+            circuit_failure_threshold is not None
+            and circuit_failure_threshold < 1
+        ):
+            raise ValueError(
+                f"circuit_failure_threshold must be >= 1 or None, "
+                f"got {circuit_failure_threshold!r}"
+            )
+        if circuit_cooldown_seconds < 0:
+            raise ValueError(
+                f"circuit_cooldown_seconds must be >= 0, "
+                f"got {circuit_cooldown_seconds!r}"
             )
         self._source = source
         self._rewrite = rewrite if rewrite is not None else RewriteConfig.all()
@@ -321,26 +498,44 @@ class QueryService:
             "failed": 0,
             "cancelled": 0,
             "rejected": 0,
+            "retried": 0,
         }
         self._rejected_by_reason: dict[str, int] = {}
+        # -- self-healing state --------------------------------------------
+        self._backend_name = backend
+        self._max_query_retries = max_query_retries
+        self._max_slot_restarts = max_slot_restarts
+        self._backend_failure_threshold = backend_failure_threshold
+        self._clock_name = clock
+        self._clock = make_clock(clock)
+        self._circuit_threshold = circuit_failure_threshold
+        self._circuit_cooldown = circuit_cooldown_seconds
+        self._breakers: dict[str, _Breaker] = {}
+        self._recent_durations: deque = deque(maxlen=32)
+        self._slot_events: list[SlotRestartEvent] = []
+        self._retry_events: list[QueryRetryEvent] = []
+        # slot index → pending injected-death count (see
+        # inject_slot_failure); a dict of counts so tests can queue
+        # several deterministic deaths on one slot.
+        self._kill_slots: dict[int, int] = {}
         # Per-request cancel flags live here so a cancel issued after a
         # process-pool worker forked is still observed via the filesystem.
         self._flag_dir = tempfile.mkdtemp(prefix="repro-service-")
-        self._backends = [
-            resolve_backend(backend, max_workers=max_workers)
-            for _ in range(max_concurrent_queries)
+        self._slots = [
+            _Slot(index, resolve_backend(backend, max_workers=max_workers))
+            for index in range(max_concurrent_queries)
         ]
-        self._workers = [
-            threading.Thread(
-                target=self._worker_loop,
-                args=(slot,),
-                name=f"repro-service-{slot}",
-                daemon=True,
-            )
-            for slot in range(max_concurrent_queries)
-        ]
-        for worker in self._workers:
-            worker.start()
+        for slot in self._slots:
+            self._spawn_worker(slot)
+
+    def _spawn_worker(self, slot: _Slot) -> None:
+        slot.thread = threading.Thread(
+            target=self._worker_main,
+            args=(slot,),
+            name=f"repro-service-{slot.index}r{slot.restarts}",
+            daemon=True,
+        )
+        slot.thread.start()
 
     # -- admission -------------------------------------------------------------
 
@@ -374,6 +569,14 @@ class QueryService:
         with self._lock:
             if self._closed:
                 self._reject("closed", tenant, "service is closed")
+            if all(slot.abandoned for slot in self._slots):
+                self._reject(
+                    "no-slots",
+                    tenant,
+                    "every slot worker exhausted its restart budget; "
+                    "no live slot can execute this query",
+                )
+            self._check_breaker(tenant)
             if (
                 memory_budget_bytes is not None
                 and quota.memory_budget_bytes is not None
@@ -423,6 +626,22 @@ class QueryService:
                     limit=self._max_queue_depth,
                     requested=len(self._queue) + 1,
                 )
+            effective_deadline = (
+                deadline_seconds
+                if deadline_seconds is not None
+                else quota.deadline_ceiling_seconds
+            )
+            if effective_deadline is not None and self._recent_durations:
+                predicted = self._predicted_wait_locked()
+                if predicted > effective_deadline:
+                    self._reject(
+                        "predicted-timeout",
+                        tenant,
+                        f"predicted queue wait {predicted:.3f}s already "
+                        f"exceeds the {effective_deadline:g}s deadline",
+                        limit=effective_deadline,
+                        requested=predicted,
+                    )
             request_id = next(self._request_seq)
             token = CancellationToken(
                 flag_path=os.path.join(self._flag_dir, f"cancel-{request_id}")
@@ -452,18 +671,88 @@ class QueryService:
         """Submit and block for the response (one-shot convenience)."""
         return self.submit(query, tenant=tenant, **kwargs).result()
 
+    # -- overload protection ---------------------------------------------------
+
+    def _live_slot_count_locked(self) -> int:
+        return sum(1 for slot in self._slots if not slot.abandoned)
+
+    def _predicted_wait_locked(self) -> float:
+        """Predicted queue wait for a new submission (service lock held).
+
+        Mean of the last few completed-query durations (measured on the
+        injectable service clock) × current backlog ÷ live slots — a
+        deterministic estimate under a scripted clock, because every
+        input is service-side state.
+        """
+        if not self._recent_durations:
+            return 0.0
+        mean = sum(self._recent_durations) / len(self._recent_durations)
+        backlog = len(self._queue) + sum(self._running.values())
+        return mean * backlog / max(1, self._live_slot_count_locked())
+
+    def _check_breaker(self, tenant: str) -> None:
+        """Reject (under the lock) when the tenant's breaker is open."""
+        if self._circuit_threshold is None:
+            return
+        breaker = self._breakers.get(tenant)
+        if breaker is None or breaker.state == "closed":
+            return
+        if breaker.state == "open":
+            if self._clock() - breaker.opened_at >= self._circuit_cooldown:
+                breaker.state = "half-open"
+                breaker.probing = False
+        if breaker.state == "half-open" and not breaker.probing:
+            breaker.probing = True  # admit exactly one probe
+            return
+        self._reject(
+            "circuit-open",
+            tenant,
+            f"circuit breaker open after {breaker.failures} consecutive "
+            f"failures (cooldown {self._circuit_cooldown:g}s"
+            + (", probe in flight)" if breaker.probing else ")"),
+            limit=self._circuit_threshold,
+            requested=breaker.failures,
+        )
+
+    def _breaker_result_locked(self, tenant: str, error) -> None:
+        """Feed one final request outcome into the tenant's breaker."""
+        if self._circuit_threshold is None:
+            return
+        breaker = self._breakers.setdefault(tenant, _Breaker())
+        if error is None or isinstance(error, QueryCancelledError):
+            # A cancel is a client verdict, not a service failure.
+            if error is None:
+                breaker.state = "closed"
+                breaker.failures = 0
+            breaker.probing = False
+            return
+        breaker.failures += 1
+        breaker.probing = False
+        if (
+            breaker.state in ("open", "half-open")
+            or breaker.failures >= self._circuit_threshold
+        ):
+            breaker.state = "open"
+            breaker.opened_at = self._clock()
+
     # -- scheduling ------------------------------------------------------------
 
-    def _next_request(self) -> _Request | None:
+    def _next_request(self, slot: _Slot) -> _Request | None:
         """Claim the next runnable request (None = service shut down).
 
         FIFO over the admission queue, skipping requests whose tenant
         is at its concurrency limit — a backlogged tenant never blocks
-        another tenant's work.
+        another tenant's work — and requests that just failed on *this*
+        slot (honored only while another live slot could take them).
         """
         with self._work_ready:
             while True:
                 for index, request in enumerate(self._queue):
+                    if (
+                        request.avoid_slot == slot.index
+                        and self._live_slot_count_locked() > 1
+                    ):
+                        continue
                     quota = self._quota(request.tenant)
                     if (
                         self._running.get(request.tenant, 0)
@@ -481,20 +770,244 @@ class QueryService:
                     return None
                 self._work_ready.wait()
 
-    def _worker_loop(self, slot: int) -> None:
-        backend = self._backends[slot]
+    def _worker_main(self, slot: _Slot) -> None:
+        """Thread target: the worker loop under slot supervision.
+
+        Anything that escapes the loop — a crash in the scheduling
+        machinery or an injected slot death — is a *slot* failure, not
+        a query failure: the supervisor replaces the slot (under its
+        restart budget) and routes the in-flight request, if any, into
+        query-level retry on the replacement.
+        """
+        try:
+            self._worker_loop(slot)
+        except BaseException as error:  # noqa: BLE001 - supervised
+            self._supervise_slot_death(slot, error)
+
+    def _worker_loop(self, slot: _Slot) -> None:
         while True:
-            request = self._next_request()
+            request = self._next_request(slot)
             if request is None:
                 return
+            slot.current = request
+            with self._lock:
+                pending = self._kill_slots.get(slot.index, 0)
+                if pending == 1:
+                    del self._kill_slots[slot.index]
+                elif pending:
+                    self._kill_slots[slot.index] = pending - 1
+            if pending:
+                # Escapes to _worker_main with slot.current still set,
+                # exactly like a genuine crash between claim and finish.
+                raise SlotFailureError(slot.index, "injected slot death")
+            started_clock = self._clock()
             try:
-                response = self._execute_request(request, backend)
+                response = self._execute_request(request, slot.backend)
             except BaseException as error:  # noqa: BLE001 - routed to ticket
-                self._finish(request, error=error)
+                slot.current = None
+                self._complete_request(
+                    slot,
+                    request,
+                    error=error,
+                    duration=self._clock() - started_clock,
+                )
             else:
-                self._finish(request, response=response)
+                slot.current = None
+                self._complete_request(
+                    slot,
+                    request,
+                    response=response,
+                    duration=self._clock() - started_clock,
+                )
 
-    def _finish(self, request: _Request, response=None, error=None) -> None:
+    def _supervise_slot_death(self, slot: _Slot, error: BaseException) -> None:
+        """Replace a dead slot worker (bounded) and rescue its request."""
+        request = slot.current
+        slot.current = None
+        detail = f"{type(error).__name__}: {error}"
+        old_backend = slot.backend
+        with self._lock:
+            respawn = not self._closed and slot.restarts < self._max_slot_restarts
+            if respawn:
+                slot.restarts += 1
+                kind = "worker-death"
+            else:
+                slot.abandoned = True
+                kind = "abandoned"
+            self._slot_events.append(
+                SlotRestartEvent(
+                    slot=slot.index,
+                    kind=kind,
+                    restarts=slot.restarts,
+                    message=detail,
+                    request_id=request.id if request is not None else None,
+                )
+            )
+        if respawn:
+            # Fresh backend first (the old one may be wedged), then a
+            # fresh thread; both outside the lock — backend construction
+            # can fork processes.
+            try:
+                old_backend.close()
+            except Exception:
+                pass
+            new_backend = resolve_backend(
+                self._backend_name, max_workers=self._max_workers
+            )
+            with self._lock:
+                slot.backend = new_backend
+                slot.backend_failures = 0
+            self._spawn_worker(slot)
+        if request is not None:
+            failure = SlotFailureError(slot.index, detail)
+            if isinstance(error, Exception):
+                failure.__cause__ = error
+            self._complete_request(slot, request, error=failure)
+        if not respawn:
+            self._fail_orphans()
+
+    def _fail_orphans(self) -> None:
+        """Fail every queued request once no live slot remains to run it."""
+        with self._lock:
+            if self._closed or any(not s.abandoned for s in self._slots):
+                return
+            orphans = list(self._queue)
+            self._queue.clear()
+            for request in orphans:
+                self._queued[request.tenant] -= 1
+                request.state = "orphaned"
+        for request in orphans:
+            self._finish(
+                request,
+                error=SlotFailureError(
+                    -1, "every slot worker exhausted its restart budget"
+                ),
+            )
+
+    def inject_slot_failure(self, slot: int = 0) -> None:
+        """Make *slot*'s worker die before executing its next request.
+
+        A test/chaos hook: the death takes the real supervision path —
+        the slot's thread raises out of its loop with the claimed
+        request in flight, the supervisor replaces thread and backend
+        under the restart budget, and the request is retried on the
+        replacement.  Repeated calls queue additional deaths, one per
+        claimed request.  Raises :class:`ValueError` for an unknown
+        slot.
+        """
+        if not 0 <= slot < len(self._slots):
+            raise ValueError(
+                f"slot must be in [0, {len(self._slots)}), got {slot!r}"
+            )
+        with self._lock:
+            self._kill_slots[slot] = self._kill_slots.get(slot, 0) + 1
+            self._work_ready.notify_all()
+
+    # -- retry -----------------------------------------------------------------
+
+    def _complete_request(
+        self, slot: _Slot, request: _Request, response=None, error=None,
+        duration=None,
+    ) -> None:
+        """Route one execution outcome: retry, backend health, or finish."""
+        self._note_backend_result(slot, error)
+        if error is not None and self._maybe_retry(slot, request, error):
+            return
+        self._finish(request, response=response, error=error, duration=duration)
+
+    def _note_backend_result(self, slot: _Slot, error) -> None:
+        """Track consecutive backend failures; replace a broken backend."""
+        is_backend_error = False
+        current = error
+        seen: set[int] = set()
+        while current is not None and id(current) not in seen:
+            seen.add(id(current))
+            if isinstance(current, (BackendError, SlotFailureError)):
+                is_backend_error = True
+                break
+            current = current.__cause__
+        if not is_backend_error:
+            slot.backend_failures = 0
+            return
+        slot.backend_failures += 1
+        if slot.backend_failures < self._backend_failure_threshold:
+            return
+        # The slot's worker thread owns this backend and has no query in
+        # flight here, so an in-place swap is race-free.
+        old_backend = slot.backend
+        try:
+            old_backend.close()
+        except Exception:
+            pass
+        slot.backend = resolve_backend(
+            self._backend_name, max_workers=self._max_workers
+        )
+        slot.backend_failures = 0
+        with self._lock:
+            self._slot_events.append(
+                SlotRestartEvent(
+                    slot=slot.index,
+                    kind="backend-replaced",
+                    restarts=slot.restarts,
+                    message=(
+                        f"replaced backend after "
+                        f"{self._backend_failure_threshold} consecutive "
+                        f"backend failures"
+                    ),
+                )
+            )
+
+    def _maybe_retry(self, slot: _Slot, request: _Request, error) -> bool:
+        """Re-queue a retryable failure (front of queue, other slot first)."""
+        if self._max_query_retries <= 0:
+            return False
+        if request.retries >= self._max_query_retries:
+            return False
+        if not _is_query_retryable(error):
+            return False
+        if request.token.cancelled:
+            return False
+        if (
+            request.deadline is not None
+            and request.first_started_at is not None
+            and time.perf_counter() - request.first_started_at
+            >= request.deadline
+        ):
+            return False
+        with self._lock:
+            if self._closed:
+                return False
+            if all(s.abandoned for s in self._slots):
+                return False
+            request.retries += 1
+            cause = f"{type(error).__name__}: {error}"
+            request.retry_causes.append(cause)
+            request.avoid_slot = slot.index
+            if request.state == "running":
+                self._running[request.tenant] -= 1
+                self._running_requests.remove(request)
+            request.state = "queued"
+            self._queue.insert(0, request)
+            self._queued[request.tenant] = (
+                self._queued.get(request.tenant, 0) + 1
+            )
+            self._counters["retried"] += 1
+            self._retry_events.append(
+                QueryRetryEvent(
+                    request_id=request.id,
+                    tenant=request.tenant,
+                    attempt=request.retries,
+                    slot=slot.index,
+                    error=type(error).__name__,
+                    message=str(error),
+                )
+            )
+            self._work_ready.notify_all()
+        return True
+
+    def _finish(
+        self, request: _Request, response=None, error=None, duration=None
+    ) -> None:
         request.response = response
         request.error = error
         with self._lock:
@@ -502,6 +1015,9 @@ class QueryService:
                 self._running[request.tenant] -= 1
                 self._running_requests.remove(request)
             request.state = "done"
+            if duration is not None:
+                self._recent_durations.append(duration)
+            self._breaker_result_locked(request.tenant, error)
             if error is None:
                 self._counters["completed"] += 1
             elif isinstance(error, QueryCancelledError):
@@ -566,6 +1082,15 @@ class QueryService:
 
     def _execute_request(self, request: _Request, backend) -> ServiceResponse:
         started = time.perf_counter()
+        if request.first_started_at is None:
+            request.first_started_at = started
+        # A retry executes with whatever remains of the *original*
+        # deadline — a retried request never gets more wall time than
+        # the client asked for.
+        remaining_deadline = request.deadline
+        if request.deadline is not None:
+            elapsed = started - request.first_started_at
+            remaining_deadline = max(request.deadline - elapsed, 0.001)
         queue_seconds = started - request.submitted_at
         compiled, plan_hit = self.plan_cache.get_or_compile(
             request.query, self._rewrite, stats=self._stats_snapshot()
@@ -609,6 +1134,8 @@ class QueryService:
                         result_cache_hit=True,
                         degradation=cached.degradation,
                         stats=cached.stats,
+                        retries=request.retries,
+                        retry_causes=list(request.retry_causes),
                     )
         executor = PartitionedExecutor(
             self._source,
@@ -619,7 +1146,7 @@ class QueryService:
             backend=backend,
             spill=self._spill,
             spill_dir=self._spill_dir,
-            deadline_seconds=request.deadline,
+            deadline_seconds=remaining_deadline,
         )
         # The executor borrows this slot's backend; never executor.close().
         result = executor.run(
@@ -658,6 +1185,8 @@ class QueryService:
             deadline_slack_seconds=result.deadline_slack_seconds,
             is_partial=result.is_partial,
             warnings=result.warnings,
+            retries=request.retries,
+            retry_causes=list(request.retry_causes),
         )
 
     # -- introspection ---------------------------------------------------------
@@ -671,6 +1200,25 @@ class QueryService:
             )
             counters["queued"] = len(self._queue)
             counters["running"] = sum(self._running.values())
+            counters["slot_restarts"] = [
+                event.to_dict() for event in self._slot_events
+            ]
+            counters["query_retries"] = [
+                event.to_dict() for event in self._retry_events
+            ]
+            live = self._live_slot_count_locked()
+            counters["slots"] = {
+                "total": len(self._slots),
+                "live": live,
+                "abandoned": len(self._slots) - live,
+            }
+            counters["circuit_breakers"] = {
+                tenant: {
+                    "state": breaker.state,
+                    "consecutive_failures": breaker.failures,
+                }
+                for tenant, breaker in sorted(self._breakers.items())
+            }
         counters["plan_cache"] = self.plan_cache.stats()
         counters["result_cache"] = (
             self.result_cache.stats() if self.result_cache is not None else None
@@ -717,10 +1265,28 @@ class QueryService:
         self.drain()
         with self._lock:
             self._work_ready.notify_all()
-        for worker in self._workers:
-            worker.join()
-        for backend in self._backends:
-            backend.close()
+        current = threading.current_thread()
+        while True:
+            # A dying worker may spawn its replacement while we join it
+            # (supervision races close), so loop until every slot's
+            # *current* thread is down.  Never join ourselves: close()
+            # may legally run on a worker thread (a query calling close).
+            alive = [
+                slot.thread
+                for slot in self._slots
+                if slot.thread is not None
+                and slot.thread is not current
+                and slot.thread.is_alive()
+            ]
+            if not alive:
+                break
+            for thread in alive:
+                thread.join()
+        for slot in self._slots:
+            try:
+                slot.backend.close()
+            except Exception:
+                pass
         shutil.rmtree(self._flag_dir, ignore_errors=True)
 
     def __enter__(self) -> "QueryService":

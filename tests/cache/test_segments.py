@@ -224,3 +224,116 @@ class TestStoreLoad:
         store(cache, [{"v": 1.5}])
         clone = pickle.loads(pickle.dumps(cache))
         assert clone.load(*KEY).items == [{"v": 1.5}]
+
+
+class TestCrashSafety:
+    """Torn writes, bit flips, and I/O-failure degradation."""
+
+    def segment_file(self, tmp_path):
+        (name,) = [n for n in os.listdir(tmp_path) if n.endswith(".seg")]
+        return tmp_path / name
+
+    def test_torn_write_is_detected_as_corrupt(self, tmp_path):
+        # A truncated payload (the tail a crash mid-write would lose on
+        # a non-atomic writer) must fail the checksum, read as a miss,
+        # and delete the damaged file so the next store repairs it.
+        cache = SegmentCache(str(tmp_path))
+        store(cache, [{"v": 1.5}, {"v": 2.5}])
+        segment = self.segment_file(tmp_path)
+        raw = segment.read_bytes()
+        segment.write_bytes(raw[:-7])
+        loaded, status = cache.load_classified(*KEY)
+        assert loaded is None and status == "corrupt"
+        assert not segment.exists()
+        assert store(cache, [{"v": 9.0}])  # next store repairs
+        assert cache.load(*KEY).items == [{"v": 9.0}]
+
+    def test_bit_flip_fails_checksum(self, tmp_path):
+        cache = SegmentCache(str(tmp_path))
+        store(cache, [{"v": 1.5}, {"v": 2.5}])
+        segment = self.segment_file(tmp_path)
+        raw = bytearray(segment.read_bytes())
+        raw[-3] ^= 0x40  # flip one payload bit
+        segment.write_bytes(bytes(raw))
+        loaded, status = cache.load_classified(*KEY)
+        assert loaded is None and status == "corrupt"
+        assert not segment.exists()
+
+    def test_legacy_segment_without_checksum_is_plain_miss(self, tmp_path):
+        # Pre-checksum files are unverifiable: rescan without counting
+        # damage, and leave the upgrade to the next store.
+        cache = SegmentCache(str(tmp_path))
+        store(cache, [1, 2])
+        segment = self.segment_file(tmp_path)
+        raw = segment.read_bytes()
+        header = pickle.loads(raw[len(_MAGIC):])
+        del header["crc32"]
+        with open(segment, "wb") as handle:
+            handle.write(_MAGIC)
+            pickle.dump(header, handle)
+            handle.write(pickle.dumps([1, 2], pickle.HIGHEST_PROTOCOL))
+        loaded, status = cache.load_classified(*KEY)
+        assert loaded is None and status == "miss"
+        assert segment.exists()  # not damage; not deleted
+
+    def test_store_failure_leaves_no_temp_litter(self, tmp_path, monkeypatch):
+        cache = SegmentCache(str(tmp_path))
+
+        def broken_fsync(fd):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(os, "fsync", broken_fsync)
+        assert store(cache, [1]) is False
+        assert os.listdir(tmp_path) == []
+
+    def test_fault_hook_enospc_disables_after_budget(self, tmp_path):
+        calls = []
+
+        def hook(operation):
+            calls.append(operation)
+            raise OSError(28, "No space left on device")
+
+        cache = SegmentCache(str(tmp_path))
+        cache.fault_hook = hook
+        for _ in range(cache.max_io_errors):
+            assert cache.disabled_reason is None
+            assert store(cache, [1]) is False
+        assert cache.disabled_reason is not None
+        assert "No space left on device" in cache.disabled_reason
+        # Disabled: stores are skipped and loads miss without touching
+        # the hook (or the disk) again.
+        assert store(cache, [1]) is False
+        assert cache.load_classified(*KEY) == (None, "miss")
+        assert calls == ["store"] * cache.max_io_errors
+
+    def test_successful_io_resets_failure_run(self, tmp_path):
+        cache = SegmentCache(str(tmp_path))
+        flaky = {"remaining": cache.max_io_errors - 1}
+
+        def hook(operation):
+            if flaky["remaining"] > 0:
+                flaky["remaining"] -= 1
+                raise OSError(5, "Input/output error")
+
+        cache.fault_hook = hook
+        for _ in range(cache.max_io_errors - 1):
+            assert store(cache, [1]) is False
+        assert store(cache, [1]) is True  # recovery breaks the run
+        flaky["remaining"] = cache.max_io_errors - 1
+        for _ in range(cache.max_io_errors - 1):
+            assert store(cache, [2]) is False
+        assert cache.disabled_reason is None  # never 3 consecutive
+        assert store(cache, [2]) is True
+
+    def test_load_io_error_classified_and_counted(self, tmp_path):
+        cache = SegmentCache(str(tmp_path))
+        store(cache, [1])
+
+        def hook(operation):
+            if operation == "load":
+                raise OSError(5, "Input/output error")
+
+        cache.fault_hook = hook
+        for _ in range(cache.max_io_errors):
+            assert cache.load_classified(*KEY) == (None, "io-error")
+        assert cache.disabled_reason is not None

@@ -353,6 +353,61 @@ class TestQueryScopes:
         # the per-query scope is not pinned on the executor's base config
         assert executor._spill_config.scope is None
 
+    def test_failing_manager_close_does_not_leak_scope(self, spill_root):
+        """A manager whose cleanup itself raises (a cancelled query
+        racing a spill-write error can leave run files already gone)
+        must not skip the remaining managers or the scope-dir removal —
+        the leak regression the executor's isolating finally fixes."""
+        source = make_source()
+        executor = PartitionedExecutor(
+            source, memory_budget_bytes=512, spill_dir=spill_root
+        )
+
+        class BrokenManager:
+            folded = False
+
+            def fold_stats(self, stats):
+                BrokenManager.folded = True
+                raise OSError(5, "injected cleanup failure")
+
+            def close(self):
+                raise AssertionError("fold_stats already raised")
+
+        original_context = executor._context
+
+        def context_with_broken_manager(*args, **kwargs):
+            ctx = original_context(*args, **kwargs)
+            if not any(
+                isinstance(m, BrokenManager) for m in executor._open_spills
+            ):
+                executor._open_spills.insert(0, BrokenManager())
+            return ctx
+
+        executor._context = context_with_broken_manager
+        result = executor.run(
+            compile_query(GROUP_QUERY, RewriteConfig.all()).plan
+        )
+        assert BrokenManager.folded
+        assert result.stats.spill_events > 0
+        assert os.listdir(spill_root) == []  # scope dir still removed
+
+    def test_permanent_spill_fault_leaves_no_scope(self, spill_root):
+        """A spill write that fails hard unwinds the query without
+        leaking the per-query scope directory (the fixture asserts the
+        root is empty afterwards)."""
+        from repro.resilience import FaultPlan
+
+        plan = FaultPlan().fail_spill(0, permanent=True)
+        source = plan.wrap(make_source())
+        with pytest.raises(Exception):
+            run(
+                source,
+                GROUP_QUERY,
+                spill_root=spill_root,
+                memory_budget_bytes=512,
+            )
+        assert os.listdir(spill_root) == []
+
     def test_concurrent_queries_one_root(self, spill_root):
         """Many spilling queries through one spill root, concurrently —
         byte-identical results and an empty root afterwards."""

@@ -1,0 +1,453 @@
+"""Self-healing query-service behaviour: slot supervision, query-level
+retry, load shedding, and the per-tenant circuit breaker.
+
+Slot death is injected *in the service layer* (the worker thread raises
+after claiming a request), so the same schedule is exercised identically
+on the sequential, thread, and process backends — the determinism the
+cross-backend parametrisation below pins down.  Breaker and shedding
+tests run on scripted clocks from the injectable ``CLOCKS`` registry,
+so no assertion depends on wall time.
+"""
+
+import json
+import pickle
+import threading
+
+import pytest
+
+from repro.errors import (
+    AdmissionError,
+    BackendError,
+    CacheIOError,
+    QueryCancelledError,
+    QueryTimeoutError,
+    RecoveryExhaustedError,
+    SlotFailureError,
+)
+from repro.observability.clock import CLOCKS
+from repro.service import QueryService, TenantQuota
+from repro.service.events import QueryRetryEvent, SlotRestartEvent
+from repro.service.service import _is_query_retryable
+
+from tests.service.conftest import (
+    COUNT_QUERY,
+    FILTER_QUERY,
+    GROUP_QUERY,
+    GatedSource,
+    make_rows,
+    make_source,
+)
+
+BACKENDS = ["sequential", "thread", "process"]
+
+
+def make_gated():
+    return GatedSource(
+        collections={
+            "/s": [[json.dumps({"root": [{"results": make_rows(120)}]})]]
+        }
+    )
+
+
+# -- retryability classification ----------------------------------------------
+
+
+def test_retryable_classification_walks_cause_chain():
+    exhausted = RecoveryExhaustedError((1,), (3,), "process")
+    assert _is_query_retryable(exhausted)
+    assert _is_query_retryable(SlotFailureError(0, "died"))
+    assert _is_query_retryable(CacheIOError("store", "/t/x.seg", "ENOSPC"))
+    wrapped = BackendError("boom", cause=SlotFailureError(1))
+    assert _is_query_retryable(wrapped)
+    assert not _is_query_retryable(QueryCancelledError("client cancel"))
+    assert not _is_query_retryable(QueryTimeoutError(1.0, 2.0))
+    assert not _is_query_retryable(ValueError("not classified"))
+    # Terminal classifications win even with a retryable cause below.
+    timeout = QueryTimeoutError(1.0, 2.0)
+    timeout.__cause__ = SlotFailureError(0)
+    assert not _is_query_retryable(timeout)
+
+
+def test_selfhealing_errors_and_events_pickle_round_trip():
+    for original in (
+        SlotFailureError(2, "injected slot death"),
+        CacheIOError("load", "/cache/ab.seg", "[Errno 5] EIO"),
+    ):
+        clone = pickle.loads(pickle.dumps(original))
+        assert type(clone) is type(original)
+        assert str(clone) == str(original)
+        assert clone.retryable
+    for event in (
+        SlotRestartEvent(slot=1, kind="worker-death", restarts=2, message="m"),
+        QueryRetryEvent(
+            request_id=7, tenant="t", attempt=1, slot=0, error="E", message="m"
+        ),
+    ):
+        clone = pickle.loads(pickle.dumps(event))
+        assert clone == event
+        assert clone.to_dict() == event.to_dict()
+
+
+# -- slot supervision + query retry -------------------------------------------
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_slot_death_recovers_with_identical_results(backend):
+    """An injected slot death is invisible to the client apart from the
+    structured retry provenance: items match an undisturbed run exactly,
+    the slot is restarted within budget, and ``stats()`` records both
+    the restart and the retry.  One slot makes the schedule exact: every
+    query lands on slot 0, and each injected death kills exactly one
+    claimed request."""
+    queries = (COUNT_QUERY, GROUP_QUERY, FILTER_QUERY)
+    with QueryService(
+        make_source(), backend=backend, max_concurrent_queries=1
+    ) as baseline:
+        expected = [baseline.execute(query).items for query in queries]
+
+    with QueryService(
+        make_source(), backend=backend, max_concurrent_queries=1
+    ) as service:
+        responses = []
+        for index, query in enumerate(queries):
+            if index < 2:
+                service.inject_slot_failure(0)
+            responses.append(service.execute(query))
+        stats = service.stats()
+
+    assert [r.items for r in responses] == expected
+    assert [r.retries for r in responses] == [1, 1, 0]
+    for response in responses[:2]:
+        assert len(response.retry_causes) == 1
+        assert "SlotFailureError" in response.retry_causes[0]
+    assert stats["retried"] == 2
+    deaths = [e for e in stats["slot_restarts"] if e["kind"] == "worker-death"]
+    assert len(deaths) == 2
+    assert all(e["slot"] == 0 for e in deaths)
+    assert all(e["request_id"] is not None for e in deaths)
+    assert [e["attempt"] for e in stats["query_retries"]] == [1, 1]
+    assert stats["slots"] == {"total": 1, "live": 1, "abandoned": 0}
+    assert stats["completed"] == 3 and stats["failed"] == 0
+
+
+def test_slot_death_retries_on_sibling_slot():
+    """With two slots and a death queued on each, one request walks the
+    whole gauntlet: the retry prefers the sibling (which also dies)
+    before a respawned slot finally serves it — two retries, two
+    restarts, correct answer."""
+    with QueryService(
+        make_source(),
+        backend="sequential",
+        max_concurrent_queries=2,
+        max_query_retries=2,
+    ) as service:
+        service.inject_slot_failure(0)
+        service.inject_slot_failure(1)
+        response = service.execute(COUNT_QUERY)
+        stats = service.stats()
+    assert response.items == [120]
+    assert response.retries == 2
+    assert stats["retried"] == 2
+    assert {e["slot"] for e in stats["slot_restarts"]} == {0, 1}
+    assert stats["slots"] == {"total": 2, "live": 2, "abandoned": 0}
+
+
+def test_slot_abandoned_when_restart_budget_spent():
+    """With a zero restart budget a dying slot stays down: the in-flight
+    request fails with a picklable SlotFailureError, and once every slot
+    is abandoned new submissions are rejected with ``no-slots``."""
+    with QueryService(
+        make_source(),
+        backend="sequential",
+        max_concurrent_queries=1,
+        max_slot_restarts=0,
+    ) as service:
+        service.inject_slot_failure(0)
+        with pytest.raises(SlotFailureError) as excinfo:
+            service.execute(COUNT_QUERY)
+        pickle.loads(pickle.dumps(excinfo.value))  # stays picklable
+        stats = service.stats()
+        assert stats["slots"] == {"total": 1, "live": 0, "abandoned": 1}
+        assert [e["kind"] for e in stats["slot_restarts"]] == ["abandoned"]
+        with pytest.raises(AdmissionError) as admission:
+            service.submit(COUNT_QUERY)
+        assert admission.value.reason == "no-slots"
+        pickle.loads(pickle.dumps(admission.value))
+
+
+def test_slot_death_exhausts_retry_budget():
+    """One slot, retries allowed, but the retry's slot dies too: the
+    request fails after ``max_query_retries`` re-executions with the
+    attempt trail in ``stats()``."""
+    with QueryService(
+        make_source(),
+        backend="sequential",
+        max_concurrent_queries=1,
+        max_query_retries=1,
+        max_slot_restarts=8,
+    ) as service:
+        # Two queued deaths: one for the original attempt, one for the
+        # single permitted retry.
+        service.inject_slot_failure(0)
+        service.inject_slot_failure(0)
+        with pytest.raises(SlotFailureError):
+            service.execute(COUNT_QUERY)
+        stats = service.stats()
+        assert stats["retried"] == 1
+        assert stats["failed"] == 1
+        assert len(stats["slot_restarts"]) == 2
+        assert stats["slots"]["live"] == 1  # respawned both times
+        # The service still serves after the storm.
+        assert service.execute(COUNT_QUERY).items == [120]
+
+
+def test_retry_disabled_fails_fast():
+    with QueryService(
+        make_source(),
+        backend="sequential",
+        max_concurrent_queries=1,
+        max_query_retries=0,
+    ) as service:
+        service.inject_slot_failure(0)
+        with pytest.raises(SlotFailureError):
+            service.execute(COUNT_QUERY)
+        stats = service.stats()
+        assert stats["retried"] == 0
+        assert stats["query_retries"] == []
+        # The slot itself still healed.
+        assert stats["slots"]["live"] == 1
+        assert service.execute(COUNT_QUERY).items == [120]
+
+
+def test_invalid_injection_slot_rejected():
+    with QueryService(make_source(), backend="sequential") as service:
+        with pytest.raises(ValueError):
+            service.inject_slot_failure(99)
+        with pytest.raises(ValueError):
+            service.inject_slot_failure(-1)
+
+
+# -- close() racing in-flight queries -----------------------------------------
+
+
+def test_close_waits_for_inflight_query_then_succeeds():
+    source = make_gated()
+    service = QueryService(
+        source, backend="sequential", max_concurrent_queries=1
+    )
+    ticket = service.submit(COUNT_QUERY)
+    source.wait_entered()
+    closer = threading.Thread(target=service.close)
+    closer.start()
+    # close() drains: the running query must still complete normally.
+    source.release()
+    closer.join(timeout=30)
+    assert not closer.is_alive()
+    assert ticket.result().items == [120]
+    with pytest.raises(AdmissionError):
+        service.submit(COUNT_QUERY)
+
+
+def test_close_cancel_pending_races_running_query():
+    source = make_gated()
+    service = QueryService(
+        source, backend="sequential", max_concurrent_queries=1
+    )
+    ticket = service.submit(COUNT_QUERY)
+    source.wait_entered()
+    closer = threading.Thread(
+        target=service.close, kwargs={"cancel_pending": True}
+    )
+    closer.start()
+    source.release()
+    closer.join(timeout=30)
+    assert not closer.is_alive()
+    # The gate may release before or after the cancel flag lands; either
+    # terminal state is legal, but the ticket must be done and close()
+    # must have returned with no worker thread leaked.
+    assert ticket.done()
+    try:
+        assert ticket.result().items == [120]
+    except QueryCancelledError:
+        pass
+    for slot in service._slots:
+        assert slot.thread is None or not slot.thread.is_alive()
+
+
+def test_close_during_slot_respawn_is_clean():
+    """Injected death concurrent with close(): no hang, no leaked
+    threads, the ticket reaches a terminal state."""
+    service = QueryService(
+        make_source(), backend="sequential", max_concurrent_queries=2
+    )
+    service.inject_slot_failure(0)
+    service.inject_slot_failure(1)
+    ticket = service.submit(COUNT_QUERY)
+    service.close()
+    assert ticket.done()
+    try:
+        assert ticket.result().items == [120]
+    except SlotFailureError:
+        pass  # close won the race before the retry could run
+    for slot in service._slots:
+        assert slot.thread is None or not slot.thread.is_alive()
+
+
+# -- load shedding -------------------------------------------------------------
+
+
+def test_predicted_timeout_shedding_is_deterministic():
+    """With a seeded duration history and a parked backlog, the
+    predicted-wait formula (mean duration × backlog ÷ live slots) sheds
+    exactly the submissions whose deadline it exceeds — no wall time
+    involved."""
+    source = make_gated()
+    with QueryService(
+        source,
+        backend="sequential",
+        max_concurrent_queries=1,
+        clock="counter",
+    ) as service:
+        running = service.submit(COUNT_QUERY)
+        source.wait_entered()
+        queued = service.submit(FILTER_QUERY)
+        # Recent history says queries take 10s on this clock.
+        with service._lock:
+            service._recent_durations.append(10.0)
+        # backlog = 1 running + 1 queued over 1 live slot → 20s wait.
+        with pytest.raises(AdmissionError) as excinfo:
+            service.submit(GROUP_QUERY, deadline_seconds=5.0)
+        assert excinfo.value.reason == "predicted-timeout"
+        assert excinfo.value.limit == 5.0
+        assert excinfo.value.requested == 20.0
+        pickle.loads(pickle.dumps(excinfo.value))
+        # A deadline beyond the prediction is admitted...
+        admitted = service.submit(GROUP_QUERY, deadline_seconds=30.0)
+        # ...and no-deadline submissions are never shed.
+        unbounded = service.submit(COUNT_QUERY)
+        source.release()
+        for ticket in (running, queued, admitted, unbounded):
+            assert ticket.result().items
+        stats = service.stats()
+        assert stats["rejected_by_reason"] == {"predicted-timeout": 1}
+
+
+def test_shedding_uses_tenant_deadline_ceiling():
+    source = make_gated()
+    quota = TenantQuota(deadline_ceiling_seconds=30.0, max_queued=8)
+    with QueryService(
+        source,
+        backend="sequential",
+        max_concurrent_queries=1,
+        quotas={"capped": quota},
+    ) as service:
+        running = service.submit(COUNT_QUERY, tenant="capped")
+        source.wait_entered()
+        with service._lock:
+            service._recent_durations.append(100.0)
+        # No explicit deadline, but the tenant ceiling applies: predicted
+        # 100 × 1 ÷ 1 = 100s > 30s ceiling.
+        with pytest.raises(AdmissionError) as excinfo:
+            service.submit(FILTER_QUERY, tenant="capped")
+        assert excinfo.value.reason == "predicted-timeout"
+        source.release()
+        assert running.result().items == [120]
+
+
+# -- circuit breaker -----------------------------------------------------------
+
+
+@pytest.fixture()
+def scripted_clock(monkeypatch):
+    state = {"now": 0.0}
+    monkeypatch.setitem(CLOCKS, "scripted", lambda: lambda: state["now"])
+    return state
+
+
+def test_circuit_breaker_open_halfopen_close_cycle(scripted_clock):
+    with QueryService(
+        make_source(),
+        backend="sequential",
+        max_concurrent_queries=1,
+        clock="scripted",
+        circuit_failure_threshold=2,
+        circuit_cooldown_seconds=100.0,
+    ) as service:
+        bad = "count((("  # parse error → deterministic failure
+        for _ in range(2):
+            with pytest.raises(Exception):
+                service.execute(bad, tenant="flaky")
+        stats = service.stats()
+        assert stats["circuit_breakers"]["flaky"] == {
+            "state": "open",
+            "consecutive_failures": 2,
+        }
+        # Open: rejected without touching a slot.
+        with pytest.raises(AdmissionError) as excinfo:
+            service.submit(COUNT_QUERY, tenant="flaky")
+        assert excinfo.value.reason == "circuit-open"
+        pickle.loads(pickle.dumps(excinfo.value))
+        # Other tenants are unaffected.
+        assert service.execute(COUNT_QUERY, tenant="steady").items == [120]
+        # Cooldown elapses on the scripted clock: one probe is admitted.
+        scripted_clock["now"] = 150.0
+        with pytest.raises(Exception):
+            service.execute(bad, tenant="flaky")  # failing probe reopens
+        with pytest.raises(AdmissionError) as reopened:
+            service.submit(COUNT_QUERY, tenant="flaky")
+        assert reopened.value.reason == "circuit-open"
+        # Second cooldown, successful probe closes the breaker for good.
+        scripted_clock["now"] = 300.0
+        assert service.execute(COUNT_QUERY, tenant="flaky").items == [120]
+        assert service.execute(COUNT_QUERY, tenant="flaky").items == [120]
+        stats = service.stats()
+        assert stats["circuit_breakers"]["flaky"] == {
+            "state": "closed",
+            "consecutive_failures": 0,
+        }
+        assert stats["rejected_by_reason"]["circuit-open"] == 2
+
+
+def test_circuit_breaker_admits_single_probe(scripted_clock):
+    source = make_gated()
+    with QueryService(
+        source,
+        backend="sequential",
+        max_concurrent_queries=1,
+        clock="scripted",
+        circuit_failure_threshold=1,
+        circuit_cooldown_seconds=10.0,
+    ) as service:
+        with pytest.raises(Exception):
+            service.execute("count(((", tenant="t")
+        scripted_clock["now"] = 50.0
+        probe = service.submit(COUNT_QUERY, tenant="t")
+        source.wait_entered()
+        # Probe in flight: a second submission is still rejected.
+        with pytest.raises(AdmissionError) as excinfo:
+            service.submit(COUNT_QUERY, tenant="t")
+        assert excinfo.value.reason == "circuit-open"
+        source.release()
+        assert probe.result().items == [120]
+        assert service.stats()["circuit_breakers"]["t"]["state"] == "closed"
+
+
+def test_breaker_ignores_cancellations(scripted_clock):
+    source = make_gated()
+    with QueryService(
+        source,
+        backend="sequential",
+        max_concurrent_queries=1,
+        clock="scripted",
+        circuit_failure_threshold=1,
+    ) as service:
+        ticket = service.submit(COUNT_QUERY, tenant="t")
+        source.wait_entered()
+        ticket.cancel("client went away")
+        source.release()
+        with pytest.raises(QueryCancelledError):
+            ticket.result()
+        # A cancel is not a service failure: the breaker stays closed.
+        breakers = service.stats()["circuit_breakers"]
+        assert breakers.get("t", {"state": "closed"})["state"] != "open"
+        assert service.execute(COUNT_QUERY, tenant="t").items == [120]

@@ -21,17 +21,26 @@ An admission rejection answers immediately (the query never queues);
 other failures answer when the query unwinds.  EOF on stdin behaves
 like ``shutdown``: the queue drains, then the process exits.
 
+``SIGTERM`` and ``SIGINT`` shut down gracefully: the server stops
+accepting new requests, drains in-flight queries for up to
+``--drain-timeout`` seconds (cancelling whatever remains), and emits a
+final structured shutdown line before exiting::
+
+    {"id": null, "ok": true, "shutdown": true, "signal": "SIGTERM",
+     "drained": true}
+
 Usage::
 
     PYTHONPATH=src python tools/serve.py --data /path/to/collections \
         [--backend process] [--max-concurrent 4] [--result-cache 64] \
-        [--max-running 2] [--max-queued 8]
+        [--max-running 2] [--max-queued 8] [--drain-timeout 30]
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
 import threading
 
@@ -88,6 +97,11 @@ def main(argv: list[str] | None = None) -> int:
         "--on-malformed", default="fail",
         choices=("fail", "skip_record", "skip_file"),
     )
+    parser.add_argument(
+        "--drain-timeout", type=float, default=30.0,
+        help="seconds to wait for in-flight queries on SIGTERM/SIGINT "
+             "before cancelling them",
+    )
     args = parser.parse_args(argv)
 
     service = QueryService(
@@ -129,52 +143,94 @@ def main(argv: list[str] | None = None) -> int:
                 payload["reason"] = reason
             emit(payload)
 
+    # Graceful termination: the handler raises out of the (possibly
+    # blocked-on-stdin) request loop — signal handlers run on the main
+    # thread, so the raise lands exactly there — and the tail below
+    # drains + emits the structured shutdown line.
+    class _ShutdownSignal(Exception):
+        def __init__(self, name: str):
+            super().__init__(name)
+            self.name = name
+
+    def request_shutdown(signum, frame):
+        raise _ShutdownSignal(signal.Signals(signum).name)
+
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(signum, request_shutdown)
+        except ValueError:
+            pass  # not the main thread (embedded use); no handlers
+
+    stop_signal = None
     waiters = []
-    for line in sys.stdin:
-        line = line.strip()
-        if not line:
-            continue
-        try:
-            request = json.loads(line)
-        except json.JSONDecodeError as error:
-            emit({"id": None, "ok": False, "error": "ProtocolError",
-                  "message": f"bad JSON: {error}"})
-            continue
-        op = request.get("op", "query")
-        request_id = request.get("id")
-        if op == "shutdown":
-            emit({"id": request_id, "ok": True, "shutdown": True})
-            break
-        if op == "stats":
-            emit({"id": request_id, "ok": True, "stats": service.stats()})
-            continue
-        if op != "query" or "query" not in request:
-            emit({"id": request_id, "ok": False, "error": "ProtocolError",
-                  "message": f"unsupported request: {op!r}"})
-            continue
-        try:
-            ticket = service.submit(
-                request["query"],
-                tenant=request.get("tenant", "default"),
-                profile=request.get("profile"),
-                memory_budget_bytes=request.get("memory_budget_bytes"),
-                deadline_seconds=request.get("deadline_seconds"),
+    try:
+        lines = iter(sys.stdin)
+        while True:
+            try:
+                line = next(lines)
+            except StopIteration:
+                break
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                request = json.loads(line)
+            except json.JSONDecodeError as error:
+                emit({"id": None, "ok": False, "error": "ProtocolError",
+                      "message": f"bad JSON: {error}"})
+                continue
+            op = request.get("op", "query")
+            request_id = request.get("id")
+            if op == "shutdown":
+                emit({"id": request_id, "ok": True, "shutdown": True})
+                break
+            if op == "stats":
+                emit({"id": request_id, "ok": True, "stats": service.stats()})
+                continue
+            if op != "query" or "query" not in request:
+                emit({"id": request_id, "ok": False, "error": "ProtocolError",
+                      "message": f"unsupported request: {op!r}"})
+                continue
+            try:
+                ticket = service.submit(
+                    request["query"],
+                    tenant=request.get("tenant", "default"),
+                    profile=request.get("profile"),
+                    memory_budget_bytes=request.get("memory_budget_bytes"),
+                    deadline_seconds=request.get("deadline_seconds"),
+                )
+            except AdmissionError as error:
+                emit({
+                    "id": request_id,
+                    "ok": False,
+                    "error": "AdmissionError",
+                    "reason": error.reason,
+                    "tenant": error.tenant,
+                    "message": str(error),
+                })
+                continue
+            waiter = threading.Thread(
+                target=await_ticket, args=(ticket, request_id)
             )
-        except AdmissionError as error:
-            emit({
-                "id": request_id,
-                "ok": False,
-                "error": "AdmissionError",
-                "reason": error.reason,
-                "tenant": error.tenant,
-                "message": str(error),
-            })
-            continue
-        waiter = threading.Thread(
-            target=await_ticket, args=(ticket, request_id)
-        )
-        waiter.start()
-        waiters.append(waiter)
+            waiter.start()
+            waiters.append(waiter)
+    except _ShutdownSignal as sig:
+        stop_signal = sig.name
+    if stop_signal is not None:
+        # Signal-initiated: stop accepting, drain bounded, cancel the
+        # rest, and tell the client exactly how the shutdown went.
+        drained = service.drain(timeout=args.drain_timeout)
+        service.close(cancel_pending=not drained)
+        for waiter in waiters:
+            waiter.join()
+        emit({
+            "id": None,
+            "ok": True,
+            "shutdown": True,
+            "signal": stop_signal,
+            "drained": drained,
+        })
+        return 0
     for waiter in waiters:
         waiter.join()
     service.close()
