@@ -46,6 +46,22 @@ from repro.jsonlib.path import KeysOrMembers, Path, ValueByIndex, ValueByKey
 
 _MAGIC = b"RSEG1\n"
 
+# Exceptions that prove the segment file itself is defective (torn,
+# bit-flipped, or structurally malformed) and therefore safe to delete:
+# the magic/key/CRC ValueErrors raised below, pickle's own failure modes
+# on torn bytes, and shape errors from a header/payload that decoded to
+# the wrong structure.  Anything else (MemoryError on a huge payload, a
+# KeyboardInterrupt, an environment-dependent ImportError) may strike a
+# perfectly valid file and must NOT trigger deletion.
+_DEFECT_ERRORS = (
+    ValueError,
+    KeyError,
+    TypeError,
+    IndexError,
+    EOFError,
+    pickle.UnpicklingError,
+)
+
 
 def canonical_projection(path: Path) -> str:
     """Stable textual key for a projection path."""
@@ -367,10 +383,12 @@ class SegmentCache:
 
         - ``"hit"`` — a complete, checksum-verified segment;
         - ``"miss"`` — no file for this key (or a pre-checksum legacy
-          file, silently superseded), or the cache is disabled;
-        - ``"corrupt"`` — a file existed but was torn, bit-flipped, or
-          otherwise defective; the bad file is deleted (best-effort) so
-          the next complete store repairs it;
+          file, silently superseded), the cache is disabled, or parsing
+          failed for a reason that does not prove the file defective
+          (e.g. :class:`MemoryError`) — the file is kept for next time;
+        - ``"corrupt"`` — a file existed but was demonstrably torn,
+          bit-flipped, or otherwise defective; the bad file is deleted
+          (best-effort) so the next complete store repairs it;
         - ``"io-error"`` — the read itself failed with an
           :class:`OSError` other than file-not-found (counted toward
           the cache's consecutive-failure disable budget).
@@ -433,10 +451,18 @@ class SegmentCache:
                 counters=header["counters"],
                 skip_events=header["skip_events"],
             )
-        except Exception:
+        except _DEFECT_ERRORS:
+            # Demonstrably torn/bit-flipped/malformed: delete the file
+            # (best-effort) so the next complete store repairs it.
             try:
                 os.unlink(segment_path)
             except OSError:
                 pass
             return None, "corrupt"
+        except Exception:
+            # A transient, non-corruption failure (e.g. MemoryError
+            # while unpickling a large payload): the file may be
+            # perfectly valid, so keep it and treat this load as a
+            # plain miss.
+            return None, "miss"
         return segment, "hit"

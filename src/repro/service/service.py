@@ -661,6 +661,10 @@ class QueryService:
                 else quota.deadline_ceiling_seconds,
                 token,
             )
+            # Every admission check has passed and the request is about
+            # to enqueue: only now claim the half-open probe, so a
+            # rejection above can never leak it and lock the tenant out.
+            self._grant_probe_locked(tenant)
             self._queue.append(request)
             self._queued[tenant] = self._queued.get(tenant, 0) + 1
             self._counters["submitted"] += 1
@@ -691,7 +695,16 @@ class QueryService:
         return mean * backlog / max(1, self._live_slot_count_locked())
 
     def _check_breaker(self, tenant: str) -> None:
-        """Reject (under the lock) when the tenant's breaker is open."""
+        """Reject (under the lock) when the tenant's breaker is open.
+
+        Pure check: it transitions open → half-open once the cooldown
+        elapses but never claims the half-open probe itself — the probe
+        is granted by :meth:`_grant_probe_locked` as the *last*
+        admission step, so a submission that passes here but is
+        rejected by a later check (quota, queue depth, predicted
+        timeout) cannot strand the breaker with a phantom probe that
+        locks the tenant out forever.
+        """
         if self._circuit_threshold is None:
             return
         breaker = self._breakers.get(tenant)
@@ -702,7 +715,6 @@ class QueryService:
                 breaker.state = "half-open"
                 breaker.probing = False
         if breaker.state == "half-open" and not breaker.probing:
-            breaker.probing = True  # admit exactly one probe
             return
         self._reject(
             "circuit-open",
@@ -713,6 +725,14 @@ class QueryService:
             limit=self._circuit_threshold,
             requested=breaker.failures,
         )
+
+    def _grant_probe_locked(self, tenant: str) -> None:
+        """Claim the half-open probe for a submission that will enqueue."""
+        if self._circuit_threshold is None:
+            return
+        breaker = self._breakers.get(tenant)
+        if breaker is not None and breaker.state == "half-open":
+            breaker.probing = True  # admit exactly one probe
 
     def _breaker_result_locked(self, tenant: str, error) -> None:
         """Feed one final request outcome into the tenant's breaker."""
@@ -846,23 +866,53 @@ class QueryService:
         if respawn:
             # Fresh backend first (the old one may be wedged), then a
             # fresh thread; both outside the lock — backend construction
-            # can fork processes.
+            # can fork processes.  The respawn itself is supervised: if
+            # the new backend or thread cannot be built (e.g. fork
+            # failure under the same resource exhaustion that killed the
+            # slot), the slot is marked abandoned instead of lingering
+            # as a phantom "live" slot that will never run anything.
             try:
                 old_backend.close()
             except Exception:
                 pass
-            new_backend = resolve_backend(
-                self._backend_name, max_workers=self._max_workers
-            )
-            with self._lock:
-                slot.backend = new_backend
-                slot.backend_failures = 0
-            self._spawn_worker(slot)
+            try:
+                new_backend = resolve_backend(
+                    self._backend_name, max_workers=self._max_workers
+                )
+                with self._lock:
+                    slot.backend = new_backend
+                    slot.backend_failures = 0
+                self._spawn_worker(slot)
+            except Exception as spawn_error:
+                respawn = False
+                with self._lock:
+                    slot.abandoned = True
+                    self._slot_events.append(
+                        SlotRestartEvent(
+                            slot=slot.index,
+                            kind="abandoned",
+                            restarts=slot.restarts,
+                            message=(
+                                f"respawn failed: "
+                                f"{type(spawn_error).__name__}: "
+                                f"{spawn_error}"
+                            ),
+                            request_id=(
+                                request.id if request is not None else None
+                            ),
+                        )
+                    )
+                    self._work_ready.notify_all()
         if request is not None:
             failure = SlotFailureError(slot.index, detail)
             if isinstance(error, Exception):
                 failure.__cause__ = error
-            self._complete_request(slot, request, error=failure)
+            # note_backend=False: the replacement worker already owns
+            # slot.backend (or the slot is abandoned) — see
+            # _complete_request.
+            self._complete_request(
+                slot, request, error=failure, note_backend=False
+            )
         if not respawn:
             self._fail_orphans()
 
@@ -907,16 +957,32 @@ class QueryService:
 
     def _complete_request(
         self, slot: _Slot, request: _Request, response=None, error=None,
-        duration=None,
+        duration=None, note_backend=True,
     ) -> None:
-        """Route one execution outcome: retry, backend health, or finish."""
-        self._note_backend_result(slot, error)
+        """Route one execution outcome: retry, backend health, or finish.
+
+        ``note_backend=False`` skips the backend-health bookkeeping —
+        used by the slot supervisor, which runs on the *dying* worker
+        thread after the replacement worker already owns (and may be
+        executing on) ``slot.backend``; touching the backend there
+        would race the new worker, and the supervisor already swapped
+        in a fresh backend anyway.
+        """
+        if note_backend:
+            self._note_backend_result(slot, error)
         if error is not None and self._maybe_retry(slot, request, error):
             return
         self._finish(request, response=response, error=error, duration=duration)
 
     def _note_backend_result(self, slot: _Slot, error) -> None:
-        """Track consecutive backend failures; replace a broken backend."""
+        """Track consecutive backend failures; replace a broken backend.
+
+        Only ever called on the slot's *owning* worker thread with no
+        query in flight, so no other thread executes on this backend
+        concurrently; the counter and the swap still happen under the
+        service lock so supervision and ``stats()`` readers observe a
+        consistent slot.
+        """
         is_backend_error = False
         current = error
         seen: set[int] = set()
@@ -926,24 +992,26 @@ class QueryService:
                 is_backend_error = True
                 break
             current = current.__cause__
-        if not is_backend_error:
-            slot.backend_failures = 0
-            return
-        slot.backend_failures += 1
-        if slot.backend_failures < self._backend_failure_threshold:
-            return
-        # The slot's worker thread owns this backend and has no query in
-        # flight here, so an in-place swap is race-free.
-        old_backend = slot.backend
+        with self._lock:
+            if not is_backend_error:
+                slot.backend_failures = 0
+                return
+            slot.backend_failures += 1
+            if slot.backend_failures < self._backend_failure_threshold:
+                return
+            old_backend = slot.backend
+        # Close and rebuild outside the lock — backend construction can
+        # fork processes; the owning thread is the only user meanwhile.
         try:
             old_backend.close()
         except Exception:
             pass
-        slot.backend = resolve_backend(
+        new_backend = resolve_backend(
             self._backend_name, max_workers=self._max_workers
         )
-        slot.backend_failures = 0
         with self._lock:
+            slot.backend = new_backend
+            slot.backend_failures = 0
             self._slot_events.append(
                 SlotRestartEvent(
                     slot=slot.index,

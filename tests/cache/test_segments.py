@@ -213,6 +213,31 @@ class TestStoreLoad:
         )
         assert load(cache) is None
 
+    def test_transient_parse_failure_keeps_file(self, tmp_path, monkeypatch):
+        # A MemoryError while unpickling a large payload is *not*
+        # corruption: the segment must not be deleted (or reported as
+        # corrupt), and must hit again once the pressure clears.
+        import repro.cache.segments as segments
+
+        cache = SegmentCache(str(tmp_path))
+        store(cache, [1, 2, 3])
+        (segment_file,) = os.listdir(tmp_path)
+
+        class OOMPickle:
+            UnpicklingError = pickle.UnpicklingError
+            load = staticmethod(pickle.load)
+
+            @staticmethod
+            def loads(data):
+                raise MemoryError("cannot unpickle payload")
+
+        monkeypatch.setattr(segments, "pickle", OOMPickle)
+        loaded, status = cache.load_classified(*KEY)
+        assert loaded is None and status == "miss"
+        assert os.listdir(tmp_path) == [segment_file]  # file survives
+        monkeypatch.setattr(segments, "pickle", pickle)
+        assert load(cache).items == [1, 2, 3]
+
     def test_store_failure_is_swallowed(self, tmp_path):
         missing = tmp_path / "file-not-dir"
         missing.write_text("x", encoding="utf-8")

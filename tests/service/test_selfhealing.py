@@ -293,6 +293,50 @@ def test_close_during_slot_respawn_is_clean():
         assert slot.thread is None or not slot.thread.is_alive()
 
 
+def test_respawn_failure_abandons_slot_instead_of_phantom(monkeypatch):
+    """If the *respawn* itself fails (backend construction dies under
+    the same resource exhaustion that killed the slot), the slot must be
+    abandoned — not left counted as live with a dead thread, which would
+    strand retried requests forever and keep ``_fail_orphans`` from ever
+    firing."""
+    service = QueryService(
+        make_source(), backend="sequential", max_concurrent_queries=1
+    )
+    try:
+        def broken_resolve(*args, **kwargs):
+            raise RuntimeError("fork failed: out of resources")
+
+        monkeypatch.setattr(
+            "repro.service.service.resolve_backend", broken_resolve
+        )
+        service.inject_slot_failure(0)
+        ticket = service.submit(COUNT_QUERY)
+        with pytest.raises(SlotFailureError):
+            ticket.result()
+        stats = service.stats()
+        assert stats["slots"] == {"total": 1, "live": 0, "abandoned": 1}
+        events = stats["slot_restarts"]
+        assert [event["kind"] for event in events] == [
+            "worker-death",
+            "abandoned",
+        ]
+        assert "respawn failed" in events[-1]["message"]
+        assert "fork failed" in events[-1]["message"]
+        # No phantom live slot: new submissions are rejected cleanly
+        # instead of queueing behind a thread that will never run.
+        with pytest.raises(AdmissionError) as excinfo:
+            service.submit(COUNT_QUERY)
+        assert excinfo.value.reason == "no-slots"
+        # The dying worker thread exits once supervision completes (the
+        # ticket resolves slightly earlier, so join rather than poll).
+        for slot in service._slots:
+            if slot.thread is not None:
+                slot.thread.join(timeout=10.0)
+                assert not slot.thread.is_alive()
+    finally:
+        service.close()
+
+
 # -- load shedding -------------------------------------------------------------
 
 
@@ -430,6 +474,38 @@ def test_circuit_breaker_admits_single_probe(scripted_clock):
         source.release()
         assert probe.result().items == [120]
         assert service.stats()["circuit_breakers"]["t"]["state"] == "closed"
+
+
+def test_halfopen_probe_not_leaked_by_later_rejection(scripted_clock):
+    """A submission that passes the breaker check but is rejected by a
+    *later* admission step (here: the tenant deadline ceiling) must not
+    claim the half-open probe — pre-fix, the leaked ``probing`` flag was
+    only cleared when a request finished, so with nothing in flight the
+    tenant was locked out with ``circuit-open (probe in flight)``
+    forever."""
+    with QueryService(
+        make_source(),
+        backend="sequential",
+        max_concurrent_queries=1,
+        clock="scripted",
+        circuit_failure_threshold=1,
+        circuit_cooldown_seconds=10.0,
+        quotas={"t": TenantQuota(deadline_ceiling_seconds=10.0)},
+    ) as service:
+        with pytest.raises(Exception):
+            service.execute("count(((", tenant="t")
+        assert service.stats()["circuit_breakers"]["t"]["state"] == "open"
+        scripted_clock["now"] = 50.0  # cooldown elapsed → half-open
+        with pytest.raises(AdmissionError) as excinfo:
+            service.submit(COUNT_QUERY, tenant="t", deadline_seconds=99.0)
+        assert excinfo.value.reason == "deadline-quota"
+        # The probe was not consumed by the rejected submission: a clean
+        # submission is admitted as the probe and closes the breaker.
+        assert service.execute(COUNT_QUERY, tenant="t").items == [120]
+        assert service.stats()["circuit_breakers"]["t"] == {
+            "state": "closed",
+            "consecutive_failures": 0,
+        }
 
 
 def test_breaker_ignores_cancellations(scripted_clock):
